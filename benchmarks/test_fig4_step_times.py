@@ -1,0 +1,44 @@
+"""E-F4a/b/c: Figure 4 — CDFs of the per-step running times.
+
+Paper targets:
+- 4a: configuration creation 5 s or less for all invocations;
+- 4b: .i generation 15 s or less for 98%, up to ~22 s;
+- 4c: .o generation 7 s or less for 97%, ~15 s for almost all, with
+  >6000 s whole-kernel-rebuild outliers.
+"""
+
+from repro.evalsuite.figures import (
+    describe_figure,
+    figure4a_config_times,
+    figure4b_i_times,
+    figure4c_o_times,
+)
+
+
+def test_fig4a_config_times(benchmark, bench_result, record_artifact):
+    cdf = benchmark(figure4a_config_times, bench_result)
+    record_artifact("fig4a_config_times", describe_figure(
+        cdf, title="Fig 4a: configuration creation time",
+        thresholds=[5.0]))
+    assert len(cdf) > 100
+    assert cdf.fraction_at_most(5.0) == 1.0
+
+
+def test_fig4b_i_times(benchmark, bench_result, record_artifact):
+    cdf = benchmark(figure4b_i_times, bench_result)
+    record_artifact("fig4b_i_times", describe_figure(
+        cdf, title="Fig 4b: .i generation time",
+        thresholds=[15.0, 22.0]))
+    assert cdf.fraction_at_most(15.0) >= 0.95
+    assert cdf.max <= 25.0
+
+
+def test_fig4c_o_times(benchmark, bench_result, record_artifact):
+    cdf = benchmark(figure4c_o_times, bench_result)
+    record_artifact("fig4c_o_times", describe_figure(
+        cdf, title="Fig 4c: .o generation time",
+        thresholds=[7.0, 15.0]))
+    assert cdf.fraction_at_most(7.0) >= 0.9
+    assert cdf.fraction_at_most(15.0) >= 0.95
+    # the prom_init.c analogue: over 6000 seconds
+    assert cdf.max > 6000.0

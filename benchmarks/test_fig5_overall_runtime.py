@@ -1,0 +1,21 @@
+"""E-F5: Figure 5 — CDF of JMake's overall running time, all patches.
+
+Paper targets: 82% of patches within 30 s, 95% within one minute,
+with a long tail beyond 6000 s from whole-kernel-rebuild files.
+"""
+
+from repro.evalsuite.figures import describe_figure, figure5_overall
+
+
+def test_fig5_overall_runtime(benchmark, bench_result, record_artifact):
+    cdf = benchmark(figure5_overall, bench_result)
+    record_artifact("fig5_overall_runtime", describe_figure(
+        cdf, title="Fig 5: overall running time (all patches)",
+        thresholds=[30.0, 60.0]))
+    assert len(cdf) == len(bench_result.patches)
+    assert 0.70 <= cdf.fraction_at_most(30.0) <= 0.97
+    assert cdf.fraction_at_most(60.0) >= 0.88
+    # knee ordering: most of the mass arrives before one minute
+    assert cdf.fraction_at_most(60.0) > cdf.fraction_at_most(30.0)
+    # long tail exists (hundreds of seconds or the >6000 s outlier)
+    assert cdf.max > 100.0

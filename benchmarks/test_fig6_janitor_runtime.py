@@ -1,0 +1,28 @@
+"""E-F6: Figure 6 — overall running time on janitor patches.
+
+Paper: "the curve has the same shape as Figure 5 ... but does not
+contain the highest values"; over 90% of janitor patches take less than
+a minute; the longest janitor run is ~1080 s vs >6000 s overall.
+"""
+
+from repro.evalsuite.figures import (
+    describe_figure,
+    figure5_overall,
+    figure6_janitor_overall,
+)
+
+
+def test_fig6_janitor_runtime(benchmark, bench_result, record_artifact):
+    cdf = benchmark(figure6_janitor_overall, bench_result)
+    record_artifact("fig6_janitor_runtime", describe_figure(
+        cdf, title="Fig 6: overall running time (janitor patches)",
+        thresholds=[30.0, 60.0, 1080.0]))
+    all_cdf = figure5_overall(bench_result)
+
+    assert 0 < len(cdf) < len(all_cdf)
+    # same shape: the sub-minute mass tracks the overall curve
+    assert abs(cdf.fraction_at_most(60.0)
+               - all_cdf.fraction_at_most(60.0)) < 0.12
+    assert cdf.fraction_at_most(60.0) >= 0.85
+    # janitor tail does not exceed the overall tail
+    assert cdf.max <= all_cdf.max

@@ -1,0 +1,74 @@
+"""Real wall-clock performance benchmarks of the substrate itself.
+
+Unlike the table/figure benchmarks (which report *simulated* seconds),
+these measure the library's actual throughput — the numbers a developer
+feels when running JMake interactively: preprocessing a driver, solving
+allyesconfig, generating the tree, checking one patch end to end.
+"""
+
+import pytest
+
+from repro.core.jmake import JMake
+from repro.cpp.preprocessor import Preprocessor
+from repro.kbuild.build import BuildSystem
+from repro.kconfig.solver import allyesconfig
+from repro.kernel.generator import generate_tree
+from repro.kernel.layout import default_tree_spec
+from repro.kernel.generator import KernelTreeGenerator
+from repro.vcs.diff import Patch, diff_texts
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_tree()
+
+
+def test_perf_tree_generation(benchmark):
+    spec = default_tree_spec()
+    tree = benchmark(lambda: KernelTreeGenerator(spec).generate())
+    assert len(tree.files) > 200
+
+
+def test_perf_preprocess_driver(benchmark, tree):
+    build = BuildSystem(tree.provider(),
+                        path_lister=lambda: sorted(tree.files))
+    config = build.make_config("x86_64", "allyesconfig")
+    compiler = build._compiler("x86_64", config, modular_unit=False)
+    result = benchmark(compiler.preprocess, "drivers/net/netdrv0.c")
+    assert "netdrv0_probe" in result.text
+
+
+def test_perf_allyesconfig_solve(benchmark, tree):
+    build = BuildSystem(tree.provider(),
+                        path_lister=lambda: sorted(tree.files))
+    model = build.config_model("x86_64")
+    config = benchmark(allyesconfig, model)
+    assert config.enabled("NETDRV")
+
+
+def test_perf_jmake_check_patch(benchmark, tree):
+    jmake = JMake.from_generated_tree(tree)
+    path = "fs/ext4/ext40.c"
+    original = tree.files[path]
+    edited = original.replace("int status = 0;", "int status = 7;")
+    files = dict(tree.files)
+    files[path] = edited
+    patch = Patch(files=[diff_texts(path, original, edited)])
+
+    def check():
+        worktree = JMake.worktree_for_files(files)
+        return jmake.check_patch(worktree, patch)
+
+    report = benchmark(check)
+    assert report.certified
+
+
+def test_perf_kernel_header_preprocess(benchmark, tree):
+    """Worst-case single file: a driver including shared headers."""
+    provider = tree.provider()
+    preprocessor = Preprocessor(
+        provider, include_paths=["arch/x86/include", "include"],
+        predefined={"__KERNEL__": "1", "__x86_64__": "1"})
+    result = benchmark(preprocessor.preprocess,
+                       "drivers/staging/comedi/comedi0.c")
+    assert result.included_files

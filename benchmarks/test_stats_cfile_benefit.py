@@ -1,0 +1,32 @@
+"""E-S3: §V-B "Benefits of mutations for .c files".
+
+Paper targets: 88% of .c file instances have all changed lines
+subjected to the compiler at the first error-free compilation; 3% are
+the insidious case (clean allyesconfig build that misses lines); a
+minority of those (54 of 415) are rescued by additional architectures;
+for janitors, none of the insidious instances could be rescued by the
+tried configurations.
+"""
+
+from repro.evalsuite.experiments import (
+    cfile_benefit_stats,
+    render_cfile_benefit_stats,
+)
+
+
+def test_stats_cfile_benefit(benchmark, bench_result, record_artifact):
+    stats = benchmark(cfile_benefit_stats, bench_result)
+    record_artifact("stats_cfile_benefit",
+                    render_cfile_benefit_stats(stats))
+
+    for who in ("all", "janitor"):
+        sub = stats[who]
+        # the common case clearly dominates
+        assert sub["confirmed_first_compile"].fraction >= 0.80
+        # the insidious case exists but is a few percent
+        assert 0.0 < sub["insidious"].fraction <= 0.12
+    # rescues are a minority of insidious instances (54/415 in paper)
+    all_sub = stats["all"]
+    assert all_sub["rescued_by_other_configs"] <= \
+        all_sub["never_rescued"] + all_sub["rescued_by_other_configs"]
+    assert all_sub["never_rescued"] >= all_sub["rescued_by_other_configs"]

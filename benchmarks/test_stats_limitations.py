@@ -1,0 +1,27 @@
+"""E-S6: §V-D "Limitations" — bootstrap files JMake cannot treat.
+
+Paper: 317 patches (2% of the total) touch the 411 file instances the
+kernel Makefile compiles during its own setup; these cannot be mutated.
+"""
+
+from repro.core.report import FileStatus
+from repro.evalsuite.experiments import (
+    limitation_stats,
+    render_limitation_stats,
+)
+
+
+def test_stats_limitations(benchmark, bench_result, record_artifact):
+    stats = benchmark(limitation_stats, bench_result)
+    record_artifact("stats_limitations", render_limitation_stats(stats))
+
+    assert stats["untreatable_file_instances"] >= 1
+    # about 2% of patches in the paper; allow 0.5%..8% at our scale
+    fraction = stats["affected_patches"].fraction
+    assert 0.002 <= fraction <= 0.08
+
+
+def test_bootstrap_verdict_is_distinct(bench_result):
+    statuses = {record.status
+                for record in bench_result.file_instances()}
+    assert FileStatus.BOOTSTRAP_UNTREATABLE in statuses

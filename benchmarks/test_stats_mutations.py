@@ -1,0 +1,24 @@
+"""E-S2: §V-B "Properties of mutations".
+
+Paper targets: .c file instances need one mutation in 82% of cases and
+at most three in 95%; .h instances 75% / 92%; janitor instances need
+fewer (91%/98% and 84%/93%); at most 15 mutations suffice for janitor
+instances.
+"""
+
+from repro.evalsuite.experiments import mutation_stats, render_mutation_stats
+
+
+def test_stats_mutations(benchmark, bench_result, record_artifact):
+    stats = benchmark(mutation_stats, bench_result)
+    record_artifact("stats_mutations", render_mutation_stats(stats))
+
+    assert stats["all_c"]["one_mutation"].fraction >= 0.70
+    assert stats["all_c"]["at_most_three"].fraction >= 0.90
+    assert stats["all_h"]["one_mutation"].fraction >= 0.60
+    # janitor instances need no more mutations than the overall set
+    assert stats["janitor_c"]["one_mutation"].fraction >= \
+        stats["all_c"]["one_mutation"].fraction - 0.05
+    # the paper's janitor bound: at most 15 mutations per file instance
+    assert stats["janitor_c"]["max_mutations"] <= 15
+    assert stats["janitor_h"]["max_mutations"] <= 15

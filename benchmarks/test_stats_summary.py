@@ -1,0 +1,21 @@
+"""E-S5: §V-B "Summary" — the headline result.
+
+Paper targets: JMake certifies that every changed line was subjected to
+the compiler for 85% of all patches and 88% of janitor patches; for 79%
+of the overall set a single successful compilation suffices.
+"""
+
+from repro.evalsuite.experiments import render_summary_stats, summary_stats
+
+
+def test_stats_summary(benchmark, bench_result, record_artifact):
+    stats = benchmark(summary_stats, bench_result)
+    record_artifact("stats_summary", render_summary_stats(stats))
+
+    # the headline rates: most patches certify, but clearly not all
+    assert 0.75 <= stats["all"].fraction <= 0.95
+    assert 0.75 <= stats["janitor"].fraction <= 0.97
+    # janitors do at least as well as the general population
+    assert stats["janitor"].fraction >= stats["all"].fraction - 0.06
+    # a single configuration usually suffices (79% in the paper)
+    assert stats["single_config_sufficient"].fraction >= 0.55

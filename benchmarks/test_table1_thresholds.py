@@ -1,0 +1,25 @@
+"""E-T1: Table I — thresholds on janitor activity."""
+
+from repro.evalsuite.runner import scaled_criteria
+from repro.evalsuite.tables import table1
+from repro.janitors.identify import JanitorCriteria
+
+
+def test_table1_thresholds(benchmark, bench_corpus, record_artifact):
+    data, text = benchmark(table1, scaled_criteria(bench_corpus))
+    record_artifact("table1_thresholds", text)
+    # the structural rule is Table I's, with the paper's exact
+    # patch/list/maintainer floors
+    assert data["# patches"] == ">= 10"
+    assert data["# lists"] == ">= 3"
+    assert data["# maintainer patches"] == "< 5%"
+
+
+def test_table1_paper_constants():
+    data, _ = table1(JanitorCriteria())
+    assert data == {
+        "# patches": ">= 10",
+        "# subsystems": ">= 20",
+        "# lists": ">= 3",
+        "# maintainer patches": "< 5%",
+    }

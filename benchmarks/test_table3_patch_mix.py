@@ -1,0 +1,33 @@
+"""E-T3: Table III — characteristics of all patches vs janitor patches.
+
+Paper targets: all patches 70% .c-only / 5% .h-only / 23% both;
+janitor patches 87% / 2% / 10%. Shape assertions: .c-only dominates,
+.h-only is the smallest class, and janitors skew further toward
+.c-only.
+"""
+
+from repro.evalsuite.tables import table3
+
+
+def test_table3_patch_mix(benchmark, bench_result, record_artifact):
+    rows, text = benchmark(table3, bench_result)
+    record_artifact("table3_patch_mix", text)
+    by_label = {row.label: row for row in rows}
+    c_only = by_label[".c files only"]
+    h_only = by_label[".h files only"]
+    both = by_label["both .c and .h files"]
+
+    # who wins and by what factor
+    assert c_only.all_patches.fraction > 0.55
+    assert c_only.all_patches.fraction > 2 * both.all_patches.fraction
+    assert h_only.all_patches.fraction < both.all_patches.fraction
+
+    # janitors skew to .c-only and away from .h
+    assert c_only.janitor_patches.fraction >= \
+        c_only.all_patches.fraction
+    assert h_only.janitor_patches.fraction <= \
+        h_only.all_patches.fraction + 0.03
+
+    # totals consistent
+    assert sum(row.all_patches.count for row in rows) == \
+        c_only.all_patches.total

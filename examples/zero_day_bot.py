@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Zero-day bot: random-configuration testing vs JMake.
+
+§I and §VI of the paper contrast JMake with Intel's 0-day build-testing
+service, which compiles every patch for a number of randomly selected
+configurations: thorough but "not exhaustive", and the feedback arrives
+whenever the farm gets around to it. This example quantifies the
+difference on the synthetic corpus:
+
+- the *bot* compiles each patch under N random configurations and
+  counts a patch covered when the union of those builds subjects every
+  changed line to the compiler;
+- *JMake* runs its targeted mutation + architecture-heuristic pipeline.
+
+Run:  python examples/zero_day_bot.py [--configs N] [--commits N]
+"""
+
+import argparse
+
+from repro.core.changes import extract_changed_files
+from repro.core.jmake import JMake
+from repro.core.mutation import MutationEngine, MutationOverlay
+from repro.kbuild.build import BuildSystem
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config
+from repro.util.rng import DeterministicRng
+from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
+
+
+def random_config(model, rng: DeterministicRng, index: int) -> Config:
+    """A dependency-respecting random configuration (the bot's draw)."""
+    config = Config(name=f"randconfig-{index}")
+    assignment = config.values
+    for symbol in model.symbols():
+        if symbol.is_boolean_like:
+            assignment[symbol.name] = Tristate.N
+        elif symbol.default_value is not None:
+            config.scalar_values[symbol.name] = symbol.default_value
+    for _ in range(3):  # a few passes so dependent symbols get a chance
+        for symbol in model.boolean_symbols():
+            if assignment[symbol.name] != Tristate.N:
+                continue
+            if symbol.dependencies_met(assignment) and rng.bernoulli(0.5):
+                assignment[symbol.name] = Tristate.Y
+    return config
+
+
+def bot_covers_patch(corpus, commit, configs_per_patch, rng) -> bool:
+    """Does the union of N random builds see every changed line?"""
+    repository = corpus.repository
+    worktree = repository.checkout(commit)
+    patch = repository.show(commit)
+    changed = extract_changed_files(
+        patch, new_texts={p: worktree.read(p) for p in patch.paths()
+                          if worktree.exists(p)})
+    engine = MutationEngine()
+    plans = [engine.plan(record.path, worktree.read(record.path),
+                         record.changed_lines)
+             for record in changed if worktree.exists(record.path)]
+    tokens = {token for plan in plans for token in plan.tokens}
+    if not tokens:
+        return True  # comment-only: nothing for a compiler to miss
+    overlay = MutationOverlay(worktree, plans)
+    overlay.apply_all()
+
+    build = BuildSystem(worktree.as_file_provider(),
+                        path_lister=worktree.paths)
+    model = build.config_model("x86_64")
+    found: set[str] = set()
+    c_paths = [plan.path for plan in plans if plan.path.endswith(".c")]
+    for index in range(configs_per_patch):
+        config = random_config(model, rng, index)
+        for result in build.make_i(c_paths, "x86_64", config):
+            if result.ok and result.i_text:
+                found |= {t for t in tokens if t in result.i_text}
+        if tokens <= found:
+            break
+    worktree.reset_hard()
+    return tokens <= found
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--configs", type=int, default=4,
+                        help="random configurations per patch")
+    parser.add_argument("--commits", type=int, default=120)
+    args = parser.parse_args()
+
+    corpus = build_corpus(CorpusSpec(seed="zero-day",
+                                     history_commits=200,
+                                     eval_commits=args.commits))
+    repository = corpus.repository
+    commits = repository.log(since=Corpus.TAG_EVAL_START,
+                             until=Corpus.TAG_EVAL_END)
+    commits = [c for c in commits
+               if extract_changed_files(repository.show(c))]
+
+    rng = DeterministicRng("zero-day-bot")
+    jmake = JMake.from_generated_tree(corpus.tree)
+
+    bot_covered = jmake_certified = 0
+    for commit in commits:
+        if bot_covers_patch(corpus, commit, args.configs, rng):
+            bot_covered += 1
+        if jmake.check_commit(repository, commit).certified:
+            jmake_certified += 1
+
+    total = len(commits)
+    print(f"patches checked: {total}")
+    print(f"0-day bot, {args.configs} random x86_64 configs/patch: "
+          f"{bot_covered}/{total} covered "
+          f"({bot_covered / total:.0%})")
+    print(f"JMake (targeted heuristics, cross-arch):        "
+          f"{jmake_certified}/{total} certified "
+          f"({jmake_certified / total:.0%})")
+    print()
+    print("The bot needs many blind builds per patch and still misses "
+          "arch-specific code;")
+    print("JMake reports, per line, *which* changed lines no build ever "
+          "saw — immediately.")
+
+
+if __name__ == "__main__":
+    main()

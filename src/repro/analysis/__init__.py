@@ -1,0 +1,25 @@
+"""Variability analysis: the §VI related-work tools, reimplemented.
+
+- :mod:`repro.analysis.blocks` — conditional-block extraction with
+  presence conditions (the structure SuperC/TypeChef-style parsers
+  expose);
+- :mod:`repro.analysis.deadblocks` — Undertaker-style dead/undead block
+  detection against the Kconfig model;
+- :mod:`repro.analysis.covergen` — Vampyr/Troll-style generation of a
+  small configuration set that covers a file's conditional branches,
+  usable as JMake's §VII configuration-generation extension.
+"""
+
+from repro.analysis.blocks import BlockCondition, ConditionalBlock, extract_blocks
+from repro.analysis.covergen import covering_configs
+from repro.analysis.deadblocks import BlockVerdict, DeadBlockAnalyzer
+
+__all__ = [
+    "BlockCondition",
+    "BlockVerdict",
+    "ConditionalBlock",
+    "DeadBlockAnalyzer",
+    "ConditionalBlock",
+    "covering_configs",
+    "extract_blocks",
+]

@@ -1,0 +1,35 @@
+"""Compiler front-end substrate.
+
+Provides what ``gcc`` (and its cross variants) contributes to JMake:
+
+- a C lexer over preprocessed ``.i`` text that *rejects invalid
+  characters* — this is why a mutated file can produce a ``.i`` file but
+  never a ``.o`` file (paper §III-A);
+- lightweight syntax validation (balanced delimiters, declaration shape)
+  standing in for the rest of the front end;
+- per-architecture toolchains that differ in builtin macros and include
+  roots, so a file needing ``asm/`` headers of one architecture fails to
+  compile for another (§III-C);
+- the paper's cross-compiler availability matrix (24 of 34 ``make.cross``
+  architectures work).
+"""
+
+from repro.cc.assembly import AssemblyListing, emit_assembly
+from repro.cc.compiler import Compiler, Diagnostic, ObjectFile
+from repro.cc.lexer import lex_translation_unit
+from repro.cc.linker import KernelImage, LinkError, link
+from repro.cc.toolchain import Architecture, ToolchainRegistry
+
+__all__ = [
+    "Architecture",
+    "AssemblyListing",
+    "Compiler",
+    "Diagnostic",
+    "KernelImage",
+    "LinkError",
+    "ObjectFile",
+    "ToolchainRegistry",
+    "emit_assembly",
+    "lex_translation_unit",
+    "link",
+]

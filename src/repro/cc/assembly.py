@@ -1,0 +1,86 @@
+"""Fake assembly output: the ``.s`` and ``.lst`` files of §III-A.
+
+The paper considers tracking mutations through ``.s`` (assembly),
+``.lst`` (assembly interleaved with C source), and ``.o`` files, and
+rejects all three because "all of these are only generated for files
+that pass all the verifications of the compiler front end" — a mutated
+file can never produce them. This module implements the generation so
+that property is demonstrable rather than asserted: :func:`emit_assembly`
+runs the same front end as object compilation and therefore fails on
+stray characters, and the ``.lst`` output interleaves the original C
+lines the way ``gcc -Wa,-adhln`` does.
+
+The instruction selection is deliberately naive (one pseudo-op per
+meaningful token run); nothing downstream executes it. What matters is
+*which source lines* appear — the paper's point is that macro-origin
+lines are attributed to use sites, losing the definition's own line
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.compiler import Compiler, ObjectFile
+from repro.cpp.lexer import TokenKind
+from repro.cc.lexer import lex_translation_unit
+
+
+@dataclass
+class AssemblyListing:
+    """The ``.s`` text plus the ``.lst`` interleaving."""
+
+    source: str
+    architecture: str
+    s_text: str
+    lst_text: str
+    #: (file, line) pairs that contributed at least one instruction
+    covered_lines: set[tuple[str, int]] = field(default_factory=set)
+
+
+def emit_assembly(compiler: Compiler, path: str) -> AssemblyListing:
+    """``make file.s`` / ``make file.lst``.
+
+    Raises :class:`repro.errors.CompileError` exactly when
+    ``make file.o`` would — the front end runs first.
+    """
+    obj: ObjectFile = compiler.compile_object(path)  # front-end gate
+    preprocessed = compiler.preprocess(path)
+    lexed = lex_translation_unit(preprocessed.text, main_file=path)
+
+    s_lines: list[str] = [f"\t.file\t\"{path}\"",
+                          f"\t.arch\t{compiler.architecture.name}"]
+    lst_lines: list[str] = []
+    covered: set[tuple[str, int]] = set()
+    current_position: tuple[str, int] | None = None
+
+    for token in lexed.tokens:
+        position = (token.file, token.line)
+        if position != current_position:
+            current_position = position
+            covered.add(position)
+            s_lines.append(f"\t.loc\t\"{token.file}\" {token.line}")
+            lst_lines.append(f"{token.line:>6}: {token.file}")
+        if token.token.kind is TokenKind.IDENT:
+            mnemonic = f"\tld\tr0, {token.token.text}"
+        elif token.token.kind is TokenKind.NUMBER:
+            mnemonic = f"\tmov\tr0, #{token.token.text}"
+        elif token.token.text == "{":
+            mnemonic = "\tpush\t{fp}"
+        elif token.token.text == "}":
+            mnemonic = "\tpop\t{fp}"
+        else:
+            continue
+        s_lines.append(mnemonic)
+        lst_lines.append(" " * 8 + mnemonic)
+
+    for symbol in obj.symbols:
+        s_lines.append(f"\t.globl\t{symbol}")
+
+    return AssemblyListing(
+        source=path,
+        architecture=compiler.architecture.name,
+        s_text="\n".join(s_lines) + "\n",
+        lst_text="\n".join(lst_lines) + "\n",
+        covered_lines=covered,
+    )

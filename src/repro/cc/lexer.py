@@ -1,0 +1,63 @@
+"""C token lexing over preprocessed text, with position tracking.
+
+The input is ``.i`` text carrying gcc-style ``# <line> "<file>"``
+markers. The lexer walks each line, resolves the original source position
+from the markers, and classifies tokens with the shared preprocessing
+lexer. Characters that form no valid C token (JMake's mutation character
+among them) produce *stray-character* records the compiler turns into
+hard errors — gcc's ``error: stray '`' in program``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cpp.lexer import Token, TokenKind, tokenize
+
+_LINE_MARKER_RE = re.compile(r'^#\s+(\d+)\s+"([^"]*)"')
+
+
+@dataclass(frozen=True)
+class LexedToken:
+    """A token with its resolved original source position."""
+
+    token: Token
+    file: str
+    line: int
+
+
+@dataclass
+class LexResult:
+    """All tokens of a unit plus the stray-character records."""
+    tokens: list[LexedToken] = field(default_factory=list)
+    stray_characters: list[LexedToken] = field(default_factory=list)
+
+    def identifiers(self) -> list[str]:
+        """The texts of all identifier tokens, in order."""
+        return [lexed.token.text for lexed in self.tokens
+                if lexed.token.kind is TokenKind.IDENT]
+
+
+def lex_translation_unit(i_text: str, *,
+                         main_file: str = "<unit>") -> LexResult:
+    """Lex preprocessed text, honouring line markers."""
+    result = LexResult()
+    current_file = main_file
+    current_line = 1
+    for raw in i_text.split("\n"):
+        marker = _LINE_MARKER_RE.match(raw)
+        if marker:
+            current_line = int(marker.group(1))
+            current_file = marker.group(2)
+            continue
+        for token in tokenize(raw):
+            if token.is_ws:
+                continue
+            lexed = LexedToken(token=token, file=current_file,
+                               line=current_line)
+            result.tokens.append(lexed)
+            if token.kind is TokenKind.OTHER and not token.text.isspace():
+                result.stray_characters.append(lexed)
+        current_line += 1
+    return result

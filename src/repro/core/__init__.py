@@ -1,0 +1,38 @@
+"""JMake: the paper's primary contribution.
+
+Pipeline (paper §III):
+
+1. :mod:`repro.core.changes` — extract changed lines per file from a
+   patch, with the pure-removal rule (§III-B last paragraph);
+2. :mod:`repro.core.sourcemap` — classify changed lines as comment /
+   macro-definition / ordinary code and locate conditional boundaries;
+3. :mod:`repro.core.mutation` — place the minimal set of mutation
+   tokens (§III-A/B) and produce the mutated file text;
+4. :mod:`repro.core.archselect` — guess candidate architectures and
+   configurations (§III-C);
+5. :mod:`repro.core.cfile` / :mod:`repro.core.hfile` — drive the build
+   system over candidates, grep ``.i`` output for tokens, certify with
+   an unmutated ``.o`` build (§III-D/E);
+6. :mod:`repro.core.report` — structured verdicts;
+7. :mod:`repro.core.jmake` — the user-facing facade.
+"""
+
+from repro.core.changes import ChangedFile, extract_changed_files
+from repro.core.jmake import JMake, JMakeOptions
+from repro.core.mutation import MutationEngine, MutationPlan
+from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.core.sourcemap import LineClass, SourceMap
+
+__all__ = [
+    "ChangedFile",
+    "FileReport",
+    "FileStatus",
+    "JMake",
+    "JMakeOptions",
+    "LineClass",
+    "MutationEngine",
+    "MutationPlan",
+    "PatchReport",
+    "SourceMap",
+    "extract_changed_files",
+]

@@ -1,0 +1,163 @@
+"""Architecture and configuration selection heuristics (§III-C).
+
+Candidate order for a file:
+
+1. a file under ``arch/<d>/`` is assumed compilable by the
+   cross-compilers owning that directory;
+2. otherwise the *host* architecture first — a plain ``make``
+   (CONFIG_COMPILE_TEST spirit);
+3. then the Makefile heuristic: collect the ``CONFIG_*`` variables tied
+   to the file's object (directly, through composite labels, or — when
+   nothing matches — any variable in the Makefile); any architecture
+   whose ``arch/<d>/`` subtree mentions one of those variables becomes a
+   candidate with ``allyesconfig``;
+4. if such a variable appears in files under ``arch/<d>/configs/``, one
+   of those defconfig files (chosen deterministically at random) is
+   additionally used.
+
+Unsupported (broken-toolchain) candidates are reported so JMake can emit
+the "unsupported architecture required" verdict.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+from repro.errors import MakefileNotFoundError
+from repro.kbuild.build import BuildSystem
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (architecture, config target) to try, in order."""
+
+    arch: str
+    config_target: str = "allyesconfig"
+
+    def __str__(self) -> str:
+        return f"{self.arch}/{self.config_target}"
+
+
+@dataclass
+class ArchSelection:
+    """Ordered candidates plus unsupported/no-Makefile findings."""
+    candidates: list[Candidate] = field(default_factory=list)
+    #: architectures that looked relevant but have no working toolchain
+    unsupported: list[str] = field(default_factory=list)
+    no_makefile: bool = False
+
+
+class ArchSelector:
+    """Implements the §III-C candidate-selection heuristics."""
+    def __init__(self, build_system: BuildSystem,
+                 path_lister: Callable[[], list[str]],
+                 provider: Callable[[str], "str | None"],
+                 rng: DeterministicRng | None = None,
+                 use_configs: bool = True) -> None:
+        self._build = build_system
+        self._paths = path_lister
+        self._provider = provider
+        self._rng = rng or DeterministicRng("archselect")
+        self._use_configs = use_configs
+        self._arch_mention_cache: dict[str, set[str]] = {}
+        self._configs_mention_cache: dict[str, list[str]] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def select(self, source_path: str) -> ArchSelection:
+        """Candidate (architecture, config) list for one source file."""
+        selection = ArchSelection()
+        parts = source_path.split("/")
+        registry = self._build.registry
+
+        if parts[0] == "arch" and len(parts) >= 3:
+            directory = parts[1]
+            owners = registry.for_directory(directory)
+            if owners:
+                for architecture in owners:
+                    self._add(selection, Candidate(architecture.name))
+            else:
+                selection.unsupported.append(directory)
+            return selection
+
+        try:
+            self._build.governing_makefile(source_path)
+        except MakefileNotFoundError:
+            selection.no_makefile = True
+            return selection
+
+        # 1. plain make on the host.
+        self._add(selection, Candidate(registry.host.name))
+
+        # 2. Makefile config-variable hints -> architectures.
+        makefile = self._build.governing_makefile(source_path)
+        variables = makefile.config_vars_for_object(parts[-1])
+        for variable in variables:
+            for directory in self._arch_dirs_mentioning(variable):
+                architectures = registry.for_directory(directory)
+                if not architectures:
+                    if directory not in selection.unsupported:
+                        selection.unsupported.append(directory)
+                    continue
+                for architecture in architectures:
+                    self._add(selection, Candidate(architecture.name))
+
+        # 3. defconfig files mentioning a variable: pick one at random.
+        if self._use_configs:
+            for variable in variables:
+                config_paths = self._config_files_mentioning(variable)
+                if not config_paths:
+                    continue
+                chosen = self._rng.choice(sorted(config_paths))
+                arch_dir = chosen.split("/")[1]
+                architectures = registry.for_directory(arch_dir)
+                if architectures:
+                    self._add(selection, Candidate(
+                        architectures[0].name,
+                        config_target=chosen.rsplit("/", 1)[-1]))
+        return selection
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _add(selection: ArchSelection, candidate: Candidate) -> None:
+        if candidate not in selection.candidates:
+            selection.candidates.append(candidate)
+
+    def _arch_dirs_mentioning(self, variable: str) -> list[str]:
+        """arch/ subdirectories whose files mention CONFIG_<variable>."""
+        if variable not in self._arch_mention_cache:
+            mentions: set[str] = set()
+            config_re = re.compile(rf"\bCONFIG_{re.escape(variable)}\b")
+            define_re = re.compile(rf"^config {re.escape(variable)}$",
+                                   re.MULTILINE)
+            for path in self._paths():
+                if not path.startswith("arch/"):
+                    continue
+                parts = path.split("/")
+                if len(parts) < 3:
+                    continue
+                text = self._provider(path)
+                if text is None:
+                    continue
+                if config_re.search(text):
+                    mentions.add(parts[1])
+                elif path.endswith("Kconfig") and define_re.search(text):
+                    mentions.add(parts[1])
+            self._arch_mention_cache[variable] = mentions
+        return sorted(self._arch_mention_cache[variable])
+
+    def _config_files_mentioning(self, variable: str) -> list[str]:
+        if variable not in self._configs_mention_cache:
+            needle = f"CONFIG_{variable}="
+            found: list[str] = []
+            for path in self._paths():
+                if "/configs/" not in path or not path.startswith("arch/"):
+                    continue
+                text = self._provider(path)
+                if text and needle in text:
+                    found.append(path)
+            self._configs_mention_cache[variable] = found
+        return self._configs_mention_cache[variable]

@@ -1,0 +1,196 @@
+"""The JMake facade.
+
+Typical use::
+
+    jmake = JMake.from_generated_tree(tree)       # binds hazard metadata
+    report = jmake.check_commit(repo, commit_id)  # one patch
+    print(report.render())
+
+``check_commit`` performs the paper's per-patch protocol (§V-A): clean
+the worktree (``git clean -dfx`` / ``git reset --hard``), check out the
+commit's snapshot, extract the changed lines, mutate, and drive the
+compile checks. ``check_patch`` is the lower-level entry for a worktree
+the caller already holds; :meth:`JMake.worktree_for_files` builds a
+throwaway single-commit worktree for VCS-less use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.archselect import ArchSelector
+from repro.core.cfile import CFileProcessor
+from repro.core.changes import extract_changed_files
+from repro.core.hfile import HFileProcessor
+from repro.core.mutation import (
+    MutationEngine,
+    MutationOverlay,
+    MutationPlan,
+)
+from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.kbuild.build import BuildSystem
+from repro.kbuild.timing import CostModel
+from repro.util.rng import DeterministicRng
+from repro.util.simclock import SimClock
+from repro.vcs.diff import Patch
+from repro.vcs.objects import Commit, Signature, Tree
+from repro.vcs.repository import Repository, Worktree
+
+
+@dataclass
+class JMakeOptions:
+    """Tunables, defaults matching the paper's prototype."""
+
+    #: compile at most this many files per make invocation (§V-A uses 50)
+    batch_limit: int = 50
+    #: .h candidate-file threshold beyond which only allyesconfig is
+    #: used (§III-E; user-configurable, default 100)
+    hfile_candidate_cap: int = 100
+    #: consider arch/<d>/configs/ defconfigs in addition to allyesconfig
+    use_configs: bool = True
+    #: also try allmodconfig after each allyesconfig (§VII future work;
+    #: "at the cost of nearly doubling the set of configurations")
+    use_allmodconfig: bool = False
+    #: as a last resort, generate Vampyr/Troll-style configurations
+    #: aimed at the exact blocks holding uncovered lines (§VII: "more
+    #: sophisticated configuration generation techniques")
+    use_targeted_configs: bool = False
+    #: the developer machine's architecture (plain make tries this first)
+    host: str = "x86_64"
+    #: seed for the deterministic "random" defconfig choice (§III-C)
+    selection_seed: int | str = "jmake"
+
+
+class JMake:
+    """The user-facing facade: check commits or patches."""
+    def __init__(self, *, options: JMakeOptions | None = None,
+                 clock: SimClock | None = None,
+                 cost_model: CostModel | None = None,
+                 bootstrap_paths: set[str] | None = None,
+                 rebuild_trigger_paths: set[str] | None = None) -> None:
+        self.options = options or JMakeOptions()
+        self.clock = clock or SimClock()
+        self._bootstrap = set(bootstrap_paths or ())
+        self._triggers = set(rebuild_trigger_paths or ())
+        self._cost_model = cost_model or CostModel()
+        self._engine = MutationEngine()
+
+    @classmethod
+    def from_generated_tree(cls, tree, *,
+                            options: JMakeOptions | None = None,
+                            clock: SimClock | None = None) -> "JMake":
+        """Bind bootstrap/rebuild metadata from a generated tree."""
+        return cls(
+            options=options,
+            clock=clock,
+            bootstrap_paths=tree.bootstrap_paths,
+            rebuild_trigger_paths=tree.rebuild_triggers,
+        )
+
+    @staticmethod
+    def worktree_for_files(files: "dict[str, str]") -> Worktree:
+        """A throwaway worktree over a plain file dict (no history)."""
+        repository = Repository()
+        commit = repository.commit(
+            Tree(files),
+            Signature("jmake", "jmake@localhost", "1970-01-01T00:00:00"),
+            "snapshot")
+        return repository.checkout(commit)
+
+    # -- entry points ----------------------------------------------------------
+
+    def check_commit(self, repository: Repository,
+                     commit: "Commit | str") -> PatchReport:
+        """Check one commit: checkout, diff against parent, verify."""
+        if isinstance(commit, str):
+            commit = repository.resolve(commit)
+        worktree = repository.checkout(commit)
+        worktree.clean()
+        worktree.reset_hard()
+        patch = repository.show(commit)
+        return self.check_patch(worktree, patch, commit_id=commit.id)
+
+    def check_patch(self, worktree: Worktree, patch: Patch,
+                    commit_id: str | None = None) -> PatchReport:
+        """Check a patch against an already-checked-out worktree.
+
+        The worktree must hold the *post-patch* state (the paper checks
+        out "the snapshot of the source code resulting from applying the
+        patch").
+        """
+        clock_start = self.clock.now
+        build = self._make_build_system(worktree)
+        invocations_start = len(build.invocations)
+        selector = ArchSelector(
+            build, worktree.paths, worktree.as_file_provider(),
+            rng=DeterministicRng(self.options.selection_seed),
+            use_configs=self.options.use_configs)
+
+        report = PatchReport(commit_id=commit_id)
+        changed = extract_changed_files(
+            patch, new_texts={path: worktree.read(path)
+                              for path in patch.paths()
+                              if worktree.exists(path)})
+
+        c_plans: list[MutationPlan] = []
+        h_plans: list[MutationPlan] = []
+        for record in changed:
+            if record.path in self._bootstrap:
+                report.file_reports[record.path] = FileReport(
+                    path=record.path,
+                    status=FileStatus.BOOTSTRAP_UNTREATABLE)
+                continue
+            if not worktree.exists(record.path):
+                continue
+            plan = self._engine.plan(record.path,
+                                     worktree.read(record.path),
+                                     record.changed_lines)
+            if record.is_c:
+                c_plans.append(plan)
+            else:
+                h_plans.append(plan)
+
+        # Apply all mutated texts to the overlay before any .i run; the
+        # same overlay object lets the processors flip to the clean tree
+        # for every certification .o build.
+        overlay = MutationOverlay(worktree, c_plans + h_plans)
+        overlay.apply_all()
+
+        cfile = CFileProcessor(
+            build, selector,
+            batch_limit=self.options.batch_limit,
+            use_allmodconfig=self.options.use_allmodconfig,
+            use_targeted_configs=self.options.use_targeted_configs)
+        outcome = cfile.process(worktree, c_plans, h_plans, overlay=overlay)
+        report.file_reports.update(outcome.reports)
+
+        hfile = HFileProcessor(
+            build, selector, worktree.paths,
+            worktree.as_file_provider(),
+            batch_limit=self.options.batch_limit,
+            candidate_cap=self.options.hfile_candidate_cap)
+        for plan in h_plans:
+            report.file_reports[plan.path] = hfile.process(
+                worktree, plan, outcome.header_tokens_found,
+                overlay=overlay)
+
+        worktree.reset_hard()
+        report.elapsed_seconds = self.clock.now - clock_start
+        for invocation in build.invocations[invocations_start:]:
+            report.invocation_counts[invocation.kind] = \
+                report.invocation_counts.get(invocation.kind, 0) + 1
+            report.invocation_durations.setdefault(
+                invocation.kind, []).append(invocation.duration)
+        return report
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _make_build_system(self, worktree: Worktree) -> BuildSystem:
+        return BuildSystem(
+            worktree.as_file_provider(),
+            clock=self.clock,
+            cost_model=self._cost_model,
+            bootstrap_paths=self._bootstrap,
+            rebuild_trigger_paths=self._triggers,
+            path_lister=worktree.paths,
+        )

@@ -1,0 +1,251 @@
+"""Mutation token placement (§III-A and §III-B).
+
+Tokens have the form ```"type:file:line"``: a backtick — invalid in
+C outside literals, so the compiler front end can never accept it — then
+a string literal that protects the payload from preprocessor rewriting.
+
+Placement rules, verbatim from the paper:
+
+- *comment lines* are never mutated (the compiler never sees them);
+- *macro definitions* get one mutation per changed macro: at the end of
+  the ``#define`` line (before the continuation backslash if any) when
+  the first change is on that line, otherwise on a new
+  ``<token> \\`` line inserted just before the first modified line;
+- *other code* gets one mutation per group of changed lines delimited by
+  conditional-compilation directives (``#if``/``#ifdef``/``#ifndef``/
+  ``#elif``/``#else``) or the start of file: a new line carrying the
+  token before the group's first changed line — unless that line begins
+  mid-comment, in which case the token goes right after the comment ends
+  on the same line;
+- the engine also records the names of changed macros as *hints* for
+  header processing (§III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sourcemap import LineClass, SourceMap
+from repro.util.text import split_lines_keepends
+
+MUTATION_CHAR = "`"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One placed token."""
+
+    token: str
+    kind: str          # "define" | "code"
+    path: str
+    line: int          # the changed line this mutation certifies
+    insert_at: int     # physical line (1-based) the token lives on/near
+
+    @staticmethod
+    def make_token(kind: str, path: str, line: int) -> str:
+        """Render the backtick-protected token string."""
+        return f'{MUTATION_CHAR}"{kind}:{path}:{line}"'
+
+
+@dataclass
+class MutationPlan:
+    """All mutations for one file, plus the mutated text."""
+
+    path: str
+    original_text: str
+    mutated_text: str
+    mutations: list[Mutation] = field(default_factory=list)
+    #: changed lines that were comments (reported as not relevant)
+    comment_lines: list[int] = field(default_factory=list)
+    #: names of macros whose definitions changed (§III-E hints)
+    macro_hints: list[str] = field(default_factory=list)
+    #: §VII advisory: unpromising groups detected before any build —
+    #: changes anchored under #ifndef or #else, which allyesconfig can
+    #: essentially never reach ("ask for user assistance, which could
+    #: save running time by avoiding the exploration of unpromising
+    #: cases")
+    advisories: list[str] = field(default_factory=list)
+
+    @property
+    def tokens(self) -> list[str]:
+        """All token strings of this plan."""
+        return [mutation.token for mutation in self.mutations]
+
+    def tokens_found_in(self, i_text: str) -> set[str]:
+        """Tokens of this plan present in the given .i text."""
+        return {token for token in self.tokens if token in i_text}
+
+    def tokens_missing_in(self, i_text: str) -> set[str]:
+        """Tokens of this plan absent from the given .i text."""
+        return {token for token in self.tokens if token not in i_text}
+
+
+class MutationOverlay:
+    """Apply/revert the whole patch's mutations on a worktree.
+
+    ``make file.o`` must see the *fully unmutated* tree: reverting only
+    the file being compiled is not enough because a mutated header would
+    still poison every including unit. This manager flips the complete
+    set of mutated files at once.
+    """
+
+    def __init__(self, worktree, plans: list[MutationPlan]) -> None:
+        self._worktree = worktree
+        self._plans = [plan for plan in plans
+                       if plan.mutated_text != plan.original_text]
+
+    def apply_all(self) -> None:
+        """Write every mutated text into the worktree overlay."""
+        for plan in self._plans:
+            self._worktree.write(plan.path, plan.mutated_text)
+
+    def revert_all(self) -> None:
+        """Restore every mutated file to its committed text."""
+        for plan in self._plans:
+            self._worktree.revert(plan.path)
+
+    def clean_build(self):
+        """Context manager: unmutated tree inside the block."""
+        return _CleanBuild(self)
+
+
+class _CleanBuild:
+    def __init__(self, overlay: MutationOverlay) -> None:
+        self._overlay = overlay
+
+    def __enter__(self) -> None:
+        self._overlay.revert_all()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._overlay.apply_all()
+
+
+class MutationEngine:
+    """Compute a :class:`MutationPlan` for one file's changed lines."""
+
+    def plan(self, path: str, text: str,
+             changed_lines: list[int]) -> MutationPlan:
+        """Place tokens for the changed lines; returns the plan."""
+        source_map = SourceMap(path, text)
+        plan = MutationPlan(path=path, original_text=text, mutated_text=text)
+        if not changed_lines:
+            return plan
+
+        in_range = [line for line in changed_lines
+                    if 1 <= line <= source_map.line_count()]
+        macro_changes: dict[int, list[int]] = {}   # macro start -> lines
+        code_groups: dict[int, list[int]] = {}     # group anchor -> lines
+
+        for lineno in sorted(in_range):
+            line_class = source_map.classify(lineno)
+            if line_class is LineClass.COMMENT:
+                plan.comment_lines.append(lineno)
+                continue
+            if line_class is LineClass.MACRO_DEF:
+                region = source_map.macro_at(lineno)
+                assert region is not None
+                macro_changes.setdefault(region.start, []).append(lineno)
+                if region.name and region.name not in plan.macro_hints:
+                    plan.macro_hints.append(region.name)
+                continue
+            # Conditional directives and ordinary code are grouped by the
+            # most recent conditional boundary (0 = file start).
+            anchor = source_map.last_conditional_before(lineno)
+            code_groups.setdefault(anchor, []).append(lineno)
+            if anchor > 0:
+                anchor_text = source_map.info(anchor).text.strip()
+                if anchor_text.startswith(("#ifndef", "#else")):
+                    advisory = (f"line {lineno} is anchored under "
+                                f"{anchor_text.split()[0]} (line {anchor}):"
+                                f" allyesconfig is unlikely to reach it")
+                    if advisory not in plan.advisories:
+                        plan.advisories.append(advisory)
+
+        insertions: list[_Insertion] = []
+        for start in sorted(macro_changes):
+            insertions.append(self._macro_insertion(
+                source_map, path, start, macro_changes[start]))
+        for anchor in sorted(code_groups):
+            insertions.append(self._code_insertion(
+                source_map, path, code_groups[anchor]))
+
+        plan.mutated_text = _apply_insertions(text, insertions)
+        plan.mutations = [insertion.mutation for insertion in insertions]
+        return plan
+
+    # -- placement ---------------------------------------------------------
+
+    def _macro_insertion(self, source_map: SourceMap, path: str,
+                         region_start: int,
+                         changed: list[int]) -> "_Insertion":
+        region = source_map.macro_at(region_start)
+        assert region is not None
+        first_change = min(changed)
+        token = Mutation.make_token("define", path, first_change)
+        mutation = Mutation(token=token, kind="define", path=path,
+                            line=first_change, insert_at=region_start)
+        if first_change == region.start:
+            # Mutation at the end of the #define line, before any
+            # continuation backslash.
+            return _Insertion(mutation=mutation, kind="append_to_define",
+                              at_line=region.start)
+        # New "<token> \" line just before the first modified line.
+        return _Insertion(mutation=mutation, kind="macro_line_before",
+                          at_line=first_change)
+
+    def _code_insertion(self, source_map: SourceMap, path: str,
+                        changed: list[int]) -> "_Insertion":
+        first_change = min(changed)
+        token = Mutation.make_token("code", path, first_change)
+        mutation = Mutation(token=token, kind="code", path=path,
+                            line=first_change, insert_at=first_change)
+        info = source_map.info(first_change)
+        if info.starts_mid_comment:
+            return _Insertion(mutation=mutation, kind="after_comment_end",
+                              at_line=first_change,
+                              column=info.comment_end_column)
+        return _Insertion(mutation=mutation, kind="line_before",
+                          at_line=first_change)
+
+
+@dataclass
+class _Insertion:
+    mutation: Mutation
+    kind: str     # append_to_define | macro_line_before | line_before |
+    #               after_comment_end
+    at_line: int  # 1-based physical line
+    column: int = 0
+
+
+def _apply_insertions(text: str, insertions: list[_Insertion]) -> str:
+    """Apply insertions bottom-up so line numbers stay valid."""
+    lines = [line.rstrip("\n")
+             for line in split_lines_keepends(text)]
+    trailing_newline = text.endswith("\n")
+    for insertion in sorted(insertions, key=lambda i: i.at_line,
+                            reverse=True):
+        index = insertion.at_line - 1
+        token = insertion.mutation.token
+        if insertion.kind == "append_to_define":
+            raw = lines[index]
+            stripped = raw.rstrip(" \t")
+            if stripped.endswith("\\"):
+                # place just before the continuation character
+                body = stripped[:-1].rstrip(" \t")
+                lines[index] = f"{body} {token} \\"
+            else:
+                lines[index] = f"{raw} {token}"
+        elif insertion.kind == "macro_line_before":
+            lines.insert(index, f"\t{token} \\")
+        elif insertion.kind == "line_before":
+            lines.insert(index, token)
+        elif insertion.kind == "after_comment_end":
+            raw = lines[index]
+            column = insertion.column
+            lines[index] = raw[:column] + f" {token} " + raw[column:]
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown insertion kind {insertion.kind}")
+    result = "\n".join(lines)
+    if trailing_newline:
+        result += "\n"
+    return result

@@ -1,0 +1,170 @@
+"""Structured JMake verdicts.
+
+§III-D: "In the former case, representing success, JMake reports on the
+architectures for which compilation was successful and that reduced the
+number of lines remaining to be subjected to the compiler. In case of
+failure, JMake returns the list of mutations that were not found, or an
+indication of the other possible errors, such as no Makefile found, an
+unsupported architecture required, or a failure in making the .i or .o
+file."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.mutation import Mutation
+
+
+class FileStatus(Enum):
+    #: all changed lines subjected to the compiler under some config
+    """Per-file verdict vocabulary (§III-D failure taxonomy)."""
+    OK = "ok"
+    #: changes were only in comments: nothing for the compiler to see
+    COMMENT_ONLY = "comment-only"
+    #: compilation succeeded somewhere but some tokens never surfaced
+    LINES_NOT_COMPILED = "lines-not-compiled"
+    #: no Makefile governs the file
+    NO_MAKEFILE = "no-makefile"
+    #: the only candidate architectures have no working cross-compiler
+    UNSUPPORTED_ARCH = "unsupported-arch"
+    #: every candidate failed to produce a .i file
+    I_FAILED = "i-failed"
+    #: tokens all surfaced, but no candidate could build the clean .o
+    O_FAILED = "o-failed"
+    #: the file takes part in the Makefile's own setup compilation (§V-D)
+    BOOTSTRAP_UNTREATABLE = "bootstrap-untreatable"
+
+    @property
+    def is_success(self) -> bool:
+        """True for OK and COMMENT_ONLY."""
+        return self in (FileStatus.OK, FileStatus.COMMENT_ONLY)
+
+
+@dataclass
+class ArchAttempt:
+    """One (architecture, configuration) trial for a file."""
+
+    arch: str
+    config_target: str
+    i_ok: bool = False
+    tokens_found: set[str] = field(default_factory=set)
+    o_ok: bool = False
+    error: str | None = None
+
+
+@dataclass
+class FileReport:
+    """JMake's verdict for one file of one patch."""
+    path: str
+    status: FileStatus
+    mutations: list[Mutation] = field(default_factory=list)
+    #: tokens never seen in any successfully compiled configuration
+    missing_tokens: set[str] = field(default_factory=set)
+    attempts: list[ArchAttempt] = field(default_factory=list)
+    #: architectures whose successful compilation reduced the remainder
+    useful_archs: list[str] = field(default_factory=list)
+    comment_lines: list[int] = field(default_factory=list)
+    macro_hints: list[str] = field(default_factory=list)
+    #: §VII advisory messages issued before compilation started
+    advisories: list[str] = field(default_factory=list)
+    #: for .h files: how many candidate .c compilations were attempted
+    candidate_compilations: int = 0
+
+    @property
+    def certified(self) -> bool:
+        """True when every changed line reached the compiler."""
+        return self.status.is_success
+
+    def missing_changed_lines(self) -> list[int]:
+        """Changed lines whose mutation never surfaced."""
+        missing = []
+        for mutation in self.mutations:
+            if mutation.token in self.missing_tokens:
+                missing.append(mutation.line)
+        return sorted(set(missing))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"{self.path}: {self.status.value}"]
+        for advisory in self.advisories:
+            lines.append(f"  advisory: {advisory}")
+        if self.useful_archs:
+            lines.append(f"  useful architectures: "
+                         f"{', '.join(self.useful_archs)}")
+        if self.missing_tokens:
+            lines.append("  lines not subjected to the compiler:")
+            for lineno in self.missing_changed_lines():
+                lines.append(f"    {self.path}:{lineno}")
+        for attempt in self.attempts:
+            state = "ok" if attempt.o_ok else \
+                ("i-only" if attempt.i_ok else "failed")
+            lines.append(f"  tried {attempt.arch}/{attempt.config_target}: "
+                         f"{state}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PatchReport:
+    """All file verdicts of one patch plus timing/accounting."""
+    commit_id: str | None
+    file_reports: dict[str, FileReport] = field(default_factory=dict)
+    #: simulated seconds JMake spent on this patch
+    elapsed_seconds: float = 0.0
+    #: counts of build-system invocations by kind
+    invocation_counts: dict[str, int] = field(default_factory=dict)
+    #: per-invocation simulated durations by kind (config/make_i/make_o)
+    invocation_durations: dict[str, list[float]] = field(
+        default_factory=dict)
+
+    @property
+    def certified(self) -> bool:
+        """Every changed line of every file subjected to the compiler."""
+        return bool(self.file_reports) and \
+            all(report.certified for report in self.file_reports.values())
+
+    @property
+    def c_reports(self) -> dict[str, FileReport]:
+        """The .c subset of file reports."""
+        return {path: report for path, report in self.file_reports.items()
+                if path.endswith(".c")}
+
+    @property
+    def h_reports(self) -> dict[str, FileReport]:
+        """The .h subset of file reports."""
+        return {path: report for path, report in self.file_reports.items()
+                if path.endswith(".h")}
+
+    def configs_tried(self) -> int:
+        """Number of configuration creations this patch needed."""
+        return self.invocation_counts.get("config", 0)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view for tooling (CI bots, dashboards)."""
+        return {
+            "commit": self.commit_id,
+            "certified": self.certified,
+            "elapsed_seconds": self.elapsed_seconds,
+            "invocations": dict(self.invocation_counts),
+            "files": {
+                path: {
+                    "status": report.status.value,
+                    "useful_archs": list(report.useful_archs),
+                    "missing_lines": report.missing_changed_lines(),
+                    "mutations": len(report.mutations),
+                    "advisories": list(report.advisories),
+                }
+                for path, report in self.file_reports.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the tool's terminal output)."""
+        header = f"JMake report for {self.commit_id or '<patch>'}: " + \
+            ("CERTIFIED" if self.certified else "ATTENTION REQUIRED")
+        body = "\n".join(report.render()
+                         for report in self.file_reports.values())
+        footer = (f"elapsed: {self.elapsed_seconds:.1f}s simulated, "
+                  f"invocations: {self.invocation_counts}")
+        return "\n".join([header, body, footer])

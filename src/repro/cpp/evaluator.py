@@ -1,0 +1,278 @@
+"""``#if`` constant-expression evaluation.
+
+The controlling expression is evaluated after ``defined`` handling and
+macro expansion, with C semantics: unknown identifiers evaluate to 0,
+integer arithmetic, the usual operator precedence including ``?:``.
+Division by zero in an ``#if`` is a diagnostic in real compilers; we raise
+:class:`PreprocessorError` so the build surfaces it the same way.
+
+Grammar (precedence climbing):
+
+    conditional: logical_or ("?" expr ":" conditional)?
+    logical_or : logical_and ("||" logical_and)*
+    ...
+    unary      : ("!" | "~" | "-" | "+") unary | primary
+    primary    : INT | IDENT | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cpp.lexer import Token, TokenKind, tokenize
+from repro.cpp.macro import MacroTable
+from repro.errors import PreprocessorError
+
+_INT_RE = re.compile(r"^(0[xX][0-9a-fA-F]+|0[0-7]*|[1-9][0-9]*)[uUlL]*$")
+
+
+def evaluate_condition(expression: str, macros: MacroTable, *,
+                       file: str | None = None,
+                       line: int | None = None) -> bool:
+    """Evaluate an ``#if``/``#elif`` controlling expression."""
+    resolved = _resolve_defined(expression, macros)
+    expanded = macros.expand_text(resolved)
+    tokens = [token for token in tokenize(expanded) if not token.is_ws]
+    parser = _Parser(tokens, file=file, line=line)
+    value = parser.parse()
+    return value != 0
+
+
+def _resolve_defined(expression: str, macros: MacroTable) -> str:
+    """Replace ``defined X`` / ``defined(X)`` with 0 or 1 before expansion."""
+    tokens = tokenize(expression)
+    out: list[Token] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token.kind is TokenKind.IDENT and token.text == "defined":
+            j = i + 1
+            while j < len(tokens) and tokens[j].is_ws:
+                j += 1
+            name: str | None = None
+            if j < len(tokens) and tokens[j].text == "(":
+                k = j + 1
+                while k < len(tokens) and tokens[k].is_ws:
+                    k += 1
+                if k < len(tokens) and tokens[k].kind is TokenKind.IDENT:
+                    name = tokens[k].text
+                    k += 1
+                    while k < len(tokens) and tokens[k].is_ws:
+                        k += 1
+                    if k < len(tokens) and tokens[k].text == ")":
+                        i = k + 1
+            elif j < len(tokens) and tokens[j].kind is TokenKind.IDENT:
+                name = tokens[j].text
+                i = j + 1
+            if name is not None:
+                out.append(Token(
+                    TokenKind.NUMBER,
+                    "1" if macros.is_defined(name) else "0"))
+                continue
+        out.append(token)
+        i += 1
+    return "".join(token.text for token in out)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], *, file: str | None,
+                 line: int | None) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._file = file
+        self._line = line
+
+    def parse(self) -> int:
+        """Evaluate the whole expression; error on trailing tokens."""
+        if not self._tokens:
+            self._fail("empty #if expression")
+        value = self._conditional()
+        if self._pos != len(self._tokens):
+            self._fail(f"trailing tokens in #if expression at "
+                       f"{self._peek_text()!r}")
+        return value
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        raise PreprocessorError(message, file=self._file, line=self._line)
+
+    def _peek_text(self) -> str:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos].text
+        return "<eof>"
+
+    def _accept(self, text: str) -> bool:
+        if self._pos < len(self._tokens) and \
+                self._tokens[self._pos].text == text:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        if not self._accept(text):
+            self._fail(f"expected {text!r}, found {self._peek_text()!r}")
+
+    # -- grammar ---------------------------------------------------------
+
+    def _conditional(self) -> int:
+        condition = self._logical_or()
+        if self._accept("?"):
+            then_value = self._conditional()
+            self._expect(":")
+            else_value = self._conditional()
+            return then_value if condition else else_value
+        return condition
+
+    def _logical_or(self) -> int:
+        value = self._logical_and()
+        while self._accept("||"):
+            rhs = self._logical_and()
+            value = 1 if (value or rhs) else 0
+        return value
+
+    def _logical_and(self) -> int:
+        value = self._bit_or()
+        while self._accept("&&"):
+            rhs = self._bit_or()
+            value = 1 if (value and rhs) else 0
+        return value
+
+    def _bit_or(self) -> int:
+        value = self._bit_xor()
+        while self._accept("|"):
+            value |= self._bit_xor()
+        return value
+
+    def _bit_xor(self) -> int:
+        value = self._bit_and()
+        while self._accept("^"):
+            value ^= self._bit_and()
+        return value
+
+    def _bit_and(self) -> int:
+        value = self._equality()
+        while self._accept("&"):
+            value &= self._equality()
+        return value
+
+    def _equality(self) -> int:
+        value = self._relational()
+        while True:
+            if self._accept("=="):
+                value = 1 if value == self._relational() else 0
+            elif self._accept("!="):
+                value = 1 if value != self._relational() else 0
+            else:
+                return value
+
+    def _relational(self) -> int:
+        value = self._shift()
+        while True:
+            if self._accept("<="):
+                value = 1 if value <= self._shift() else 0
+            elif self._accept(">="):
+                value = 1 if value >= self._shift() else 0
+            elif self._accept("<"):
+                value = 1 if value < self._shift() else 0
+            elif self._accept(">"):
+                value = 1 if value > self._shift() else 0
+            else:
+                return value
+
+    def _shift(self) -> int:
+        value = self._additive()
+        while True:
+            if self._accept("<<"):
+                value <<= self._additive()
+            elif self._accept(">>"):
+                value >>= self._additive()
+            else:
+                return value
+
+    def _additive(self) -> int:
+        value = self._multiplicative()
+        while True:
+            if self._accept("+"):
+                value += self._multiplicative()
+            elif self._accept("-"):
+                value -= self._multiplicative()
+            else:
+                return value
+
+    def _multiplicative(self) -> int:
+        value = self._unary()
+        while True:
+            if self._accept("*"):
+                value *= self._unary()
+            elif self._accept("/"):
+                divisor = self._unary()
+                if divisor == 0:
+                    self._fail("division by zero in #if expression")
+                value = _trunc_div(value, divisor)
+            elif self._accept("%"):
+                divisor = self._unary()
+                if divisor == 0:
+                    self._fail("division by zero in #if expression")
+                value = value - _trunc_div(value, divisor) * divisor
+            else:
+                return value
+
+    def _unary(self) -> int:
+        if self._accept("!"):
+            return 0 if self._unary() else 1
+        if self._accept("~"):
+            return ~self._unary()
+        if self._accept("-"):
+            return -self._unary()
+        if self._accept("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> int:
+        if self._accept("("):
+            value = self._conditional()
+            self._expect(")")
+            return value
+        if self._pos >= len(self._tokens):
+            self._fail("unexpected end of #if expression")
+        token = self._tokens[self._pos]
+        if token.kind is TokenKind.NUMBER:
+            match = _INT_RE.match(token.text)
+            if not match:
+                self._fail(f"bad integer literal {token.text!r}")
+            self._pos += 1
+            digits = match.group(1)
+            if digits.lower().startswith("0x"):
+                return int(digits, 16)
+            if digits.startswith("0") and len(digits) > 1:
+                return int(digits, 8)
+            return int(digits, 10)
+        if token.kind is TokenKind.CHAR:
+            self._pos += 1
+            return _char_value(token.text)
+        if token.kind is TokenKind.IDENT:
+            self._pos += 1
+            return 0  # undefined identifiers evaluate to 0 in #if
+        self._fail(f"unexpected token {token.text!r} in #if expression")
+        raise AssertionError("unreachable")
+
+
+def _trunc_div(value: int, divisor: int) -> int:
+    """Integer division truncating toward zero, as C requires."""
+    quotient = abs(value) // abs(divisor)
+    if (value < 0) != (divisor < 0):
+        quotient = -quotient
+    return quotient
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def _char_value(literal: str) -> int:
+    inner = literal[1:-1]
+    if inner.startswith("\\") and len(inner) >= 2:
+        return _ESCAPES.get(inner[1], ord(inner[1]))
+    if inner:
+        return ord(inner[0])
+    return 0

@@ -1,0 +1,157 @@
+"""Preprocessing-phase lexing: comments, strings, and token splitting.
+
+Two jobs live here:
+
+1. :func:`strip_comments` — replace comments with spaces while respecting
+   string and character literals, preserving newlines inside block
+   comments so later phases keep correct line numbers.
+2. :func:`tokenize` — split text into preprocessor tokens for macro
+   expansion and ``#if`` evaluation. Characters that are not valid C
+   tokens (for example JMake's mutation character) come through as
+   single-character ``other`` tokens, which is exactly the pass-through
+   behaviour a real preprocessor exhibits.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    """Preprocessor token categories; OTHER = no valid C token."""
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    WS = "ws"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One preprocessor token (kind + exact text)."""
+    kind: TokenKind
+    text: str
+
+    @property
+    def is_ws(self) -> bool:
+        """True for whitespace runs."""
+        return self.kind is TokenKind.WS
+
+
+# Longest-match punctuation, ordered so multi-char operators win.
+_PUNCTUATORS = [
+    "...", "<<=", ">>=",
+    "##", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "#", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "~", "!",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>\.?[0-9](?:[0-9a-zA-Z_.]|[eEpP][+-])*)
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<char>'(?:[^'\\\n]|\\.)*')
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTUATORS) + r""")
+  | (?P<other>.)
+    """,
+    re.VERBOSE,
+)
+
+_KIND_BY_GROUP = {
+    "ws": TokenKind.WS,
+    "ident": TokenKind.IDENT,
+    "number": TokenKind.NUMBER,
+    "string": TokenKind.STRING,
+    "char": TokenKind.CHAR,
+    "punct": TokenKind.PUNCT,
+    "other": TokenKind.OTHER,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split one logical line (no newlines) into preprocessor tokens."""
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        group = match.lastgroup
+        assert group is not None
+        tokens.append(Token(_KIND_BY_GROUP[group], match.group()))
+    return tokens
+
+
+def untokenize(tokens: list[Token]) -> str:
+    """Concatenate token texts back into source text."""
+    return "".join(token.text for token in tokens)
+
+
+class CommentStripper:
+    """Stateful comment remover that can span physical lines.
+
+    Block comments opened on one line may close on a later one; the
+    stripper carries that state so callers can feed lines one at a time.
+    Comments are replaced with a single space (ISO C phase 3), and
+    newlines inside block comments are preserved by the caller feeding
+    per-line.
+    """
+
+    def __init__(self) -> None:
+        self.in_block_comment = False
+
+    def strip_line(self, line: str) -> str:
+        """Strip comments from one physical line, updating state."""
+        out: list[str] = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if self.in_block_comment:
+                end = line.find("*/", i)
+                if end == -1:
+                    return "".join(out)
+                self.in_block_comment = False
+                i = end + 2
+                continue
+            ch = line[i]
+            if ch == "/" and i + 1 < n and line[i + 1] == "*":
+                # ISO C replaces each comment with one space, emitted at
+                # the position where the comment starts.
+                self.in_block_comment = True
+                out.append(" ")
+                i += 2
+                continue
+            if ch == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # line comment: rest of line ignored
+            if ch in "\"'":
+                closing = _scan_literal(line, i, ch)
+                out.append(line[i:closing])
+                i = closing
+                continue
+            out.append(ch)
+            i += 1
+        return "".join(out)
+
+
+def _scan_literal(line: str, start: int, quote: str) -> int:
+    """Index one past the closing quote (or end of line if unterminated)."""
+    i = start + 1
+    n = len(line)
+    while i < n:
+        if line[i] == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if line[i] == quote:
+            return i + 1
+        i += 1
+    return n
+
+
+def strip_comments(text: str) -> str:
+    """Strip comments from a whole text, preserving line structure."""
+    stripper = CommentStripper()
+    lines = text.split("\n")
+    return "\n".join(stripper.strip_line(line) for line in lines)

@@ -1,0 +1,326 @@
+"""Macro definition, storage, and expansion.
+
+Expansion follows the ISO C model closely enough for kernel-style code:
+
+- object-like and function-like macros, including zero-argument ones;
+- argument substitution with prior expansion of arguments (except as
+  operands of ``#`` and ``##``);
+- ``#`` stringification and ``##`` token pasting;
+- recursion is cut with the standard "blue paint": a macro name is not
+  re-expanded while its own expansion is in progress;
+- text inside string/char literals is never expanded — this is what lets
+  JMake's mutation payload survive macro rewriting verbatim (§III-A);
+- ``__VA_ARGS__`` variadic macros (the kernel uses them in logging
+  helpers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpp.lexer import Token, TokenKind, tokenize, untokenize
+from repro.errors import MacroError
+
+
+@dataclass(frozen=True)
+class Macro:
+    """One ``#define``.
+
+    ``params`` is ``None`` for object-like macros; an empty tuple means a
+    function-like macro with zero parameters, which is a distinct thing
+    (``#define F() x`` vs ``#define F x``).
+    """
+
+    name: str
+    body: str
+    params: tuple[str, ...] | None = None
+    variadic: bool = False
+    file: str | None = None
+    line: int | None = None
+
+    @property
+    def is_function_like(self) -> bool:
+        """True when the macro takes parameters."""
+        return self.params is not None
+
+    @classmethod
+    def parse_define(cls, text: str, *, file: str | None = None,
+                     line: int | None = None) -> "Macro":
+        """Parse the text after ``#define`` on a spliced logical line."""
+        stripped = text.strip()
+        if not stripped:
+            raise MacroError("empty #define", file=file, line=line)
+        tokens = tokenize(stripped)
+        if not tokens or tokens[0].kind is not TokenKind.IDENT:
+            raise MacroError(f"macro name expected in {stripped!r}",
+                             file=file, line=line)
+        name = tokens[0].text
+        rest = tokens[1:]
+        # Function-like only when "(" immediately follows the name.
+        if rest and rest[0].text == "(" and not rest[0].is_ws:
+            params, body_tokens = cls._parse_params(rest[1:], name,
+                                                    file=file, line=line)
+            body = untokenize(body_tokens).strip()
+            variadic = params and params[-1] == "..."
+            if variadic:
+                params = params[:-1]
+            return cls(name=name, body=body, params=tuple(params),
+                       variadic=bool(variadic), file=file, line=line)
+        body = untokenize(rest).strip()
+        return cls(name=name, body=body, params=None, file=file, line=line)
+
+    @staticmethod
+    def _parse_params(tokens: list[Token], name: str, *,
+                      file: str | None, line: int | None
+                      ) -> tuple[list[str], list[Token]]:
+        params: list[str] = []
+        i = 0
+        expecting_name = True
+        while i < len(tokens):
+            token = tokens[i]
+            if token.is_ws:
+                i += 1
+                continue
+            if token.text == ")":
+                return params, tokens[i + 1:]
+            if expecting_name:
+                if token.kind is TokenKind.IDENT or token.text == "...":
+                    params.append(token.text)
+                    expecting_name = False
+                else:
+                    raise MacroError(
+                        f"bad parameter list for macro {name}",
+                        file=file, line=line)
+            else:
+                if token.text != ",":
+                    raise MacroError(
+                        f"bad parameter list for macro {name}",
+                        file=file, line=line)
+                expecting_name = True
+            i += 1
+        raise MacroError(f"unterminated parameter list for macro {name}",
+                         file=file, line=line)
+
+
+class MacroTable:
+    """The set of live macro definitions during preprocessing."""
+
+    def __init__(self, predefined: dict[str, str] | None = None) -> None:
+        self._macros: dict[str, Macro] = {}
+        for name, body in (predefined or {}).items():
+            self._macros[name] = Macro(name=name, body=body)
+
+    def define(self, macro: Macro) -> None:
+        """Install or replace a definition."""
+        self._macros[macro.name] = macro
+
+    def undef(self, name: str) -> None:
+        """Remove a definition (no-op when absent)."""
+        self._macros.pop(name, None)
+
+    def is_defined(self, name: str) -> bool:
+        """True when the name has a live definition."""
+        return name in self._macros
+
+    def get(self, name: str) -> Macro | None:
+        """The definition, or None."""
+        return self._macros.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of all live definitions."""
+        return sorted(self._macros)
+
+    def snapshot(self) -> "MacroTable":
+        """An independent copy of the current table."""
+        clone = MacroTable()
+        clone._macros = dict(self._macros)
+        return clone
+
+    # -- expansion -------------------------------------------------------
+
+    def expand_text(self, text: str) -> str:
+        """Fully macro-expand one logical line of non-directive text."""
+        return untokenize(self._expand_tokens(tokenize(text), frozenset()))
+
+    def _expand_tokens(self, tokens: list[Token],
+                       hidden: frozenset[str]) -> list[Token]:
+        out: list[Token] = []
+        i = 0
+        while i < len(tokens):
+            token = tokens[i]
+            if token.kind is not TokenKind.IDENT:
+                out.append(token)
+                i += 1
+                continue
+            macro = self._macros.get(token.text)
+            if macro is None or token.text in hidden:
+                out.append(token)
+                i += 1
+                continue
+            if not macro.is_function_like:
+                expansion = self._expand_tokens(
+                    tokenize(macro.body), hidden | {macro.name})
+                out.extend(expansion)
+                i += 1
+                continue
+            # Function-like: require "(" (skipping whitespace); otherwise
+            # the name is ordinary text.
+            j = i + 1
+            while j < len(tokens) and tokens[j].is_ws:
+                j += 1
+            if j >= len(tokens) or tokens[j].text != "(":
+                out.append(token)
+                i += 1
+                continue
+            args, next_index = self._collect_args(tokens, j, macro)
+            replaced = self._substitute(macro, args, hidden)
+            out.extend(self._expand_tokens(replaced, hidden | {macro.name}))
+            i = next_index
+        return out
+
+    def _collect_args(self, tokens: list[Token], open_index: int,
+                      macro: Macro) -> tuple[list[list[Token]], int]:
+        """Collect comma-separated argument token lists at paren depth 1."""
+        args: list[list[Token]] = [[]]
+        depth = 0
+        i = open_index
+        while i < len(tokens):
+            token = tokens[i]
+            if token.text == "(":
+                depth += 1
+                if depth > 1:
+                    args[-1].append(token)
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    i += 1
+                    break
+                args[-1].append(token)
+            elif token.text == "," and depth == 1:
+                if macro.variadic and len(args) > len(macro.params):
+                    args[-1].append(token)  # extra commas go to __VA_ARGS__
+                else:
+                    args.append([])
+            else:
+                args[-1].append(token)
+            i += 1
+        else:
+            raise MacroError(
+                f"unterminated invocation of macro {macro.name}",
+                file=macro.file, line=macro.line)
+        # Trim leading/trailing whitespace of each argument.
+        trimmed = [_trim_ws(arg) for arg in args]
+        if macro.params is not None:
+            expected = len(macro.params) + (1 if macro.variadic else 0)
+            if len(trimmed) == 1 and not trimmed[0] and expected == 0:
+                trimmed = []
+            if not macro.variadic and len(trimmed) != len(macro.params):
+                raise MacroError(
+                    f"macro {macro.name} expects {len(macro.params)} "
+                    f"arguments, got {len(trimmed)}",
+                    file=macro.file, line=macro.line)
+        return trimmed, i
+
+    def _substitute(self, macro: Macro, args: list[list[Token]],
+                    hidden: frozenset[str]) -> list[Token]:
+        assert macro.params is not None
+        by_name: dict[str, list[Token]] = {}
+        for index, param in enumerate(macro.params):
+            by_name[param] = args[index] if index < len(args) else []
+        if macro.variadic:
+            extra = args[len(macro.params):]
+            va: list[Token] = []
+            for index, arg in enumerate(extra):
+                if index:
+                    va.append(Token(TokenKind.PUNCT, ","))
+                    va.append(Token(TokenKind.WS, " "))
+                va.extend(arg)
+            by_name["__VA_ARGS__"] = va
+
+        body = tokenize(macro.body)
+        out: list[Token] = []
+        i = 0
+        while i < len(body):
+            token = body[i]
+            # Stringification: # param
+            if token.text == "#" and token.kind is TokenKind.PUNCT:
+                j = i + 1
+                while j < len(body) and body[j].is_ws:
+                    j += 1
+                if (j < len(body) and body[j].kind is TokenKind.IDENT
+                        and body[j].text in by_name):
+                    out.append(_stringify(by_name[body[j].text]))
+                    i = j + 1
+                    continue
+            # Token pasting: A ## B
+            if token.text == "##":
+                while out and out[-1].is_ws:
+                    out.pop()
+                j = i + 1
+                while j < len(body) and body[j].is_ws:
+                    j += 1
+                if not out or j >= len(body):
+                    raise MacroError(
+                        f"'##' at boundary of macro {macro.name} body",
+                        file=macro.file, line=macro.line)
+                left = out.pop()
+                right = body[j]
+                right_tokens = (by_name[right.text]
+                                if right.kind is TokenKind.IDENT
+                                and right.text in by_name
+                                else [right])
+                left_tokens = (by_name[left.text]
+                               if left.kind is TokenKind.IDENT
+                               and left.text in by_name
+                               else [left])
+                out.extend(_paste(left_tokens, right_tokens))
+                i = j + 1
+                continue
+            if token.kind is TokenKind.IDENT and token.text in by_name:
+                # Arguments are macro-expanded before substitution unless
+                # adjacent to # or ## (handled above).
+                next_meaningful = _next_non_ws(body, i + 1)
+                if next_meaningful is not None and next_meaningful.text == "##":
+                    out.extend(by_name[token.text])
+                else:
+                    out.extend(self._expand_tokens(
+                        list(by_name[token.text]), hidden))
+                i += 1
+                continue
+            out.append(token)
+            i += 1
+        return out
+
+
+def _trim_ws(tokens: list[Token]) -> list[Token]:
+    start = 0
+    end = len(tokens)
+    while start < end and tokens[start].is_ws:
+        start += 1
+    while end > start and tokens[end - 1].is_ws:
+        end -= 1
+    return tokens[start:end]
+
+
+def _next_non_ws(tokens: list[Token], index: int) -> Token | None:
+    while index < len(tokens):
+        if not tokens[index].is_ws:
+            return tokens[index]
+        index += 1
+    return None
+
+
+def _stringify(tokens: list[Token]) -> Token:
+    inner = untokenize(_trim_ws(tokens))
+    escaped = inner.replace("\\", "\\\\").replace('"', '\\"')
+    return Token(TokenKind.STRING, f'"{escaped}"')
+
+
+def _paste(left: list[Token], right: list[Token]) -> list[Token]:
+    if not left:
+        return list(right)
+    if not right:
+        return list(left)
+    glue = left[-1].text + right[0].text
+    pasted = tokenize(glue)
+    return list(left[:-1]) + pasted + list(right[1:])

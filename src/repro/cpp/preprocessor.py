@@ -1,0 +1,330 @@
+"""The preprocessor driver: ``make file.i`` for the substrate.
+
+Given a main file, a file provider (``path -> text | None``), include
+search paths, and predefined macros (architecture builtins plus the
+``CONFIG_*`` set derived from the active configuration), produce the
+``.i`` text with gcc-style ``# <line> "<file>"`` markers.
+
+Behaviour that JMake depends on (paper §III-A/D):
+
+- directive lines (``#define`` and friends) are consumed, so a mutation
+  token placed inside a macro *body* appears in the output only where the
+  macro is *used*;
+- untaken conditional branches emit nothing, so mutations under them
+  vanish from the ``.i`` file;
+- tokens inside string literals pass through expansion verbatim;
+- characters that are not valid C (the mutation character) flow through
+  untouched — the preprocessor does not reject them, only the compiler
+  front end does.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cpp.lexer import CommentStripper
+from repro.cpp.evaluator import evaluate_condition
+from repro.cpp.macro import Macro, MacroTable
+from repro.errors import IncludeNotFoundError, PreprocessorError
+from repro.util.text import split_lines_keepends
+
+FileProvider = Callable[[str], "str | None"]
+
+_MAX_INCLUDE_DEPTH = 40
+
+
+@dataclass
+class PreprocessResult:
+    """Output of one preprocessing run."""
+
+    main_file: str
+    text: str
+    included_files: list[str]
+    macros: MacroTable
+    #: (file, line) pairs of source lines that contributed output text.
+    emitted_lines: set[tuple[str, int]] = field(default_factory=set)
+
+    def contains(self, needle: str) -> bool:
+        """True when the needle occurs in the .i text."""
+        return needle in self.text
+
+    def defined_macro_names(self) -> list[str]:
+        """Names defined at end of preprocessing."""
+        return self.macros.names()
+
+
+@dataclass
+class _CondState:
+    """State of one open conditional group."""
+
+    parent_active: bool
+    taken: bool          # some branch already taken
+    active: bool         # current branch emitting
+    seen_else: bool = False
+
+
+class Preprocessor:
+    """Preprocess translation units against a virtual filesystem."""
+
+    def __init__(self, provider: FileProvider,
+                 include_paths: list[str] | None = None,
+                 predefined: dict[str, str] | None = None) -> None:
+        self._provider = provider
+        self._include_paths = list(include_paths or [])
+        self._predefined = dict(predefined or {})
+
+    def preprocess(self, main_file: str) -> PreprocessResult:
+        """Produce the .i result for one translation unit."""
+        text = self._provider(main_file)
+        if text is None:
+            raise IncludeNotFoundError("no such file", file=main_file)
+        macros = MacroTable(self._predefined)
+        out: list[str] = []
+        included: list[str] = []
+        emitted: set[tuple[str, int]] = set()
+        self._process_file(main_file, text, macros, out, included, emitted,
+                           depth=0)
+        return PreprocessResult(
+            main_file=main_file,
+            text="".join(out),
+            included_files=included,
+            macros=macros,
+            emitted_lines=emitted,
+        )
+
+    # -- file processing --------------------------------------------------
+
+    def _process_file(self, path: str, text: str, macros: MacroTable,
+                      out: list[str], included: list[str],
+                      emitted: set[tuple[str, int]], depth: int) -> None:
+        if depth > _MAX_INCLUDE_DEPTH:
+            raise PreprocessorError("include depth limit exceeded", file=path)
+        out.append(f'# 1 "{path}"\n')
+        lines = split_lines_keepends(text)
+        stripper = CommentStripper()
+        conditions: list[_CondState] = []
+        index = 0
+        pending_marker = False
+        while index < len(lines):
+            start_line = index + 1
+            logical, index = self._splice(lines, index)
+            stripped = stripper.strip_line(logical)
+            directive = _directive_name(stripped)
+            if directive is not None:
+                pending_marker = self._handle_directive(
+                    directive, stripped, path, start_line, macros,
+                    conditions, out, included, emitted, depth,
+                    pending_marker)
+                continue
+            if not _all_active(conditions):
+                pending_marker = True
+                continue
+            if not stripped.strip():
+                out.append("\n")
+                continue
+            if pending_marker:
+                out.append(f'# {start_line} "{path}"\n')
+                pending_marker = False
+            text_line = stripped.rstrip("\n")
+            expanded = macros.expand_text(text_line)
+            if "__LINE__" in expanded or "__FILE__" in expanded:
+                # Positional builtins resolve at the use site, whether
+                # written directly or produced by a macro expansion.
+                expanded = _resolve_positional_builtins(
+                    expanded, path, start_line)
+            out.append(expanded + "\n")
+            for physical in range(start_line, index + 1):
+                emitted.add((path, physical))
+        if conditions:
+            raise PreprocessorError(
+                "unterminated conditional (missing #endif)",
+                file=path, line=len(lines))
+
+    @staticmethod
+    def _splice(lines: list[str], index: int) -> tuple[str, int]:
+        """Join backslash-continued physical lines into one logical line."""
+        parts: list[str] = []
+        while index < len(lines):
+            raw = lines[index].rstrip("\n")
+            trimmed = raw.rstrip(" \t")
+            if trimmed.endswith("\\") and index + 1 < len(lines):
+                parts.append(trimmed[:-1])
+                index += 1
+                continue
+            parts.append(raw)
+            index += 1
+            break
+        return "".join(parts), index
+
+    # -- directives ---------------------------------------------------------
+
+    def _handle_directive(self, name: str, stripped: str, path: str,
+                          line: int, macros: MacroTable,
+                          conditions: list[_CondState], out: list[str],
+                          included: list[str],
+                          emitted: set[tuple[str, int]], depth: int,
+                          pending_marker: bool) -> bool:
+        body = stripped.strip()[1:].strip()  # drop '#'
+        keyword = name
+        rest = body[len(keyword):].strip()
+        active = _all_active(conditions)
+
+        if keyword in ("ifdef", "ifndef"):
+            symbol = rest.split()[0] if rest.split() else ""
+            if not symbol:
+                raise PreprocessorError(f"#{keyword} without symbol",
+                                        file=path, line=line)
+            value = macros.is_defined(symbol)
+            if keyword == "ifndef":
+                value = not value
+            taken = active and value
+            conditions.append(_CondState(
+                parent_active=active, taken=taken, active=taken))
+            return True
+        if keyword == "if":
+            value = active and evaluate_condition(rest, macros,
+                                                  file=path, line=line)
+            conditions.append(_CondState(
+                parent_active=active, taken=value, active=value))
+            return True
+        if keyword == "elif":
+            if not conditions:
+                raise PreprocessorError("#elif without #if",
+                                        file=path, line=line)
+            state = conditions[-1]
+            if state.seen_else:
+                raise PreprocessorError("#elif after #else",
+                                        file=path, line=line)
+            if state.parent_active and not state.taken:
+                value = evaluate_condition(rest, macros, file=path, line=line)
+                state.active = value
+                state.taken = value
+            else:
+                state.active = False
+            return True
+        if keyword == "else":
+            if not conditions:
+                raise PreprocessorError("#else without #if",
+                                        file=path, line=line)
+            state = conditions[-1]
+            if state.seen_else:
+                raise PreprocessorError("duplicate #else",
+                                        file=path, line=line)
+            state.seen_else = True
+            state.active = state.parent_active and not state.taken
+            state.taken = state.taken or state.active
+            return True
+        if keyword == "endif":
+            if not conditions:
+                raise PreprocessorError("#endif without #if",
+                                        file=path, line=line)
+            conditions.pop()
+            return True
+
+        if not active:
+            return True
+
+        if keyword == "define":
+            macros.define(Macro.parse_define(rest, file=path, line=line))
+            return True
+        if keyword == "undef":
+            symbol = rest.split()[0] if rest.split() else ""
+            macros.undef(symbol)
+            return True
+        if keyword == "include":
+            target, angled = _parse_include_target(rest, macros,
+                                                   file=path, line=line)
+            resolved = self._resolve_include(target, angled, path)
+            text = self._provider(resolved) if resolved is not None else None
+            if text is None:
+                raise IncludeNotFoundError(
+                    f"cannot find include {'<' if angled else chr(34)}"
+                    f"{target}{'>' if angled else chr(34)}",
+                    file=path, line=line)
+            included.append(resolved)
+            self._process_file(resolved, text, macros, out, included,
+                               emitted, depth + 1)
+            out.append(f'# {line + 1} "{path}"\n')
+            return False
+        if keyword == "error":
+            raise PreprocessorError(f"#error {rest}", file=path, line=line)
+        if keyword in ("warning", "pragma", "line", ""):
+            return pending_marker
+        raise PreprocessorError(f"unknown directive #{keyword}",
+                                file=path, line=line)
+
+    def _resolve_include(self, target: str, angled: bool,
+                         including_file: str) -> str | None:
+        candidates: list[str] = []
+        if not angled:
+            base = posixpath.dirname(including_file)
+            candidates.append(posixpath.normpath(posixpath.join(base, target))
+                              if base else target)
+        for search in self._include_paths:
+            candidates.append(posixpath.normpath(
+                posixpath.join(search, target)))
+        for candidate in candidates:
+            if self._provider(candidate) is not None:
+                return candidate
+        return None
+
+
+def _resolve_positional_builtins(line: str, path: str,
+                                 lineno: int) -> str:
+    """Substitute ``__LINE__``/``__FILE__`` as identifier tokens only
+    (never inside string or character literals)."""
+    from repro.cpp.lexer import TokenKind, tokenize
+
+    parts: list[str] = []
+    for token in tokenize(line):
+        if token.kind is TokenKind.IDENT and token.text == "__LINE__":
+            parts.append(str(lineno))
+        elif token.kind is TokenKind.IDENT and token.text == "__FILE__":
+            parts.append(f'"{path}"')
+        else:
+            parts.append(token.text)
+    return "".join(parts)
+
+
+def _all_active(conditions: list[_CondState]) -> bool:
+    return all(state.active for state in conditions)
+
+
+def _directive_name(stripped_line: str) -> str | None:
+    """The directive keyword, or None for ordinary text lines."""
+    text = stripped_line.lstrip(" \t")
+    if not text.startswith("#"):
+        return None
+    rest = text[1:].lstrip(" \t")
+    name = ""
+    for ch in rest:
+        if ch.isalpha():
+            name += ch
+        else:
+            break
+    return name  # may be "" for a null directive "#"
+
+
+def _parse_include_target(rest: str, macros: MacroTable, *,
+                          file: str, line: int) -> tuple[str, bool]:
+    text = rest.strip()
+    if not (text.startswith('"') or text.startswith("<")):
+        # Computed include: expand macros first (the kernel uses these
+        # for asm-generic redirects).
+        text = macros.expand_text(text).strip()
+    if text.startswith('"'):
+        closing = text.find('"', 1)
+        if closing == -1:
+            raise PreprocessorError("unterminated include filename",
+                                    file=file, line=line)
+        return text[1:closing], False
+    if text.startswith("<"):
+        closing = text.find(">", 1)
+        if closing == -1:
+            raise PreprocessorError("unterminated include filename",
+                                    file=file, line=line)
+        return text[1:closing], True
+    raise PreprocessorError(f"bad include target {rest!r}",
+                            file=file, line=line)

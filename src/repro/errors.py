@@ -1,0 +1,84 @@
+"""Exception hierarchy for the JMake reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch one base type at API boundaries while tests can assert on precise
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class VcsError(ReproError):
+    """Raised by the version-control substrate (bad refs, bad objects)."""
+
+
+class PatchFormatError(VcsError):
+    """Raised when unified-diff text cannot be parsed."""
+
+
+class PatchApplyError(VcsError):
+    """Raised when a patch does not apply to the given source text."""
+
+
+class PreprocessorError(ReproError):
+    """Raised by the C preprocessor substrate.
+
+    Carries the file and line of the offending directive when known.
+    """
+
+    def __init__(self, message: str, *, file: str | None = None,
+                 line: int | None = None) -> None:
+        location = ""
+        if file is not None:
+            location = f"{file}:{line if line is not None else '?'}: "
+        super().__init__(f"{location}{message}")
+        self.file = file
+        self.line = line
+
+
+class IncludeNotFoundError(PreprocessorError):
+    """Raised when an ``#include`` target cannot be resolved."""
+
+
+class MacroError(PreprocessorError):
+    """Raised on malformed macro definitions or expansions."""
+
+
+class CompileError(ReproError):
+    """Raised by the compiler front end when a translation unit is invalid.
+
+    ``diagnostics`` holds the individual :class:`repro.cc.compiler.Diagnostic`
+    records that caused the failure.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
+class ToolchainError(ReproError):
+    """Raised when a requested cross-toolchain is unavailable."""
+
+
+class KconfigError(ReproError):
+    """Raised on malformed Kconfig input or unsatisfiable constraints."""
+
+
+class KbuildError(ReproError):
+    """Raised by the build orchestrator (missing Makefile, bad target)."""
+
+
+class MakefileNotFoundError(KbuildError):
+    """Raised when no Kbuild Makefile governs a source file."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the synthetic corpus generator on inconsistent specs."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the evaluation harness on malformed experiment requests."""

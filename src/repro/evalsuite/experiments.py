@@ -1,0 +1,333 @@
+"""In-text statistics of §V and the experiment registry.
+
+Every numbered artifact of DESIGN.md's per-experiment index resolves to
+a function here; the benchmark harness calls these and prints the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.report import FileStatus
+from repro.evalsuite.figures import (
+    describe_figure,
+    figure4a_config_times,
+    figure4b_i_times,
+    figure4c_o_times,
+    figure5_overall,
+    figure6_janitor_overall,
+)
+from repro.evalsuite.runner import EvaluationResult
+from repro.evalsuite.stats import Share
+
+
+# -- E-S1: choice of architecture (§V-B) -----------------------------------
+
+def architecture_stats(result: EvaluationResult) -> dict:
+    """E-S1: architecture-choice statistics (§V-B)."""
+    stats: dict = {}
+    for janitor_only, key in ((False, "all"), (True, "janitor")):
+        instances = [record for record in
+                     result.file_instances(janitor_only=janitor_only)
+                     if record.useful_archs]
+        total = len(instances)
+        x86 = sum(1 for record in instances
+                  if "x86_64" in record.useful_archs)
+        arch_counter: Counter = Counter()
+        for record in instances:
+            for arch in record.useful_archs:
+                if arch != "x86_64":
+                    arch_counter[arch] += 1
+        non_host_c = sum(1 for record in instances
+                         if record.is_c and record.needed_non_host_arch)
+        non_host_h = sum(1 for record in instances
+                         if record.is_h and record.needed_non_host_arch)
+        stats[key] = {
+            "instances_with_coverage": total,
+            "x86_64_beneficial": Share(x86, total),
+            "other_arch_frequency": arch_counter.most_common(),
+            "non_host_only_c_instances": non_host_c,
+            "non_host_only_h_instances": non_host_h,
+        }
+    certified = [patch for patch in result.patches if patch.certified]
+    with_defconfig = sum(
+        1 for patch in certified
+        if any(record.used_defconfig for record in patch.files))
+    stats["certified_patches"] = Share(len(certified),
+                                       len(result.patches))
+    stats["certified_needing_defconfig"] = with_defconfig
+    return stats
+
+
+def render_architecture_stats(stats: dict) -> str:
+    """Text rendering of E-S1."""
+    lines = ["Architecture choice (E-S1)"]
+    for key in ("all", "janitor"):
+        sub = stats[key]
+        lines.append(f"  [{key}] x86_64 beneficial for "
+                     f"{sub['x86_64_beneficial'].render()} of instances "
+                     f"with coverage")
+        if sub["other_arch_frequency"]:
+            arch, count = sub["other_arch_frequency"][0]
+            lines.append(f"  [{key}] next most beneficial arch: {arch} "
+                         f"({count} instances)")
+        lines.append(f"  [{key}] instances benefiting only from a "
+                     f"non-host arch: .c={sub['non_host_only_c_instances']}"
+                     f" .h={sub['non_host_only_h_instances']}")
+    lines.append(f"  certified patches: "
+                 f"{stats['certified_patches'].render()}; of which "
+                 f"{stats['certified_needing_defconfig']} needed a "
+                 f"configs/ defconfig")
+    return "\n".join(lines)
+
+
+# -- E-S2: properties of mutations (§V-B) -----------------------------------
+
+def mutation_stats(result: EvaluationResult) -> dict:
+    """E-S2: mutation-count statistics (§V-B)."""
+    stats: dict = {}
+    for janitor_only, who in ((False, "all"), (True, "janitor")):
+        for suffix, kind in ((".c", "c"), (".h", "h")):
+            instances = [record for record in result.file_instances(
+                janitor_only=janitor_only, suffix=suffix)
+                if record.mutation_count > 0]
+            total = len(instances)
+            one = sum(1 for record in instances
+                      if record.mutation_count == 1)
+            three = sum(1 for record in instances
+                        if record.mutation_count <= 3)
+            most = max((record.mutation_count for record in instances),
+                       default=0)
+            stats[f"{who}_{kind}"] = {
+                "total": total,
+                "one_mutation": Share(one, total),
+                "at_most_three": Share(three, total),
+                "max_mutations": most,
+            }
+    return stats
+
+
+def render_mutation_stats(stats: dict) -> str:
+    """Text rendering of E-S2."""
+    lines = ["Mutation counts (E-S2)"]
+    for key, sub in stats.items():
+        lines.append(
+            f"  [{key}] one mutation: {sub['one_mutation'].render()}, "
+            f"<=3: {sub['at_most_three'].render()}, "
+            f"max: {sub['max_mutations']}")
+    return "\n".join(lines)
+
+
+# -- E-S3: benefits of mutations for .c files ---------------------------------
+
+def cfile_benefit_stats(result: EvaluationResult) -> dict:
+    """E-S3: .c benefit statistics (§V-B)."""
+    stats: dict = {}
+    for janitor_only, who in ((False, "all"), (True, "janitor")):
+        instances = result.file_instances(janitor_only=janitor_only,
+                                          suffix=".c")
+        total = len(instances)
+        confirmed_first = sum(
+            1 for record in instances
+            if record.first_clean_covers_all
+            or record.status is FileStatus.COMMENT_ONLY)
+        insidious = [record for record in instances
+                     if record.insidious_under_allyes]
+        rescued = [record for record in insidious
+                   if record.status is FileStatus.OK]
+        never = [record for record in insidious
+                 if record.status is FileStatus.LINES_NOT_COMPILED]
+        stats[who] = {
+            "total_instances": total,
+            "confirmed_first_compile": Share(confirmed_first, total),
+            "insidious": Share(len(insidious), total),
+            "rescued_by_other_configs": len(rescued),
+            "never_rescued": len(never),
+        }
+    return stats
+
+
+def render_cfile_benefit_stats(stats: dict) -> str:
+    """Text rendering of E-S3."""
+    lines = ["Benefits of mutations for .c files (E-S3)"]
+    for who, sub in stats.items():
+        lines.append(
+            f"  [{who}] all lines compiled at first error-free build: "
+            f"{sub['confirmed_first_compile'].render()}")
+        lines.append(
+            f"  [{who}] insidious (clean allyesconfig build missed "
+            f"lines): {sub['insidious'].render()}; rescued by other "
+            f"configs: {sub['rescued_by_other_configs']}, never: "
+            f"{sub['never_rescued']}")
+    return "\n".join(lines)
+
+
+# -- E-S4: benefits for .h files ------------------------------------------------
+
+def hfile_benefit_stats(result: EvaluationResult) -> dict:
+    """E-S4: .h benefit statistics (§V-B)."""
+    stats: dict = {}
+    for janitor_only, who in ((False, "all"), (True, "janitor")):
+        instances = result.file_instances(janitor_only=janitor_only,
+                                          suffix=".h")
+        total = len(instances)
+        free = sum(1 for record in instances
+                   if record.status in (FileStatus.OK,
+                                        FileStatus.COMMENT_ONLY)
+                   and record.candidate_compilations == 0)
+        needed_extra = [record for record in instances
+                        if record.candidate_compilations > 0]
+        extra_ok = [record for record in needed_extra
+                    if record.status is FileStatus.OK]
+        extra_failed = [record for record in instances
+                        if record.status is FileStatus.LINES_NOT_COMPILED]
+        max_compilations = max(
+            (record.candidate_compilations for record in instances),
+            default=0)
+        stats[who] = {
+            "total_instances": total,
+            "covered_by_patch_c_files": Share(free, total),
+            "needed_extra_c_files": Share(len(needed_extra), total),
+            "extra_c_success": Share(len(extra_ok), total),
+            "never_compiled": Share(len(extra_failed), total),
+            "max_candidate_compilations": max_compilations,
+        }
+    return stats
+
+
+def render_hfile_benefit_stats(stats: dict) -> str:
+    """Text rendering of E-S4."""
+    lines = ["Benefits of mutations for .h files (E-S4)"]
+    for who, sub in stats.items():
+        lines.append(
+            f"  [{who}] covered by the patch's own .c files: "
+            f"{sub['covered_by_patch_c_files'].render()}; needed extra "
+            f".c files: {sub['needed_extra_c_files'].render()} "
+            f"(success {sub['extra_c_success'].render()}, never "
+            f"{sub['never_compiled'].render()}, max "
+            f"{sub['max_candidate_compilations']} compilations)")
+    return "\n".join(lines)
+
+
+# -- E-S5: summary ------------------------------------------------------------
+
+def summary_stats(result: EvaluationResult) -> dict:
+    """E-S5: the headline certification rates (§V-B)."""
+    all_patches = result.patch_records()
+    janitor_patches = result.patch_records(janitor_only=True)
+    return {
+        "all": Share(sum(1 for p in all_patches if p.certified),
+                     len(all_patches)),
+        "janitor": Share(sum(1 for p in janitor_patches if p.certified),
+                         len(janitor_patches)),
+        "single_config_sufficient": Share(
+            sum(1 for p in all_patches
+                if p.certified and p.invocation_counts.get("config", 0)
+                <= 1),
+            len(all_patches)),
+    }
+
+
+def render_summary_stats(stats: dict) -> str:
+    """Text rendering of E-S5."""
+    return "\n".join([
+        "Summary (E-S5)",
+        f"  all patches fully certified: {stats['all'].render()}",
+        f"  janitor patches fully certified: "
+        f"{stats['janitor'].render()}",
+        f"  patches certified with a single configuration: "
+        f"{stats['single_config_sufficient'].render()}",
+    ])
+
+
+# -- E-S6: limitations -----------------------------------------------------------
+
+def limitation_stats(result: EvaluationResult) -> dict:
+    """E-S6: the bootstrap-file limitation (§V-D)."""
+    bootstrap_instances = [
+        record for record in result.file_instances()
+        if record.status is FileStatus.BOOTSTRAP_UNTREATABLE]
+    affected_patches = {record.commit_id
+                        for record in bootstrap_instances}
+    return {
+        "untreatable_file_instances": len(bootstrap_instances),
+        "affected_patches": Share(len(affected_patches),
+                                  len(result.patches)),
+    }
+
+
+def render_limitation_stats(stats: dict) -> str:
+    """Text rendering of E-S6."""
+    return "\n".join([
+        "Bootstrap-file limitation (E-S6)",
+        f"  untreatable file instances: "
+        f"{stats['untreatable_file_instances']}",
+        f"  affected patches: {stats['affected_patches'].render()}",
+    ])
+
+
+# -- registry ---------------------------------------------------------------------
+
+@dataclass
+class Experiment:
+    """One registry entry: id, title, and a run callable."""
+    id: str
+    title: str
+    run: Callable[[EvaluationResult], tuple]
+
+
+def _figure_experiment(fid, title, build, thresholds):
+    def run(result: EvaluationResult):
+        cdf = build(result)
+        return cdf, describe_figure(cdf, title=title,
+                                    thresholds=thresholds)
+    return Experiment(id=fid, title=title, run=run)
+
+
+def _stat_experiment(sid, title, compute, render):
+    def run(result: EvaluationResult):
+        stats = compute(result)
+        return stats, render(stats)
+    return Experiment(id=sid, title=title, run=run)
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def _register(experiment: Experiment) -> None:
+    EXPERIMENTS[experiment.id] = experiment
+
+
+_register(_figure_experiment(
+    "E-F4a", "Fig 4a: configuration creation time",
+    figure4a_config_times, [5.0]))
+_register(_figure_experiment(
+    "E-F4b", "Fig 4b: .i file generation time",
+    figure4b_i_times, [15.0, 22.0]))
+_register(_figure_experiment(
+    "E-F4c", "Fig 4c: .o file generation time",
+    figure4c_o_times, [7.0, 15.0]))
+_register(_figure_experiment(
+    "E-F5", "Fig 5: overall running time (all patches)",
+    figure5_overall, [30.0, 60.0]))
+_register(_figure_experiment(
+    "E-F6", "Fig 6: overall running time (janitor patches)",
+    figure6_janitor_overall, [30.0, 60.0, 1080.0]))
+_register(_stat_experiment(
+    "E-S1", "architecture choice", architecture_stats,
+    render_architecture_stats))
+_register(_stat_experiment(
+    "E-S2", "mutation counts", mutation_stats, render_mutation_stats))
+_register(_stat_experiment(
+    "E-S3", ".c benefit", cfile_benefit_stats,
+    render_cfile_benefit_stats))
+_register(_stat_experiment(
+    "E-S4", ".h benefit", hfile_benefit_stats,
+    render_hfile_benefit_stats))
+_register(_stat_experiment(
+    "E-S5", "summary", summary_stats, render_summary_stats))
+_register(_stat_experiment(
+    "E-S6", "limitations", limitation_stats, render_limitation_stats))

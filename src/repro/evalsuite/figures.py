@@ -1,0 +1,54 @@
+"""Figure regenerators: the CDFs of §V-C.
+
+- Figure 4a: per-invocation configuration-creation time;
+- Figure 4b: per-invocation ``.i``-generation time;
+- Figure 4c: per-invocation ``.o``-generation time;
+- Figure 5: overall JMake running time per patch (all patches);
+- Figure 6: overall running time per patch (janitor patches).
+
+Each returns a :class:`~repro.evalsuite.stats.Cdf`; use ``.series()``
+for plotting data or ``.render_ascii()`` for terminal output.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite.runner import EvaluationResult
+from repro.evalsuite.stats import Cdf
+
+
+def figure4a_config_times(result: EvaluationResult) -> Cdf:
+    """Fig 4a: CDF of configuration-creation times."""
+    return Cdf(result.step_durations("config"))
+
+
+def figure4b_i_times(result: EvaluationResult) -> Cdf:
+    """Fig 4b: CDF of .i-generation invocation times."""
+    return Cdf(result.step_durations("make_i"))
+
+
+def figure4c_o_times(result: EvaluationResult) -> Cdf:
+    """Fig 4c: CDF of .o-generation invocation times."""
+    return Cdf(result.step_durations("make_o"))
+
+
+def figure5_overall(result: EvaluationResult) -> Cdf:
+    """Fig 5: CDF of per-patch overall runtime, all patches."""
+    return Cdf(result.overall_durations(janitor_only=False))
+
+
+def figure6_janitor_overall(result: EvaluationResult) -> Cdf:
+    """Fig 6: CDF of per-patch overall runtime, janitor patches."""
+    return Cdf(result.overall_durations(janitor_only=True))
+
+
+def describe_figure(cdf: Cdf, *, title: str,
+                    thresholds: list[float]) -> str:
+    """The textual summary the paper reports alongside each CDF."""
+    if len(cdf) == 0:
+        return f"{title}: no samples"
+    lines = [f"{title} ({len(cdf)} samples)"]
+    for threshold in thresholds:
+        lines.append(f"  <= {threshold:g}s: "
+                     f"{cdf.fraction_at_most(threshold):.1%}")
+    lines.append(f"  max: {cdf.max:.1f}s")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Markdown report generation for an evaluation run.
+
+Turns an :class:`~repro.evalsuite.runner.EvaluationResult` into a
+self-contained markdown document with every table, figure summary, and
+in-text statistic — the file a CI job would attach to a run, and the
+format EXPERIMENTS.md is written in.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite.experiments import EXPERIMENTS
+from repro.evalsuite.figures import (
+    figure4a_config_times,
+    figure4b_i_times,
+    figure4c_o_times,
+    figure5_overall,
+    figure6_janitor_overall,
+)
+from repro.evalsuite.runner import EvaluationResult
+from repro.evalsuite.tables import table3, table4
+
+_FIGURES = [
+    ("Figure 4a — configuration creation time", figure4a_config_times,
+     [5.0]),
+    ("Figure 4b — .i generation time", figure4b_i_times, [15.0, 22.0]),
+    ("Figure 4c — .o generation time", figure4c_o_times, [7.0, 15.0]),
+    ("Figure 5 — overall running time (all patches)", figure5_overall,
+     [30.0, 60.0]),
+    ("Figure 6 — overall running time (janitor patches)",
+     figure6_janitor_overall, [30.0, 60.0, 1080.0]),
+]
+
+_STAT_EXPERIMENTS = ["E-S1", "E-S2", "E-S3", "E-S4", "E-S5", "E-S6"]
+
+
+def _code_block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def write_markdown_report(result: EvaluationResult, *,
+                          title: str = "JMake evaluation report") -> str:
+    """Render the complete evaluation as one markdown document."""
+    sections: list[str] = [f"# {title}", ""]
+
+    checked = len(result.patches)
+    certified = sum(1 for patch in result.patches if patch.certified)
+    sections += [
+        "## Window",
+        "",
+        f"- commits in window: **{result.total_commits}**",
+        f"- ignored (merges, whitespace-only, docs-only, non-.c/.h): "
+        f"**{result.ignored_commits}**",
+        f"- patches checked: **{checked}**",
+        f"- fully certified: **{certified}** "
+        f"({certified / checked:.0%})" if checked else "- no patches",
+        f"- identified janitors: **{len(result.janitor_emails)}**",
+        "",
+    ]
+
+    _, table3_text = table3(result)
+    sections += ["## Table III — patch characteristics", "",
+                 _code_block(table3_text), ""]
+    _, table4_text = table4(result, janitor_only=True)
+    sections += ["## Table IV — reasons lines escape the compiler "
+                 "(janitor patches)", "", _code_block(table4_text), ""]
+
+    sections += ["## Figures (simulated seconds)", ""]
+    for heading, build, thresholds in _FIGURES:
+        cdf = build(result)
+        lines = [f"### {heading}", ""]
+        if len(cdf) == 0:
+            lines += ["(no samples)", ""]
+        else:
+            for threshold in thresholds:
+                lines.append(f"- ≤ {threshold:g} s: "
+                             f"{cdf.fraction_at_most(threshold):.1%}")
+            lines += [f"- max: {cdf.max:.1f} s",
+                      f"- samples: {len(cdf)}", "",
+                      _code_block(cdf.render_ascii(width=50, height=8)),
+                      ""]
+        sections += lines
+
+    sections += ["## In-text statistics", ""]
+    for experiment_id in _STAT_EXPERIMENTS:
+        _, text = EXPERIMENTS[experiment_id].run(result)
+        sections += [f"### {experiment_id}", "", _code_block(text), ""]
+
+    sections += [
+        "## Worst patches",
+        "",
+        "| commit | author | verdict | elapsed (s) |",
+        "|---|---|---|---|",
+    ]
+    worst = sorted(result.patches, key=lambda p: -p.elapsed_seconds)[:10]
+    for patch in worst:
+        verdict = "certified" if patch.certified else "attention"
+        sections.append(
+            f"| `{patch.commit_id[:12]}` | {patch.author_name} | "
+            f"{verdict} | {patch.elapsed_seconds:.1f} |")
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,438 @@
+"""The build orchestrator: configuration, preprocessing, compilation.
+
+:class:`BuildSystem` binds a source-tree view (any ``path -> text | None``
+provider, typically a :class:`repro.vcs.repository.Worktree`) to the
+toolchain registry, a simulated clock, and the cost model. It exposes the
+make targets JMake drives (§II-A):
+
+- :meth:`BuildSystem.make_config` — ``make ARCH=<a> allyesconfig`` /
+  ``allmodconfig`` / ``<name>_defconfig``, cached per (arch, target);
+- :meth:`BuildSystem.make_i` — batched ``make f1.i f2.i …`` (§III-D
+  groups up to 50 files per invocation to amortize make start-up);
+- :meth:`BuildSystem.make_o` — individual ``make file.o``.
+
+Buildability follows the kbuild chain: a source compiles only when its
+own Makefile rule is enabled by the configuration *and* every ancestor
+directory is pulled in by an enabled ``obj-… += subdir/`` rule. Files
+under ``arch/<d>/`` build only for toolchains owning that directory.
+
+Bootstrap files (§V-D): the kernel Makefile compiles a few tree files to
+run *any* make target, so those files cannot be mutated; the tree marks
+them and :meth:`BuildSystem.is_bootstrap` exposes the set.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cc.compiler import Compiler, ObjectFile
+from repro.cc.toolchain import ToolchainRegistry, arch_directory
+from repro.cpp.preprocessor import FileProvider, PreprocessResult
+from repro.errors import (
+    CompileError,
+    KbuildError,
+    KconfigError,
+    MakefileNotFoundError,
+    PreprocessorError,
+)
+from repro.kbuild.makefile import KbuildMakefile
+from repro.kbuild.timing import CostModel
+from repro.kconfig.configfile import Config
+from repro.kconfig.model import ConfigModel
+from repro.kconfig.solver import (
+    allmodconfig,
+    allnoconfig,
+    allyesconfig,
+    defconfig,
+)
+from repro.util.simclock import SimClock
+
+
+class BuildError(KbuildError):
+    """A make invocation failed; ``kind`` narrows the cause."""
+
+    def __init__(self, message: str, kind: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass
+class FileBuildResult:
+    """Per-file outcome inside a batched ``make_i`` invocation."""
+
+    path: str
+    ok: bool
+    i_text: str | None = None
+    preprocess_result: PreprocessResult | None = None
+    error: str | None = None
+    error_kind: str | None = None  # no_makefile | no_rule | preprocess_failed
+
+
+@dataclass
+class MakeInvocation:
+    """One recorded make run, with its simulated duration."""
+
+    kind: str                 # "config" | "make_i" | "make_o"
+    arch: str
+    duration: float
+    files: list[str] = field(default_factory=list)
+
+
+@dataclass
+class VmlinuxBuild:
+    """A whole-kernel build: the linked image plus any failed units."""
+
+    image: "object"
+    failed: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when every enabled unit compiled."""
+        return not self.failed
+
+
+#: Directories the top-level Makefile always descends into.
+_TOP_LEVEL_DIRS = ("kernel", "mm", "fs", "drivers", "net", "sound", "lib",
+                   "crypto", "block", "init", "security", "virt", "ipc")
+
+
+class BuildSystem:
+    """Configuration, preprocessing, and compilation orchestrator."""
+    def __init__(self, provider: FileProvider,
+                 registry: ToolchainRegistry | None = None,
+                 clock: SimClock | None = None,
+                 cost_model: CostModel | None = None,
+                 bootstrap_paths: set[str] | None = None,
+                 rebuild_trigger_paths: set[str] | None = None,
+                 path_lister: "Callable[[], list[str]] | None" = None) -> None:
+        self._provider = provider
+        self._path_lister = path_lister
+        self.registry = registry or ToolchainRegistry()
+        self.clock = clock or SimClock()
+        self.cost_model = cost_model or CostModel()
+        self._bootstrap_paths = set(bootstrap_paths or ())
+        self._rebuild_trigger_paths = set(rebuild_trigger_paths or ())
+        self._config_cache: dict[tuple[str, str], Config] = {}
+        self._model_cache: dict[str, ConfigModel] = {}
+        self._makefile_cache: dict[str, KbuildMakefile | None] = {}
+        self._invocations_seen: set[tuple[str, str]] = set()
+        self.invocations: list[MakeInvocation] = []
+
+    # -- bootstrap files (§V-D) --------------------------------------------
+
+    def is_bootstrap(self, path: str) -> bool:
+        """True for files the Makefile compiles during setup (§V-D)."""
+        return path in self._bootstrap_paths
+
+    def bootstrap_paths(self) -> set[str]:
+        """The set of §V-D bootstrap files."""
+        return set(self._bootstrap_paths)
+
+    # -- configuration -------------------------------------------------------
+
+    def config_model(self, arch_name: str) -> ConfigModel:
+        """The parsed Kconfig model for an architecture (cached)."""
+        directory = arch_directory(arch_name)
+        if directory not in self._model_cache:
+            kconfig_path = f"arch/{directory}/Kconfig"
+            text = self._provider(kconfig_path)
+            if text is None:
+                kconfig_path = "Kconfig"
+                text = self._provider(kconfig_path)
+            if text is None:
+                raise KconfigError(
+                    f"no Kconfig found for architecture {arch_name}")
+            self._model_cache[directory] = ConfigModel.from_kconfig(
+                text, path=kconfig_path, provider=self._provider)
+        return self._model_cache[directory]
+
+    def make_config(self, arch_name: str, target: str = "allyesconfig"
+                    ) -> Config:
+        """Create (or fetch cached) configuration for an architecture.
+
+        ``target`` is ``allyesconfig``, ``allmodconfig``, or the name of
+        a file in ``arch/<dir>/configs/`` (e.g. ``multi_defconfig``).
+        """
+        self.registry.get(arch_name)  # raises ToolchainError if broken
+        key = (arch_name, target)
+        if key in self._config_cache:
+            return self._config_cache[key]
+        model = self.config_model(arch_name)
+        if target == "allyesconfig":
+            config = allyesconfig(model)
+        elif target == "allmodconfig":
+            config = allmodconfig(model)
+        elif target == "allnoconfig":
+            config = allnoconfig(model)
+        else:
+            directory = arch_directory(arch_name)
+            seed_path = f"arch/{directory}/configs/{target}"
+            seed_text = self._provider(seed_path)
+            if seed_text is None:
+                raise KconfigError(f"no such defconfig: {seed_path}")
+            config = defconfig(model, seed_text, name=target)
+        cost = self.cost_model.config_cost(arch_name, target, len(model))
+        self.clock.charge("config", cost)
+        self.invocations.append(MakeInvocation(
+            kind="config", arch=arch_name, duration=cost,
+            files=[target]))
+        self._config_cache[key] = config
+        return config
+
+    def adopt_config(self, arch_name: str, config: Config) -> Config:
+        """Register an externally built configuration (e.g. a targeted
+        covering configuration), charging creation cost once."""
+        self.registry.get(arch_name)
+        key = (arch_name, config.name)
+        if key in self._config_cache:
+            return self._config_cache[key]
+        cost = self.cost_model.config_cost(
+            arch_name, config.name, len(self.config_model(arch_name)))
+        self.clock.charge("config", cost)
+        self.invocations.append(MakeInvocation(
+            kind="config", arch=arch_name, duration=cost,
+            files=[config.name]))
+        self._config_cache[key] = config
+        return config
+
+    def gate_symbols(self, source_path: str) -> "set[str] | None":
+        """Config symbols the kbuild chain requires to build the file.
+
+        Returns None when no Makefile governs the path. Used by the
+        targeted-configuration extension: a covering configuration must
+        enable these on top of the block's own condition.
+        """
+        parts = source_path.split("/")
+        try:
+            makefile = self.governing_makefile(source_path)
+        except MakefileNotFoundError:
+            return None
+        symbols: set[str] = set()
+        rule = makefile.rule_for_source(parts[-1])
+        if rule is not None and rule.condition is not None:
+            symbols.add(rule.condition)
+        if parts[0] == "arch":
+            chain_root = f"arch/{parts[1]}" if len(parts) >= 3 else None
+        else:
+            chain_root = parts[0]
+        directory = posixpath.dirname(source_path)
+        while chain_root is not None and directory != chain_root:
+            parent = posixpath.dirname(directory)
+            parent_makefile = self.makefile_for_directory(parent)
+            if parent_makefile is None:
+                break
+            subdir_name = posixpath.basename(directory) + "/"
+            subdir_rule = next(
+                (r for r in parent_makefile.subdir_rules()
+                 if r.target == subdir_name), None)
+            if subdir_rule is not None and \
+                    subdir_rule.condition is not None:
+                symbols.add(subdir_rule.condition)
+            directory = parent
+        return symbols
+
+    def defconfig_names(self, arch_name: str) -> list[str]:
+        """Files available under ``arch/<dir>/configs/``.
+
+        Requires a ``path_lister`` (a plain provider cannot enumerate);
+        without one, no defconfigs are discoverable, which degrades JMake
+        to allyesconfig-only — the E-S1 ablation baseline.
+        """
+        if self._path_lister is None:
+            return []
+        directory = arch_directory(arch_name)
+        prefix = f"arch/{directory}/configs/"
+        return sorted(path[len(prefix):] for path in self._path_lister()
+                      if path.startswith(prefix) and "/" not in
+                      path[len(prefix):])
+
+    # -- makefiles and buildability ------------------------------------------
+
+    def makefile_for_directory(self, directory: str) -> KbuildMakefile | None:
+        """The parsed Makefile of a directory, or None (cached)."""
+        if directory in self._makefile_cache:
+            return self._makefile_cache[directory]
+        path = posixpath.join(directory, "Makefile") if directory \
+            else "Makefile"
+        text = self._provider(path)
+        parsed = KbuildMakefile.parse(text, directory=directory) \
+            if text is not None else None
+        self._makefile_cache[directory] = parsed
+        return parsed
+
+    def governing_makefile(self, source_path: str) -> KbuildMakefile:
+        """The Makefile of the file's directory; raises if absent."""
+        directory = posixpath.dirname(source_path)
+        makefile = self.makefile_for_directory(directory)
+        if makefile is None:
+            raise MakefileNotFoundError(
+                f"no Makefile governs {source_path}")
+        return makefile
+
+    def is_buildable(self, source_path: str, arch_name: str,
+                     config: Config) -> bool:
+        """Does ``make source.o`` have an enabled rule chain?"""
+        parts = source_path.split("/")
+        if parts[0] == "arch":
+            if len(parts) < 3:
+                return False
+            if parts[1] != arch_directory(arch_name):
+                return False
+            chain_root = f"arch/{parts[1]}"
+        elif parts[0] in _TOP_LEVEL_DIRS:
+            chain_root = parts[0]
+        else:
+            return False
+
+        try:
+            makefile = self.governing_makefile(source_path)
+        except MakefileNotFoundError:
+            return False
+        basename = parts[-1]
+        if not makefile.source_is_enabled(basename, config):
+            return False
+
+        # Ancestor chain: every directory from the file's up to (but not
+        # including) the chain root must be pulled in by its parent.
+        directory = posixpath.dirname(source_path)
+        while directory != chain_root:
+            parent = posixpath.dirname(directory)
+            parent_makefile = self.makefile_for_directory(parent)
+            if parent_makefile is None:
+                return False
+            subdir_name = posixpath.basename(directory) + "/"
+            rule = next((r for r in parent_makefile.subdir_rules()
+                         if r.target == subdir_name), None)
+            if rule is None:
+                return False
+            if rule.condition is not None and not config.enabled(rule.condition):
+                return False
+            directory = parent
+        return True
+
+    def is_modular(self, source_path: str, config: Config) -> bool:
+        """True when the config builds the file as a module (=m)."""
+        try:
+            makefile = self.governing_makefile(source_path)
+        except MakefileNotFoundError:
+            return False
+        return makefile.source_is_modular(
+            posixpath.basename(source_path), config)
+
+    # -- compilation -----------------------------------------------------------
+
+    def _compiler(self, arch_name: str, config: Config,
+                  *, modular_unit: bool) -> Compiler:
+        architecture = self.registry.get(arch_name)
+        macros = config.autoconf_macros()
+        if modular_unit:
+            macros["MODULE"] = "1"
+        return Compiler(architecture, self._provider, config_macros=macros)
+
+    def make_i(self, paths: list[str], arch_name: str,
+               config: Config) -> list[FileBuildResult]:
+        """One batched preprocessing invocation over up to N files."""
+        if not paths:
+            return []
+        results: list[FileBuildResult] = []
+        sizes: list[tuple[str, int]] = []
+        for path in paths:
+            text = self._provider(path)
+            sizes.append((path, len(text) if text else 0))
+            result = self._make_one_i(path, arch_name, config)
+            results.append(result)
+        first = (arch_name, config.name) not in self._invocations_seen
+        self._invocations_seen.add((arch_name, config.name))
+        cost = self.cost_model.i_cost(arch_name, sizes,
+                                      first_invocation=first)
+        self.clock.charge("make_i", cost)
+        self.invocations.append(MakeInvocation(
+            kind="make_i", arch=arch_name, duration=cost, files=list(paths)))
+        return results
+
+    def _make_one_i(self, path: str, arch_name: str,
+                    config: Config) -> FileBuildResult:
+        try:
+            self.governing_makefile(path)
+        except MakefileNotFoundError as error:
+            return FileBuildResult(path=path, ok=False, error=str(error),
+                                   error_kind="no_makefile")
+        if not self.is_buildable(path, arch_name, config):
+            return FileBuildResult(
+                path=path, ok=False,
+                error=f"no rule to make target '{path[:-2]}.i'",
+                error_kind="no_rule")
+        modular = self.is_modular(path, config)
+        compiler = self._compiler(arch_name, config, modular_unit=modular)
+        try:
+            preprocessed = compiler.preprocess(path)
+        except PreprocessorError as error:
+            return FileBuildResult(path=path, ok=False, error=str(error),
+                                   error_kind="preprocess_failed")
+        return FileBuildResult(path=path, ok=True,
+                               i_text=preprocessed.text,
+                               preprocess_result=preprocessed)
+
+    def make_o(self, path: str, arch_name: str, config: Config) -> ObjectFile:
+        """Individual ``make file.o``; raises :class:`BuildError`."""
+        text = self._provider(path)
+        size = len(text) if text else 0
+        first = (arch_name, config.name) not in self._invocations_seen
+        self._invocations_seen.add((arch_name, config.name))
+        cost = self.cost_model.o_cost(
+            arch_name, path, size, first_invocation=first,
+            triggers_whole_kernel_rebuild=path in self._rebuild_trigger_paths)
+        self.clock.charge("make_o", cost)
+        self.invocations.append(MakeInvocation(
+            kind="make_o", arch=arch_name, duration=cost, files=[path]))
+
+        try:
+            self.governing_makefile(path)
+        except MakefileNotFoundError as error:
+            raise BuildError(str(error), kind="no_makefile") from error
+        if not self.is_buildable(path, arch_name, config):
+            raise BuildError(
+                f"no rule to make target '{path[:-2]}.o'", kind="no_rule")
+        modular = self.is_modular(path, config)
+        compiler = self._compiler(arch_name, config, modular_unit=modular)
+        try:
+            return compiler.compile_object(path)
+        except CompileError as error:
+            raise BuildError(str(error), kind="compile_failed") from error
+
+    def make_vmlinux(self, arch_name: str, config: Config,
+                     *, keep_going: bool = True) -> "VmlinuxBuild":
+        """``make`` (optionally ``make -k``): compile every enabled
+        builtin unit and link the kernel image. Modular (=m) units are
+        excluded, as they would be built as separate .ko objects.
+
+        With ``keep_going`` (the default), units that fail — e.g. a
+        driver needing another architecture's headers, which real
+        allyesconfig builds also trip over — are recorded in
+        ``failed`` rather than aborting the build. Requires a
+        ``path_lister``; raises :class:`~repro.cc.linker.LinkError`
+        on symbol clashes.
+        """
+        from repro.cc.linker import link
+
+        if self._path_lister is None:
+            raise KbuildError("make_vmlinux requires a path_lister")
+        objects = []
+        failed: dict[str, str] = {}
+        for path in self._path_lister():
+            if not path.endswith(".c"):
+                continue
+            if not self.is_buildable(path, arch_name, config):
+                continue
+            if self.is_modular(path, config):
+                continue
+            try:
+                objects.append(self.make_o(path, arch_name, config))
+            except BuildError as error:
+                if not keep_going:
+                    raise
+                failed[path] = str(error)
+        image = link(objects, architecture=arch_name)
+        return VmlinuxBuild(image=image, failed=failed)

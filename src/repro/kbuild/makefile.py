@@ -1,0 +1,174 @@
+"""Kbuild Makefile parsing.
+
+Handles the declarative subset of the kernel's per-directory Makefiles::
+
+    obj-y += always.o subdir/
+    obj-m += module.o
+    obj-$(CONFIG_FOO) += foo.o other/
+    foo-objs := a.o b.o        # composite object
+    foo-y    += c.o            # composite, kbuild style
+    foo-$(CONFIG_BAR) += d.o   # conditional composite member
+
+plus variable assignments that JMake's architecture heuristic scans for
+``CONFIG_*`` mentions (§III-C). ``ccflags-y`` and similar flag lines are
+recorded but otherwise ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.kconfig.configfile import Config
+
+_RULE_RE = re.compile(
+    r"^(?P<label>[A-Za-z0-9_\-]+)-"
+    r"(?P<cond>y|m|objs|\$\(CONFIG_[A-Za-z0-9_]+\))"
+    r"\s*(?P<op>\+?=|:=)\s*(?P<items>.*)$")
+_CONFIG_VAR_RE = re.compile(r"CONFIG_([A-Za-z0-9_]+)")
+
+
+@dataclass(frozen=True)
+class ObjectRule:
+    """One right-hand item of an ``obj-`` or composite line."""
+
+    target: str               # "foo.o" or "subdir/"
+    condition: str | None     # CONFIG symbol name, or None for -y
+    modular_ok: bool = True   # False when the entry came from obj-y only
+
+    @property
+    def is_subdir(self) -> bool:
+        """True for 'subdir/' entries."""
+        return self.target.endswith("/")
+
+
+@dataclass
+class KbuildMakefile:
+    """Parsed content of one directory's Makefile."""
+
+    directory: str
+    #: objects/subdirs attached directly to obj-…
+    objects: list[ObjectRule] = field(default_factory=list)
+    #: composite name (without .o) -> member rules
+    composites: dict[str, list[ObjectRule]] = field(default_factory=dict)
+    #: every CONFIG_* symbol textually mentioned anywhere in the file
+    mentioned_config_vars: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str, directory: str = "") -> "KbuildMakefile":
+        """Parse one Makefile's Kbuild-relevant lines."""
+        makefile = cls(directory=directory)
+        seen_vars: set[str] = set()
+        for raw in text.split("\n"):
+            line = raw.split("#", 1)[0].rstrip()
+            if not line.strip():
+                continue
+            for match in _CONFIG_VAR_RE.finditer(line):
+                name = match.group(1)
+                if name not in seen_vars:
+                    seen_vars.add(name)
+                    makefile.mentioned_config_vars.append(name)
+            match = _RULE_RE.match(line.strip())
+            if not match:
+                continue
+            label = match.group("label")
+            cond_text = match.group("cond")
+            items = match.group("items").split()
+            if cond_text == "objs":
+                condition: str | None = None
+                is_composite_def = True
+            elif cond_text in ("y", "m"):
+                condition = None
+                is_composite_def = label != "obj"
+            else:
+                condition = cond_text[len("$(CONFIG_"):-1]
+                is_composite_def = label != "obj"
+            rules = [ObjectRule(target=item, condition=condition)
+                     for item in items]
+            if label == "obj":
+                makefile.objects.extend(rules)
+            elif is_composite_def and label not in (
+                    "ccflags", "asflags", "ldflags", "subdir-ccflags",
+                    "extra", "always", "targets", "clean"):
+                makefile.composites.setdefault(label, []).extend(rules)
+        return makefile
+
+    # -- queries ------------------------------------------------------------
+
+    def subdir_rules(self) -> list[ObjectRule]:
+        """The obj- entries naming subdirectories."""
+        return [rule for rule in self.objects if rule.is_subdir]
+
+    def object_rules(self) -> list[ObjectRule]:
+        """The obj- entries naming .o files."""
+        return [rule for rule in self.objects if not rule.is_subdir]
+
+    def rule_for_source(self, c_basename: str) -> ObjectRule | None:
+        """The rule governing ``name.c`` (via ``name.o`` or a composite).
+
+        Returns the *outermost* condition: for a composite member, the
+        condition on the composite's own ``obj-`` line wins, matching how
+        kbuild actually gates compilation.
+        """
+        obj_name = c_basename[:-2] + ".o" if c_basename.endswith(".c") \
+            else c_basename
+        for rule in self.object_rules():
+            if rule.target == obj_name:
+                return rule
+        stem = obj_name[:-2]
+        for composite, members in self.composites.items():
+            if not any(member.target == obj_name for member in members):
+                continue
+            for rule in self.object_rules():
+                if rule.target == composite + ".o":
+                    return rule
+        return None
+
+    def config_vars_for_object(self, c_basename: str) -> list[str]:
+        """The §III-C heuristic: config variables tied to one object.
+
+        1. variables on lines mentioning the ``.o`` file;
+        2. recursively, variables on the ``obj-`` lines of composite
+           labels containing it;
+        3. if nothing found, *all* config variables in the Makefile.
+        """
+        obj_name = c_basename[:-2] + ".o" if c_basename.endswith(".c") \
+            else c_basename
+        found: list[str] = []
+
+        direct = [rule for rule in self.object_rules()
+                  if rule.target == obj_name and rule.condition]
+        found.extend(rule.condition for rule in direct)
+
+        for composite, members in self.composites.items():
+            if any(member.target == obj_name for member in members):
+                for member in members:
+                    if member.target == obj_name and member.condition:
+                        found.append(member.condition)
+                for rule in self.object_rules():
+                    if rule.target == composite + ".o" and rule.condition:
+                        found.append(rule.condition)
+
+        if not found:
+            found = list(self.mentioned_config_vars)
+        unique: list[str] = []
+        for name in found:
+            if name not in unique:
+                unique.append(name)
+        return unique
+
+    def source_is_enabled(self, c_basename: str, config: Config) -> bool:
+        """Is ``name.c`` compiled in this directory under ``config``?"""
+        rule = self.rule_for_source(c_basename)
+        if rule is None:
+            return False
+        if rule.condition is None:
+            return True
+        return config.enabled(rule.condition)
+
+    def source_is_modular(self, c_basename: str, config: Config) -> bool:
+        """Compiled as a module (=m) rather than built-in (=y)?"""
+        rule = self.rule_for_source(c_basename)
+        if rule is None or rule.condition is None:
+            return False
+        return config.modular(rule.condition)

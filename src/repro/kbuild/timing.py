@@ -1,0 +1,99 @@
+"""The simulated build cost model.
+
+Calibrated to the constants the paper reports (§V-C):
+
+- configuration creation: "5 seconds or less for all invocations"
+  (Fig. 4a) — dominated by Kconfig evaluation plus per-arch setup;
+- ``.i`` generation: "15 seconds or less for 98% of invocations …
+  up to 22 seconds" (Fig. 4b) — a fixed make start-up (the "many tens of
+  set up operations", >80 for x86, >60 for arm) plus per-file work that
+  scales with preprocessed size;
+- ``.o`` generation: "7 seconds or less for 97% … maximum 15 for almost
+  all files" (Fig. 4c), with a >6000-second outlier for files whose
+  compilation triggers a whole-kernel rebuild (the
+  ``arch/powerpc/kernel/prom_init.c`` case).
+
+Every draw is deterministic: noise comes from hashing the operation's
+identity, so a corpus replays identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def _unit_noise(*identity: str) -> float:
+    """A deterministic pseudo-uniform draw in [0, 1) from an identity."""
+    digest = hashlib.sha256(":".join(identity).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants; defaults reproduce the paper's figures."""
+
+    # -- configuration creation (Fig. 4a) --------------------------------
+    config_base_seconds: float = 1.4
+    config_per_symbol_seconds: float = 0.0006
+    config_noise_seconds: float = 2.6
+
+    # -- make start-up ----------------------------------------------------
+    setup_op_seconds: float = 0.035
+    x86_setup_ops: int = 82
+    default_setup_ops: int = 64
+    recheck_ops: int = 6
+
+    # -- .i generation (Fig. 4b) ------------------------------------------
+    i_invocation_base_seconds: float = 2.2
+    i_per_file_seconds: float = 0.28
+    i_per_kb_seconds: float = 0.004
+    i_noise_seconds: float = 2.0
+
+    # -- .o generation (Fig. 4c) ------------------------------------------
+    o_base_seconds: float = 1.6
+    o_per_kb_seconds: float = 0.09
+    o_noise_seconds: float = 1.8
+    whole_kernel_rebuild_seconds: float = 6200.0
+
+    def config_cost(self, arch: str, target: str, symbol_count: int) -> float:
+        """Simulated seconds to create one configuration."""
+        noise = _unit_noise("config", arch, target) * self.config_noise_seconds
+        return (self.config_base_seconds
+                + symbol_count * self.config_per_symbol_seconds
+                + noise)
+
+    def setup_ops(self, arch: str) -> int:
+        """How many set-up operations a first make invocation performs."""
+        return self.x86_setup_ops if arch in ("x86_64", "i386") \
+            else self.default_setup_ops
+
+    def setup_cost(self, arch: str, *, first_invocation: bool) -> float:
+        """Simulated make start-up cost (first vs repeat invocation)."""
+        ops = self.setup_ops(arch) if first_invocation else self.recheck_ops
+        return ops * self.setup_op_seconds
+
+    def i_cost(self, arch: str, files_with_sizes: list[tuple[str, int]],
+               *, first_invocation: bool) -> float:
+        """One ``make f1.i f2.i ...`` invocation over a batch of files."""
+        total = self.setup_cost(arch, first_invocation=first_invocation)
+        total += self.i_invocation_base_seconds
+        for path, size_bytes in files_with_sizes:
+            noise = _unit_noise("make_i", arch, path) * self.i_noise_seconds
+            total += (self.i_per_file_seconds
+                      + (size_bytes / 1024.0) * self.i_per_kb_seconds
+                      + noise / max(1, len(files_with_sizes)))
+        return total
+
+    def o_cost(self, arch: str, path: str, size_bytes: int, *,
+               first_invocation: bool,
+               triggers_whole_kernel_rebuild: bool = False) -> float:
+        """One ``make file.o`` invocation (files compiled individually)."""
+        if triggers_whole_kernel_rebuild:
+            noise = _unit_noise("rebuild", arch, path) * 600.0
+            return self.whole_kernel_rebuild_seconds + noise
+        noise = _unit_noise("make_o", arch, path) * self.o_noise_seconds
+        return (self.setup_cost(arch, first_invocation=first_invocation)
+                + self.o_base_seconds
+                + (size_bytes / 1024.0) * self.o_per_kb_seconds
+                + noise)

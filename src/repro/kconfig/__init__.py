@@ -1,0 +1,40 @@
+"""Kconfig substrate: the kernel's configuration language and solvers.
+
+Implements the subset of Kconfig the paper's machinery depends on:
+
+- ``config`` entries with ``bool``/``tristate``/``int``/``string`` types,
+  prompts, ``depends on`` expressions, ``select``, and ``default``;
+- ``choice`` groups — the reason ``allyesconfig`` *cannot* set every
+  symbol (Table IV row "variable not set by allyesconfig");
+- ``source`` inclusion of per-subsystem Kconfig files;
+- the three make targets JMake uses (§II-B): ``allyesconfig``,
+  ``allmodconfig``, and named defconfigs from ``arch/*/configs``;
+- ``.config`` serialization and the ``autoconf.h`` macro set the build
+  injects into every compilation.
+"""
+
+from repro.kconfig.ast import ConfigSymbol, Expr, SymbolType, Tristate
+from repro.kconfig.configfile import Config, parse_config_text
+from repro.kconfig.model import ConfigModel
+from repro.kconfig.parser import parse_kconfig
+from repro.kconfig.solver import (
+    allmodconfig,
+    allnoconfig,
+    allyesconfig,
+    defconfig,
+)
+
+__all__ = [
+    "Config",
+    "ConfigModel",
+    "ConfigSymbol",
+    "Expr",
+    "SymbolType",
+    "Tristate",
+    "allmodconfig",
+    "allnoconfig",
+    "allyesconfig",
+    "defconfig",
+    "parse_config_text",
+    "parse_kconfig",
+]

@@ -1,0 +1,145 @@
+"""``.config`` files and the autoconf macro set.
+
+A :class:`Config` is one concrete assignment of tristate values (plus
+int/string values) to symbols. It serializes to the kernel's ``.config``
+format and — crucially for the substrate — exposes
+:meth:`Config.autoconf_macros`, the macro set the build system injects
+into every compilation (the stand-in for ``include/generated/autoconf.h``):
+
+- ``CONFIG_FOO=y``  → ``CONFIG_FOO`` defined as ``1``
+- ``CONFIG_FOO=m``  → ``CONFIG_FOO_MODULE`` defined as ``1`` (and the
+  build adds ``MODULE`` when compiling that unit as a module, which is
+  what makes ``#ifdef MODULE`` code invisible to allyesconfig — Table IV)
+- ``CONFIG_FOO=n``  → nothing defined
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import Tristate
+
+
+@dataclass
+class Config:
+    """One concrete configuration."""
+
+    name: str = ".config"
+    values: dict[str, Tristate] = field(default_factory=dict)
+    scalar_values: dict[str, str] = field(default_factory=dict)
+
+    def tristate(self, symbol: str) -> Tristate:
+        """The symbol's value; N when unset."""
+        return self.values.get(symbol, Tristate.N)
+
+    def enabled(self, symbol: str) -> bool:
+        """True for y or m."""
+        return self.tristate(symbol) != Tristate.N
+
+    def builtin(self, symbol: str) -> bool:
+        """True for =y."""
+        return self.tristate(symbol) == Tristate.Y
+
+    def modular(self, symbol: str) -> bool:
+        """True for =m."""
+        return self.tristate(symbol) == Tristate.M
+
+    def set(self, symbol: str, value: Tristate) -> None:
+        """Assign a tristate value."""
+        self.values[symbol] = value
+
+    def enabled_count(self) -> int:
+        """Number of symbols set to y or m."""
+        return sum(1 for value in self.values.values()
+                   if value != Tristate.N)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_config_text(self) -> str:
+        """Serialize in the kernel's .config format."""
+        lines: list[str] = [f"# {self.name}"]
+        for symbol in sorted(set(self.values) | set(self.scalar_values)):
+            if symbol in self.scalar_values:
+                lines.append(f'CONFIG_{symbol}="{self.scalar_values[symbol]}"')
+                continue
+            value = self.values[symbol]
+            if value == Tristate.N:
+                lines.append(f"# CONFIG_{symbol} is not set")
+            else:
+                lines.append(f"CONFIG_{symbol}={value.letter}")
+        return "\n".join(lines) + "\n"
+
+    # -- autoconf ----------------------------------------------------------
+
+    def autoconf_macros(self) -> dict[str, str]:
+        """The macro set equivalent to include/generated/autoconf.h."""
+        macros: dict[str, str] = {}
+        for symbol, value in self.values.items():
+            if value == Tristate.Y:
+                macros[f"CONFIG_{symbol}"] = "1"
+            elif value == Tristate.M:
+                macros[f"CONFIG_{symbol}_MODULE"] = "1"
+        for symbol, scalar in self.scalar_values.items():
+            macros[f"CONFIG_{symbol}"] = scalar
+        return macros
+
+
+def config_diff(old: Config, new: Config) -> list[str]:
+    """Human-readable symbol-level differences between two configs.
+
+    The format mirrors ``scripts/diffconfig`` from the kernel tree:
+    ``+SYM y`` (new symbol), ``-SYM y`` (dropped), ``SYM n -> y``
+    (changed). Useful for explaining what a targeted configuration
+    changed relative to allyesconfig.
+    """
+    lines: list[str] = []
+    symbols = sorted(set(old.values) | set(new.values))
+    for symbol in symbols:
+        before = old.values.get(symbol)
+        after = new.values.get(symbol)
+        if before == after:
+            continue
+        if before is None:
+            lines.append(f"+{symbol} {after.letter}")
+        elif after is None:
+            lines.append(f"-{symbol} {before.letter}")
+        else:
+            lines.append(f"{symbol} {before.letter} -> {after.letter}")
+    for symbol in sorted(set(old.scalar_values) | set(new.scalar_values)):
+        before = old.scalar_values.get(symbol)
+        after = new.scalar_values.get(symbol)
+        if before != after:
+            lines.append(f"{symbol} {before!r} -> {after!r}")
+    return lines
+
+
+def parse_config_text(text: str, *, name: str = ".config") -> Config:
+    """Parse ``.config``/defconfig text.
+
+    Recognizes ``CONFIG_FOO=y|m|n``, ``# CONFIG_FOO is not set``,
+    ``CONFIG_FOO=123`` and ``CONFIG_FOO="str"``.
+    """
+    config = Config(name=name)
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if body.endswith("is not set") and body.startswith("CONFIG_"):
+                symbol = body[len("CONFIG_"):-len("is not set")].strip()
+                config.values[symbol] = Tristate.N
+            continue
+        if not line.startswith("CONFIG_") or "=" not in line:
+            raise KconfigError(f"{name}:{lineno}: bad config line {raw!r}")
+        key, _, value = line.partition("=")
+        symbol = key[len("CONFIG_"):]
+        value = value.strip()
+        if value in ("y", "m", "n"):
+            config.values[symbol] = Tristate.from_letter(value)
+        elif value.startswith('"'):
+            config.scalar_values[symbol] = value.strip('"')
+        else:
+            config.scalar_values[symbol] = value
+    return config

@@ -1,0 +1,104 @@
+"""The configuration model: all symbols of one architecture's Kconfig.
+
+A :class:`ConfigModel` is built from the top-level Kconfig of an
+architecture (which sources subsystem Kconfigs). It provides symbol
+lookup, choice-group enumeration, and reverse-dependency (select) edges
+for the solvers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import ConfigSymbol, SymbolType
+from repro.kconfig.parser import FileProvider, parse_kconfig
+
+
+class ConfigModel:
+    """All symbols of one architecture's Kconfig, with lookups."""
+    def __init__(self, symbols: list[ConfigSymbol]) -> None:
+        self._symbols: dict[str, ConfigSymbol] = {}
+        for symbol in symbols:
+            if symbol.name in self._symbols:
+                # Kconfig allows re-declaration; merge attributes from the
+                # later entry (kernel practice for arch overrides).
+                existing = self._symbols[symbol.name]
+                existing.selects.extend(symbol.selects)
+                if symbol.depends_on is not None:
+                    existing.depends_on = symbol.depends_on \
+                        if existing.depends_on is None else existing.depends_on
+                if symbol.default is not None and existing.default is None:
+                    existing.default = symbol.default
+                continue
+            self._symbols[symbol.name] = symbol
+
+    @classmethod
+    def from_kconfig(cls, text: str, *, path: str = "Kconfig",
+                     provider: FileProvider | None = None) -> "ConfigModel":
+        """Parse Kconfig text (following source directives)."""
+        return cls(parse_kconfig(text, path=path, provider=provider))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def get(self, name: str) -> ConfigSymbol:
+        """The symbol; KconfigError when unknown."""
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise KconfigError(f"unknown config symbol: {name}") from None
+
+    def names(self) -> list[str]:
+        """Sorted symbol names."""
+        return sorted(self._symbols)
+
+    def symbols(self) -> list[ConfigSymbol]:
+        """Symbols in declaration order.
+
+        Declaration order matters: allyesconfig walks entries in the
+        order Kconfig declares them, which is what makes
+        ``depends on !X`` symbols stay off when X is declared earlier.
+        """
+        return list(self._symbols.values())
+
+    def boolean_symbols(self) -> list[ConfigSymbol]:
+        """bool/tristate symbols in declaration order."""
+        return [symbol for symbol in self.symbols()
+                if symbol.is_boolean_like]
+
+    def tristate_symbols(self) -> list[ConfigSymbol]:
+        """Tristate symbols in declaration order."""
+        return [symbol for symbol in self.symbols()
+                if symbol.type is SymbolType.TRISTATE]
+
+    def choice_groups(self) -> dict[str, list[ConfigSymbol]]:
+        """Choice-group name -> member symbols, in declaration order."""
+        groups: dict[str, list[ConfigSymbol]] = {}
+        for name in self._symbols:
+            symbol = self._symbols[name]
+            if symbol.choice_group is not None:
+                groups.setdefault(symbol.choice_group, []).append(symbol)
+        return groups
+
+    def selectors_of(self, name: str) -> list[ConfigSymbol]:
+        """Symbols that ``select`` the given symbol."""
+        return [symbol for symbol in self.symbols()
+                if name in symbol.selects]
+
+    def undefined_references(self) -> set[str]:
+        """Symbols referenced in dependencies/selects but never defined.
+
+        These are the "#ifdef variable never set in the kernel" hazard
+        source (Table IV): code can test a CONFIG_ name no Kconfig
+        defines.
+        """
+        referenced: set[str] = set()
+        for symbol in self._symbols.values():
+            if symbol.depends_on is not None:
+                referenced |= symbol.depends_on.symbols()
+            referenced |= set(symbol.selects)
+            if symbol.default is not None:
+                referenced |= symbol.default.symbols()
+        return {name for name in referenced if name not in self._symbols}

@@ -1,0 +1,336 @@
+"""Parser for the Kconfig language subset.
+
+Grammar handled (one construct per line, tab- or space-indented
+attributes, as the kernel writes them)::
+
+    mainmenu "..."                  # ignored
+    menu "..." / endmenu            # grouping only
+    comment "..."                   # ignored
+    source "path/Kconfig"           # recursive inclusion via the provider
+    config NAME
+        bool "prompt"               # or: tristate/int/string, prompt optional
+        depends on EXPR
+        select OTHER [if EXPR]      # the guard is honoured
+        default y [if EXPR] / default "val"
+        help                        # free text until dedent
+    choice [NAME]
+        prompt "..."
+        config ... (members)
+    endchoice
+
+Dependency expressions support ``&&  ||  !  ()`` and the constants
+``y m n``. Comparisons (``=`` / ``!=``) appear rarely in the kernel's
+tree; they are parsed and reduced to constants when both sides are
+literal, otherwise treated as symbol tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import (
+    AndExpr,
+    ConfigSymbol,
+    ConstExpr,
+    Expr,
+    NotExpr,
+    OrExpr,
+    SymbolRef,
+    SymbolType,
+    Tristate,
+)
+
+FileProvider = Callable[[str], "str | None"]
+
+_CONFIG_RE = re.compile(r"^(?:menu)?config\s+([A-Za-z0-9_]+)\s*$")
+_IF_RE = re.compile(r"^if\s+(.+)$")
+_RANGE_RE = re.compile(r"^range\s+(\S+)\s+(\S+)\s*$")
+_CHOICE_RE = re.compile(r"^choice(?:\s+([A-Za-z0-9_]+))?\s*$")
+_SOURCE_RE = re.compile(r'^source\s+"([^"]+)"\s*$')
+_TYPE_RE = re.compile(
+    r'^(bool|tristate|int|string)(?:\s+"([^"]*)")?\s*$')
+_DEPENDS_RE = re.compile(r"^depends on\s+(.+)$")
+_SELECT_RE = re.compile(r"^select\s+([A-Za-z0-9_]+)(?:\s+if\s+(.+))?$")
+_DEFAULT_RE = re.compile(r"^default\s+(.+?)(?:\s+if\s+(.+))?$")
+_PROMPT_RE = re.compile(r'^prompt\s+"([^"]*)"\s*$')
+
+
+def parse_kconfig(text: str, *, path: str = "Kconfig",
+                  provider: FileProvider | None = None,
+                  _depth: int = 0) -> list[ConfigSymbol]:
+    """Parse Kconfig text into symbols, following ``source`` directives."""
+    if _depth > 40:
+        raise KconfigError(f"{path}: source inclusion too deep")
+    symbols: list[ConfigSymbol] = []
+    current: ConfigSymbol | None = None
+    choice_stack: list[str] = []
+    if_stack: list[Expr] = []   # `if EXPR ... endif` dependency wrappers
+    choice_counter = 0
+    in_help = False
+    help_indent: int | None = None
+
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if in_help:
+            if not stripped:
+                continue
+            indent = len(line) - len(line.lstrip())
+            if help_indent is None:
+                help_indent = indent
+            if indent >= help_indent and current is not None:
+                current.help_text += stripped + "\n"
+                continue
+            in_help = False
+            help_indent = None
+            # fall through: this line is a new construct
+
+        if not stripped or stripped.startswith("#"):
+            continue
+
+        match = _CONFIG_RE.match(stripped)
+        if match:
+            current = ConfigSymbol(
+                name=match.group(1), source_file=path,
+                choice_group=choice_stack[-1] if choice_stack else None)
+            for wrapper in if_stack:
+                current.depends_on = wrapper if current.depends_on is None \
+                    else AndExpr(current.depends_on, wrapper)
+            symbols.append(current)
+            continue
+
+        match = _IF_RE.match(stripped)
+        if match and not stripped.startswith("ifdef"):
+            if_stack.append(parse_expr(match.group(1), path=path,
+                                       line=lineno))
+            current = None
+            continue
+        if stripped == "endif":
+            if not if_stack:
+                raise KconfigError(f"{path}:{lineno}: endif without if")
+            if_stack.pop()
+            current = None
+            continue
+
+        match = _CHOICE_RE.match(stripped)
+        if match:
+            choice_counter += 1
+            name = match.group(1) or f"<choice:{path}:{choice_counter}>"
+            choice_stack.append(name)
+            current = None
+            continue
+        if stripped == "endchoice":
+            if not choice_stack:
+                raise KconfigError(f"{path}:{lineno}: endchoice without choice")
+            choice_stack.pop()
+            current = None
+            continue
+
+        match = _SOURCE_RE.match(stripped)
+        if match:
+            target = match.group(1)
+            if provider is None:
+                raise KconfigError(
+                    f"{path}:{lineno}: source directive without a provider")
+            sub_text = provider(target)
+            if sub_text is None:
+                raise KconfigError(f"{path}:{lineno}: cannot source {target}")
+            symbols.extend(parse_kconfig(sub_text, path=target,
+                                         provider=provider,
+                                         _depth=_depth + 1))
+            current = None
+            continue
+
+        if stripped.startswith(("mainmenu", "menu ", "comment ")) or \
+                stripped in ("endmenu", "menu"):
+            current = None
+            continue
+
+        # Attribute lines require a current config entry (or are a choice
+        # prompt, which we ignore for solving purposes).
+        if current is None:
+            if _PROMPT_RE.match(stripped) or _TYPE_RE.match(stripped) or \
+                    _DEPENDS_RE.match(stripped) or _DEFAULT_RE.match(stripped):
+                continue  # choice-level attribute
+            raise KconfigError(
+                f"{path}:{lineno}: unexpected line {stripped!r}")
+
+        match = _TYPE_RE.match(stripped)
+        if match:
+            current.type = SymbolType(match.group(1))
+            if match.group(2) is not None:
+                current.prompt = match.group(2)
+            continue
+        match = _PROMPT_RE.match(stripped)
+        if match:
+            current.prompt = match.group(1)
+            continue
+        match = _DEPENDS_RE.match(stripped)
+        if match:
+            new_dep = parse_expr(match.group(1), path=path, line=lineno)
+            if current.depends_on is None:
+                current.depends_on = new_dep
+            else:
+                current.depends_on = AndExpr(current.depends_on, new_dep)
+            continue
+        match = _SELECT_RE.match(stripped)
+        if match:
+            # A guarded select is modelled as unconditional for solving;
+            # the guard symbol is recorded as a dependency of the select.
+            current.selects.append(match.group(1))
+            continue
+        match = _DEFAULT_RE.match(stripped)
+        if match:
+            value, guard = match.group(1).strip(), match.group(2)
+            if current.type in (SymbolType.INT, SymbolType.STRING):
+                current.default_value = value.strip('"')
+            else:
+                default_expr = parse_expr(value, path=path, line=lineno)
+                if guard:
+                    default_expr = AndExpr(
+                        default_expr, parse_expr(guard, path=path, line=lineno))
+                current.default = default_expr
+            continue
+        match = _RANGE_RE.match(stripped)
+        if match:
+            current.value_range = (match.group(1), match.group(2))
+            continue
+        if stripped == "help" or stripped == "---help---":
+            in_help = True
+            help_indent = None
+            continue
+        raise KconfigError(f"{path}:{lineno}: unknown attribute {stripped!r}")
+
+    if choice_stack:
+        raise KconfigError(f"{path}: unterminated choice block")
+    if if_stack:
+        raise KconfigError(f"{path}: unterminated if block")
+    return symbols
+
+
+# -- expression parsing ----------------------------------------------------
+
+_EXPR_TOKEN_RE = re.compile(
+    r"\s*(\(|\)|&&|\|\||!=|!|=|[A-Za-z0-9_]+|\"[^\"]*\")")
+
+
+def parse_expr(text: str, *, path: str = "<expr>", line: int = 0) -> Expr:
+    """Parse a Kconfig dependency expression."""
+    tokens = _tokenize_expr(text, path=path, line=line)
+    parser = _ExprParser(tokens, path=path, line=line, source=text)
+    return parser.parse()
+
+
+def _tokenize_expr(text: str, *, path: str, line: int) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _EXPR_TOKEN_RE.match(text, pos)
+        if not match:
+            if text[pos:].strip():
+                raise KconfigError(
+                    f"{path}:{line}: bad expression {text!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, tokens: list[str], *, path: str, line: int,
+                 source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._where = f"{path}:{line}"
+        self._source = source
+
+    def parse(self) -> Expr:
+        if not self._tokens:
+            raise KconfigError(f"{self._where}: empty expression")
+        expr = self._or()
+        if self._pos != len(self._tokens):
+            raise KconfigError(
+                f"{self._where}: trailing tokens in {self._source!r}")
+        return expr
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) \
+            else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise KconfigError(
+                f"{self._where}: unexpected end of {self._source!r}")
+        self._pos += 1
+        return token
+
+    def _or(self) -> Expr:
+        expr = self._and()
+        while self._peek() == "||":
+            self._next()
+            expr = OrExpr(expr, self._and())
+        return expr
+
+    def _and(self) -> Expr:
+        expr = self._comparison()
+        while self._peek() == "&&":
+            self._next()
+            expr = AndExpr(expr, self._comparison())
+        return expr
+
+    def _comparison(self) -> Expr:
+        left = self._unary()
+        operator = self._peek()
+        if operator in ("=", "!="):
+            self._next()
+            right = self._unary()
+            return self._reduce_comparison(left, operator, right)
+        return left
+
+    @staticmethod
+    def _reduce_comparison(left: Expr, operator: str, right: Expr) -> Expr:
+        """``SYM = y`` tests the symbol; literal = literal folds."""
+        def as_const(expr: Expr) -> Tristate | None:
+            return expr.value if isinstance(expr, ConstExpr) else None
+
+        left_const, right_const = as_const(left), as_const(right)
+        if left_const is not None and right_const is not None:
+            equal = left_const == right_const
+            result = equal if operator == "=" else not equal
+            return ConstExpr(Tristate.Y if result else Tristate.N)
+        symbol = left if isinstance(left, SymbolRef) else right
+        literal = right_const if right_const is not None else left_const
+        if not isinstance(symbol, SymbolRef) or literal is None:
+            # Symbol-to-symbol comparison: approximate as AND of both.
+            return AndExpr(left, right)
+        test: Expr = symbol
+        if literal == Tristate.N:
+            test = NotExpr(symbol)
+        return test if operator == "=" else NotExpr(test)
+
+    def _unary(self) -> Expr:
+        token = self._next()
+        if token == "!":
+            return NotExpr(self._unary())
+        if token == "(":
+            expr = self._or()
+            if self._next() != ")":
+                raise KconfigError(
+                    f"{self._where}: missing ')' in {self._source!r}")
+            return expr
+        if token in ("y", "m", "n"):
+            return ConstExpr(Tristate.from_letter(token))
+        if token.startswith('"'):
+            inner = token.strip('"')
+            if inner in ("y", "m", "n"):
+                return ConstExpr(Tristate.from_letter(inner))
+            return ConstExpr(Tristate.N)
+        if re.fullmatch(r"[A-Za-z0-9_]+", token):
+            return SymbolRef(token)
+        raise KconfigError(
+            f"{self._where}: unexpected token {token!r} in "
+            f"{self._source!r}")

@@ -1,0 +1,313 @@
+"""Configuration solvers: allyesconfig, allmodconfig, defconfig.
+
+``allyesconfig`` "attempts to set as many configuration variables as
+possible, as long as doing so does not conflict with the chosen
+architecture or any of the other chosen options" (§II-B). The solver
+realizes that policy as a monotone fixpoint:
+
+1. every choice group picks exactly one member (the first whose
+   dependencies hold) — the structural reason some symbols stay off;
+2. every other boolean-like symbol is raised to ``y`` (or ``m`` for
+   tristates under allmodconfig) when its ``depends on`` evaluates
+   non-``n`` under the current assignment;
+3. ``select`` edges force their targets on;
+4. repeat until nothing changes.
+
+The fixpoint is monotone (values only ever increase), so it terminates
+in at most ``len(symbols)`` rounds.
+
+``defconfig`` seeds the assignment from a configs-file and completes it
+with defaults, mirroring ``make <name>_defconfig``.
+"""
+
+from __future__ import annotations
+
+from repro.kconfig.ast import SymbolType, Tristate
+from repro.kconfig.configfile import Config
+from repro.kconfig.model import ConfigModel
+
+
+def allyesconfig(model: ConfigModel) -> Config:
+    """make allyesconfig: raise everything dependencies allow."""
+    return _all_config(model, modular=False)
+
+
+def allmodconfig(model: ConfigModel) -> Config:
+    """make allmodconfig: tristates become modules."""
+    return _all_config(model, modular=True)
+
+
+def allnoconfig(model: ConfigModel) -> Config:
+    """``make allnoconfig``: everything off except forced selections.
+
+    Symbols without a prompt cannot be toggled by the user, so those
+    with a satisfied ``default`` keep it (the kernel behaves the same
+    way: allnoconfig only clears *visible* symbols).
+    """
+    config = Config(name="allnoconfig")
+    assignment = config.values
+    for symbol in model.symbols():
+        if symbol.is_boolean_like:
+            assignment[symbol.name] = Tristate.N
+        elif symbol.default_value is not None:
+            config.scalar_values[symbol.name] = symbol.default_value
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(model) + 2:
+            break
+        for symbol in model.boolean_symbols():
+            if assignment.get(symbol.name, Tristate.N) != Tristate.N:
+                continue
+            if symbol.prompt is None and symbol.default is not None \
+                    and symbol.dependencies_met(assignment):
+                value = symbol.default.evaluate(assignment)
+                if value != Tristate.N:
+                    assignment[symbol.name] = value
+                    changed = True
+        for symbol in model.symbols():
+            if assignment.get(symbol.name, Tristate.N) == Tristate.N:
+                continue
+            for target_name in symbol.selects:
+                if target_name in model and \
+                        model.get(target_name).is_boolean_like and \
+                        assignment.get(target_name,
+                                       Tristate.N) == Tristate.N:
+                    assignment[target_name] = Tristate.Y
+                    changed = True
+    return config
+
+
+def _all_config(model: ConfigModel, *, modular: bool) -> Config:
+    name = "allmodconfig" if modular else "allyesconfig"
+    config = Config(name=name)
+    assignment = config.values
+    for symbol in model.symbols():
+        if symbol.is_boolean_like:
+            assignment[symbol.name] = Tristate.N
+        elif symbol.default_value is not None:
+            config.scalar_values[symbol.name] = symbol.default_value
+
+    choice_members: set[str] = set()
+    for members in model.choice_groups().values():
+        choice_members.update(member.name for member in members)
+
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(model) + 2:
+            break  # safety net; the fixpoint is monotone so unreachable
+
+        # 1. choice groups: first member whose dependencies hold gets y.
+        for members in model.choice_groups().values():
+            if any(assignment.get(member.name, Tristate.N) != Tristate.N
+                   for member in members):
+                continue
+            for member in members:
+                if member.dependencies_met(assignment):
+                    assignment[member.name] = Tristate.Y
+                    changed = True
+                    break
+
+        # 2. ordinary symbols rise to y/m when dependencies hold.
+        for symbol in model.boolean_symbols():
+            if symbol.name in choice_members:
+                continue
+            current = assignment.get(symbol.name, Tristate.N)
+            if current != Tristate.N:
+                continue
+            if symbol.dependencies_met(assignment):
+                target = Tristate.M if (modular and
+                                        symbol.type is SymbolType.TRISTATE) \
+                    else Tristate.Y
+                assignment[symbol.name] = target
+                changed = True
+
+        # 3. selects force their targets on (Kconfig ignores the target's
+        #    own dependencies for selects; we follow that).
+        for symbol in model.symbols():
+            if assignment.get(symbol.name, Tristate.N) == Tristate.N:
+                continue
+            for target_name in symbol.selects:
+                if target_name not in model:
+                    continue
+                target = model.get(target_name)
+                if not target.is_boolean_like:
+                    continue
+                wanted = assignment.get(symbol.name, Tristate.Y)
+                if target.type is SymbolType.BOOL:
+                    wanted = Tristate.Y
+                if assignment.get(target_name, Tristate.N) < wanted:
+                    assignment[target_name] = wanted
+                    changed = True
+    return config
+
+
+def targeted_config(model: ConfigModel, want_on: "set[str]",
+                    want_off: "set[str] | None" = None,
+                    *, name: str = "targeted") -> Config | None:
+    """Construct a configuration with specific symbols on and off.
+
+    This is the primitive behind Vampyr/Troll-style configuration
+    generation (§VI related work; §VII future work): given a conditional
+    block's presence condition, build a configuration that reaches it.
+    Returns ``None`` when the request is unsatisfiable under the model
+    (undefined symbols, violated dependencies, choice-group conflicts,
+    or a ``select`` that would force a forbidden symbol).
+
+    The search is greedy-constructive, not a complete SAT solve — the
+    same trade-off the related tools make for speed; a ``None`` from
+    a satisfiable instance is possible in principle but does not occur
+    on realistic dependency shapes (conjunctions of literals).
+    """
+    from repro.kconfig.ast import (
+        AndExpr, ConstExpr, Expr, NotExpr, OrExpr, SymbolRef,
+    )
+
+    want_off = set(want_off or ())
+    config = Config(name=name)
+    assignment = config.values
+    for symbol in model.symbols():
+        if symbol.is_boolean_like:
+            assignment[symbol.name] = Tristate.N
+        elif symbol.default_value is not None:
+            config.scalar_values[symbol.name] = symbol.default_value
+    forbidden = set(want_off)
+    choice_groups = model.choice_groups()
+    group_of = {member.name: group
+                for group, members in choice_groups.items()
+                for member in members}
+
+    def enable(target: str, trail: "set[str]") -> bool:
+        if target in forbidden:
+            return False
+        if target not in model:
+            return False
+        if assignment.get(target, Tristate.N) != Tristate.N:
+            return True
+        if target in trail:
+            return False  # dependency cycle
+        symbol = model.get(target)
+        if not symbol.is_boolean_like:
+            return False
+        # choice exclusivity: enabling one member freezes the others
+        group = group_of.get(target)
+        if group is not None:
+            for member in choice_groups[group]:
+                if member.name == target:
+                    continue
+                if assignment.get(member.name, Tristate.N) != Tristate.N:
+                    return False
+                forbidden.add(member.name)
+        if symbol.depends_on is not None and \
+                not satisfy(symbol.depends_on, trail | {target}):
+            return False
+        assignment[target] = Tristate.Y
+        # selects fire unconditionally, and may conflict
+        for selected in symbol.selects:
+            if selected in forbidden:
+                return False
+            if selected in model and \
+                    model.get(selected).is_boolean_like and \
+                    assignment.get(selected, Tristate.N) == Tristate.N:
+                if not enable(selected, trail | {target}):
+                    return False
+        return True
+
+    def forbid(target: str) -> bool:
+        if target in model and \
+                assignment.get(target, Tristate.N) != Tristate.N:
+            return False
+        forbidden.add(target)
+        return True
+
+    def satisfy(expr: Expr, trail: "set[str]") -> bool:
+        if isinstance(expr, ConstExpr):
+            return expr.value != Tristate.N
+        if isinstance(expr, SymbolRef):
+            return enable(expr.name, trail)
+        if isinstance(expr, NotExpr):
+            operand = expr.operand
+            if isinstance(operand, SymbolRef):
+                return forbid(operand.name)
+            if isinstance(operand, ConstExpr):
+                return operand.value == Tristate.N
+            return False  # nested negations: out of scope for greedy
+        if isinstance(expr, AndExpr):
+            return satisfy(expr.left, trail) and satisfy(expr.right, trail)
+        if isinstance(expr, OrExpr):
+            checkpoint = dict(assignment)
+            forbidden_checkpoint = set(forbidden)
+            if satisfy(expr.left, trail):
+                return True
+            assignment.clear()
+            assignment.update(checkpoint)
+            forbidden.clear()
+            forbidden.update(forbidden_checkpoint)
+            return satisfy(expr.right, trail)
+        return False
+
+    for target in sorted(want_off):
+        if not forbid(target):
+            return None
+    for target in sorted(want_on):
+        if not enable(target, set()):
+            return None
+    return config
+
+
+def defconfig(model: ConfigModel, seed_text: str, *,
+              name: str = "defconfig") -> Config:
+    """``make <name>_defconfig``: seed values, then defaults, then selects."""
+    from repro.kconfig.configfile import parse_config_text
+
+    seed = parse_config_text(seed_text, name=name)
+    config = Config(name=name)
+    assignment = config.values
+
+    for symbol in model.symbols():
+        if symbol.is_boolean_like:
+            assignment[symbol.name] = Tristate.N
+        elif symbol.default_value is not None:
+            config.scalar_values[symbol.name] = symbol.default_value
+    # Seed values win where the symbol exists and dependencies permit.
+    for symbol_name, value in seed.values.items():
+        if symbol_name in model and model.get(symbol_name).is_boolean_like:
+            assignment[symbol_name] = value
+    config.scalar_values.update(seed.scalar_values)
+
+    # Defaults for symbols the seed left at n and that were never
+    # explicitly disabled ("# CONFIG_X is not set" lines count as
+    # explicit).
+    explicitly_set = set(seed.values)
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(model) + 2:
+            break
+        for symbol in model.boolean_symbols():
+            current = assignment.get(symbol.name, Tristate.N)
+            if current != Tristate.N or symbol.name in explicitly_set:
+                continue
+            if symbol.default is None:
+                continue
+            value = symbol.default.evaluate(assignment)
+            if value != Tristate.N and symbol.dependencies_met(assignment):
+                assignment[symbol.name] = value
+                changed = True
+        for symbol in model.symbols():
+            if assignment.get(symbol.name, Tristate.N) == Tristate.N:
+                continue
+            for target_name in symbol.selects:
+                if target_name in model and \
+                        model.get(target_name).is_boolean_like and \
+                        assignment.get(target_name, Tristate.N) == Tristate.N:
+                    assignment[target_name] = Tristate.Y
+                    changed = True
+    return config

@@ -1,0 +1,42 @@
+"""Synthetic kernel tree substrate.
+
+The paper's experiments run over the real Linux v4.3→v4.4 tree. Offline,
+we generate a structurally equivalent tree instead (see DESIGN.md §2):
+
+- :mod:`repro.kernel.maintainers` — the MAINTAINERS database JMake's
+  janitor analysis reads (§IV);
+- :mod:`repro.kernel.layout` — declarative specs for architectures,
+  subsystems, and configurability-hazard rates;
+- :mod:`repro.kernel.generator` — the deterministic generator producing
+  the tree files plus ground-truth metadata for the workload generator
+  (JMake itself never reads the metadata).
+"""
+
+from repro.kernel.generator import (
+    GeneratedTree,
+    KernelTreeGenerator,
+    SourceFileInfo,
+    generate_tree,
+)
+from repro.kernel.layout import (
+    ArchSpec,
+    HazardKind,
+    SubsystemSpec,
+    TreeSpec,
+    default_tree_spec,
+)
+from repro.kernel.maintainers import MaintainersDb, MaintainersEntry
+
+__all__ = [
+    "ArchSpec",
+    "GeneratedTree",
+    "HazardKind",
+    "KernelTreeGenerator",
+    "MaintainersDb",
+    "MaintainersEntry",
+    "SourceFileInfo",
+    "SubsystemSpec",
+    "TreeSpec",
+    "default_tree_spec",
+    "generate_tree",
+]

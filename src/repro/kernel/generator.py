@@ -1,0 +1,816 @@
+"""Deterministic synthetic kernel tree generation.
+
+Produces a tree with the structural properties JMake exercises:
+
+- per-architecture subtrees (``arch/<d>/``) with Kconfig, Makefiles,
+  ``configs/*_defconfig`` files, and ``include/asm`` headers — some of
+  them *exclusive*, so drivers including them compile only for that
+  architecture (the §V-B "does not compile for x86_64" population);
+- subsystem directories with Kconfig symbols, Kbuild Makefiles
+  (including composite objects), driver ``.c`` files, and local ``.h``
+  headers whose macros the drivers use;
+- configurability hazards at spec-controlled rates, one generator per
+  Table IV category;
+- a MAINTAINERS database mirroring the subsystem structure (§IV);
+- bootstrap files and whole-kernel-rebuild triggers (§V-C/D);
+- ``Documentation/``, ``scripts/``, ``tools/`` content that the
+  evaluation must filter out (§V-A).
+
+Generation is fully deterministic given ``TreeSpec.seed``. The returned
+:class:`GeneratedTree` carries ground-truth metadata (hazards per file,
+arch affinity, controlling symbols) for the *workload* generator only —
+JMake itself sees nothing but the files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.layout import ArchSpec, HazardKind, SubsystemSpec, TreeSpec
+from repro.kernel.maintainers import MaintainersDb, MaintainersEntry
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class SourceFileInfo:
+    """Ground truth about one generated source file."""
+
+    path: str
+    kind: str                     # driver_c | subsys_header | arch_c | ...
+    subsystem: str | None = None
+    config_symbol: str | None = None   # controlling CONFIG_* (no prefix)
+    hazards: list[HazardKind] = field(default_factory=list)
+    affine_arch: str | None = None     # needs this arch's headers
+    arch_gate: str | None = None       # gated on an arch-only symbol
+    #: arch owning an #ifdef CONFIG_<ARCH>_SPECIAL_BUS block in the file
+    arch_conditional_arch: str | None = None
+    macros: list[str] = field(default_factory=list)
+    #: header macros that are used by at least one driver
+    used_macros: list[str] = field(default_factory=list)
+
+
+@dataclass
+class GeneratedTree:
+    """The generated files plus ground-truth metadata."""
+    spec: TreeSpec
+    files: dict[str, str]
+    info: dict[str, SourceFileInfo]
+    maintainers: MaintainersDb
+    #: CONFIG names (no prefix) per hazard kind available for #ifdefs
+    hazard_symbols: dict[HazardKind, list[str]]
+    bootstrap_paths: set[str]
+    rebuild_triggers: set[str]
+
+    def provider(self):
+        """A path -> text callable over the files."""
+        return self.files.get
+
+    def source_files(self, *, kind: str | None = None) -> list[str]:
+        """Paths with metadata, optionally filtered by kind."""
+        paths = sorted(self.info)
+        if kind is None:
+            return paths
+        return [path for path in paths if self.info[path].kind == kind]
+
+    def driver_files(self) -> list[str]:
+        """All driver .c paths."""
+        return self.source_files(kind="driver_c")
+
+    def header_files(self) -> list[str]:
+        """All subsystem and shared header paths."""
+        return [path for path in sorted(self.info)
+                if self.info[path].kind in ("subsys_header",
+                                            "shared_header")]
+
+
+class KernelTreeGenerator:
+    """Deterministic generator for one TreeSpec."""
+    def __init__(self, spec: TreeSpec) -> None:
+        self.spec = spec
+        self._rng = DeterministicRng(spec.seed)
+        self._files: dict[str, str] = {}
+        self._info: dict[str, SourceFileInfo] = {}
+        self._maintainers = MaintainersDb()
+        self._hazard_symbols: dict[HazardKind, list[str]] = {
+            kind: [] for kind in HazardKind}
+        self._subsystem_kconfigs: list[str] = []
+        self._never_set_counter = 0
+
+    #: global choice groups in the top Kconfig; allyesconfig picks the
+    #: first member of each, the rest are CHOICE_UNSET hazard symbols.
+    _IOSCHED_MEMBERS = ("IOSCHED_CFQ", "IOSCHED_DEADLINE", "IOSCHED_NOOP")
+    _PREEMPT_MEMBERS = ("PREEMPT_NONE", "PREEMPT_VOLUNTARY", "PREEMPT_FULL")
+
+    def generate(self) -> GeneratedTree:
+        # Register hazard symbols up front: drivers draw from this pool.
+        """Emit the whole tree; deterministic per spec seed."""
+        self._hazard_symbols[HazardKind.CHOICE_UNSET].extend(
+            self._IOSCHED_MEMBERS[1:])
+        self._hazard_symbols[HazardKind.CHOICE_UNSET].extend(
+            self._PREEMPT_MEMBERS[1:])
+        self._emit_shared_headers()
+        for position, subsystem in enumerate(self.spec.subsystems):
+            self._emit_subsystem(subsystem, position)
+        self._emit_top_kconfig()
+        for arch in self.spec.arches:
+            self._emit_arch(arch)
+        self._emit_top_makefile()
+        self._emit_core_dirs()
+        self._emit_intermediate_makefiles()
+        self._emit_ignored_dirs()
+        self._emit_maintainers_entries()
+        self._files["MAINTAINERS"] = self._maintainers.render()
+        return GeneratedTree(
+            spec=self.spec,
+            files=self._files,
+            info=self._info,
+            maintainers=self._maintainers,
+            hazard_symbols=self._hazard_symbols,
+            bootstrap_paths=set(self.spec.bootstrap_files),
+            rebuild_triggers=set(self.spec.rebuild_triggers),
+        )
+
+    # -- shared headers ------------------------------------------------------
+
+    def _emit_shared_headers(self) -> None:
+        basic = {
+            "include/linux/kernel.h": (
+                "#ifndef _LINUX_KERNEL_H\n#define _LINUX_KERNEL_H\n\n"
+                "#define KERN_INFO \"6\"\n"
+                "#define ARRAY_SIZE(x) (sizeof(x) / sizeof((x)[0]))\n"
+                "#define max(a, b) ((a) > (b) ? (a) : (b))\n\n"
+                "#endif\n"),
+            "include/linux/module.h": (
+                "#ifndef _LINUX_MODULE_H\n#define _LINUX_MODULE_H\n\n"
+                "#define MODULE_LICENSE(l) "
+                "static const char *__modinfo_license = l;\n"
+                "#define MODULE_AUTHOR(a)\n"
+                "#define module_init(fn) int __init_##fn(void) "
+                "{ return fn(); }\n\n"
+                "#endif\n"),
+            "include/linux/device.h": (
+                "#ifndef _LINUX_DEVICE_H\n#define _LINUX_DEVICE_H\n\n"
+                "struct device {\n\tint id;\n\tvoid *priv;\n};\n\n"
+                "#define dev_name(d) ((d)->id)\n\n"
+                "#endif\n"),
+        }
+        for path, text in basic.items():
+            self._files[path] = text
+            self._info[path] = SourceFileInfo(path=path, kind="shared_header")
+        rng = self._rng.fork("shared-headers")
+        for index in range(self.spec.shared_headers):
+            name = f"include/linux/subsys{index}.h"
+            guard = f"_LINUX_SUBSYS{index}_H"
+            limit = rng.randint(8, 64)
+            macro = f"SUBSYS{index}_LIMIT"
+            self._files[name] = (
+                f"#ifndef {guard}\n#define {guard}\n\n"
+                f"#define {macro} {limit}\n"
+                f"#define SUBSYS{index}_ALIGN(x) (((x) + 7) & ~7)\n\n"
+                f"struct subsys{index}_ops {{\n"
+                f"\tint (*open)(int id);\n"
+                f"\tint (*close)(int id);\n"
+                f"}};\n\n#endif\n")
+            self._info[name] = SourceFileInfo(
+                path=name, kind="shared_header",
+                macros=[macro, f"SUBSYS{index}_ALIGN"],
+                used_macros=[f"SUBSYS{index}_ALIGN"])
+
+    # -- subsystems ------------------------------------------------------------
+
+    def _emit_subsystem(self, spec: SubsystemSpec, position: int = 0) -> None:
+        rng = self._rng.fork(f"subsys:{spec.path}")
+        prefix = spec.config_prefix
+        gate_symbol = prefix  # CONFIG_<PREFIX> gates the whole directory
+
+        header_infos = self._emit_subsystem_headers(spec, rng)
+        driver_names: list[str] = []
+        driver_symbols: dict[str, str] = {}
+        kconfig_lines = [f"config {gate_symbol}",
+                         f"\tbool \"{spec.name} support\"",
+                         "\tdefault y", ""]
+        # An "extra" symbol for #ifndef hazards: on under allyesconfig.
+        extra_symbol = f"{prefix}_EXTRA"
+        kconfig_lines += [f"config {extra_symbol}", "\tbool",
+                          f"\tdepends on {gate_symbol}", "\tdefault y", ""]
+        makefile_lines = [f"# {spec.path}/Makefile"]
+
+        arch_gated: dict[str, str] = {}
+        for index in range(spec.drivers):
+            name = f"{prefix.lower()}{index}"
+            symbol = f"{prefix}_{name.upper()}"
+            driver_names.append(name)
+            driver_symbols[name] = symbol
+            dep = gate_symbol
+            kind = "tristate" if spec.tristate else "bool"
+
+            if index >= 2 and rng.bernoulli(0.04):
+                # negative dependency: allyesconfig can never enable this
+                # driver; a defconfig that leaves the blocker off can.
+                blocker = driver_symbols[driver_names[index - 1]]
+                dep = f"{gate_symbol} && !{blocker}"
+            elif spec.affine_arch and (
+                    (index == 3 and position % 2 == 1)
+                    or rng.bernoulli(spec.affine_fraction / 2)):
+                # Makefile-level arch gating on an arch-only symbol.
+                arch_gate = f"{spec.affine_arch.upper()}_SPECIAL_BUS"
+                arch_gated[name] = arch_gate
+                dep = f"{gate_symbol} && {arch_gate}"
+
+            kconfig_lines += [f"config {symbol}",
+                              f"\t{kind} \"{spec.name} driver {name}\"",
+                              f"\tdepends on {dep}", ""]
+            # Arch-gated drivers are gated in the *Makefile* on the
+            # arch-only symbol (the real kernel writes e.g.
+            # obj-$(CONFIG_ARCH_OMAP) += ...), which is exactly what the
+            # §III-C Makefile heuristic keys on.
+            makefile_condition = arch_gated.get(name, symbol)
+            makefile_lines.append(
+                f"obj-$(CONFIG_{makefile_condition}) += {name}.o")
+
+        # One composite object per subsystem exercises foo-objs handling.
+        composite_symbol = f"{prefix}_COMPOSITE"
+        kconfig_lines += [f"config {composite_symbol}",
+                          f"\ttristate \"{spec.name} composite driver\"",
+                          f"\tdepends on {gate_symbol}", ""]
+        makefile_lines.append(
+            f"obj-$(CONFIG_{composite_symbol}) += {prefix.lower()}_combo.o")
+        makefile_lines.append(
+            f"{prefix.lower()}_combo-objs := {prefix.lower()}_core.o "
+            f"{prefix.lower()}_ops.o")
+
+        kconfig_path = f"{spec.path}/Kconfig"
+        self._files[kconfig_path] = "\n".join(kconfig_lines) + "\n"
+        self._subsystem_kconfigs.append(kconfig_path)
+        self._files[f"{spec.path}/Makefile"] = \
+            "\n".join(makefile_lines) + "\n"
+
+        # Hazard coverage guarantee: each subsystem forces one Table-IV
+        # hazard (cycling by subsystem position) onto its first driver,
+        # so every category exists in every generated tree regardless of
+        # the random draws; the rates then add more instances on top.
+        hazard_cycle = list(HazardKind)
+        forced_hazard = hazard_cycle[position % len(hazard_cycle)]
+        if forced_hazard is HazardKind.ARCH_CONDITIONAL and \
+                spec.affine_arch is None:
+            forced_hazard = HazardKind.CHOICE_UNSET
+        for index, name in enumerate(driver_names):
+            force = forced_hazard if index == 0 else None
+            if index == 4 and spec.affine_arch is not None:
+                # Affine subsystems always carry at least one
+                # arch-conditional block (the §V-B rescued population).
+                force = HazardKind.ARCH_CONDITIONAL
+            force_affine = (index == 1 and position % 2 == 0
+                            and spec.affine_arch is not None
+                            and name not in arch_gated)
+            self._emit_driver(spec, rng, name, driver_symbols[name],
+                              header_infos, index,
+                              arch_gate=arch_gated.get(name),
+                              forced_hazard=force,
+                              force_affine=force_affine)
+        for part in ("core", "ops"):
+            self._emit_composite_part(spec, rng, part, composite_symbol,
+                                      header_infos)
+
+    def _emit_subsystem_headers(self, spec: SubsystemSpec,
+                                rng: DeterministicRng
+                                ) -> list[SourceFileInfo]:
+        infos: list[SourceFileInfo] = []
+        prefix = spec.config_prefix
+        for index in range(spec.headers):
+            stem = f"{prefix.lower()}_local{index}"
+            path = f"{spec.path}/{stem}.h"
+            guard = f"_{stem.upper()}_H"
+            helper = f"{prefix}{index}_HELPER"
+            limit = f"{prefix}{index}_LIMIT"
+            orphan = f"{prefix}{index}_ORPHAN"  # used by no .c file
+            limit_value = rng.randint(8, 128)
+            lines = [
+                f"#ifndef {guard}", f"#define {guard}", "",
+                f"#define {helper}(x) ((x) * {rng.randint(2, 5)})",
+                f"#define {limit} {limit_value}",
+                f"#define {orphan}(x) ((x) - {rng.randint(1, 4)})", "",
+                f"struct {stem}_state {{",
+                "\tint opened;",
+                "\tint flags;",
+                "\tint pending;",
+                "};", "",
+            ]
+            hazards: list[HazardKind] = []
+            if rng.bernoulli(spec.hazard_rates.get(HazardKind.NEVER_SET, 0)):
+                ghost = self._new_never_set_symbol()
+                lines += [f"#ifdef CONFIG_{ghost}",
+                          f"#define {prefix}{index}_LEGACY_SHIFT 3",
+                          "#endif", ""]
+                hazards.append(HazardKind.NEVER_SET)
+            lines += ["#endif", ""]
+            self._files[path] = "\n".join(lines)
+            info = SourceFileInfo(
+                path=path, kind="subsys_header", subsystem=spec.path,
+                macros=[helper, limit, orphan],
+                used_macros=[helper, limit],
+                hazards=hazards)
+            self._info[path] = info
+            infos.append(info)
+        return infos
+
+    def _new_never_set_symbol(self) -> str:
+        self._never_set_counter += 1
+        name = f"LEGACY_FEATURE_{self._never_set_counter}"
+        self._hazard_symbols[HazardKind.NEVER_SET].append(name)
+        return name
+
+    def _emit_driver(self, spec: SubsystemSpec, rng: DeterministicRng,
+                     name: str, symbol: str,
+                     headers: list[SourceFileInfo], index: int,
+                     arch_gate: str | None,
+                     forced_hazard: HazardKind | None = None,
+                     force_affine: bool = False) -> None:
+        path = f"{spec.path}/{name}.c"
+        upper = name.upper()
+        header = headers[index % len(headers)] if headers else None
+        hazards: list[HazardKind] = []
+        affine_arch: str | None = None
+
+        def wants(kind: HazardKind) -> bool:
+            if forced_hazard is kind:
+                return True
+            return rng.bernoulli(spec.hazard_rates.get(kind, 0))
+
+        shared_index = (index + len(spec.path)) % \
+            max(1, self.spec.shared_headers)
+        lines = [
+            "/*",
+            f" * {name}: synthetic {spec.path} driver",
+            " *",
+            " * Generated substrate source; the structure mirrors common",
+            " * kernel driver idioms (register macros, probe/main pair).",
+            " */",
+            "#include <linux/kernel.h>",
+            "#include <linux/module.h>",
+            "#include <linux/device.h>",
+            f"#include <linux/subsys{shared_index}.h>",
+        ]
+        if header is not None:
+            lines.append(f'#include "{header.path.split("/")[-1]}"')
+        if arch_gate is None and spec.affine_arch and force_affine:
+            arch = next(a for a in self.spec.arches
+                        if a.name == spec.affine_arch)
+            if arch.exclusive_headers:
+                chosen = arch.exclusive_headers[index %
+                                                len(arch.exclusive_headers)]
+                lines.append(f"#include <asm/{chosen}.h>")
+                affine_arch = spec.affine_arch
+        lines += [
+            "",
+            f"#define {upper}_REG_BASE 0x{rng.randint(0x100, 0xfff):04x}",
+            f"#define {upper}_MUX_HI(x) (((x) & 0xf) << 4)",
+            f"#define {upper}_MUX_LO(x) (((x) & 0xf) << 0)",
+            f"#define {upper}_MUX(x) \\",
+            f"\t({upper}_MUX_HI(x) | \\",
+            f"\t {upper}_MUX_LO(x))",
+        ]
+        macros = [f"{upper}_REG_BASE", f"{upper}_MUX_HI",
+                  f"{upper}_MUX_LO", f"{upper}_MUX"]
+
+        if wants(HazardKind.UNUSED_MACRO):
+            lines.append(f"#define {upper}_UNUSED_SHIFT(x) ((x) << 2)")
+            macros.append(f"{upper}_UNUSED_SHIFT")
+            hazards.append(HazardKind.UNUSED_MACRO)
+        lines.append("")
+
+        if wants(HazardKind.IF_ZERO):
+            lines += ["#if 0",
+                      f"static int {name}_disabled(void)",
+                      "{",
+                      "\treturn 1;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.IF_ZERO)
+
+        helper_call = "0"
+        limit_ref = "16"
+        if header is not None and header.used_macros:
+            # Alternate users: each header's users split between its
+            # helper and its limit macro (drivers are assigned to
+            # headers round-robin by index, so alternate on the
+            # driver's ordinal among this header's users). A header
+            # change touching both macros then needs two candidate
+            # compilations — the paper's 1-11 range for .h coverage.
+            user_ordinal = index // max(1, len(headers))
+            if user_ordinal % 2 == 0 or len(header.used_macros) < 2:
+                helper_call = f"{header.used_macros[0]}(value)"
+            else:
+                limit_ref = header.used_macros[1]
+        lines += [
+            f"static int {name}_probe(struct device *dev)",
+            "{",
+            "\tint status = 0;",
+            f"\tint value = {rng.randint(1, 9)};",
+            f"\tstatus = {upper}_MUX(value) + {upper}_REG_BASE;",
+            f"\tvalue = status + {helper_call};",
+            f"\tif (value > {limit_ref})",
+            f"\t\tvalue = {limit_ref};",
+            f"\tstatus = SUBSYS{shared_index}_ALIGN(status);",
+            "\tstatus = max(status, value);",
+            "\treturn status;",
+            "}", "",
+        ]
+
+        if wants(HazardKind.CHOICE_UNSET) \
+                and self._hazard_symbols[HazardKind.CHOICE_UNSET]:
+            chosen = rng.choice(
+                self._hazard_symbols[HazardKind.CHOICE_UNSET])
+            lines += [f"#ifdef CONFIG_{chosen}",
+                      f"static int {name}_alt_path(struct device *dev)",
+                      "{",
+                      "\treturn dev->id + 2;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.CHOICE_UNSET)
+
+        if wants(HazardKind.NEVER_SET):
+            ghost = self._new_never_set_symbol()
+            lines += [f"#ifdef CONFIG_{ghost}",
+                      f"static int {name}_legacy(struct device *dev)",
+                      "{",
+                      "\treturn dev->id - 1;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.NEVER_SET)
+
+        arch_conditional_arch = None
+        if spec.affine_arch is not None and \
+                wants(HazardKind.ARCH_CONDITIONAL):
+            bus = f"{spec.affine_arch.upper()}_SPECIAL_BUS"
+            lines += [f"#ifdef CONFIG_{bus}",
+                      f"static int {name}_bus_attach(struct device *dev)",
+                      "{",
+                      f"\tint lanes = {rng.randint(2, 8)};",
+                      "\treturn dev->id + lanes;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.ARCH_CONDITIONAL)
+            arch_conditional_arch = spec.affine_arch
+
+        if wants(HazardKind.MODULE_ONLY):
+            lines += ["#ifdef MODULE",
+                      f"static void {name}_module_cleanup(void)",
+                      "{",
+                      f"\tint grace_ms = {rng.randint(10, 90)};",
+                      "\tgrace_ms = grace_ms + 0;",
+                      "\treturn;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.MODULE_ONLY)
+
+        if wants(HazardKind.IFNDEF):
+            lines += [f"#ifndef CONFIG_{spec.config_prefix}_EXTRA",
+                      f"static int {name}_fallback(void)",
+                      "{",
+                      "\treturn 0;",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.IFNDEF)
+
+        if wants(HazardKind.IFDEF_AND_ELSE):
+            lines += [f"#ifdef CONFIG_{spec.config_prefix}_EXTRA",
+                      f"static int {name}_fast(int v)",
+                      "{",
+                      f"\treturn v << {rng.randint(1, 3)};",
+                      "}",
+                      "#else",
+                      f"static int {name}_slow(int v)",
+                      "{",
+                      f"\treturn v + {rng.randint(2, 9)};",
+                      "}",
+                      "#endif", ""]
+            hazards.append(HazardKind.IFDEF_AND_ELSE)
+
+        lines += [
+            f"static int {name}_main(struct device *dev)",
+            "{",
+            f"\tint total = {name}_probe(dev);",
+            "\tint retries = 0;",
+            "\twhile (retries < 3 && total < 0) {",
+            f"\t\ttotal = {name}_probe(dev);",
+            "\t\tretries = retries + 1;",
+            "\t}",
+            "\treturn total;",
+            "}", "",
+            f"module_init({name}_main);" if spec.tristate else
+            f"static int {name}_registered = 1;",
+            "MODULE_LICENSE(\"GPL\");" if spec.tristate else "",
+            "",
+        ]
+        self._files[path] = "\n".join(lines)
+        self._info[path] = SourceFileInfo(
+            path=path, kind="driver_c", subsystem=spec.path,
+            config_symbol=symbol, hazards=hazards,
+            affine_arch=affine_arch, arch_gate=arch_gate,
+            arch_conditional_arch=arch_conditional_arch, macros=macros)
+
+    def _emit_composite_part(self, spec: SubsystemSpec,
+                             rng: DeterministicRng, part: str,
+                             symbol: str,
+                             headers: list[SourceFileInfo]) -> None:
+        stem = f"{spec.config_prefix.lower()}_{part}"
+        path = f"{spec.path}/{stem}.c"
+        upper = stem.upper()
+        lines = [
+            f"/* {stem}: member of the {spec.config_prefix} composite. */",
+            "#include <linux/kernel.h>",
+            "",
+            f"#define {upper}_STRIDE {rng.randint(2, 16)}",
+            "",
+            f"int {stem}_setup(int base)",
+            "{",
+            f"\treturn base + {upper}_STRIDE;",
+            "}",
+            "",
+        ]
+        self._files[path] = "\n".join(lines)
+        self._info[path] = SourceFileInfo(
+            path=path, kind="driver_c", subsystem=spec.path,
+            config_symbol=symbol, macros=[f"{upper}_STRIDE"])
+
+    # -- top-level Kconfig/Makefile ---------------------------------------------
+
+    def _emit_top_kconfig(self) -> None:
+        lines = [
+            'mainmenu "Synthetic Kernel Configuration"',
+            "",
+            "config MODULES", "\tbool \"Enable loadable module support\"",
+            "\tdefault y", "",
+            # CONFIG_COMPILE_TEST (Linux 3.11): lets drivers build on
+            # hardware that cannot run them — the reason JMake's first
+            # guess is a plain native make (§III-C).
+            "config COMPILE_TEST", "\tbool \"Compile-test drivers\"",
+            "\tdefault y", "",
+            "config EXPERT", "\tbool \"Expert options\"", "",
+            "config PCI", "\tbool \"PCI support\"", "\tdefault y", "",
+            "config SYSFS_DEPRECATED", "\tbool \"Deprecated sysfs\"", "",
+        ]
+        lines += ["choice", '\tprompt "Default I/O scheduler"']
+        for member in self._IOSCHED_MEMBERS:
+            lines += [f"config {member}",
+                      f"\tbool \"{member.lower()}\""]
+        lines += ["endchoice", ""]
+
+        lines += ["choice", '\tprompt "Preemption model"']
+        for member in self._PREEMPT_MEMBERS:
+            lines += [f"config {member}", f"\tbool \"{member.lower()}\""]
+        lines += ["endchoice", ""]
+
+        for kconfig in self._subsystem_kconfigs:
+            lines.append(f'source "{kconfig}"')
+        lines.append("")
+        self._files["Kconfig"] = "\n".join(lines)
+
+    def _emit_top_makefile(self) -> None:
+        top_dirs: list[str] = []
+        for subsystem in self.spec.subsystems:
+            root = subsystem.path.split("/")[0]
+            if root not in top_dirs:
+                top_dirs.append(root)
+        for always in ("kernel", "lib"):
+            if always not in top_dirs:
+                top_dirs.append(always)
+        entries = " ".join(f"{d}/" for d in top_dirs)
+        self._files["Makefile"] = (
+            "# Synthetic top-level Makefile\n"
+            "VERSION = 4\nPATCHLEVEL = 4\n\n"
+            f"obj-y += {entries}\n")
+
+    def _emit_core_dirs(self) -> None:
+        self._files["kernel/Makefile"] = "obj-y += sched.o bounds.o\n"
+        self._files["kernel/sched.c"] = (
+            "#include <linux/kernel.h>\n\n"
+            "int schedule_next(int task)\n{\n\treturn task + 1;\n}\n")
+        self._info["kernel/sched.c"] = SourceFileInfo(
+            path="kernel/sched.c", kind="core_c")
+        self._files["kernel/bounds.c"] = (
+            "/* Compiled by the Makefile itself during setup (see JMake\n"
+            " * paper, section V-D): mutation of this file is impossible\n"
+            " * because every make invocation rebuilds it first. */\n"
+            "int kernel_bounds = 64;\n")
+        self._info["kernel/bounds.c"] = SourceFileInfo(
+            path="kernel/bounds.c", kind="bootstrap_c")
+        self._files["lib/Makefile"] = "obj-y += sort.o\n"
+        self._files["lib/sort.c"] = (
+            "#include <linux/kernel.h>\n\n"
+            "int sort_ints(int a, int b)\n{\n\treturn max(a, b);\n}\n")
+        self._info["lib/sort.c"] = SourceFileInfo(
+            path="lib/sort.c", kind="core_c")
+
+    def _emit_intermediate_makefiles(self) -> None:
+        """Makefile chain from each top directory down to subsystems."""
+        needed: dict[str, dict[str, str | None]] = {}
+        for subsystem in self.spec.subsystems:
+            parts = subsystem.path.split("/")
+            for depth in range(1, len(parts)):
+                parent = "/".join(parts[:depth])
+                child = parts[depth]
+                gate = subsystem.config_prefix \
+                    if depth == len(parts) - 1 else None
+                needed.setdefault(parent, {})
+                existing = needed[parent].get(child)
+                needed[parent][child] = gate if existing is None else existing
+        for parent, children in needed.items():
+            makefile_path = f"{parent}/Makefile"
+            if makefile_path in self._files:
+                continue
+            lines = [f"# {makefile_path}"]
+            for child, gate in sorted(children.items()):
+                if gate is None:
+                    lines.append(f"obj-y += {child}/")
+                else:
+                    lines.append(f"obj-$(CONFIG_{gate}) += {child}/")
+            self._files[makefile_path] = "\n".join(lines) + "\n"
+
+    # -- architectures ---------------------------------------------------------
+
+    def _emit_arch(self, arch: ArchSpec) -> None:
+        rng = self._rng.fork(f"arch:{arch.name}")
+        directory = arch.directory
+        arch_symbol = directory.upper()
+        special_bus = f"{arch.name.upper()}_SPECIAL_BUS"
+        endian_members = [f"{arch_symbol}_CPU_LE", f"{arch_symbol}_CPU_BE"]
+
+        kconfig = [
+            f"config {arch_symbol}", "\tbool", "\tdefault y", "",
+            f"config {special_bus}", "\tbool", "\tdefault y",
+            f"\tdepends on {arch_symbol}", "",
+            "choice", f'\tprompt "{arch.name} byte order"',
+        ]
+        for member in endian_members:
+            kconfig += [f"config {member}", f"\tbool \"{member.lower()}\""]
+        kconfig += ["endchoice", "", 'source "Kconfig"', ""]
+        self._files[f"arch/{directory}/Kconfig"] = "\n".join(kconfig)
+        self._hazard_symbols[HazardKind.CHOICE_UNSET].append(
+            endian_members[1])
+
+        for header in arch.asm_headers:
+            path = f"arch/{directory}/include/asm/{header}.h"
+            guard = f"_ASM_{directory.upper()}_{header.upper()}_H"
+            self._files[path] = (
+                f"#ifndef {guard}\n#define {guard}\n\n"
+                f"#define {header.upper()}_BASE_{arch_symbol} "
+                f"0x{rng.randint(0x10, 0xff):02x}\n"
+                f"#define {header.upper()}_SHIFT {rng.randint(1, 8)}\n\n"
+                f"#endif\n")
+            self._info[path] = SourceFileInfo(path=path, kind="asm_header")
+        for header in arch.exclusive_headers:
+            path = f"arch/{directory}/include/asm/{header}.h"
+            guard = f"_ASM_{directory.upper()}_{header.upper()}_H"
+            self._files[path] = (
+                f"#ifndef {guard}\n#define {guard}\n\n"
+                f"#define {header.upper()}_REV {rng.randint(1, 6)}\n\n"
+                f"#endif\n")
+            self._info[path] = SourceFileInfo(path=path, kind="asm_header")
+
+        self._files[f"arch/{directory}/Makefile"] = "obj-y += kernel/\n"
+        kernel_objs = []
+        for index in range(arch.kernel_files):
+            stem = f"{directory}_setup{index}"
+            kernel_objs.append(f"{stem}.o")
+            path = f"arch/{directory}/kernel/{stem}.c"
+            include = arch.asm_headers[index % len(arch.asm_headers)]
+            self._files[path] = (
+                f"#include <asm/{include}.h>\n\n"
+                f"int {stem}_init(void)\n"
+                "{\n"
+                f"\treturn {include.upper()}_BASE_{arch_symbol} << "
+                f"{include.upper()}_SHIFT;\n"
+                "}\n")
+            self._info[path] = SourceFileInfo(path=path, kind="arch_c")
+        self._files[f"arch/{directory}/kernel/Makefile"] = \
+            f"obj-y += {' '.join(kernel_objs)}\n"
+
+        # prom_init analogue for powerpc (the Fig. 4c outlier).
+        if directory == "powerpc":
+            path = "arch/powerpc/kernel/prom_init.c"
+            self._files[path] = (
+                "#include <asm/prom.h>\n\n"
+                "int prom_init(void)\n{\n"
+                "\tint delay = 300;\n"
+                "\treturn PROM_REV + delay;\n}\n")
+            self._info[path] = SourceFileInfo(path=path, kind="arch_c")
+            self._files["arch/powerpc/kernel/Makefile"] = \
+                f"obj-y += {' '.join(kernel_objs)} prom_init.o\n"
+
+        self._emit_defconfigs(arch, rng)
+
+    def _emit_defconfigs(self, arch: ArchSpec, rng: DeterministicRng) -> None:
+        """Per-arch defconfigs in arch/<d>/configs/.
+
+        Each defconfig enables a sample of driver symbols — including,
+        crucially, negative-dependency drivers together with
+        ``# CONFIG_<blocker> is not set`` lines, the configurations that
+        rescue patches allyesconfig cannot cover (§V-B, 84% → 85%).
+        """
+        all_driver_symbols: list[str] = []
+        negative_pairs: list[tuple[str, str]] = []
+        for path, info in self._info.items():
+            if info.kind == "driver_c" and info.config_symbol:
+                all_driver_symbols.append(info.config_symbol)
+        # Recover negative pairs from the Kconfig text (ground truth).
+        for subsystem in self.spec.subsystems:
+            kconfig_text = self._files.get(f"{subsystem.path}/Kconfig", "")
+            previous_symbol = None
+            for line in kconfig_text.split("\n"):
+                stripped = line.strip()
+                if stripped.startswith("config "):
+                    previous_symbol = stripped.split()[1]
+                if stripped.startswith("depends on") and "!" in stripped \
+                        and previous_symbol:
+                    blocker = stripped.split("!")[-1].strip()
+                    negative_pairs.append((previous_symbol, blocker))
+
+        for config_name in arch.defconfigs:
+            lines = [f"# {arch.name} {config_name}", "CONFIG_MODULES=y",
+                     "CONFIG_PCI=y"]
+            # Subsystem gates and extras must be on for any driver to
+            # build (the subdir chain is gated on them).
+            for subsystem in self.spec.subsystems:
+                lines.append(f"CONFIG_{subsystem.config_prefix}=y")
+                lines.append(f"CONFIG_{subsystem.config_prefix}_EXTRA=y")
+            # Drivers affine to this architecture always appear in its
+            # defconfigs (like OMAP drivers in omap2plus_defconfig) —
+            # this is what lets the §III-C heuristic route such files to
+            # the right cross-compiler.
+            for info in self._info.values():
+                if info.config_symbol and (
+                        info.affine_arch == arch.name or
+                        info.arch_conditional_arch == arch.name or
+                        info.arch_gate ==
+                        f"{arch.name.upper()}_SPECIAL_BUS"):
+                    lines.append(f"CONFIG_{info.config_symbol}=y")
+            sample_size = min(len(all_driver_symbols),
+                              max(3, len(all_driver_symbols) // 12))
+            for symbol in sorted(rng.sample(all_driver_symbols,
+                                            sample_size)):
+                lines.append(f"CONFIG_{symbol}=y")
+            # Each defconfig rescues a couple of negative-dep drivers.
+            for symbol, blocker in negative_pairs[:2]:
+                lines.append(f"CONFIG_{symbol}=y")
+                lines.append(f"# CONFIG_{blocker} is not set")
+            path = f"arch/{arch.directory}/configs/{config_name}"
+            self._files[path] = "\n".join(lines) + "\n"
+
+    # -- ignored directories -----------------------------------------------------
+
+    def _emit_ignored_dirs(self) -> None:
+        self._files["Documentation/networking/netdev-FAQ.txt"] = (
+            "Q: How do I test my patches?\n"
+            "A: Build with allyesconfig and allmodconfig first.\n")
+        self._files["Documentation/CodingStyle"] = \
+            "Chapter 1: Indentation\n\nTabs are 8 characters.\n"
+        self._files["scripts/checkpatch.pl"] = \
+            "#!/usr/bin/perl\n# style checker stub\n"
+        self._files["scripts/basic/fixdep.c"] = (
+            "/* host tool, not kernel code */\n"
+            "int main(void) { return 0; }\n")
+        self._files["tools/perf/builtin-top.c"] = (
+            "/* userspace tool */\nint tool_main(void) { return 0; }\n")
+
+    # -- MAINTAINERS ----------------------------------------------------------------
+
+    def _emit_maintainers_entries(self) -> None:
+        for subsystem in self.spec.subsystems:
+            self._maintainers.add(MaintainersEntry(
+                name=subsystem.name,
+                maintainers=[subsystem.maintainer],
+                lists=[subsystem.mailing_list,
+                       "linux-kernel@vger.kernel.org"],
+                file_patterns=[f"{subsystem.path}/"],
+            ))
+            # Per-driver overlapping entries for the first two drivers,
+            # mirroring how MAINTAINERS granularity varies (§IV).
+            prefix = subsystem.config_prefix.lower()
+            for index in range(2):
+                driver_path = f"{subsystem.path}/{prefix}{index}.c"
+                if driver_path in self._files:
+                    self._maintainers.add(MaintainersEntry(
+                        name=f"{subsystem.name} {prefix}{index} DRIVER",
+                        maintainers=[
+                            f"Driver Maintainer <{prefix}{index}"
+                            f"@example.org>"],
+                        lists=[subsystem.mailing_list],
+                        file_patterns=[driver_path],
+                    ))
+        for arch in self.spec.arches:
+            self._maintainers.add(MaintainersEntry(
+                name=f"{arch.name.upper()} ARCHITECTURE",
+                maintainers=[f"Arch Maintainer <{arch.name}@example.org>"],
+                lists=[f"linux-{arch.directory}@vger.kernel.org",
+                       "linux-kernel@vger.kernel.org"],
+                file_patterns=[f"arch/{arch.directory}/"],
+            ))
+
+
+def generate_tree(spec: TreeSpec | None = None) -> GeneratedTree:
+    """Convenience wrapper: generate with the default or given spec."""
+    from repro.kernel.layout import default_tree_spec
+
+    return KernelTreeGenerator(spec or default_tree_spec()).generate()

@@ -1,0 +1,207 @@
+"""Declarative specs for the synthetic kernel tree.
+
+A :class:`TreeSpec` describes which architectures and subsystems to
+generate and at what rates to inject *configurability hazards* — the
+exact situations Table IV of the paper catalogues as reasons changed
+lines escape the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class HazardKind(Enum):
+    """Table IV failure categories (plus arch-affinity, §V-B)."""
+
+    #: block under ``#ifdef CONFIG_X`` where X is a non-default choice
+    #: member — allyesconfig cannot set it
+    CHOICE_UNSET = "ifdef-not-set-by-allyesconfig"
+    #: block under ``#ifdef CONFIG_X`` where no Kconfig defines X
+    NEVER_SET = "ifdef-never-set-in-kernel"
+    #: block under ``#ifdef MODULE``
+    MODULE_ONLY = "ifdef-module"
+    #: block under ``#ifndef CONFIG_X`` (or the #else of an #ifdef)
+    IFNDEF = "ifndef-or-else"
+    #: paired change under both branches of #ifdef/#else
+    IFDEF_AND_ELSE = "ifdef-and-else"
+    #: block under ``#if 0``
+    IF_ZERO = "if-0"
+    #: macro defined but never used in the file
+    UNUSED_MACRO = "unused-macro"
+    #: block under ``#ifdef CONFIG_<ARCH>_SPECIAL_BUS`` — invisible to
+    #: the host's allyesconfig but compiled under the owning arch; this
+    #: is the population §V-B reports as rescued by extra architectures
+    #: (54 file instances), not a Table IV failure
+    ARCH_CONDITIONAL = "arch-conditional"
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One architecture's synthetic subtree."""
+
+    name: str                     # toolchain name, e.g. "x86_64"
+    directory: str                # arch/<directory>
+    defconfigs: tuple[str, ...] = ()
+    kernel_files: int = 4         # .c files under arch/<d>/kernel/
+    asm_headers: tuple[str, ...] = ("io", "irq", "page")
+    #: arch-private asm headers: drivers including these compile only here
+    exclusive_headers: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SubsystemSpec:
+    """One subsystem directory with drivers, Kconfig, and Makefile."""
+
+    name: str                     # human name for MAINTAINERS
+    path: str                     # e.g. "drivers/net"
+    config_prefix: str            # e.g. "NET" -> CONFIG_NET_<DRIVER>
+    drivers: int = 8              # number of .c driver files
+    headers: int = 2              # subsystem-local .h files
+    mailing_list: str = "linux-kernel@vger.kernel.org"
+    maintainer: str = "Sub Maintainer <maint@example.org>"
+    tristate: bool = True         # drivers are tristate (modules) vs bool
+    #: fraction of drivers gated on an arch-specific config symbol
+    arch_gated_fraction: float = 0.0
+    #: arch whose exclusive header some drivers include (arch-affine code)
+    affine_arch: str | None = None
+    affine_fraction: float = 0.0
+    #: probability that a driver file carries each hazard kind
+    hazard_rates: dict[HazardKind, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """The whole tree."""
+
+    seed: int | str = "jmake-tree-v1"
+    arches: tuple[ArchSpec, ...] = ()
+    subsystems: tuple[SubsystemSpec, ...] = ()
+    shared_headers: int = 6       # include/linux/*.h
+    #: files the Makefile compiles during setup (§V-D); cannot be mutated
+    bootstrap_files: tuple[str, ...] = ("kernel/bounds.c",)
+    #: files whose .o triggers a whole-kernel rebuild (Fig. 4c outlier)
+    rebuild_triggers: tuple[str, ...] = (
+        "arch/powerpc/kernel/prom_init.c",)
+
+
+_DEFAULT_HAZARDS = {
+    HazardKind.CHOICE_UNSET: 0.030,
+    HazardKind.NEVER_SET: 0.030,
+    HazardKind.MODULE_ONLY: 0.025,
+    HazardKind.IFNDEF: 0.020,
+    HazardKind.IFDEF_AND_ELSE: 0.010,
+    HazardKind.IF_ZERO: 0.010,
+    HazardKind.UNUSED_MACRO: 0.030,
+    HazardKind.ARCH_CONDITIONAL: 0.040,
+}
+
+
+def default_tree_spec(*, driver_scale: int = 1,
+                      seed: int | str = "jmake-tree-v1") -> TreeSpec:
+    """The standard evaluation tree.
+
+    ``driver_scale`` multiplies driver counts for larger corpora; the
+    default yields a tree of a few hundred files that generates in well
+    under a second.
+    """
+    arches = (
+        ArchSpec(name="x86_64", directory="x86",
+                 defconfigs=("x86_64_defconfig", "kvm_defconfig"),
+                 exclusive_headers=("mtrr",)),
+        ArchSpec(name="arm", directory="arm",
+                 defconfigs=("multi_v7_defconfig", "omap2plus_defconfig"),
+                 exclusive_headers=("amba", "omap")),
+        ArchSpec(name="powerpc", directory="powerpc",
+                 defconfigs=("ppc64_defconfig",),
+                 exclusive_headers=("prom",)),
+        ArchSpec(name="mips", directory="mips",
+                 defconfigs=("malta_defconfig",),
+                 exclusive_headers=("mach",)),
+        ArchSpec(name="blackfin", directory="blackfin",
+                 defconfigs=("bf537_defconfig",),
+                 exclusive_headers=("bfin_serial",)),
+        ArchSpec(name="parisc", directory="parisc",
+                 defconfigs=("generic_defconfig",),
+                 exclusive_headers=("hardware",)),
+        ArchSpec(name="s390", directory="s390",
+                 defconfigs=("s390_defconfig",),
+                 exclusive_headers=("ccw",)),
+        ArchSpec(name="sparc", directory="sparc",
+                 defconfigs=("sparc64_defconfig",),
+                 exclusive_headers=("oplib",)),
+    )
+    subsystems = (
+        SubsystemSpec(
+            name="NETWORKING DRIVERS", path="drivers/net",
+            config_prefix="NETDRV", drivers=10 * driver_scale, headers=3,
+            mailing_list="netdev@vger.kernel.org",
+            maintainer="Net Maintainer <netdev-maint@example.org>",
+            affine_arch="arm", affine_fraction=0.05,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="STAGING SUBSYSTEM", path="drivers/staging/comedi",
+            config_prefix="COMEDI", drivers=12 * driver_scale, headers=3,
+            mailing_list="devel@driverdev.osuosl.org",
+            maintainer="Staging Maintainer <staging@example.org>",
+            affine_arch="blackfin", affine_fraction=0.04,
+            hazard_rates={kind: rate * 1.8
+                          for kind, rate in _DEFAULT_HAZARDS.items()}),
+        SubsystemSpec(
+            name="CHARACTER DEVICES", path="drivers/char",
+            config_prefix="CHARDEV", drivers=6 * driver_scale, headers=2,
+            mailing_list="linux-kernel@vger.kernel.org",
+            maintainer="Char Maintainer <char@example.org>",
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="SOUND SUBSYSTEM", path="sound/core",
+            config_prefix="SND", drivers=6 * driver_scale, headers=2,
+            mailing_list="alsa-devel@alsa-project.org",
+            maintainer="Sound Maintainer <sound@example.org>",
+            affine_arch="powerpc", affine_fraction=0.04,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="EXT4 FILE SYSTEM", path="fs/ext4",
+            config_prefix="EXT4", drivers=5 * driver_scale, headers=2,
+            mailing_list="linux-ext4@vger.kernel.org",
+            maintainer="Fs Maintainer <fs@example.org>",
+            tristate=False,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="NETWORKING CORE", path="net/core",
+            config_prefix="NETCORE", drivers=5 * driver_scale, headers=2,
+            mailing_list="netdev@vger.kernel.org",
+            maintainer="Net Maintainer <netdev-maint@example.org>",
+            tristate=False,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="GPU DRIVERS", path="drivers/gpu/drm",
+            config_prefix="DRM", drivers=7 * driver_scale, headers=2,
+            mailing_list="dri-devel@lists.freedesktop.org",
+            maintainer="Gpu Maintainer <gpu@example.org>",
+            affine_arch="mips", affine_fraction=0.04,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="MEMORY MANAGEMENT", path="mm",
+            config_prefix="MM", drivers=4 * driver_scale, headers=1,
+            mailing_list="linux-mm@kvack.org",
+            maintainer="Mm Maintainer <mm@example.org>",
+            tristate=False,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="USB SUBSYSTEM", path="drivers/usb/core",
+            config_prefix="USB", drivers=6 * driver_scale, headers=2,
+            mailing_list="linux-usb@vger.kernel.org",
+            maintainer="Usb Maintainer <usb@example.org>",
+            affine_arch="parisc", affine_fraction=0.03,
+            hazard_rates=_DEFAULT_HAZARDS),
+        SubsystemSpec(
+            name="SCSI SUBSYSTEM", path="drivers/scsi",
+            config_prefix="SCSI", drivers=6 * driver_scale, headers=2,
+            mailing_list="linux-scsi@vger.kernel.org",
+            maintainer="Scsi Maintainer <scsi@example.org>",
+            affine_arch="arm", affine_fraction=0.03,
+            hazard_rates=_DEFAULT_HAZARDS),
+    )
+    return TreeSpec(seed=seed, arches=arches, subsystems=subsystems)

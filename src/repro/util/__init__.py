@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic randomness, simulated time, text helpers."""
+
+from repro.util.rng import DeterministicRng
+from repro.util.simclock import SimClock
+from repro.util.text import (
+    ends_with_continuation,
+    join_spliced_lines,
+    split_lines_keepends,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "SimClock",
+    "ends_with_continuation",
+    "join_spliced_lines",
+    "split_lines_keepends",
+]

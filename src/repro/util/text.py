@@ -1,0 +1,46 @@
+"""Low-level text helpers shared by the preprocessor and mutation engine."""
+
+from __future__ import annotations
+
+
+def split_lines_keepends(text: str) -> list[str]:
+    """Split into physical lines, preserving newline characters.
+
+    Unlike :meth:`str.splitlines`, only ``\\n`` terminates a line, which
+    matches how the rest of the library treats source text (all synthetic
+    sources use Unix line endings).
+    """
+    if not text:
+        return []
+    lines = text.split("\n")
+    if lines[-1] == "":
+        lines.pop()
+        return [line + "\n" for line in lines]
+    return [line + "\n" for line in lines[:-1]] + [lines[-1]]
+
+
+def ends_with_continuation(line: str) -> bool:
+    """True if the physical line ends with a backslash continuation."""
+    return line.rstrip("\n").rstrip(" \t").endswith("\\")
+
+
+def join_spliced_lines(lines: list[str], start: int) -> tuple[str, int]:
+    """Join a logical line beginning at physical index ``start``.
+
+    Returns ``(logical_text, next_index)`` where ``logical_text`` has the
+    backslash-newline pairs removed and ``next_index`` is the physical line
+    index following the logical line.
+    """
+    parts: list[str] = []
+    index = start
+    while index < len(lines):
+        raw = lines[index].rstrip("\n")
+        if raw.rstrip(" \t").endswith("\\") and index + 1 < len(lines):
+            stripped = raw.rstrip(" \t")
+            parts.append(stripped[:-1])
+            index += 1
+            continue
+        parts.append(raw)
+        index += 1
+        break
+    return "".join(parts), index

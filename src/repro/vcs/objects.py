@@ -1,0 +1,131 @@
+"""Content-addressed objects: trees and commits.
+
+A :class:`Tree` is an immutable mapping from repository-relative paths to
+file text. A :class:`Commit` snapshots one tree together with authorship
+metadata and parent links, exactly the information the evaluation pipeline
+needs from ``git log`` (author identity for janitor analysis, parent count
+for ``--no-merges``, tree pairs for diffing).
+
+Identifiers are hex SHA-256 prefixes, so ``commit.id[:12]`` behaves like
+an abbreviated git hash in reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Author or committer identity."""
+
+    name: str
+    email: str
+    date: str  # ISO-8601; the corpus generator stamps these deterministically
+
+    def __str__(self) -> str:
+        return f"{self.name} <{self.email}>"
+
+
+class Tree:
+    """An immutable snapshot of the source tree."""
+
+    def __init__(self, files: Mapping[str, str]) -> None:
+        for path in files:
+            if path.startswith("/") or ".." in path.split("/"):
+                raise ValueError(f"invalid tree path: {path!r}")
+        self._files: Mapping[str, str] = MappingProxyType(dict(files))
+        self._id: str | None = None
+
+    @property
+    def id(self) -> str:
+        """Content hash of the whole snapshot."""
+        if self._id is None:
+            hasher = hashlib.sha256()
+            for path in sorted(self._files):
+                hasher.update(path.encode("utf-8"))
+                hasher.update(b"\0")
+                hasher.update(self._files[path].encode("utf-8"))
+                hasher.update(b"\0")
+            self._id = hasher.hexdigest()
+        return self._id
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __getitem__(self, path: str) -> str:
+        return self._files[path]
+
+    def get(self, path: str, default: str | None = None) -> str | None:
+        """File text or a default."""
+        return self._files.get(path, default)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def paths(self) -> list[str]:
+        """Sorted file paths."""
+        return sorted(self._files)
+
+    def with_files(self, updates: Mapping[str, str]) -> "Tree":
+        """Return a new tree with the given files replaced or added."""
+        merged = dict(self._files)
+        merged.update(updates)
+        return Tree(merged)
+
+    def without_files(self, paths: list[str]) -> "Tree":
+        """A new tree with the given paths removed."""
+        merged = {path: text for path, text in self._files.items()
+                  if path not in set(paths)}
+        return Tree(merged)
+
+    def glob(self, *, suffix: str | None = None,
+             prefix: str | None = None) -> list[str]:
+        """Paths filtered by suffix and/or directory prefix."""
+        selected = self.paths()
+        if prefix is not None:
+            normalized = prefix.rstrip("/") + "/"
+            selected = [path for path in selected
+                        if path.startswith(normalized)]
+        if suffix is not None:
+            selected = [path for path in selected if path.endswith(suffix)]
+        return selected
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One node of history."""
+
+    tree: Tree
+    author: Signature
+    message: str
+    parents: tuple[str, ...] = ()
+    _id: str = field(default="", compare=False)
+
+    @property
+    def id(self) -> str:
+        """Content hash over tree, author, message, parents."""
+        hasher = hashlib.sha256()
+        hasher.update(self.tree.id.encode("ascii"))
+        hasher.update(str(self.author).encode("utf-8"))
+        hasher.update(self.author.date.encode("utf-8"))
+        hasher.update(self.message.encode("utf-8"))
+        for parent in self.parents:
+            hasher.update(parent.encode("ascii"))
+        return hasher.hexdigest()
+
+    @property
+    def is_merge(self) -> bool:
+        """True for commits with more than one parent."""
+        return len(self.parents) > 1
+
+    @property
+    def subject(self) -> str:
+        """First line of the commit message."""
+        return self.message.split("\n", 1)[0]

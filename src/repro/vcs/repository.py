@@ -1,0 +1,233 @@
+"""Repository: history storage, log filtering, diffing, and worktrees.
+
+Mirrors the git operations the paper's pipeline performs:
+
+- ``git log -w --diff-filter=M --no-merges v4.3..v4.4`` →
+  :meth:`Repository.log` with :class:`LogOptions`.
+- ``git show <id>`` → :meth:`Repository.show`.
+- ``git reset --hard`` / ``git clean -dfx`` → :class:`Worktree`
+  (:meth:`Worktree.reset_hard`, :meth:`Worktree.clean`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VcsError
+from repro.vcs.diff import FileDiff, Patch, apply_file_diff, diff_texts
+from repro.vcs.objects import Commit, Signature, Tree
+
+
+@dataclass
+class LogOptions:
+    """Filters equivalent to the paper's git log invocation (§V-A)."""
+
+    ignore_whitespace: bool = True      # -w
+    modifications_only: bool = True     # --diff-filter=M
+    no_merges: bool = True              # --no-merges
+
+
+class Repository:
+    """An append-only commit store with a linear mainline plus merges."""
+
+    def __init__(self) -> None:
+        self._commits: dict[str, Commit] = {}
+        self._order: list[str] = []   # commit ids in topological (apply) order
+        self._tags: dict[str, str] = {}
+
+    # -- writing history -------------------------------------------------
+
+    def commit(self, tree: Tree, author: Signature, message: str,
+               parents: tuple[str, ...] | None = None) -> Commit:
+        """Append a commit (parents default to the current head)."""
+        if parents is None:
+            parents = (self._order[-1],) if self._order else ()
+        for parent in parents:
+            if parent not in self._commits:
+                raise VcsError(f"unknown parent commit: {parent}")
+        commit = Commit(tree=tree, author=author, message=message,
+                        parents=parents)
+        if commit.id in self._commits:
+            raise VcsError(f"duplicate commit: {commit.id}")
+        self._commits[commit.id] = commit
+        self._order.append(commit.id)
+        return commit
+
+    def tag(self, name: str, commit_id: str) -> None:
+        """Name a commit (v4.3-style refs)."""
+        if commit_id not in self._commits:
+            raise VcsError(f"cannot tag unknown commit: {commit_id}")
+        self._tags[name] = commit_id
+
+    # -- reading history ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resolve(self, ref: str) -> Commit:
+        """Resolve a tag name, full id, or unique id prefix."""
+        if ref in self._tags:
+            return self._commits[self._tags[ref]]
+        if ref in self._commits:
+            return self._commits[ref]
+        matches = [cid for cid in self._commits if cid.startswith(ref)]
+        if len(matches) == 1:
+            return self._commits[matches[0]]
+        if len(matches) > 1:
+            raise VcsError(f"ambiguous ref: {ref}")
+        raise VcsError(f"unknown ref: {ref}")
+
+    def head(self) -> Commit:
+        """The most recent commit."""
+        if not self._order:
+            raise VcsError("empty repository")
+        return self._commits[self._order[-1]]
+
+    def parent_tree(self, commit: Commit) -> Tree:
+        """Tree of the first parent, or an empty tree for a root commit."""
+        if not commit.parents:
+            return Tree({})
+        return self._commits[commit.parents[0]].tree
+
+    def log(self, since: str | None = None, until: str | None = None,
+            options: LogOptions | None = None,
+            author: str | None = None) -> list[Commit]:
+        """Commits in apply order within ``(since, until]``, filtered.
+
+        ``--diff-filter=M`` keeps only commits whose diff against their
+        first parent modifies at least one file that exists on both sides
+        and differs (under ``-w`` whitespace-insensitivity when enabled).
+        """
+        options = options or LogOptions()
+        start_index = 0
+        if since is not None:
+            since_id = self.resolve(since).id
+            start_index = self._order.index(since_id) + 1
+        end_index = len(self._order)
+        if until is not None:
+            until_id = self.resolve(until).id
+            end_index = self._order.index(until_id) + 1
+        selected: list[Commit] = []
+        for commit_id in self._order[start_index:end_index]:
+            commit = self._commits[commit_id]
+            if author is not None and author not in (
+                    commit.author.name, commit.author.email):
+                continue
+            if options.no_merges and commit.is_merge:
+                continue
+            if options.modifications_only:
+                patch = self.show(commit, ignore_whitespace=options.ignore_whitespace)
+                if not patch.files:
+                    continue
+            selected.append(commit)
+        return selected
+
+    def show(self, commit: Commit | str,
+             ignore_whitespace: bool = True) -> Patch:
+        """The patch a commit applies relative to its first parent.
+
+        Only *modified* files appear (``--diff-filter=M``): files that
+        exist in both the parent and the commit tree with differing text.
+        """
+        if isinstance(commit, str):
+            commit = self.resolve(commit)
+        old_tree = self.parent_tree(commit)
+        new_tree = commit.tree
+        patch = Patch()
+        for path in new_tree.paths():
+            if path not in old_tree:
+                continue
+            old_text = old_tree[path]
+            new_text = new_tree[path]
+            if old_text == new_text:
+                continue
+            file_diff = diff_texts(path, old_text, new_text,
+                                   ignore_whitespace=ignore_whitespace)
+            if file_diff is not None:
+                patch.files.append(file_diff)
+        return patch
+
+    def checkout(self, ref: str | Commit) -> "Worktree":
+        """A mutable worktree over one commit."""
+        commit = ref if isinstance(ref, Commit) else self.resolve(ref)
+        return Worktree(repository=self, commit=commit)
+
+
+@dataclass
+class Worktree:
+    """A mutable checkout of one commit, as JMake's mutation step needs.
+
+    ``overlay`` holds files modified in place (mutated sources);
+    ``untracked`` holds generated files (.i/.o equivalents). ``clean``
+    drops untracked files (git clean -dfx) and ``reset_hard`` additionally
+    drops the overlay (git reset --hard).
+    """
+
+    repository: Repository
+    commit: Commit
+    overlay: dict[str, str] = field(default_factory=dict)
+    untracked: dict[str, str] = field(default_factory=dict)
+
+    def read(self, path: str) -> str:
+        """File text, overlay first; VcsError when absent."""
+        if path in self.overlay:
+            return self.overlay[path]
+        if path in self.untracked:
+            return self.untracked[path]
+        try:
+            return self.commit.tree[path]
+        except KeyError:
+            raise VcsError(f"no such file in worktree: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        """True when the path is visible in the worktree."""
+        return (path in self.overlay or path in self.untracked
+                or path in self.commit.tree)
+
+    def write(self, path: str, text: str) -> None:
+        """Modify a tracked file in place (overlay write)."""
+        if path not in self.commit.tree:
+            raise VcsError(f"cannot overlay untracked path: {path}")
+        self.overlay[path] = text
+
+    def revert(self, path: str) -> None:
+        """Drop one path's overlay, restoring the committed text."""
+        self.overlay.pop(path, None)
+
+    def write_untracked(self, path: str, text: str) -> None:
+        """Record a generated file (dropped by clean)."""
+        self.untracked[path] = text
+
+    def apply_patch(self, patch: Patch) -> None:
+        """Apply every file diff to the overlay."""
+        for file_diff in patch.files:
+            self.apply_file_diff(file_diff)
+
+    def apply_file_diff(self, file_diff: FileDiff) -> None:
+        """Apply one file diff to the overlay."""
+        old_text = self.read(file_diff.path)
+        self.write(file_diff.path, apply_file_diff(old_text, file_diff))
+
+    def paths(self) -> list[str]:
+        """Union of committed, overlaid, and untracked paths."""
+        all_paths = set(self.commit.tree.paths())
+        all_paths.update(self.overlay)
+        all_paths.update(self.untracked)
+        return sorted(all_paths)
+
+    def clean(self) -> None:
+        """git clean -dfx: drop generated (untracked) files."""
+        self.untracked.clear()
+
+    def reset_hard(self) -> None:
+        """git reset --hard: drop overlay modifications too."""
+        self.overlay.clear()
+        self.untracked.clear()
+
+    def as_file_provider(self):
+        """A ``path -> text`` callable view for the preprocessor."""
+        def provider(path: str) -> str | None:
+            if self.exists(path):
+                return self.read(path)
+            return None
+        return provider

@@ -1,0 +1,134 @@
+"""Tests for conditional-block extraction and presence conditions."""
+
+from repro.analysis.blocks import BlockCondition, extract_blocks
+from repro.kconfig.ast import Tristate
+
+SAMPLE = """\
+int always;
+#ifdef CONFIG_PCI
+int pci_code;
+#ifdef CONFIG_NET
+int pci_net_code;
+#endif
+#else
+int no_pci_code;
+#endif
+#ifndef CONFIG_EMBEDDED
+int rich_code;
+#endif
+#if 0
+int dead_code;
+#endif
+#ifdef MODULE
+int module_code;
+#endif
+#if defined(CONFIG_A) && defined(CONFIG_B)
+int ab_code;
+#elif defined(CONFIG_C)
+int c_code;
+#else
+int neither_code;
+#endif
+"""
+
+
+def blocks_by_start(text=SAMPLE):
+    return {block.start: block
+            for block in extract_blocks("f.c", text)}
+
+
+def presence_holds(block, **values):
+    assignment = {name: Tristate.Y for name, on in values.items() if on}
+    return block.presence.evaluate(assignment) != Tristate.N
+
+
+class TestExtraction:
+    def test_block_count(self):
+        assert len(extract_blocks("f.c", SAMPLE)) == 9
+
+    def test_body_lines_innermost(self):
+        by_start = blocks_by_start()
+        outer = by_start[2]     # ifdef CONFIG_PCI
+        inner = by_start[4]     # ifdef CONFIG_NET
+        assert 3 in outer.body_lines
+        assert 5 in inner.body_lines
+        assert 5 not in outer.body_lines  # innermost attribution
+
+    def test_else_block(self):
+        by_start = blocks_by_start()
+        else_block = by_start[7]
+        assert else_block.directive == "else"
+        assert 8 in else_block.body_lines
+
+    def test_environment_kind_for_module(self):
+        by_start = blocks_by_start()
+        module_block = by_start[16]
+        assert module_block.condition_kind is BlockCondition.ENVIRONMENT
+        assert module_block.presence is None
+        assert module_block.atoms == ["MODULE"]
+
+    def test_constant_kind_for_if_zero(self):
+        by_start = blocks_by_start()
+        dead = by_start[13]
+        assert dead.condition_kind is BlockCondition.CONSTANT
+        assert dead.presence.evaluate({}) == Tristate.N
+
+
+class TestPresenceConditions:
+    def test_simple_ifdef(self):
+        block = blocks_by_start()[2]
+        assert presence_holds(block, CONFIG_PCI=True) or \
+            block.presence.evaluate({"PCI": Tristate.Y}) == Tristate.Y
+        assert block.presence.evaluate({}) == Tristate.N
+
+    def test_nested_requires_both(self):
+        inner = blocks_by_start()[4]
+        assert inner.presence.evaluate(
+            {"PCI": Tristate.Y, "NET": Tristate.Y}) == Tristate.Y
+        assert inner.presence.evaluate({"PCI": Tristate.Y}) == Tristate.N
+
+    def test_else_negates(self):
+        else_block = blocks_by_start()[7]
+        assert else_block.presence.evaluate({}) == Tristate.Y
+        assert else_block.presence.evaluate(
+            {"PCI": Tristate.Y}) == Tristate.N
+
+    def test_ifndef(self):
+        block = blocks_by_start()[10]
+        assert block.presence.evaluate({}) == Tristate.Y
+        assert block.presence.evaluate(
+            {"EMBEDDED": Tristate.Y}) == Tristate.N
+
+    def test_defined_conjunction(self):
+        block = blocks_by_start()[19]
+        assert block.presence.evaluate(
+            {"A": Tristate.Y, "B": Tristate.Y}) == Tristate.Y
+        assert block.presence.evaluate({"A": Tristate.Y}) == Tristate.N
+
+    def test_elif_excludes_prior_branch(self):
+        block = blocks_by_start()[21]
+        assert block.presence.evaluate({"C": Tristate.Y}) == Tristate.Y
+        assert block.presence.evaluate(
+            {"A": Tristate.Y, "B": Tristate.Y,
+             "C": Tristate.Y}) == Tristate.N
+
+    def test_final_else_of_chain(self):
+        block = blocks_by_start()[23]
+        assert block.presence.evaluate({}) == Tristate.Y
+        assert block.presence.evaluate({"C": Tristate.Y}) == Tristate.N
+
+
+class TestEdgeCases:
+    def test_unbalanced_tolerated(self):
+        blocks = extract_blocks("f.c", "#ifdef CONFIG_A\nint x;\n")
+        assert len(blocks) == 1
+
+    def test_stray_else_ignored(self):
+        blocks = extract_blocks("f.c", "#else\nint x;\n#endif\n")
+        assert blocks == []
+
+    def test_opaque_if_expression(self):
+        blocks = extract_blocks(
+            "f.c", "#if CONFIG_HZ > 100\nint fast;\n#endif\n")
+        assert blocks[0].condition_kind is BlockCondition.OPAQUE
+        assert blocks[0].atoms == ["HZ"]

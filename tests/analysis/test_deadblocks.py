@@ -1,0 +1,155 @@
+"""Tests for Undertaker-style dead/undead block detection."""
+
+import pytest
+
+from repro.analysis.deadblocks import BlockVerdict, DeadBlockAnalyzer
+from repro.kconfig.model import ConfigModel
+
+KCONFIG = """\
+config PCI
+	bool "PCI"
+config NET
+	bool "Networking"
+config RARE
+	bool
+	depends on PCI && !PCI
+choice
+config CPU_LE
+	bool "le"
+config CPU_BE
+	bool "be"
+endchoice
+"""
+
+
+@pytest.fixture
+def analyzer():
+    return DeadBlockAnalyzer(ConfigModel.from_kconfig(KCONFIG))
+
+
+def verdicts(analyzer, source):
+    return [(a.block.start, a.verdict, a.reason)
+            for a in analyzer.analyze_file("f.c", source)]
+
+
+class TestDeadDetection:
+    def test_if_zero_dead(self, analyzer):
+        results = verdicts(analyzer, "#if 0\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.DEAD
+        assert "#if 0" in results[0][2]
+
+    def test_undefined_symbol_dead(self, analyzer):
+        results = verdicts(analyzer,
+                           "#ifdef CONFIG_GHOST\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.DEAD
+        assert "never defined" in results[0][2]
+
+    def test_contradiction_dead(self, analyzer):
+        source = ("#ifdef CONFIG_PCI\n"
+                  "#ifndef CONFIG_PCI\nint x;\n#endif\n#endif\n")
+        results = verdicts(analyzer, source)
+        inner = [r for r in results if r[0] == 2][0]
+        assert inner[1] is BlockVerdict.DEAD
+        assert "contradiction" in inner[2]
+
+    def test_unsatisfiable_dependency_dead(self, analyzer):
+        results = verdicts(analyzer,
+                           "#ifdef CONFIG_RARE\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.DEAD
+        assert "unsatisfiable" in results[0][2]
+
+
+class TestUndeadDetection:
+    def test_if_one_undead(self, analyzer):
+        results = verdicts(analyzer, "#if 1\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.UNDEAD
+
+    def test_ifndef_ghost_undead(self, analyzer):
+        results = verdicts(analyzer,
+                           "#ifndef CONFIG_GHOST\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.UNDEAD
+
+
+class TestConfigurable:
+    def test_plain_symbol(self, analyzer):
+        results = verdicts(analyzer,
+                           "#ifdef CONFIG_PCI\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.CONFIGURABLE
+
+    def test_choice_member(self, analyzer):
+        results = verdicts(analyzer,
+                           "#ifdef CONFIG_CPU_BE\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.CONFIGURABLE
+
+    def test_nested_conjunction(self, analyzer):
+        source = ("#ifdef CONFIG_PCI\n#ifdef CONFIG_NET\n"
+                  "int x;\n#endif\n#endif\n")
+        results = verdicts(analyzer, source)
+        assert all(v is BlockVerdict.CONFIGURABLE for _, v, _ in results)
+
+
+class TestEnvironment:
+    def test_module_block(self, analyzer):
+        results = verdicts(analyzer, "#ifdef MODULE\nint x;\n#endif\n")
+        assert results[0][1] is BlockVerdict.ENVIRONMENT
+        assert "MODULE" in results[0][2]
+
+    def test_nested_under_module(self, analyzer):
+        source = ("#ifdef MODULE\n#ifdef CONFIG_PCI\n"
+                  "int x;\n#endif\n#endif\n")
+        results = verdicts(analyzer, source)
+        inner = [r for r in results if r[0] == 2][0]
+        assert inner[1] is BlockVerdict.ENVIRONMENT
+
+
+class TestArchDependent:
+    def test_multi_model_rescues_arch_symbols(self):
+        """A block on an arch-only symbol is ARCH_DEPENDENT, not DEAD,
+        when the analyzer knows the other architectures' models."""
+        from repro.kbuild.build import BuildSystem
+        from repro.kernel.generator import generate_tree
+        tree = generate_tree()
+        build = BuildSystem(tree.provider(),
+                            path_lister=lambda: sorted(tree.files))
+        source = "#ifdef CONFIG_ARM_SPECIAL_BUS\nint bus;\n#endif\n"
+
+        solo = DeadBlockAnalyzer(build.config_model("x86_64"))
+        assert solo.analyze_file("f.c", source)[0].verdict is \
+            BlockVerdict.DEAD
+
+        multi = DeadBlockAnalyzer(
+            build.config_model("x86_64"),
+            extra_models={"arm": build.config_model("arm")})
+        analyzed = multi.analyze_file("f.c", source)[0]
+        assert analyzed.verdict is BlockVerdict.ARCH_DEPENDENT
+        assert "arm" in analyzed.reason
+
+
+class TestOnGeneratedTree:
+    def test_tree_hazards_classified(self):
+        """The generated tree's hazard blocks get the right verdicts."""
+        from repro.kbuild.build import BuildSystem
+        from repro.kernel.generator import generate_tree
+        from repro.kernel.layout import HazardKind
+        tree = generate_tree()
+        build = BuildSystem(tree.provider(),
+                            path_lister=lambda: sorted(tree.files))
+        analyzer = DeadBlockAnalyzer(build.config_model("x86_64"))
+
+        never_set = next(p for p, info in sorted(tree.info.items())
+                         if HazardKind.NEVER_SET in info.hazards
+                         and info.kind == "driver_c")
+        analyzed = analyzer.analyze_file(never_set,
+                                         tree.files[never_set])
+        dead = [a for a in analyzed if a.verdict is BlockVerdict.DEAD]
+        assert dead, "never-set hazard block must be dead"
+
+        choice_file = next(p for p, info in sorted(tree.info.items())
+                           if HazardKind.CHOICE_UNSET in info.hazards
+                           and info.kind == "driver_c")
+        analyzed = analyzer.analyze_file(choice_file,
+                                         tree.files[choice_file])
+        configurable = [a for a in analyzed
+                        if a.verdict is BlockVerdict.CONFIGURABLE]
+        assert configurable, \
+            "choice-member block must be configurable, not dead"

@@ -1,0 +1,60 @@
+"""Tests for .s/.lst generation and the §III-A rejection rationale."""
+
+import pytest
+
+from repro.cc.assembly import emit_assembly
+from repro.cc.compiler import Compiler
+from repro.cc.toolchain import ToolchainRegistry
+from repro.errors import CompileError
+
+MUTATION = '`"define:a.c:1"'
+
+
+def compiler_for(files, arch="x86_64"):
+    registry = ToolchainRegistry()
+    return Compiler(registry.get(arch), files.get)
+
+
+class TestEmission:
+    def test_clean_file_produces_both_artifacts(self):
+        files = {"a.c": "int f(void)\n{\n\treturn 42;\n}\n"}
+        listing = emit_assembly(compiler_for(files), "a.c")
+        assert '.file\t"a.c"' in listing.s_text
+        assert ".globl\tf" in listing.s_text
+        assert "mov\tr0, #42" in listing.s_text
+        assert "a.c" in listing.lst_text
+
+    def test_covered_lines_tracked(self):
+        files = {"a.c": "int f(void)\n{\n\treturn 42;\n}\n"}
+        listing = emit_assembly(compiler_for(files), "a.c")
+        assert ("a.c", 1) in listing.covered_lines
+        assert ("a.c", 3) in listing.covered_lines
+
+    def test_arch_recorded(self):
+        files = {"a.c": "int x;\n"}
+        listing = emit_assembly(compiler_for(files, arch="arm"), "a.c")
+        assert listing.architecture == "arm"
+        assert ".arch\tarm" in listing.s_text
+
+
+class TestPaperRationale:
+    def test_mutated_file_cannot_produce_assembly(self):
+        """§III-A: .s/.lst/.o are only generated for files that pass
+        the front end — which a mutation never does."""
+        files = {"a.c": f"int x;\n{MUTATION}\n"}
+        with pytest.raises(CompileError):
+            emit_assembly(compiler_for(files), "a.c")
+
+    def test_macro_lines_lost_in_listing(self):
+        """§III-A: 'the original line numbers of macros are not
+        preserved in the .i, .s, and .lst files' — code from a macro
+        body is attributed to the use site."""
+        files = {"a.c": ("#define BODY 1234\n"      # line 1: definition
+                         "int f(void)\n"
+                         "{\n"
+                         "\treturn BODY;\n"          # line 4: use site
+                         "}\n")}
+        listing = emit_assembly(compiler_for(files), "a.c")
+        assert ("a.c", 4) in listing.covered_lines   # use site present
+        assert ("a.c", 1) not in listing.covered_lines  # definition lost
+        assert "#1234" in listing.s_text

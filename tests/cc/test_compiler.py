@@ -1,0 +1,104 @@
+"""Tests for the compiler facade — the make file.i / file.o equivalents."""
+
+import pytest
+
+from repro.cc.compiler import Compiler
+from repro.cc.toolchain import ToolchainRegistry
+from repro.errors import CompileError
+
+MUTATION = '`"define:drivers/a.c:3"'
+
+
+def compiler_for(files, arch="x86_64", config=None):
+    registry = ToolchainRegistry()
+    return Compiler(registry.get(arch), files.get, config_macros=config)
+
+
+class TestPreprocess:
+    def test_arch_include_roots_used(self):
+        files = {
+            "drivers/a.c": "#include <asm/io.h>\nint x = IO_BASE;\n",
+            "arch/x86/include/asm/io.h": "#define IO_BASE 0x3f8\n",
+        }
+        result = compiler_for(files).preprocess("drivers/a.c")
+        assert "int x = 0x3f8;" in result.text
+
+    def test_wrong_arch_missing_header(self):
+        files = {
+            "drivers/a.c": "#include <asm/arm_only.h>\nint x;\n",
+            "arch/arm/include/asm/arm_only.h": "#define A 1\n",
+        }
+        with pytest.raises(CompileError):
+            compiler_for(files, arch="x86_64").compile_object("drivers/a.c")
+        # Same file compiles for arm.
+        obj = compiler_for(files, arch="arm").compile_object("drivers/a.c")
+        assert obj.architecture == "arm"
+
+    def test_config_macros_injected(self):
+        files = {"a.c": "#ifdef CONFIG_PCI\nint pci;\n#endif\nint x;\n"}
+        with_pci = compiler_for(files, config={"CONFIG_PCI": "1"})
+        assert "int pci;" in with_pci.preprocess("a.c").text
+        without = compiler_for(files)
+        assert "int pci;" not in without.preprocess("a.c").text
+
+    def test_arch_conditional_source(self):
+        files = {"a.c": "#ifdef __arm__\nint arm_only;\n#endif\nint x;\n"}
+        assert "arm_only" in compiler_for(files, arch="arm") \
+            .preprocess("a.c").text
+        assert "arm_only" not in compiler_for(files, arch="x86_64") \
+            .preprocess("a.c").text
+
+
+class TestCompileObject:
+    def test_clean_compile(self):
+        files = {"a.c": "static int probe(int dev) { return dev; }\n"}
+        obj = compiler_for(files).compile_object("a.c")
+        assert obj.symbols == ["probe"]
+        assert obj.size > 0
+
+    def test_mutated_file_fails_with_stray_diagnostic(self):
+        """§III-A: mutations preprocess fine but can never make a .o."""
+        files = {"a.c": f"int x;\n{MUTATION}\nint y;\n"}
+        compiler = compiler_for(files)
+        # .i generation succeeds...
+        assert MUTATION in compiler.preprocess("a.c").text
+        # ...but .o generation fails.
+        with pytest.raises(CompileError) as excinfo:
+            compiler.compile_object("a.c")
+        assert any("stray" in diag.message
+                   for diag in excinfo.value.diagnostics)
+
+    def test_macro_mutation_reported_at_use_site(self):
+        """The gcc 4.8 behaviour that doomed error-message scraping:
+        the stray char in a macro body is attributed to the use site."""
+        files = {"a.c": (f"#define M(x) ((x) + 1) {MUTATION}\n"
+                         "int f(void) { return M(2); }\n")}
+        with pytest.raises(CompileError) as excinfo:
+            compiler_for(files).compile_object("a.c")
+        diag = excinfo.value.diagnostics[0]
+        assert diag.line == 2  # the use site, not the #define on line 1
+
+    def test_missing_include_is_compile_error(self):
+        files = {"a.c": '#include "nope.h"\nint x;\n'}
+        with pytest.raises(CompileError):
+            compiler_for(files).compile_object("a.c")
+
+    def test_syntax_error_reported(self):
+        files = {"a.c": "int f(void) { return 1;\n"}
+        with pytest.raises(CompileError) as excinfo:
+            compiler_for(files).compile_object("a.c")
+        assert "unclosed" in excinfo.value.diagnostics[0].message
+
+    def test_diagnostic_render(self):
+        files = {"a.c": f"{MUTATION}\n"}
+        with pytest.raises(CompileError) as excinfo:
+            compiler_for(files).compile_object("a.c")
+        rendered = excinfo.value.diagnostics[0].render()
+        assert rendered.startswith("a.c:1: error:")
+
+    def test_object_size_scales_with_tokens(self):
+        small = compiler_for({"a.c": "int f(void) { return 0; }\n"}) \
+            .compile_object("a.c")
+        big_source = "int f(void) { return 0; }\n" * 50
+        big = compiler_for({"a.c": big_source}).compile_object("a.c")
+        assert big.size > small.size

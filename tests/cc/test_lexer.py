@@ -1,0 +1,80 @@
+"""Tests for the compiler-side lexer with line-marker tracking."""
+
+from repro.cc.lexer import lex_translation_unit
+
+
+class TestLineMarkers:
+    def test_positions_follow_markers(self):
+        text = ('# 1 "f.c"\n'
+                "int x;\n"
+                '# 10 "f.c"\n'
+                "int y;\n")
+        result = lex_translation_unit(text)
+        by_ident = {t.token.text: t for t in result.tokens
+                    if t.token.text in ("x", "y")}
+        assert by_ident["x"].line == 1
+        assert by_ident["y"].line == 10
+
+    def test_file_switches_on_include_markers(self):
+        text = ('# 1 "main.c"\n'
+                "int a;\n"
+                '# 1 "inc.h"\n'
+                "int b;\n"
+                '# 3 "main.c"\n'
+                "int c;\n")
+        result = lex_translation_unit(text)
+        files = {t.token.text: t.file for t in result.tokens
+                 if t.token.text in ("a", "b", "c")}
+        assert files == {"a": "main.c", "b": "inc.h", "c": "main.c"}
+
+    def test_lines_advance_between_markers(self):
+        text = ('# 5 "f.c"\n'
+                "int a;\n"
+                "int b;\n")
+        result = lex_translation_unit(text)
+        lines = {t.token.text: t.line for t in result.tokens
+                 if t.token.text in ("a", "b")}
+        assert lines == {"a": 5, "b": 6}
+
+    def test_no_marker_defaults_to_main_file(self):
+        result = lex_translation_unit("int a;\n", main_file="z.c")
+        assert result.tokens[0].file == "z.c"
+
+
+class TestStrayCharacters:
+    def test_clean_unit_has_no_strays(self):
+        result = lex_translation_unit("int x = (3 + 4);\n")
+        assert result.stray_characters == []
+
+    def test_mutation_char_is_stray(self):
+        result = lex_translation_unit('# 7 "f.c"\nint x; `"tag"\n')
+        assert len(result.stray_characters) == 1
+        stray = result.stray_characters[0]
+        assert stray.token.text == "`"
+        assert stray.file == "f.c"
+        assert stray.line == 7
+
+    def test_mutation_string_payload_not_stray(self):
+        # The string after the backtick is a valid token.
+        result = lex_translation_unit('`"define:f.c:1"\n')
+        assert len(result.stray_characters) == 1
+
+    def test_backtick_inside_string_not_stray(self):
+        result = lex_translation_unit('char *s = "a`b";\n')
+        assert result.stray_characters == []
+
+    def test_at_sign_is_stray(self):
+        result = lex_translation_unit("int @ x;\n")
+        assert len(result.stray_characters) == 1
+
+    def test_multiple_strays_all_reported(self):
+        result = lex_translation_unit('`x\n`y\n')
+        assert len(result.stray_characters) == 2
+
+
+class TestIdentifiers:
+    def test_identifier_listing(self):
+        result = lex_translation_unit("static int foo(int bar) { }\n")
+        idents = result.identifiers()
+        assert "foo" in idents
+        assert "bar" in idents

@@ -1,0 +1,95 @@
+"""Tests for the linker and the §III 'compiled image' basic idea."""
+
+import pytest
+
+from repro.cc.compiler import Compiler, ObjectFile
+from repro.cc.linker import KernelImage, LinkError, link
+from repro.cc.toolchain import ToolchainRegistry
+from repro.errors import CompileError
+
+MUTATION = '`"code:drivers/a.c:3"'
+
+
+def compile_files(files, paths, arch="x86_64", config=None):
+    registry = ToolchainRegistry()
+    compiler = Compiler(registry.get(arch), files.get,
+                        config_macros=config or {})
+    return [compiler.compile_object(path) for path in paths]
+
+
+class TestLink:
+    FILES = {
+        "a.c": ('static int helper(int v) { return v + 1; }\n'
+                'int a_entry(void) { return helper(probe_b()); }\n'),
+        "b.c": ('char *tag = "b-module-v2";\n'
+                'int probe_b(void) { return 0; }\n'),
+    }
+
+    def test_symbols_resolved_across_objects(self):
+        objects = compile_files(self.FILES, ["a.c", "b.c"])
+        image = link(objects)
+        assert image.defined_in("probe_b") == "b.c"
+        assert image.undefined == set()
+
+    def test_undefined_reference_reported(self):
+        objects = compile_files(self.FILES, ["a.c"])
+        image = link(objects)
+        assert "probe_b" in image.undefined
+
+    def test_duplicate_symbol_raises(self):
+        files = {"a.c": "int init(void) { return 1; }\n",
+                 "b.c": "int init(void) { return 2; }\n"}
+        objects = compile_files(files, ["a.c", "b.c"])
+        with pytest.raises(LinkError) as excinfo:
+            link(objects)
+        assert "duplicate symbol" in str(excinfo.value)
+
+    def test_mixed_architectures_raise(self):
+        obj_x86 = ObjectFile(source="a.c", architecture="x86_64",
+                             symbols=["a"])
+        obj_arm = ObjectFile(source="b.c", architecture="arm",
+                             symbols=["b"])
+        with pytest.raises(LinkError):
+            link([obj_x86, obj_arm])
+
+    def test_empty_link_raises(self):
+        with pytest.raises(LinkError):
+            link([])
+
+    def test_addresses_monotone_and_unique(self):
+        objects = compile_files(self.FILES, ["a.c", "b.c"])
+        image = link(objects)
+        addresses = [image.address_of(s) for s in image.symbol_table]
+        assert len(set(addresses)) == len(addresses)
+        assert all(a >= 0xFFFF_0000_0000 for a in addresses)
+
+    def test_rodata_carries_strings(self):
+        objects = compile_files(self.FILES, ["a.c", "b.c"])
+        image = link(objects)
+        assert image.contains("b-module-v2")
+
+    def test_image_size_deterministic(self):
+        a = link(compile_files(self.FILES, ["a.c", "b.c"]))
+        b = link(compile_files(self.FILES, ["a.c", "b.c"]))
+        assert a.size == b.size > 4096
+
+
+class TestPaperBasicIdea:
+    """§III: 'check that all of the unique tokens are found in the
+    compiled image' — works for valid builds, and is exactly what a
+    mutated file makes impossible."""
+
+    def test_token_in_string_reaches_the_image(self):
+        # A token without the invalid character CAN be compiled and
+        # found in the image — the string-literal transport works.
+        files = {"a.c": 'char *t = "code:drivers/a.c:1";\nint f(void) '
+                        '{ return 0; }\n'}
+        image = link(compile_files(files, ["a.c"]))
+        assert image.contains("code:drivers/a.c:1")
+
+    def test_mutated_file_never_reaches_the_image(self):
+        # The real mutation has the invalid char: no object, no image.
+        files = {"a.c": f"int x;\n{MUTATION}\nint f(void) "
+                        "{ return 0; }\n"}
+        with pytest.raises(CompileError):
+            compile_files(files, ["a.c"])

@@ -1,0 +1,66 @@
+"""Tests for lightweight syntax validation and symbol extraction."""
+
+from repro.cc.lexer import lex_translation_unit
+from repro.cc.parser import validate_unit
+
+
+def validate(source):
+    return validate_unit(lex_translation_unit(source))
+
+
+class TestBalance:
+    def test_balanced_unit_ok(self):
+        outcome = validate("int f(void) { return (1 + 2); }\n")
+        assert outcome.ok
+
+    def test_unbalanced_close(self):
+        outcome = validate("int f(void) { return 1; } }\n")
+        assert not outcome.ok
+        assert "unbalanced" in outcome.issues[0].message
+
+    def test_unclosed_open(self):
+        outcome = validate("int f(void) { return 1;\n")
+        assert not outcome.ok
+        assert "unclosed" in outcome.issues[0].message
+
+    def test_mismatched_kinds(self):
+        outcome = validate("int a[3) ;\n")
+        assert not outcome.ok
+
+    def test_empty_unit_rejected(self):
+        outcome = validate("\n\n")
+        assert not outcome.ok
+        assert "empty" in outcome.issues[0].message
+
+    def test_issue_carries_position(self):
+        outcome = validate('# 42 "f.c"\nint f( {\n')
+        # the unclosed paren is reported at its opening position
+        assert not outcome.ok
+        assert outcome.issues[0].file == "f.c"
+        assert outcome.issues[0].line == 42
+
+
+class TestSymbols:
+    def test_function_definition_extracted(self):
+        outcome = validate("static int das16cs_ai_rinsn(int dev) { return 0; }\n")
+        assert outcome.symbols == ["das16cs_ai_rinsn"]
+
+    def test_declaration_not_extracted(self):
+        outcome = validate("int forward_decl(int dev);\n")
+        assert outcome.symbols == []
+
+    def test_call_inside_body_not_extracted(self):
+        outcome = validate("int f(void) { helper(1); return 0; }\n")
+        assert outcome.symbols == ["f"]
+
+    def test_keyword_not_a_symbol(self):
+        outcome = validate("int f(void) { if (1) { } return 0; }\n")
+        assert "if" not in outcome.symbols
+
+    def test_multiple_functions(self):
+        outcome = validate("int a(void) { }\nint b(void) { }\n")
+        assert outcome.symbols == ["a", "b"]
+
+    def test_struct_and_globals_ignored(self):
+        outcome = validate("struct s { int x; };\nint g;\n")
+        assert outcome.symbols == []

@@ -1,0 +1,105 @@
+"""Tests for the toolchain registry and the make.cross matrix."""
+
+import pytest
+
+from repro.cc.toolchain import (
+    Architecture,
+    BROKEN_ARCHITECTURES,
+    ToolchainRegistry,
+    WORKING_ARCHITECTURES,
+    arch_directory,
+)
+from repro.errors import ToolchainError
+
+
+class TestMatrix:
+    def test_counts_match_paper(self):
+        """§II-A: 34 architectures listed, 24 work, 10 fail."""
+        assert len(WORKING_ARCHITECTURES) == 24
+        assert len(BROKEN_ARCHITECTURES) == 10
+        assert len(set(WORKING_ARCHITECTURES) | set(BROKEN_ARCHITECTURES)) == 34
+
+    def test_paper_named_architectures_present(self):
+        for name in ("x86_64", "arm", "powerpc", "mips", "blackfin",
+                     "parisc"):
+            assert name in WORKING_ARCHITECTURES
+        for name in ("arm64", "hexagon", "unicore32"):
+            assert name in BROKEN_ARCHITECTURES
+
+
+class TestDirectoryMapping:
+    def test_x86_variants_share_directory(self):
+        assert arch_directory("i386") == "x86"
+        assert arch_directory("x86_64") == "x86"
+
+    def test_sparc64_maps_to_sparc(self):
+        assert arch_directory("sparc64") == "sparc"
+
+    def test_default_is_identity(self):
+        assert arch_directory("arm") == "arm"
+
+
+class TestRegistry:
+    def test_default_registry_has_all(self):
+        registry = ToolchainRegistry()
+        assert len(registry.names()) == 34
+        assert len(registry.working_names()) == 24
+
+    def test_host_defaults_to_x86_64(self):
+        registry = ToolchainRegistry()
+        assert registry.host.name == "x86_64"
+        assert registry.host.bits == 64
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(ToolchainError):
+            ToolchainRegistry(host="vax")
+
+    def test_get_working(self):
+        registry = ToolchainRegistry()
+        arm = registry.get("arm")
+        assert arm.name == "arm"
+        assert "arch/arm/include" in arm.include_roots
+
+    def test_get_broken_raises(self):
+        registry = ToolchainRegistry()
+        with pytest.raises(ToolchainError) as excinfo:
+            registry.get("arm64")
+        assert "make.cross" in str(excinfo.value)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ToolchainError):
+            ToolchainRegistry().get("pdp11")
+
+    def test_for_directory_x86(self):
+        registry = ToolchainRegistry()
+        names = {arch.name for arch in registry.for_directory("x86")}
+        assert names == {"i386", "x86_64"}
+
+    def test_for_directory_excludes_broken(self):
+        registry = ToolchainRegistry()
+        names = {arch.name for arch in registry.for_directory("sh")}
+        assert names == {"sh"}  # sh64 is broken
+
+    def test_custom_registry(self):
+        custom = Architecture(name="toy", bits=32,
+                              include_roots=("arch/toy/include", "include"))
+        registry = ToolchainRegistry(host="toy", architectures=[custom])
+        assert registry.names() == ["toy"]
+        assert registry.host.name == "toy"
+
+
+class TestPredefines:
+    def test_arch_macro(self):
+        registry = ToolchainRegistry()
+        assert registry.get("arm").predefines()["__arm__"] == "1"
+
+    def test_kernel_macro_always_present(self):
+        registry = ToolchainRegistry()
+        assert registry.get("mips").predefines()["__KERNEL__"] == "1"
+
+    def test_word_size(self):
+        registry = ToolchainRegistry()
+        assert registry.get("x86_64").predefines()["BITS_PER_LONG"] == "64"
+        assert registry.get("arm").predefines()["BITS_PER_LONG"] == "32"
+        assert "__LP64__" in registry.get("x86_64").predefines()
+        assert "__LP64__" not in registry.get("arm").predefines()

@@ -1,0 +1,227 @@
+"""Tests for mutation placement — the §III-B rules."""
+
+from repro.core.mutation import MUTATION_CHAR, Mutation, MutationEngine
+from repro.cpp.preprocessor import Preprocessor
+
+
+def plan_for(text, changed, path="drivers/x/f.c"):
+    return MutationEngine().plan(path, text, changed)
+
+
+class TestTokenFormat:
+    def test_shape(self):
+        token = Mutation.make_token("define", "drivers/a.c", 49)
+        assert token == '`"define:drivers/a.c:49"'
+
+    def test_invalid_char_outside_string(self):
+        token = Mutation.make_token("code", "f.c", 1)
+        assert token.startswith(MUTATION_CHAR)
+        assert token[1] == '"'
+
+
+class TestCommentChanges:
+    def test_comment_only_change_needs_no_mutation(self):
+        text = "/*\n * old text\n */\nint x;\n"
+        plan = plan_for(text, [2])
+        assert plan.mutations == []
+        assert plan.comment_lines == [2]
+        assert plan.mutated_text == text
+
+    def test_mixed_comment_and_code(self):
+        text = "/* note */\nint x;\n"
+        plan = plan_for(text, [1, 2])
+        assert plan.comment_lines == [1]
+        assert len(plan.mutations) == 1
+
+
+class TestMacroPlacement:
+    def test_change_on_define_line_appends(self):
+        """Paper Fig. 2, first example: mutation at end of the line."""
+        text = "#define HI(x) (((x) & 0xf) << 4)\nint v = HI(1);\n"
+        plan = plan_for(text, [1])
+        first_line = plan.mutated_text.split("\n")[0]
+        assert first_line.startswith("#define HI(x) (((x) & 0xf) << 4)")
+        assert plan.mutations[0].token in first_line
+
+    def test_change_on_define_line_with_continuation(self):
+        """Fig. 2, third example: token goes before the backslash."""
+        text = ("#define SINGLE(x) (HI(x) | \\\n"
+                "\tLO(x))\n")
+        plan = plan_for(text, [1])
+        first_line = plan.mutated_text.split("\n")[0]
+        assert first_line.endswith("\\")
+        assert plan.mutations[0].token in first_line
+        # still a valid continuation: the second line is unchanged
+        assert plan.mutated_text.split("\n")[1] == "\tLO(x))"
+
+    def test_change_in_macro_body_inserts_continuation_line(self):
+        """Fig. 2, last example: a new '<token> \\' line before the
+        first modified line."""
+        text = ("#define M(x) \\\n"
+                "\tfirst(x) \\\n"
+                "\tsecond(x)\n")
+        plan = plan_for(text, [3])
+        lines = plan.mutated_text.split("\n")
+        assert lines[2].strip().startswith(MUTATION_CHAR)
+        assert lines[2].rstrip().endswith("\\")
+        assert lines[3] == "\tsecond(x)"
+
+    def test_one_mutation_per_macro(self):
+        text = ("#define M(x) \\\n"
+                "\ta(x) \\\n"
+                "\tb(x) \\\n"
+                "\tc(x)\n")
+        plan = plan_for(text, [2, 3, 4])
+        assert len(plan.mutations) == 1
+        assert plan.mutations[0].kind == "define"
+
+    def test_two_macros_two_mutations(self):
+        text = ("#define A(x) (x)\n"
+                "#define B(x) (x)\n")
+        plan = plan_for(text, [1, 2])
+        assert len(plan.mutations) == 2
+
+    def test_macro_hints_recorded(self):
+        text = "#define DAS16CS_AI_MUX(x) ((x) & 0xf)\n"
+        plan = plan_for(text, [1])
+        assert plan.macro_hints == ["DAS16CS_AI_MUX"]
+
+    def test_define_token_type(self):
+        text = "#define A 1\n"
+        plan = plan_for(text, [1])
+        assert plan.mutations[0].token.startswith('`"define:')
+
+
+class TestCodePlacement:
+    def test_line_before_changed_code(self):
+        """Paper Fig. 3: token on its own line before the change."""
+        text = "int a;\nint b;\nint c;\n"
+        plan = plan_for(text, [2])
+        lines = plan.mutated_text.split("\n")
+        assert lines[1] == plan.mutations[0].token
+        assert lines[2] == "int b;"
+
+    def test_one_mutation_per_conditional_group(self):
+        """One mutation since file start or the last conditional."""
+        text = "int a;\nint b;\nint c;\n"
+        plan = plan_for(text, [1, 2, 3])
+        assert len(plan.mutations) == 1
+
+    def test_conditional_splits_groups(self):
+        text = ("int a;\n"
+                "#ifdef CONFIG_X\n"
+                "int b;\n"
+                "#else\n"
+                "int c;\n"
+                "#endif\n")
+        plan = plan_for(text, [1, 3, 5])
+        # three groups: before #ifdef, after #ifdef, after #else
+        assert len(plan.mutations) == 3
+
+    def test_changes_same_group_after_conditional(self):
+        text = ("#ifdef CONFIG_X\n"
+                "int a;\n"
+                "int b;\n"
+                "#endif\n")
+        plan = plan_for(text, [2, 3])
+        assert len(plan.mutations) == 1
+
+    def test_mid_comment_change_placed_after_comment_end(self):
+        """§III-B: 'if the changed line begins in the middle of a comment
+        that ends in the current line, the mutation is placed after the
+        end of the comment'."""
+        text = ("int a; /* spans\n"
+                "   over */ int changed = 1;\n")
+        plan = plan_for(text, [2])
+        lines = plan.mutated_text.split("\n")
+        token = plan.mutations[0].token
+        assert token in lines[1]
+        before, after = lines[1].split(token, 1)
+        assert before.rstrip().endswith("*/")
+        assert "int changed = 1;" in after
+
+    def test_code_token_type(self):
+        plan = plan_for("int a;\n", [1])
+        assert plan.mutations[0].token.startswith('`"code:')
+
+    def test_out_of_range_lines_ignored(self):
+        plan = plan_for("int a;\n", [1, 999])
+        assert len(plan.mutations) == 1
+
+
+class TestMutatedTextIntegrity:
+    def test_original_preserved(self):
+        text = "int a;\nint b;\n"
+        plan = plan_for(text, [2])
+        assert plan.original_text == text
+        restored = plan.mutated_text.replace(
+            plan.mutations[0].token + "\n", "")
+        assert restored == text
+
+    def test_empty_change_list(self):
+        plan = plan_for("int a;\n", [])
+        assert plan.mutations == []
+        assert plan.mutated_text == "int a;\n"
+
+    def test_token_search_helpers(self):
+        plan = plan_for("int a;\n", [1])
+        token = plan.mutations[0].token
+        assert plan.tokens_found_in(f"xx {token} yy") == {token}
+        assert plan.tokens_missing_in("nothing here") == {token}
+
+
+class TestPreprocessorInteraction:
+    """End-to-end: mutated text through the real preprocessor."""
+
+    def pp(self, files, main):
+        return Preprocessor(files.get).preprocess(main)
+
+    def test_macro_mutation_surfaces_at_use(self):
+        text = ("#define MUX(x) (((x) & 0xf) << 4)\n"
+                "int v = MUX(3);\n")
+        plan = plan_for(text, [1], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert plan.tokens_found_in(result.text) == set(plan.tokens)
+
+    def test_multiline_macro_mutation_surfaces(self):
+        text = ("#define SINGLE(x) \\\n"
+                "\t(HI(x) | \\\n"
+                "\t LO(x))\n"
+                "#define HI(x) ((x) << 4)\n"
+                "#define LO(x) ((x) << 0)\n"
+                "int v = SINGLE(2);\n")
+        plan = plan_for(text, [3], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert plan.tokens_found_in(result.text) == set(plan.tokens)
+
+    def test_unused_macro_mutation_never_surfaces(self):
+        text = "#define ORPHAN(x) ((x) + 1)\nint v = 2;\n"
+        plan = plan_for(text, [1], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert plan.tokens_found_in(result.text) == set()
+
+    def test_code_mutation_under_unset_ifdef_vanishes(self):
+        text = ("#ifdef CONFIG_NOPE\n"
+                "int rare;\n"
+                "#endif\n"
+                "int common;\n")
+        plan = plan_for(text, [2], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert plan.tokens_found_in(result.text) == set()
+
+    def test_code_mutation_in_active_code_surfaces(self):
+        text = "int a;\nint changed;\n"
+        plan = plan_for(text, [2], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert plan.tokens_found_in(result.text) == set(plan.tokens)
+
+    def test_mutated_text_still_preprocesses_cleanly(self):
+        """Mutations must never break .i generation."""
+        text = ("#define A(x) (x)\n"
+                "#ifdef CONFIG_X\n"
+                "int a = A(1);\n"
+                "#endif\n"
+                "int b = A(2);\n")
+        plan = plan_for(text, [1, 3, 5], path="f.c")
+        result = self.pp({"f.c": plan.mutated_text}, "f.c")
+        assert "int b" in result.text

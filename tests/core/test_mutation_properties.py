@@ -1,0 +1,141 @@
+"""Property-based tests on the mutation engine's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mutation import MUTATION_CHAR, MutationEngine
+from repro.core.sourcemap import LineClass, SourceMap
+from repro.cpp.preprocessor import Preprocessor
+from repro.util.text import split_lines_keepends
+
+# Source-shaped line pool: mixes code, macros, comments, conditionals.
+LINE_POOL = [
+    "int a;",
+    "int b = 3;",
+    "\tfoo(a, b);",
+    "#define M1 7",
+    "#define M2(x) ((x) + 1)",
+    "/* a comment line */",
+    "// another comment",
+    "#ifdef CONFIG_X",
+    "#endif",
+    "",
+    "\treturn a;",
+]
+
+
+def balanced_source(line_choices):
+    """Build a file where every #ifdef has a matching #endif."""
+    lines = []
+    depth = 0
+    for choice in line_choices:
+        if choice == "#ifdef CONFIG_X":
+            depth += 1
+            lines.append(choice)
+        elif choice == "#endif":
+            if depth > 0:
+                depth -= 1
+                lines.append(choice)
+        else:
+            lines.append(choice)
+    lines.extend(["#endif"] * depth)
+    return "\n".join(lines) + "\n"
+
+
+source_strategy = st.lists(st.sampled_from(LINE_POOL),
+                           min_size=3, max_size=30).map(balanced_source)
+
+
+class TestEngineInvariants:
+    @given(source_strategy, st.data())
+    @settings(max_examples=80)
+    def test_revert_tokens_recovers_original(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=6, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        restored = plan.mutated_text
+        for mutation in plan.mutations:
+            # undo each placement form, most specific first
+            restored = restored.replace("\t" + mutation.token + " \\\n", "")
+            restored = restored.replace(" " + mutation.token + " \\", " \\")
+            restored = restored.replace(" " + mutation.token + "\n", "\n")
+            restored = restored.replace(mutation.token + "\n", "")
+            restored = restored.replace(" " + mutation.token + " ", "")
+            restored = restored.replace(mutation.token, "")
+        # modulo trailing whitespace differences on mutated lines
+        normalize = lambda s: "\n".join(line.rstrip()
+                                        for line in s.split("\n"))
+        assert normalize(restored) == normalize(text)
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=80)
+    def test_mutation_count_bounded_by_changes(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=8, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        assert len(plan.mutations) <= len(changed)
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=80)
+    def test_tokens_unique(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=8, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        assert len(set(plan.tokens)) == len(plan.tokens)
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=60)
+    def test_mutated_text_always_preprocesses(self, text, data):
+        """Mutations must never break .i generation (§III-A)."""
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=6, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        files = {"f.c": plan.mutated_text}
+        result = Preprocessor(files.get).preprocess("f.c")
+        assert result.text is not None
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=60)
+    def test_active_code_tokens_surface(self, text, data):
+        """A token for a change in always-active, non-macro code must
+        appear in the .i output."""
+        source_map = SourceMap("f.c", text)
+        active_code = [
+            info.lineno for info in source_map.lines
+            if info.line_class is LineClass.CODE and info.text.strip()
+            and source_map.last_conditional_before(info.lineno) == 0]
+        if not active_code:
+            return
+        lineno = data.draw(st.sampled_from(active_code))
+        plan = MutationEngine().plan("f.c", text, [lineno])
+        if not plan.mutations:
+            return
+        files = {"f.c": plan.mutated_text}
+        result = Preprocessor(files.get).preprocess("f.c")
+        assert plan.tokens_found_in(result.text) == set(plan.tokens)
+
+    @given(source_strategy)
+    @settings(max_examples=40)
+    def test_no_changes_no_mutations(self, text):
+        plan = MutationEngine().plan("f.c", text, [])
+        assert plan.mutated_text == text
+        assert plan.mutations == []
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=60)
+    def test_mutation_char_present_exactly_once_per_token(self, text,
+                                                          data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=6, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        assert plan.mutated_text.count(MUTATION_CHAR) == \
+            len(plan.mutations)

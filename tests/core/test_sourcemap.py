@@ -1,0 +1,148 @@
+"""Tests for source-line classification."""
+
+import pytest
+
+from repro.core.sourcemap import LineClass, SourceMap
+
+SAMPLE = """\
+/*
+ * Header comment block.
+ */
+#include <linux/kernel.h>
+
+#define REG_BASE 0x100
+#define MUX(x) \\
+\t(((x) & 0xf) << 4) | \\
+\t(((x) & 0xf) << 0)
+
+#ifdef CONFIG_PCI
+static int with_pci;
+#else
+static int without_pci;
+#endif
+
+static int probe(void)
+{
+\t/* multi
+\t   line */ int after_comment = 1;
+\treturn after_comment;
+}
+"""
+
+
+@pytest.fixture
+def source_map():
+    return SourceMap("f.c", SAMPLE)
+
+
+class TestClassification:
+    def test_comment_block(self, source_map):
+        for lineno in (1, 2, 3):
+            assert source_map.classify(lineno) is LineClass.COMMENT
+
+    def test_include_is_directive(self, source_map):
+        assert source_map.classify(4) is LineClass.DIRECTIVE
+
+    def test_blank_is_code(self, source_map):
+        assert source_map.classify(5) is LineClass.CODE
+
+    def test_single_line_define(self, source_map):
+        assert source_map.classify(6) is LineClass.MACRO_DEF
+        region = source_map.macro_at(6)
+        assert region.name == "REG_BASE"
+        assert (region.start, region.end) == (6, 6)
+
+    def test_multiline_define(self, source_map):
+        for lineno in (7, 8, 9):
+            assert source_map.classify(lineno) is LineClass.MACRO_DEF
+        region = source_map.macro_at(8)
+        assert region.name == "MUX"
+        assert (region.start, region.end) == (7, 9)
+
+    def test_conditionals(self, source_map):
+        assert source_map.classify(11) is LineClass.CONDITIONAL  # ifdef
+        assert source_map.classify(13) is LineClass.CONDITIONAL  # else
+        # #endif is NOT a mutation boundary: §III-B lists only #if
+        # (incl. #ifdef/#ifndef), #else, and #elif.
+        assert source_map.classify(15) is LineClass.DIRECTIVE
+
+    def test_ordinary_code(self, source_map):
+        assert source_map.classify(12) is LineClass.CODE
+        assert source_map.classify(17) is LineClass.CODE
+
+    def test_comment_interior_line(self, source_map):
+        assert source_map.classify(19) is LineClass.COMMENT  # "/* multi"
+
+    def test_mid_comment_code_line(self, source_map):
+        info = source_map.info(20)
+        assert info.line_class is LineClass.CODE
+        assert info.starts_mid_comment
+        assert SAMPLE.split("\n")[19][:info.comment_end_column] \
+            .endswith("*/")
+
+    def test_out_of_range_raises(self, source_map):
+        with pytest.raises(IndexError):
+            source_map.classify(999)
+
+
+class TestConditionalAnchors:
+    def test_before_any_conditional(self, source_map):
+        assert source_map.last_conditional_before(6) == 0
+
+    def test_inside_ifdef(self, source_map):
+        assert source_map.last_conditional_before(12) == 11
+
+    def test_inside_else(self, source_map):
+        assert source_map.last_conditional_before(14) == 13
+
+    def test_after_endif_sees_else(self, source_map):
+        # endif is not a boundary per §III-B's list (only #if*, #else,
+        # #elif), so line 17's nearest boundary is the #else at 13.
+        assert source_map.last_conditional_before(17) == 13
+
+
+class TestEdgeCases:
+    def test_line_comment_only(self):
+        source_map = SourceMap("f.c", "// just a note\nint x;\n")
+        assert source_map.classify(1) is LineClass.COMMENT
+        assert source_map.classify(2) is LineClass.CODE
+
+    def test_star_continuation_comment(self):
+        source_map = SourceMap("f.c", "/*\n * note\n */\n")
+        assert source_map.classify(2) is LineClass.COMMENT
+
+    def test_define_inside_comment_not_macro(self):
+        source_map = SourceMap("f.c", "/*\n#define GONE 1\n*/\nint x;\n")
+        assert source_map.classify(2) is LineClass.COMMENT
+        assert source_map.macros == []
+
+    def test_code_then_comment_same_line(self):
+        source_map = SourceMap("f.c", "int x; /* trailing */\n")
+        assert source_map.classify(1) is LineClass.CODE
+
+    def test_ifndef_is_conditional(self):
+        source_map = SourceMap("f.c", "#ifndef A\nint x;\n#endif\n")
+        assert source_map.classify(1) is LineClass.CONDITIONAL
+
+    def test_elif_is_conditional(self):
+        text = "#if A\nint x;\n#elif B\nint y;\n#endif\n"
+        source_map = SourceMap("f.c", text)
+        assert source_map.classify(3) is LineClass.CONDITIONAL
+
+    def test_macro_at_non_macro_line(self):
+        source_map = SourceMap("f.c", "int x;\n")
+        assert source_map.macro_at(1) is None
+
+    def test_empty_file(self):
+        source_map = SourceMap("f.c", "")
+        assert source_map.line_count() == 0
+
+    def test_define_at_last_line_without_newline(self):
+        source_map = SourceMap("f.c", "#define X 1")
+        assert source_map.classify(1) is LineClass.MACRO_DEF
+
+    def test_continuation_at_eof(self):
+        source_map = SourceMap("f.c", "#define X \\")
+        region = source_map.macro_at(1)
+        assert region is not None
+        assert region.end == 1

@@ -1,0 +1,43 @@
+"""Tests for __FILE__/__LINE__ positional builtins."""
+
+from repro.cpp.preprocessor import Preprocessor
+
+
+def pp(files, main="f.c", predefined=None):
+    return Preprocessor(files.get, predefined=predefined or {}) \
+        .preprocess(main)
+
+
+class TestPositionalBuiltins:
+    def test_line(self):
+        result = pp({"f.c": "int a;\nint l = __LINE__;\n"})
+        assert "int l = 2;" in result.text
+
+    def test_file(self):
+        result = pp({"drivers/a.c": 'const char *f = __FILE__;\n'},
+                    main="drivers/a.c")
+        assert 'const char *f = "drivers/a.c";' in result.text
+
+    def test_line_in_included_file(self):
+        files = {
+            "main.c": '#include "inc.h"\n',
+            "inc.h": "\nint l = __LINE__;\n",
+        }
+        result = pp(files, main="main.c")
+        assert "int l = 2;" in result.text
+
+    def test_not_replaced_inside_strings(self):
+        result = pp({"f.c": 'char *s = "__LINE__";\n'})
+        assert '"__LINE__"' in result.text
+
+    def test_line_through_macro(self):
+        source = ("#define WARN() report(__LINE__)\n"
+                  "int a;\n"
+                  "int b = WARN();\n")
+        result = pp({"f.c": source})
+        # __LINE__ resolves at the use line before expansion
+        assert "int b = report(3);" in result.text
+
+    def test_spliced_logical_line_uses_first_physical(self):
+        result = pp({"f.c": "int l = \\\n__LINE__;\n"})
+        assert "int l = 1;" in result.text

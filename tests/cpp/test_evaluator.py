@@ -1,0 +1,169 @@
+"""Tests for #if expression evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpp.evaluator import evaluate_condition
+from repro.cpp.macro import Macro, MacroTable
+from repro.errors import PreprocessorError
+
+
+def ev(expr, **defs):
+    macros = MacroTable()
+    for name, body in defs.items():
+        macros.define(Macro(name=name, body=body))
+    return evaluate_condition(expr, macros)
+
+
+class TestLiterals:
+    def test_zero_false(self):
+        assert not ev("0")
+
+    def test_nonzero_true(self):
+        assert ev("1")
+        assert ev("42")
+
+    def test_hex(self):
+        assert ev("0x10 == 16")
+
+    def test_octal(self):
+        assert ev("010 == 8")
+
+    def test_suffixes(self):
+        assert ev("1UL == 1")
+        assert ev("0x10u == 16")
+
+    def test_char_literal(self):
+        assert ev("'A' == 65")
+        assert ev("'\\n' == 10")
+
+    def test_empty_raises(self):
+        with pytest.raises(PreprocessorError):
+            ev("")
+
+
+class TestIdentifiers:
+    def test_undefined_is_zero(self):
+        assert not ev("SOME_UNDEFINED_THING")
+
+    def test_defined_macro_value_used(self):
+        assert ev("VERSION > 3", VERSION="4")
+
+    def test_defined_operator(self):
+        assert ev("defined(CONFIG_PCI)", CONFIG_PCI="1")
+        assert not ev("defined(CONFIG_PCI)")
+
+    def test_defined_without_parens(self):
+        assert ev("defined CONFIG_PCI", CONFIG_PCI="1")
+
+    def test_defined_not(self):
+        assert ev("!defined(MODULE)")
+
+    def test_defined_of_macro_expanding_to_zero(self):
+        # defined() cares about definedness, not value.
+        assert ev("defined(ZERO)", ZERO="0")
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        assert ev("2 + 3 * 4 == 14")
+        assert ev("(2 + 3) * 4 == 20")
+        assert ev("7 / 2 == 3")
+        assert ev("7 % 3 == 1")
+        assert ev("-7 / 2 == -3")  # C truncates toward zero
+        assert ev("-7 % 2 == -1")
+
+    def test_shifts(self):
+        assert ev("1 << 4 == 16")
+        assert ev("16 >> 2 == 4")
+
+    def test_bitwise(self):
+        assert ev("(0xf0 & 0x0f) == 0")
+        assert ev("(0xf0 | 0x0f) == 0xff")
+        assert ev("(1 ^ 1) == 0")
+        assert ev("(~0 & 0xff) == 0xff")
+
+    def test_comparisons(self):
+        assert ev("1 < 2")
+        assert ev("2 <= 2")
+        assert ev("3 > 2")
+        assert ev("3 >= 3")
+        assert ev("1 != 2")
+
+    def test_logical(self):
+        assert ev("1 && 1")
+        assert not ev("1 && 0")
+        assert ev("0 || 1")
+        assert not ev("0 || 0")
+        assert ev("!0")
+
+    def test_ternary(self):
+        assert ev("1 ? 5 : 0")
+        assert not ev("0 ? 5 : 0")
+        assert ev("(0 ? 0 : 3) == 3")
+
+    def test_unary_plus_minus(self):
+        assert ev("+1")
+        assert ev("-1")
+        assert ev("- -1 == 1")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PreprocessorError):
+            ev("1 / 0")
+        with pytest.raises(PreprocessorError):
+            ev("1 % 0")
+
+
+class TestMacroInteraction:
+    def test_kernel_version_style(self):
+        assert ev("LINUX_VERSION_CODE >= KERNEL_VERSION",
+                  LINUX_VERSION_CODE="0x040400", KERNEL_VERSION="0x040300")
+
+    def test_function_macro_in_condition(self):
+        macros = MacroTable()
+        macros.define(Macro.parse_define("KV(a, b) ((a) * 256 + (b))"))
+        assert evaluate_condition("KV(4, 4) > KV(4, 3)", macros)
+
+    def test_config_enabled_pattern(self):
+        # Simplified IS_ENABLED: config macros defined as 1.
+        assert ev("defined(CONFIG_NET) && CONFIG_NET", CONFIG_NET="1")
+
+
+class TestParseErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(PreprocessorError):
+            ev("(1 + 2")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PreprocessorError):
+            ev("1 2")
+
+    def test_missing_ternary_colon(self):
+        with pytest.raises(PreprocessorError):
+            ev("1 ? 2")
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_addition_matches_python(self, a, b):
+        assert ev(f"{a} + {b} == {a + b}")
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=1, max_value=100))
+    def test_truncating_division(self, a, b):
+        expected = abs(a) // b
+        if a < 0:
+            expected = -expected
+        assert ev(f"({a}) / {b} == ({expected})")
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=1, max_value=100))
+    def test_mod_identity(self, a, b):
+        # (a/b)*b + a%b == a must hold with truncating division.
+        assert ev(f"(({a}) / {b}) * {b} + (({a}) % {b}) == ({a})")
+
+    @given(st.booleans(), st.booleans())
+    def test_de_morgan(self, p, q):
+        pi, qi = int(p), int(q)
+        assert ev(f"(!({pi} && {qi})) == ((!{pi}) || (!{qi}))")

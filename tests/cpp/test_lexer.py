@@ -1,0 +1,113 @@
+"""Tests for comment stripping and tokenization."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpp.lexer import (
+    CommentStripper,
+    Token,
+    TokenKind,
+    strip_comments,
+    tokenize,
+    untokenize,
+)
+
+
+class TestTokenize:
+    def test_identifiers_and_punctuation(self):
+        tokens = tokenize("foo(bar, 12)")
+        kinds = [token.kind for token in tokens if not token.is_ws]
+        assert kinds == [TokenKind.IDENT, TokenKind.PUNCT, TokenKind.IDENT,
+                         TokenKind.PUNCT, TokenKind.NUMBER, TokenKind.PUNCT]
+
+    def test_multichar_operators_win(self):
+        tokens = [t.text for t in tokenize("a<<=b##c")]
+        assert "<<=" in tokens
+        assert "##" in tokens
+
+    def test_string_literal_is_one_token(self):
+        tokens = tokenize('printf("a, b(c)")')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert [t.text for t in strings] == ['"a, b(c)"']
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].text == r'"a\"b"'
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_char_literal(self):
+        tokens = tokenize("'x' '\\n'")
+        chars = [t for t in tokens if t.kind is TokenKind.CHAR]
+        assert len(chars) == 2
+
+    def test_mutation_char_is_other(self):
+        tokens = tokenize('`"define:f.c:10"')
+        assert tokens[0].kind is TokenKind.OTHER
+        assert tokens[0].text == "`"
+        assert tokens[1].kind is TokenKind.STRING
+
+    def test_hex_number(self):
+        tokens = tokenize("0xff & 0xf")
+        assert tokens[0].text == "0xff"
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\n\r"),
+                   max_size=120))
+    def test_untokenize_roundtrip(self, text):
+        assert untokenize(tokenize(text)) == text
+
+
+class TestCommentStripper:
+    def test_line_comment(self):
+        assert strip_comments("int x; // note\n") == "int x; \n"
+
+    def test_block_comment_same_line(self):
+        assert strip_comments("int /* c */ x;") == "int   x;"
+
+    def test_block_comment_multi_line_preserves_lines(self):
+        text = "a /* one\ntwo\nthree */ b\n"
+        stripped = strip_comments(text)
+        assert stripped.count("\n") == text.count("\n")
+        assert "two" not in stripped
+        assert stripped.startswith("a ")
+        assert " b" in stripped
+
+    def test_comment_markers_in_string_ignored(self):
+        text = 'char *s = "/* not a comment */";\n'
+        assert strip_comments(text) == text
+
+    def test_line_comment_marker_in_string_ignored(self):
+        text = 'char *u = "http://example.org";\n'
+        assert strip_comments(text) == text
+
+    def test_quote_in_char_literal(self):
+        text = "char q = '\"'; // trailing\n"
+        assert strip_comments(text) == "char q = '\"'; \n"
+
+    def test_stateful_across_lines(self):
+        stripper = CommentStripper()
+        assert stripper.strip_line("before/*open") == "before "
+        assert stripper.in_block_comment
+        assert stripper.strip_line("middle") == ""
+        assert stripper.strip_line("end*/after") == "after"
+        assert not stripper.in_block_comment
+
+    def test_comment_then_code_then_comment(self):
+        assert strip_comments("/*a*/ x /*b*/") == "  x  "
+
+    def test_unterminated_string_does_not_hang(self):
+        # Malformed source: lexer must terminate and keep the rest.
+        stripped = strip_comments('char *s = "unterminated;\n')
+        assert "unterminated" in stripped
+
+    def test_division_not_comment(self):
+        assert strip_comments("a = b / c;") == "a = b / c;"
+
+    def test_nested_block_markers_not_nested(self):
+        # C comments do not nest: the first */ ends the comment.
+        assert strip_comments("/* a /* b */ c */") == "  c */"
+
+
+class TestTokenProperties:
+    def test_ws_flag(self):
+        assert Token(TokenKind.WS, "  ").is_ws
+        assert not Token(TokenKind.IDENT, "x").is_ws

@@ -1,0 +1,210 @@
+"""Tests for macro parsing and expansion."""
+
+import pytest
+
+from repro.cpp.macro import Macro, MacroTable
+from repro.errors import MacroError
+
+
+def table(**defs):
+    t = MacroTable()
+    for name, spec in defs.items():
+        t.define(Macro.parse_define(f"{name}{spec}"))
+    return t
+
+
+class TestParseDefine:
+    def test_object_like(self):
+        macro = Macro.parse_define("MAX_CHAN 16")
+        assert macro.name == "MAX_CHAN"
+        assert macro.body == "16"
+        assert not macro.is_function_like
+
+    def test_object_like_empty_body(self):
+        macro = Macro.parse_define("CONFIG_PCI 1".split()[0])
+        assert macro.name == "CONFIG_PCI"
+        assert macro.body == ""
+
+    def test_function_like(self):
+        macro = Macro.parse_define("MUX(x) (((x) & 0xf) << 4)")
+        assert macro.params == ("x",)
+        assert macro.body == "(((x) & 0xf) << 4)"
+
+    def test_function_like_multiple_params(self):
+        macro = Macro.parse_define("ADD(a, b) ((a) + (b))")
+        assert macro.params == ("a", "b")
+
+    def test_zero_param_function_like(self):
+        macro = Macro.parse_define("F() 42")
+        assert macro.params == ()
+        assert macro.is_function_like
+
+    def test_space_before_paren_is_object_like(self):
+        macro = Macro.parse_define("NEG (x)")
+        assert not macro.is_function_like
+        assert macro.body == "(x)"
+
+    def test_variadic(self):
+        macro = Macro.parse_define("pr_debug(fmt, ...) printk(fmt, __VA_ARGS__)")
+        assert macro.variadic
+        assert macro.params == ("fmt",)
+
+    def test_empty_define_rejected(self):
+        with pytest.raises(MacroError):
+            Macro.parse_define("   ")
+
+    def test_unterminated_params_rejected(self):
+        with pytest.raises(MacroError):
+            Macro.parse_define("F(a, b")
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(MacroError):
+            Macro.parse_define("F(a 1) x")
+
+
+class TestObjectExpansion:
+    def test_simple(self):
+        t = table(N=" 4")
+        assert t.expand_text("int a[N];") == "int a[4];"
+
+    def test_nested(self):
+        t = table(A=" B", B=" 7")
+        assert t.expand_text("A") == "7"
+
+    def test_self_reference_stops(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("X X + 1"))
+        assert t.expand_text("X") == "X + 1"
+
+    def test_mutual_recursion_stops(self):
+        t = table(A=" B", B=" A")
+        # Each name is painted blue inside its own expansion.
+        assert t.expand_text("A") in ("A", "B")
+
+    def test_no_expansion_inside_strings(self):
+        t = table(N=" 4")
+        assert t.expand_text('char *s = "N";') == 'char *s = "N";'
+
+    def test_no_expansion_inside_chars(self):
+        t = table(N=" 4")
+        assert t.expand_text("char c = 'N';") == "char c = 'N';"
+
+
+class TestFunctionExpansion:
+    def test_paper_example(self):
+        """The das16cs MUX macros from Figure 1 of the paper."""
+        t = MacroTable()
+        t.define(Macro.parse_define("DAS16CS_AI_MUX_HI_CHAN(x) (((x) & 0xf) << 4)"))
+        t.define(Macro.parse_define("DAS16CS_AI_MUX_LO_CHAN(x) (((x) & 0xf) << 0)"))
+        t.define(Macro.parse_define(
+            "DAS16CS_AI_MUX_SINGLE_CHAN(x) "
+            "(DAS16CS_AI_MUX_HI_CHAN(x) | DAS16CS_AI_MUX_LO_CHAN(x))"))
+        result = t.expand_text("outw(DAS16CS_AI_MUX_SINGLE_CHAN(chan), dev);")
+        assert result == \
+            "outw(((((chan) & 0xf) << 4) | (((chan) & 0xf) << 0)), dev);"
+
+    def test_name_without_parens_not_expanded(self):
+        t = table()
+        t.define(Macro.parse_define("F(x) (x)"))
+        assert t.expand_text("ptr = F;") == "ptr = F;"
+
+    def test_argument_with_commas_in_parens(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("FIRST(a, b) a"))
+        assert t.expand_text("FIRST(f(1, 2), 3)") == "f(1, 2)"
+
+    def test_arguments_expanded_before_substitution(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("N 4"))
+        t.define(Macro.parse_define("ID(x) x"))
+        assert t.expand_text("ID(N)") == "4"
+
+    def test_wrong_arity_raises(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("ADD(a, b) ((a) + (b))"))
+        with pytest.raises(MacroError):
+            t.expand_text("ADD(1)")
+
+    def test_unterminated_invocation_raises(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("F(x) (x)"))
+        with pytest.raises(MacroError):
+            t.expand_text("F(1")
+
+    def test_zero_arg_invocation(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("F() 42"))
+        assert t.expand_text("F()") == "42"
+
+    def test_stringify(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("STR(x) #x"))
+        assert t.expand_text("STR(hello world)") == '"hello world"'
+
+    def test_stringify_escapes_quotes(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("STR(x) #x"))
+        assert t.expand_text('STR("q")') == '"\\"q\\""'
+
+    def test_token_paste(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("GLUE(a, b) a##b"))
+        assert t.expand_text("GLUE(dev, _priv)") == "dev_priv"
+
+    def test_token_paste_builds_expandable_name(self):
+        t = MacroTable()
+        t.define(Macro.parse_define("dev_priv 99"))
+        t.define(Macro.parse_define("GLUE(a, b) a##b"))
+        assert t.expand_text("GLUE(dev, _priv)") == "99"
+
+    def test_paste_at_boundary_raises(self):
+        t = MacroTable()
+        with pytest.raises(MacroError):
+            t.define(Macro.parse_define("BAD(a) ##a"))
+            t.expand_text("BAD(1)")
+
+    def test_variadic_forwarding(self):
+        t = MacroTable()
+        t.define(Macro.parse_define(
+            "pr(fmt, ...) printk(fmt, __VA_ARGS__)"))
+        assert t.expand_text('pr("x %d %d", 1, 2)') == \
+            'printk("x %d %d", 1, 2)'
+
+    def test_mutation_token_survives_macro_body(self):
+        """§III-A: a mutation in a macro body surfaces at the use site."""
+        t = MacroTable()
+        t.define(Macro.parse_define(
+            'HI(x) (((x) & 0xf) << 4) `"define:f.c:49"'))
+        expanded = t.expand_text("HI(3)")
+        assert '`"define:f.c:49"' in expanded
+
+
+class TestMacroTable:
+    def test_undef(self):
+        t = table(N=" 4")
+        t.undef("N")
+        assert t.expand_text("N") == "N"
+
+    def test_undef_missing_is_noop(self):
+        table().undef("NOPE")
+
+    def test_redefinition_replaces(self):
+        t = table(N=" 4")
+        t.define(Macro.parse_define("N 5"))
+        assert t.expand_text("N") == "5"
+
+    def test_snapshot_is_independent(self):
+        t = table(N=" 4")
+        snap = t.snapshot()
+        t.define(Macro.parse_define("M 1"))
+        assert not snap.is_defined("M")
+        assert snap.is_defined("N")
+
+    def test_predefined(self):
+        t = MacroTable({"CONFIG_PCI": "1", "__KERNEL__": "1"})
+        assert t.is_defined("CONFIG_PCI")
+        assert t.expand_text("CONFIG_PCI") == "1"
+
+    def test_names_sorted(self):
+        t = table(B=" 1", A=" 2")
+        assert t.names() == ["A", "B"]

@@ -1,0 +1,60 @@
+"""Property-based tests on macro expansion: termination and stability."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpp.macro import Macro, MacroTable
+
+names = st.sampled_from(["A", "B", "C", "D", "E"])
+bodies = st.sampled_from(["A", "B", "C + 1", "A B", "(B)", "7", ""])
+
+
+class TestTermination:
+    @given(st.dictionaries(names, bodies, min_size=1, max_size=5),
+           st.text(alphabet="ABCDE ()+;", min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=2000)
+    def test_arbitrary_macro_graphs_terminate(self, defs, text):
+        """Any object-macro graph — cyclic or not — must expand in
+        finite time thanks to blue-painting."""
+        table = MacroTable()
+        for name, body in defs.items():
+            table.define(Macro(name=name, body=body))
+        result = table.expand_text(text)
+        assert isinstance(result, str)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_deep_nesting_resolves(self, depth):
+        table = MacroTable()
+        for level in range(depth):
+            table.define(Macro(name=f"L{level}",
+                               body=f"L{level + 1}" if level < depth - 1
+                               else "42"))
+        assert table.expand_text("L0") == "42"
+
+
+class TestStability:
+    @given(st.text(alphabet="abcxyz0123 ()+*;,", max_size=60))
+    @settings(max_examples=80)
+    def test_no_macros_means_identity(self, text):
+        assert MacroTable().expand_text(text) == text
+
+    @given(st.dictionaries(names, bodies, min_size=1, max_size=5),
+           st.text(alphabet="ABCDE ()+;", min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=2000)
+    def test_expansion_deterministic(self, defs, text):
+        def expand():
+            table = MacroTable()
+            for name, body in defs.items():
+                table.define(Macro(name=name, body=body))
+            return table.expand_text(text)
+        assert expand() == expand()
+
+    @given(st.dictionaries(names, bodies, min_size=1, max_size=4),
+           st.text(alphabet="abc,;() ", min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_strings_always_opaque(self, defs, payload):
+        table = MacroTable()
+        for name, body in defs.items():
+            table.define(Macro(name=name, body=body))
+        literal = '"' + payload.replace('"', "") + '"'
+        assert literal in table.expand_text(f"x = {literal};")

@@ -1,0 +1,89 @@
+"""Property-based tests on preprocessor invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpp.preprocessor import Preprocessor
+from repro.errors import PreprocessorError
+
+
+def pp_text(source, predefined=None):
+    files = {"f.c": source}
+    return Preprocessor(files.get, predefined=predefined or {}) \
+        .preprocess("f.c").text
+
+
+identifiers = st.sampled_from(
+    ["CONFIG_A", "CONFIG_B", "CONFIG_LONG_NAME", "MODULE"])
+
+statements = st.sampled_from(
+    ["int x;", "int y = 4;", "return 0;", "foo(1, 2);", ""])
+
+
+class TestConditionalExclusivity:
+    @given(identifiers, statements, statements, st.booleans())
+    @settings(max_examples=60)
+    def test_ifdef_else_exactly_one_branch(self, symbol, then_stmt,
+                                           else_stmt, define_it):
+        """Exactly one branch of #ifdef/#else survives, always."""
+        then_marker = "THEN_BRANCH_MARKER"
+        else_marker = "ELSE_BRANCH_MARKER"
+        source = (f"#ifdef {symbol}\n{then_stmt} // {then_marker}\n"
+                  f"int {then_marker};\n"
+                  f"#else\n{else_stmt}\n"
+                  f"int {else_marker};\n#endif\n")
+        predefined = {symbol: "1"} if define_it else {}
+        text = pp_text(source, predefined)
+        assert (then_marker in text) != (else_marker in text)
+        assert (then_marker in text) == define_it
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_nested_ifdefs_conjunction(self, flags):
+        """Code under nested #ifdefs survives iff every level is set."""
+        names = [f"LEVEL{i}" for i in range(len(flags))]
+        source = ""
+        for name in names:
+            source += f"#ifdef {name}\n"
+        source += "int innermost_marker;\n"
+        source += "#endif\n" * len(names)
+        predefined = {name: "1" for name, flag in zip(names, flags)
+                      if flag}
+        text = pp_text(source, predefined)
+        assert ("innermost_marker" in text) == all(flags)
+
+
+class TestExpansionInvariants:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_object_macro_value_preserved(self, value):
+        source = f"#define V {value}\nint x = V;\n"
+        assert f"int x = {value};" in pp_text(source)
+
+    @given(st.text(alphabet="abcdefgh_ ", min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_string_literals_never_rewritten(self, payload):
+        source = (f'#define {"a"} 999\n'
+                  f'char *s = "{payload}";\n')
+        assert f'"{payload}"' in pp_text(source)
+
+    @given(st.sampled_from(["`", "@", "$"]),
+           st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30)
+    def test_invalid_chars_flow_through(self, char, line):
+        """Any non-C character passes the preprocessor untouched."""
+        filler = "int a;\n" * (line - 1)
+        source = filler + f'{char}"tag:{line}"\n'
+        assert f'{char}"tag:{line}"' in pp_text(source)
+
+
+class TestStructuralErrors:
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10)
+    def test_missing_endifs_always_raise(self, depth):
+        source = "#ifdef A\n" * depth + "int x;\n"
+        try:
+            pp_text(source)
+            raised = False
+        except PreprocessorError:
+            raised = True
+        assert raised

@@ -1,0 +1,110 @@
+"""Tests for in-text statistics and the experiment registry."""
+
+from repro.evalsuite.experiments import (
+    EXPERIMENTS,
+    architecture_stats,
+    cfile_benefit_stats,
+    hfile_benefit_stats,
+    limitation_stats,
+    mutation_stats,
+    summary_stats,
+)
+
+
+class TestRegistry:
+    def test_all_design_md_ids_present(self):
+        expected = {"E-F4a", "E-F4b", "E-F4c", "E-F5", "E-F6",
+                    "E-S1", "E-S2", "E-S3", "E-S4", "E-S5", "E-S6"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_every_experiment_runs(self, result):
+        for experiment in EXPERIMENTS.values():
+            data, text = experiment.run(result)
+            assert data is not None
+            assert isinstance(text, str) and text
+
+
+class TestArchitectureStats:
+    def test_x86_dominates(self, result):
+        """Paper: 96% of covered instances benefit from x86_64."""
+        stats = architecture_stats(result)
+        assert stats["all"]["x86_64_beneficial"].fraction >= 0.8
+        assert stats["janitor"]["x86_64_beneficial"].fraction >= 0.8
+
+    def test_non_host_population_small(self, result):
+        stats = architecture_stats(result)
+        covered = stats["all"]["instances_with_coverage"]
+        non_host = stats["all"]["non_host_only_c_instances"]
+        assert 0 < non_host < covered * 0.2
+
+    def test_other_archs_listed(self, result):
+        stats = architecture_stats(result)
+        assert stats["all"]["other_arch_frequency"]
+
+
+class TestMutationStats:
+    def test_one_mutation_dominates(self, result):
+        """Paper: 82% of .c instances need one mutation, 95% <=3."""
+        stats = mutation_stats(result)
+        assert stats["all_c"]["one_mutation"].fraction >= 0.7
+        assert stats["all_c"]["at_most_three"].fraction >= 0.9
+
+    def test_janitor_mutations_fewer(self, result):
+        """Paper: janitor instances need fewer mutations (91% vs 82%)."""
+        stats = mutation_stats(result)
+        assert stats["janitor_c"]["one_mutation"].fraction >= \
+            stats["all_c"]["one_mutation"].fraction - 0.05
+
+
+class TestCfileBenefit:
+    def test_overwhelming_majority_confirmed(self, result):
+        """Paper: 88% of .c instances confirmed at first clean build."""
+        stats = cfile_benefit_stats(result)
+        assert stats["all"]["confirmed_first_compile"].fraction >= 0.8
+
+    def test_insidious_few_percent(self, result):
+        """Paper: 3% of .c instances are the insidious case."""
+        stats = cfile_benefit_stats(result)
+        assert 0.0 < stats["all"]["insidious"].fraction <= 0.12
+
+    def test_janitor_insidious_never_rescued(self, result):
+        """Paper: none of the janitors' 21 insidious instances could be
+        rescued by more configurations."""
+        stats = cfile_benefit_stats(result)
+        janitor = stats["janitor"]
+        assert janitor["never_rescued"] >= janitor["rescued_by_other_configs"]
+
+
+class TestHfileBenefit:
+    def test_majority_covered_by_patch_c(self, result):
+        """Paper: 66% of .h instances are covered by the patch's own .c
+        files; only 2% are never covered."""
+        stats = hfile_benefit_stats(result)
+        sub = stats["all"]
+        assert sub["covered_by_patch_c_files"].fraction >= 0.4
+        assert sub["never_compiled"].fraction <= 0.25
+
+    def test_extra_candidates_bounded(self, result):
+        stats = hfile_benefit_stats(result)
+        assert stats["all"]["max_candidate_compilations"] <= 15
+
+
+class TestSummary:
+    def test_certified_rates(self, result):
+        """Paper: 85% of all patches, 88% of janitor patches."""
+        stats = summary_stats(result)
+        assert 0.7 <= stats["all"].fraction <= 0.97
+        assert stats["janitor"].fraction >= stats["all"].fraction - 0.08
+
+    def test_single_config_majority(self, result):
+        """Paper: 79-87% need a single configuration choice."""
+        stats = summary_stats(result)
+        assert stats["single_config_sufficient"].fraction >= 0.5
+
+
+class TestLimitations:
+    def test_bootstrap_population_about_two_percent(self, result):
+        """Paper: 317 patches (2%) touch setup-compiled files."""
+        stats = limitation_stats(result)
+        assert stats["untreatable_file_instances"] >= 1
+        assert stats["affected_patches"].fraction <= 0.08

@@ -1,0 +1,71 @@
+"""Tests for figure regenerators — shape targets from §V-C."""
+
+from repro.evalsuite.figures import (
+    describe_figure,
+    figure4a_config_times,
+    figure4b_i_times,
+    figure4c_o_times,
+    figure5_overall,
+    figure6_janitor_overall,
+)
+
+
+class TestFigure4a:
+    def test_all_under_five_seconds(self, result):
+        cdf = figure4a_config_times(result)
+        assert len(cdf) > 0
+        assert cdf.fraction_at_most(5.0) == 1.0
+
+
+class TestFigure4b:
+    def test_shape(self, result):
+        cdf = figure4b_i_times(result)
+        assert len(cdf) > 0
+        # paper: 98% within 15s, max ~22s
+        assert cdf.fraction_at_most(15.0) >= 0.95
+        assert cdf.max <= 25.0
+
+
+class TestFigure4c:
+    def test_shape(self, result):
+        cdf = figure4c_o_times(result)
+        assert cdf.fraction_at_most(7.0) >= 0.9
+        # the whole-kernel-rebuild outlier (prom_init.c analogue)
+        assert cdf.max > 6000.0
+
+    def test_bulk_under_fifteen(self, result):
+        cdf = figure4c_o_times(result)
+        under_15 = cdf.fraction_at_most(15.0)
+        assert under_15 >= 0.95
+
+
+class TestFigure5:
+    def test_shape(self, result):
+        """Paper: 82% of patches within 30s, 95% within one minute."""
+        cdf = figure5_overall(result)
+        assert 0.7 <= cdf.fraction_at_most(30.0) <= 0.97
+        assert cdf.fraction_at_most(60.0) >= 0.88
+
+
+class TestFigure6:
+    def test_same_shape_as_figure5(self, result):
+        """Paper: the janitor curve matches Fig 5's shape but without
+        the most extreme values."""
+        all_cdf = figure5_overall(result)
+        janitor_cdf = figure6_janitor_overall(result)
+        assert len(janitor_cdf) < len(all_cdf)
+        assert janitor_cdf.fraction_at_most(60.0) >= \
+            all_cdf.fraction_at_most(60.0) - 0.1
+
+
+class TestDescribe:
+    def test_text_mentions_thresholds(self, result):
+        cdf = figure5_overall(result)
+        text = describe_figure(cdf, title="Fig 5", thresholds=[30, 60])
+        assert "<= 30s" in text
+        assert "max:" in text
+
+    def test_empty_cdf(self):
+        from repro.evalsuite.stats import Cdf
+        text = describe_figure(Cdf([]), title="x", thresholds=[1])
+        assert "no samples" in text

@@ -1,0 +1,36 @@
+"""Tests for markdown report generation."""
+
+from repro.evalsuite.reportdoc import write_markdown_report
+
+
+class TestMarkdownReport:
+    def test_contains_all_sections(self, result):
+        document = write_markdown_report(result)
+        for heading in ("# JMake evaluation report",
+                        "## Window",
+                        "## Table III",
+                        "## Table IV",
+                        "### Figure 4a",
+                        "### Figure 5",
+                        "### Figure 6",
+                        "### E-S1", "### E-S5",
+                        "## Worst patches"):
+            assert heading in document, heading
+
+    def test_window_numbers_match_result(self, result):
+        document = write_markdown_report(result)
+        assert f"**{result.total_commits}**" in document
+        assert f"**{len(result.patches)}**" in document
+
+    def test_worst_patches_table_rows(self, result):
+        document = write_markdown_report(result)
+        worst = max(result.patches, key=lambda p: p.elapsed_seconds)
+        assert worst.commit_id[:12] in document
+
+    def test_custom_title(self, result):
+        document = write_markdown_report(result, title="Nightly run")
+        assert document.startswith("# Nightly run")
+
+    def test_valid_code_fences(self, result):
+        document = write_markdown_report(result)
+        assert document.count("```") % 2 == 0

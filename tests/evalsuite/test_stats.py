@@ -1,0 +1,89 @@
+"""Tests for CDF and share helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evalsuite.stats import Cdf, Share
+
+
+class TestCdf:
+    def test_fraction_at_most(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_most(2.0) == 0.5
+        assert cdf.fraction_at_most(0.5) == 0.0
+        assert cdf.fraction_at_most(10.0) == 1.0
+
+    def test_empty(self):
+        cdf = Cdf([])
+        assert len(cdf) == 0
+        assert cdf.fraction_at_most(1.0) == 0.0
+        with pytest.raises(ValueError):
+            cdf.percentile(0.5)
+        with pytest.raises(ValueError):
+            _ = cdf.max
+
+    def test_percentile(self):
+        cdf = Cdf(list(range(1, 101)))
+        assert cdf.percentile(0.5) == 50
+        assert cdf.percentile(0.95) == 95
+        assert cdf.percentile(1.0) == 100
+
+    def test_percentile_bounds(self):
+        cdf = Cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(0.0)
+        with pytest.raises(ValueError):
+            cdf.percentile(1.5)
+
+    def test_min_max(self):
+        cdf = Cdf([3.0, 1.0, 2.0])
+        assert cdf.min == 1.0
+        assert cdf.max == 3.0
+
+    def test_series_monotone(self):
+        cdf = Cdf([5.0, 1.0, 3.0, 2.0, 4.0])
+        series = cdf.series()
+        xs = [x for x, _ in series]
+        ys = [y for _, y in series]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_series_downsampling(self):
+        cdf = Cdf([float(i) for i in range(1000)])
+        series = cdf.series(points=50)
+        assert len(series) <= 52
+        assert series[-1][1] == 1.0
+
+    def test_render_ascii(self):
+        cdf = Cdf([1.0, 2.0, 3.0])
+        art = cdf.render_ascii(title="demo")
+        assert "demo" in art
+        assert "#" in art
+
+    def test_render_ascii_empty(self):
+        assert "(empty)" in Cdf([]).render_ascii(title="t")
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_fraction_monotone_property(self, values):
+        cdf = Cdf(values)
+        thresholds = sorted({min(values), max(values),
+                             sum(values) / len(values)})
+        fractions = [cdf.fraction_at_most(t) for t in thresholds]
+        assert fractions == sorted(fractions)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_percentile_within_range(self, values):
+        cdf = Cdf(values)
+        for fraction in (0.01, 0.5, 0.99, 1.0):
+            assert cdf.min <= cdf.percentile(fraction) <= cdf.max
+
+
+class TestShare:
+    def test_render(self):
+        assert Share(9158, 10900).render() == "9158 (84%)"
+
+    def test_zero_total(self):
+        assert Share(0, 0).fraction == 0.0

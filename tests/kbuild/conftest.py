@@ -1,0 +1,113 @@
+"""A small hand-written kernel-like tree for build-system tests."""
+
+import pytest
+
+TREE = {
+    # -- top level ---------------------------------------------------------
+    "Makefile": "obj-y += drivers/ kernel/\n",
+    "Kconfig": """\
+config PCI
+	bool "PCI support"
+config NET
+	bool "Networking"
+config E1000
+	tristate "Intel NIC"
+	depends on PCI && NET
+config WIFI
+	bool "Wireless"
+	depends on NET
+config CMDLINE_MODE
+	bool
+source "drivers/char/Kconfig"
+""",
+    "drivers/char/Kconfig": """\
+config CHAR
+	bool "Char devices"
+config RARE_CHAR
+	bool "Rare char driver"
+	depends on CHAR && BROKEN_DEP
+""",
+
+    # -- architectures -------------------------------------------------------
+    "arch/x86/Kconfig": """\
+config X86
+	bool
+	default y
+source "Kconfig"
+""",
+    "arch/x86/configs/small_defconfig":
+        "CONFIG_PCI=y\n# CONFIG_NET is not set\n",
+    "arch/x86/include/asm/io.h": "#define IO_BASE 0x3f8\n",
+    "arch/x86/Makefile": "obj-y += kernel/\n",
+    "arch/x86/kernel/Makefile": "obj-y += setup.o\n",
+    "arch/x86/kernel/setup.c":
+        "#include <asm/io.h>\nint x86_setup(void) { return IO_BASE; }\n",
+
+    "arch/arm/Kconfig": """\
+config ARM
+	bool
+	default y
+config ARM_AMBA
+	bool
+	default y
+source "Kconfig"
+""",
+    "arch/arm/include/asm/amba.h": "#define AMBA_REV 2\n",
+    "arch/arm/Makefile": "obj-y += kernel/\n",
+    "arch/arm/kernel/Makefile": "obj-y += entry.o\n",
+    "arch/arm/kernel/entry.c": "int arm_entry(void) { return 0; }\n",
+    "arch/arm/configs/multi_defconfig": "CONFIG_PCI=y\nCONFIG_NET=y\n",
+
+    # -- shared headers -----------------------------------------------------
+    "include/linux/kernel.h": "#define KERN_INFO \"6\"\n",
+
+    # -- drivers --------------------------------------------------------------
+    "drivers/Makefile":
+        "obj-y += net/\nobj-$(CONFIG_CHAR) += char/\n",
+    "drivers/net/Makefile": """\
+obj-$(CONFIG_E1000) += e1000.o
+obj-$(CONFIG_WIFI) += wifi.o
+obj-$(CONFIG_ARM_AMBA) += amba_net.o
+""",
+    "drivers/net/e1000.c": """\
+#include <linux/kernel.h>
+static int e1000_probe(int dev)
+{
+#ifdef MODULE
+	int as_module = 1;
+#endif
+	return dev;
+}
+""",
+    "drivers/net/wifi.c": "int wifi_init(void) { return 0; }\n",
+    "drivers/net/amba_net.c":
+        "#include <asm/amba.h>\nint amba_probe(void) { return AMBA_REV; }\n",
+    "drivers/char/Makefile": "obj-$(CONFIG_RARE_CHAR) += rare.o\n",
+    "drivers/char/rare.c": "int rare_init(void) { return 0; }\n",
+
+    # -- kernel core + bootstrap file (§V-D analogue) -----------------------
+    "kernel/Makefile": "obj-y += sched.o bounds.o\n",
+    "kernel/sched.c": "int schedule(void) { return 0; }\n",
+    "kernel/bounds.c": "int kernel_bounds = 64;\n",
+}
+
+
+@pytest.fixture
+def tree():
+    return dict(TREE)
+
+
+@pytest.fixture
+def provider(tree):
+    return tree.get
+
+
+@pytest.fixture
+def build_system(tree):
+    from repro.kbuild.build import BuildSystem
+    return BuildSystem(
+        tree.get,
+        bootstrap_paths={"kernel/bounds.c"},
+        rebuild_trigger_paths={"arch/x86/kernel/setup.c"},
+        path_lister=lambda: sorted(tree),
+    )

@@ -1,0 +1,207 @@
+"""Tests for the build orchestrator over the fixture tree."""
+
+import pytest
+
+from repro.errors import KconfigError, ToolchainError
+from repro.kbuild.build import BuildError
+from repro.kconfig.ast import Tristate
+
+
+class TestMakeConfig:
+    def test_allyesconfig_x86(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        assert config.builtin("X86")
+        assert config.builtin("PCI")
+        assert config.builtin("E1000")
+
+    def test_arch_specific_symbol_absent_elsewhere(self, build_system):
+        x86 = build_system.make_config("x86_64", "allyesconfig")
+        arm = build_system.make_config("arm", "allyesconfig")
+        assert not x86.enabled("ARM_AMBA")
+        assert arm.builtin("ARM_AMBA")
+
+    def test_unsatisfiable_symbol_stays_off(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        assert not config.enabled("RARE_CHAR")  # depends on BROKEN_DEP
+
+    def test_allmodconfig_makes_tristates_modules(self, build_system):
+        config = build_system.make_config("x86_64", "allmodconfig")
+        assert config.modular("E1000")
+
+    def test_defconfig_target(self, build_system):
+        config = build_system.make_config("x86_64", "small_defconfig")
+        assert config.builtin("PCI")
+        assert not config.enabled("NET")
+
+    def test_missing_defconfig_raises(self, build_system):
+        with pytest.raises(KconfigError):
+            build_system.make_config("x86_64", "nonexistent_defconfig")
+
+    def test_broken_arch_raises(self, build_system):
+        with pytest.raises(ToolchainError):
+            build_system.make_config("arm64", "allyesconfig")
+
+    def test_config_cached_and_charged_once(self, build_system):
+        build_system.make_config("x86_64", "allyesconfig")
+        t1 = build_system.clock.total("config")
+        build_system.make_config("x86_64", "allyesconfig")
+        assert build_system.clock.total("config") == t1
+
+    def test_defconfig_names_listed(self, build_system):
+        assert build_system.defconfig_names("x86_64") == ["small_defconfig"]
+        assert build_system.defconfig_names("arm") == ["multi_defconfig"]
+
+
+class TestBuildability:
+    def test_enabled_driver_buildable(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        assert build_system.is_buildable("drivers/net/e1000.c", "x86_64",
+                                         config)
+
+    def test_disabled_driver_not_buildable(self, build_system):
+        config = build_system.make_config("x86_64", "small_defconfig")
+        # NET off => E1000 off
+        assert not build_system.is_buildable("drivers/net/e1000.c",
+                                             "x86_64", config)
+
+    def test_arch_dir_requires_matching_arch(self, build_system):
+        x86_config = build_system.make_config("x86_64", "allyesconfig")
+        assert build_system.is_buildable("arch/x86/kernel/setup.c",
+                                         "x86_64", x86_config)
+        assert not build_system.is_buildable("arch/arm/kernel/entry.c",
+                                             "x86_64", x86_config)
+
+    def test_subdir_condition_gates_children(self, build_system):
+        """drivers/char/ is behind CONFIG_CHAR."""
+        config = build_system.make_config("x86_64", "small_defconfig")
+        assert config.tristate("CHAR") == Tristate.N
+        # even if RARE_CHAR were on, the subdir chain is off
+        assert not build_system.is_buildable("drivers/char/rare.c",
+                                             "x86_64", config)
+
+    def test_unknown_directory_not_buildable(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        assert not build_system.is_buildable("Documentation/foo.c",
+                                             "x86_64", config)
+
+    def test_arch_symbol_gated_driver(self, build_system):
+        """amba_net.c is behind CONFIG_ARM_AMBA, defined only by arm."""
+        x86 = build_system.make_config("x86_64", "allyesconfig")
+        arm = build_system.make_config("arm", "allyesconfig")
+        assert not build_system.is_buildable("drivers/net/amba_net.c",
+                                             "x86_64", x86)
+        assert build_system.is_buildable("drivers/net/amba_net.c",
+                                         "arm", arm)
+
+
+class TestMakeI:
+    def test_successful_batch(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        results = build_system.make_i(
+            ["drivers/net/e1000.c", "drivers/net/wifi.c"],
+            "x86_64", config)
+        assert all(result.ok for result in results)
+        assert "e1000_probe" in results[0].i_text
+
+    def test_no_rule_reported_per_file(self, build_system):
+        config = build_system.make_config("x86_64", "small_defconfig")
+        results = build_system.make_i(["drivers/net/e1000.c"],
+                                      "x86_64", config)
+        assert not results[0].ok
+        assert results[0].error_kind == "no_rule"
+
+    def test_missing_makefile_reported(self, build_system, tree):
+        tree["orphan/lost.c"] = "int x;\n"
+        config = build_system.make_config("x86_64", "allyesconfig")
+        results = build_system.make_i(["orphan/lost.c"], "x86_64", config)
+        assert results[0].error_kind == "no_makefile"
+
+    def test_missing_header_reported(self, build_system):
+        """amba_net.c needs arm headers: preprocess fails on x86 even if
+        forced; here it's not buildable at all, so use the arm config on
+        a tree where the header vanished."""
+        config = build_system.make_config("arm", "allyesconfig")
+        results = build_system.make_i(["drivers/net/amba_net.c"],
+                                      "arm", config)
+        assert results[0].ok  # header present for arm
+
+    def test_mutated_file_still_preprocesses(self, build_system, tree):
+        mutated = tree["drivers/net/wifi.c"] + '`"type:drivers/net/wifi.c:2"\n'
+        tree["drivers/net/wifi.c"] = mutated
+        config = build_system.make_config("x86_64", "allyesconfig")
+        results = build_system.make_i(["drivers/net/wifi.c"],
+                                      "x86_64", config)
+        assert results[0].ok
+        assert '`"type:drivers/net/wifi.c:2"' in results[0].i_text
+
+    def test_invocation_time_charged(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        before = build_system.clock.total("make_i")
+        build_system.make_i(["drivers/net/wifi.c"], "x86_64", config)
+        assert build_system.clock.total("make_i") > before
+
+    def test_empty_batch_is_free(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        before = build_system.clock.now
+        assert build_system.make_i([], "x86_64", config) == []
+        assert build_system.clock.now == before
+
+    def test_module_macro_for_modular_unit(self, build_system):
+        config = build_system.make_config("x86_64", "allmodconfig")
+        results = build_system.make_i(["drivers/net/e1000.c"],
+                                      "x86_64", config)
+        assert results[0].ok
+        assert "as_module" in results[0].i_text
+
+    def test_no_module_macro_for_builtin(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        results = build_system.make_i(["drivers/net/e1000.c"],
+                                      "x86_64", config)
+        assert "as_module" not in results[0].i_text
+
+
+class TestMakeO:
+    def test_successful_object(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        obj = build_system.make_o("drivers/net/e1000.c", "x86_64", config)
+        assert obj.symbols == ["e1000_probe"]
+
+    def test_mutated_file_fails(self, build_system, tree):
+        tree["drivers/net/wifi.c"] += '`"tag"\n'
+        config = build_system.make_config("x86_64", "allyesconfig")
+        with pytest.raises(BuildError) as excinfo:
+            build_system.make_o("drivers/net/wifi.c", "x86_64", config)
+        assert excinfo.value.kind == "compile_failed"
+
+    def test_no_rule_raises(self, build_system):
+        config = build_system.make_config("x86_64", "small_defconfig")
+        with pytest.raises(BuildError) as excinfo:
+            build_system.make_o("drivers/net/e1000.c", "x86_64", config)
+        assert excinfo.value.kind == "no_rule"
+
+    def test_rebuild_trigger_charges_heavily(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        before = build_system.clock.total("make_o")
+        build_system.make_o("arch/x86/kernel/setup.c", "x86_64", config)
+        assert build_system.clock.total("make_o") - before > 6000
+
+    def test_bootstrap_marking(self, build_system):
+        assert build_system.is_bootstrap("kernel/bounds.c")
+        assert not build_system.is_bootstrap("kernel/sched.c")
+
+
+class TestInvocationLog:
+    def test_invocations_recorded(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        build_system.make_i(["drivers/net/wifi.c"], "x86_64", config)
+        build_system.make_o("drivers/net/wifi.c", "x86_64", config)
+        kinds = [inv.kind for inv in build_system.invocations]
+        assert kinds == ["config", "make_i", "make_o"]
+
+    def test_first_invocation_pays_setup(self, build_system):
+        config = build_system.make_config("x86_64", "allyesconfig")
+        build_system.make_i(["drivers/net/wifi.c"], "x86_64", config)
+        first = build_system.invocations[-1].duration
+        build_system.make_i(["drivers/net/wifi.c"], "x86_64", config)
+        second = build_system.invocations[-1].duration
+        assert first > second

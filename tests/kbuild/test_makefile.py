@@ -1,0 +1,141 @@
+"""Tests for Kbuild Makefile parsing."""
+
+from repro.kbuild.makefile import KbuildMakefile
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config
+
+SAMPLE = """\
+# drivers/net/Makefile
+obj-y += core.o
+obj-m += always_mod.o
+obj-$(CONFIG_E1000) += e1000.o
+obj-$(CONFIG_WIFI) += wireless/
+obj-$(CONFIG_BONDING) += bonding.o
+
+bonding-objs := bond_main.o bond_sysfs.o
+multi-y := part_a.o
+multi-$(CONFIG_MULTI_EXTRA) += part_b.o
+obj-$(CONFIG_MULTI) += multi.o
+
+ccflags-y += -DDEBUG
+"""
+
+
+def cfg(**values):
+    config = Config()
+    for name, letter in values.items():
+        config.set(name, Tristate.from_letter(letter))
+    return config
+
+
+class TestParse:
+    def test_object_rules(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        targets = {rule.target for rule in makefile.object_rules()}
+        assert targets == {"core.o", "always_mod.o", "e1000.o",
+                           "bonding.o", "multi.o"}
+
+    def test_subdir_rules(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        subdirs = makefile.subdir_rules()
+        assert [rule.target for rule in subdirs] == ["wireless/"]
+        assert subdirs[0].condition == "WIFI"
+
+    def test_conditions(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        by_target = {rule.target: rule for rule in makefile.object_rules()}
+        assert by_target["core.o"].condition is None
+        assert by_target["e1000.o"].condition == "E1000"
+
+    def test_composites(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert "bonding" in makefile.composites
+        members = {rule.target for rule in makefile.composites["bonding"]}
+        assert members == {"bond_main.o", "bond_sysfs.o"}
+
+    def test_kbuild_style_composite(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        members = {rule.target for rule in makefile.composites["multi"]}
+        assert members == {"part_a.o", "part_b.o"}
+
+    def test_flag_lines_not_composites(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert "ccflags" not in makefile.composites
+
+    def test_mentioned_config_vars_in_order(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.mentioned_config_vars == \
+            ["E1000", "WIFI", "BONDING", "MULTI_EXTRA", "MULTI"]
+
+    def test_comments_ignored(self):
+        makefile = KbuildMakefile.parse("# obj-$(CONFIG_GHOST) += g.o\n")
+        assert makefile.objects == []
+        assert makefile.mentioned_config_vars == []
+
+
+class TestRuleForSource:
+    def test_direct_object(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        rule = makefile.rule_for_source("e1000.c")
+        assert rule is not None
+        assert rule.condition == "E1000"
+
+    def test_unconditional_object(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.rule_for_source("core.c").condition is None
+
+    def test_composite_member_gets_outer_condition(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        rule = makefile.rule_for_source("bond_main.c")
+        assert rule is not None
+        assert rule.condition == "BONDING"
+
+    def test_unknown_source(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.rule_for_source("ghost.c") is None
+
+
+class TestConfigVarsHeuristic:
+    """The §III-C architecture-hint heuristic."""
+
+    def test_direct_variable(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.config_vars_for_object("e1000.c") == ["E1000"]
+
+    def test_composite_member_collects_both_levels(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        variables = makefile.config_vars_for_object("part_b.c")
+        assert "MULTI_EXTRA" in variables
+        assert "MULTI" in variables
+
+    def test_fallback_to_all_mentioned(self):
+        """'if the previous heuristics do not select any configuration
+        variables, then any configuration variable in the Makefile'."""
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        variables = makefile.config_vars_for_object("core.c")
+        assert variables == ["E1000", "WIFI", "BONDING", "MULTI_EXTRA",
+                             "MULTI"]
+
+
+class TestEnablement:
+    def test_enabled_by_y(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.source_is_enabled("e1000.c", cfg(E1000="y"))
+        assert not makefile.source_is_enabled("e1000.c", cfg())
+
+    def test_enabled_by_m(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.source_is_enabled("e1000.c", cfg(E1000="m"))
+
+    def test_unconditional_always_enabled(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.source_is_enabled("core.c", cfg())
+
+    def test_modular_flag(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.source_is_modular("e1000.c", cfg(E1000="m"))
+        assert not makefile.source_is_modular("e1000.c", cfg(E1000="y"))
+
+    def test_composite_member_modular(self):
+        makefile = KbuildMakefile.parse(SAMPLE, "drivers/net")
+        assert makefile.source_is_modular("bond_main.c", cfg(BONDING="m"))

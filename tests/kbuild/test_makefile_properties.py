@@ -1,0 +1,78 @@
+"""Property-based tests on Kbuild Makefile parsing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kbuild.makefile import KbuildMakefile
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config
+
+object_names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+symbol_names = st.from_regex(r"[A-Z][A-Z0-9_]{0,12}", fullmatch=True)
+
+
+@st.composite
+def makefile_lines(draw):
+    lines = []
+    expected_objects = set()
+    expected_vars = []
+    names = draw(st.lists(object_names, min_size=1, max_size=10,
+                          unique=True))
+    for name in names:
+        kind = draw(st.sampled_from(["y", "m", "config"]))
+        if kind == "config":
+            symbol = draw(symbol_names)
+            lines.append(f"obj-$(CONFIG_{symbol}) += {name}.o")
+            if symbol not in expected_vars:
+                expected_vars.append(symbol)
+        else:
+            lines.append(f"obj-{kind} += {name}.o")
+        expected_objects.add(f"{name}.o")
+    return "\n".join(lines) + "\n", expected_objects, expected_vars
+
+
+# Conditions can legitimately collide with object names only when the
+# same stem appears twice; the strategy keeps stems unique, so each
+# source has exactly one governing rule.
+
+
+class TestParserProperties:
+    @given(makefile_lines())
+    @settings(max_examples=80)
+    def test_all_objects_recovered(self, case):
+        text, expected_objects, _ = case
+        makefile = KbuildMakefile.parse(text)
+        parsed = {rule.target for rule in makefile.object_rules()}
+        assert parsed == expected_objects
+
+    @given(makefile_lines())
+    @settings(max_examples=80)
+    def test_all_config_vars_recovered_in_order(self, case):
+        text, _, expected_vars = case
+        makefile = KbuildMakefile.parse(text)
+        assert makefile.mentioned_config_vars == expected_vars
+
+    @given(makefile_lines())
+    @settings(max_examples=60)
+    def test_unconditional_objects_always_enabled(self, case):
+        text, _, _ = case
+        makefile = KbuildMakefile.parse(text)
+        empty = Config()
+        for rule in makefile.object_rules():
+            if rule.condition is None:
+                assert makefile.source_is_enabled(
+                    rule.target[:-2] + ".c", empty)
+
+    @given(makefile_lines(), st.sampled_from(["y", "m", "n"]))
+    @settings(max_examples=60)
+    def test_conditional_enablement_matches_config(self, case, letter):
+        text, _, _ = case
+        makefile = KbuildMakefile.parse(text)
+        for rule in makefile.object_rules():
+            if rule.condition is None:
+                continue
+            config = Config()
+            config.set(rule.condition, Tristate.from_letter(letter))
+            enabled = makefile.source_is_enabled(
+                rule.target[:-2] + ".c", config)
+            assert enabled == (letter != "n")
+            break

@@ -1,0 +1,75 @@
+"""Tests for the simulated cost model against the paper's constants."""
+
+from repro.kbuild.timing import CostModel
+
+
+class TestDeterminism:
+    def test_same_inputs_same_cost(self):
+        model = CostModel()
+        a = model.i_cost("x86_64", [("drivers/a.c", 4000)],
+                         first_invocation=True)
+        b = model.i_cost("x86_64", [("drivers/a.c", 4000)],
+                         first_invocation=True)
+        assert a == b
+
+    def test_different_paths_different_noise(self):
+        model = CostModel()
+        a = model.o_cost("x86_64", "drivers/a.c", 4000,
+                         first_invocation=False)
+        b = model.o_cost("x86_64", "drivers/b.c", 4000,
+                         first_invocation=False)
+        assert a != b
+
+
+class TestPaperConstants:
+    def test_config_cost_under_five_seconds(self):
+        """Fig. 4a: all configuration creations complete within 5 s."""
+        model = CostModel()
+        for arch in ("x86_64", "arm", "powerpc", "mips"):
+            for target in ("allyesconfig", "allmodconfig", "a_defconfig"):
+                assert model.config_cost(arch, target, 1500) <= 5.0
+
+    def test_setup_ops_match_paper(self):
+        """§III-D: over 80 set-up operations for x86, over 60 for arm."""
+        model = CostModel()
+        assert model.setup_ops("x86_64") > 80
+        assert model.setup_ops("arm") > 60
+
+    def test_first_invocation_costs_more(self):
+        model = CostModel()
+        first = model.setup_cost("x86_64", first_invocation=True)
+        later = model.setup_cost("x86_64", first_invocation=False)
+        assert first > later * 5
+
+    def test_single_file_i_under_fifteen_seconds(self):
+        model = CostModel()
+        cost = model.i_cost("x86_64", [("drivers/a.c", 20_000)],
+                            first_invocation=True)
+        assert cost <= 15.0
+
+    def test_large_batch_i_can_exceed_fifteen(self):
+        """Fig. 4b's tail: full 50-file batches go up to ~22 s."""
+        model = CostModel()
+        batch = [(f"drivers/f{i}.c", 2_000) for i in range(50)]
+        cost = model.i_cost("x86_64", batch, first_invocation=True)
+        assert 15.0 < cost <= 22.5
+
+    def test_typical_o_cost_under_seven(self):
+        model = CostModel()
+        cost = model.o_cost("x86_64", "drivers/a.c", 8_000,
+                            first_invocation=False)
+        assert cost <= 7.0
+
+    def test_large_o_under_fifteen(self):
+        model = CostModel()
+        cost = model.o_cost("x86_64", "drivers/huge.c", 100_000,
+                            first_invocation=True)
+        assert cost <= 15.0
+
+    def test_whole_kernel_rebuild_outlier(self):
+        """Fig. 4c: the prom_init.c analogue exceeds 6000 s."""
+        model = CostModel()
+        cost = model.o_cost("powerpc", "arch/powerpc/kernel/prom_init.c",
+                            5_000, first_invocation=True,
+                            triggers_whole_kernel_rebuild=True)
+        assert cost > 6000.0

@@ -1,0 +1,43 @@
+"""Tests for the diffconfig-style configuration diff."""
+
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config, config_diff
+
+
+def cfg(**values):
+    config = Config()
+    for name, letter in values.items():
+        config.set(name, Tristate.from_letter(letter))
+    return config
+
+
+class TestConfigDiff:
+    def test_no_changes(self):
+        assert config_diff(cfg(A="y"), cfg(A="y")) == []
+
+    def test_value_change(self):
+        assert config_diff(cfg(A="y"), cfg(A="n")) == ["A y -> n"]
+
+    def test_added_symbol(self):
+        assert config_diff(cfg(), cfg(B="m")) == ["+B m"]
+
+    def test_dropped_symbol(self):
+        assert config_diff(cfg(B="m"), cfg()) == ["-B m"]
+
+    def test_scalar_change(self):
+        old = Config(scalar_values={"LOG": "17"})
+        new = Config(scalar_values={"LOG": "18"})
+        assert config_diff(old, new) == ["LOG '17' -> '18'"]
+
+    def test_targeted_vs_allyes_explains_rescue(self):
+        """The intended use: show what a covering config flipped."""
+        from repro.kconfig.model import ConfigModel
+        from repro.kconfig.solver import allyesconfig, targeted_config
+        model = ConfigModel.from_kconfig(
+            "config EXTRA\n\tbool\n\tdefault y\n"
+            "config LEAN\n\tbool\n\tdepends on !EXTRA\n")
+        allyes = allyesconfig(model)
+        targeted = targeted_config(model, {"LEAN"}, {"EXTRA"})
+        diff = config_diff(allyes, targeted)
+        assert "EXTRA y -> n" in diff
+        assert "LEAN n -> y" in diff

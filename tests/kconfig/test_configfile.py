@@ -1,0 +1,82 @@
+"""Tests for .config parsing/serialization and autoconf macros."""
+
+import pytest
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config, parse_config_text
+
+
+class TestParse:
+    def test_tristate_values(self):
+        config = parse_config_text(
+            "CONFIG_A=y\nCONFIG_B=m\nCONFIG_C=n\n")
+        assert config.tristate("A") == Tristate.Y
+        assert config.tristate("B") == Tristate.M
+        assert config.tristate("C") == Tristate.N
+
+    def test_not_set_comment(self):
+        config = parse_config_text("# CONFIG_FOO is not set\n")
+        assert config.tristate("FOO") == Tristate.N
+        assert "FOO" in config.values
+
+    def test_string_value(self):
+        config = parse_config_text('CONFIG_LOCALVERSION="-rc1"\n')
+        assert config.scalar_values["LOCALVERSION"] == "-rc1"
+
+    def test_int_value(self):
+        config = parse_config_text("CONFIG_LOG_SHIFT=17\n")
+        assert config.scalar_values["LOG_SHIFT"] == "17"
+
+    def test_blank_and_comment_lines_skipped(self):
+        config = parse_config_text("\n# a note\n\nCONFIG_A=y\n")
+        assert config.tristate("A") == Tristate.Y
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(KconfigError):
+            parse_config_text("NOT_A_CONFIG_LINE\n")
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(KconfigError):
+            parse_config_text("CONFIG_A\n")
+
+    def test_later_line_wins(self):
+        config = parse_config_text(
+            "CONFIG_A=y\n# CONFIG_A is not set\n")
+        assert config.tristate("A") == Tristate.N
+
+
+class TestAutoconf:
+    def test_y_defines_plain_macro(self):
+        config = Config(values={"PCI": Tristate.Y})
+        assert config.autoconf_macros() == {"CONFIG_PCI": "1"}
+
+    def test_m_defines_module_macro(self):
+        config = Config(values={"E1000": Tristate.M})
+        assert config.autoconf_macros() == {"CONFIG_E1000_MODULE": "1"}
+
+    def test_n_defines_nothing(self):
+        config = Config(values={"OFF": Tristate.N})
+        assert config.autoconf_macros() == {}
+
+    def test_scalars_become_values(self):
+        config = Config(scalar_values={"LOG_SHIFT": "17"})
+        assert config.autoconf_macros() == {"CONFIG_LOG_SHIFT": "17"}
+
+
+class TestQueries:
+    def test_enabled_builtin_modular(self):
+        config = Config(values={"A": Tristate.Y, "B": Tristate.M,
+                                "C": Tristate.N})
+        assert config.enabled("A") and config.enabled("B")
+        assert not config.enabled("C")
+        assert config.builtin("A") and not config.builtin("B")
+        assert config.modular("B") and not config.modular("A")
+
+    def test_unknown_symbol_is_n(self):
+        assert Config().tristate("GHOST") == Tristate.N
+
+    def test_enabled_count(self):
+        config = Config(values={"A": Tristate.Y, "B": Tristate.M,
+                                "C": Tristate.N})
+        assert config.enabled_count() == 2

@@ -1,0 +1,106 @@
+"""Tests for menuconfig, if/endif blocks, range, and allnoconfig."""
+
+import pytest
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import Tristate
+from repro.kconfig.model import ConfigModel
+from repro.kconfig.parser import parse_kconfig
+from repro.kconfig.solver import allnoconfig, allyesconfig
+
+
+def model_from(text):
+    return ConfigModel.from_kconfig(text)
+
+
+class TestMenuconfig:
+    def test_parsed_like_config(self):
+        symbols = parse_kconfig(
+            'menuconfig NETDEVICES\n\tbool "Network devices"\n')
+        assert symbols[0].name == "NETDEVICES"
+        assert symbols[0].prompt == "Network devices"
+
+
+class TestIfBlocks:
+    def test_wraps_dependencies(self):
+        text = ("config NET\n\tbool\n"
+                "if NET\n"
+                "config VLAN\n\tbool\n"
+                "endif\n"
+                "config UNRELATED\n\tbool\n")
+        model = model_from(text)
+        assert model.get("VLAN").depends_on is not None
+        assert "NET" in model.get("VLAN").depends_on.symbols()
+        assert model.get("UNRELATED").depends_on is None
+
+    def test_combines_with_own_depends(self):
+        text = ("config NET\n\tbool\nconfig PCI\n\tbool\n"
+                "if NET\nconfig E100\n\tbool\n\tdepends on PCI\nendif\n")
+        model = model_from(text)
+        deps = model.get("E100").depends_on.symbols()
+        assert deps == {"NET", "PCI"}
+
+    def test_nested_if(self):
+        text = ("config A\n\tbool\nconfig B\n\tbool\n"
+                "if A\nif B\nconfig C\n\tbool\nendif\nendif\n")
+        model = model_from(text)
+        assert model.get("C").depends_on.symbols() == {"A", "B"}
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("if A\nconfig B\n\tbool\n")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("endif\n")
+
+    def test_solver_respects_if_guard(self):
+        text = ("config GATE\n\tbool\n\tdepends on NEVER\n"
+                "if GATE\nconfig GUARDED\n\tbool\nendif\n")
+        config = allyesconfig(model_from(text))
+        assert config.tristate("GUARDED") == Tristate.N
+
+
+class TestRange:
+    def test_recorded(self):
+        symbols = parse_kconfig(
+            "config LOG_BUF_SHIFT\n\tint\n\trange 12 25\n\tdefault 17\n")
+        assert symbols[0].value_range == ("12", "25")
+        assert symbols[0].default_value == "17"
+
+
+class TestAllnoconfig:
+    BASIC = ("config VISIBLE\n\tbool \"prompt\"\n\tdefault y\n"
+             "config HIDDEN\n\tbool\n\tdefault y\n"
+             "config SELECTOR\n\tbool\n\tdefault y\n\tselect FORCED\n"
+             "config FORCED\n\tbool\n"
+             "config COUNT\n\tint\n\tdefault 4\n")
+
+    def test_visible_symbols_off(self):
+        config = allnoconfig(model_from(self.BASIC))
+        assert config.tristate("VISIBLE") == Tristate.N
+
+    def test_promptless_defaults_kept(self):
+        config = allnoconfig(model_from(self.BASIC))
+        assert config.tristate("HIDDEN") == Tristate.Y
+
+    def test_selects_propagate(self):
+        config = allnoconfig(model_from(self.BASIC))
+        assert config.tristate("FORCED") == Tristate.Y
+
+    def test_scalars_kept(self):
+        config = allnoconfig(model_from(self.BASIC))
+        assert config.scalar_values["COUNT"] == "4"
+
+    def test_build_system_target(self):
+        """allnoconfig is reachable through make_config."""
+        from repro.kbuild.build import BuildSystem
+        from repro.kernel.generator import generate_tree
+        tree = generate_tree()
+        build = BuildSystem(tree.provider(),
+                            path_lister=lambda: sorted(tree.files))
+        config = build.make_config("x86_64", "allnoconfig")
+        # driver symbols have prompts: all off
+        assert not config.enabled("NETDRV_NETDRV0")
+        allyes = build.make_config("x86_64", "allyesconfig")
+        assert config.enabled_count() < allyes.enabled_count()

@@ -1,0 +1,193 @@
+"""Tests for the Kconfig language parser."""
+
+import pytest
+
+from repro.errors import KconfigError
+from repro.kconfig.ast import SymbolType, Tristate
+from repro.kconfig.parser import parse_expr, parse_kconfig
+
+
+class TestConfigEntries:
+    def test_bool_with_prompt(self):
+        symbols = parse_kconfig('config PCI\n\tbool "PCI support"\n')
+        assert len(symbols) == 1
+        assert symbols[0].name == "PCI"
+        assert symbols[0].type is SymbolType.BOOL
+        assert symbols[0].prompt == "PCI support"
+
+    def test_tristate(self):
+        symbols = parse_kconfig('config E1000\n\ttristate "Intel NIC"\n')
+        assert symbols[0].type is SymbolType.TRISTATE
+
+    def test_int_with_default(self):
+        symbols = parse_kconfig(
+            'config LOG_BUF_SHIFT\n\tint "Log size"\n\tdefault 17\n')
+        assert symbols[0].type is SymbolType.INT
+        assert symbols[0].default_value == "17"
+
+    def test_string_with_default(self):
+        symbols = parse_kconfig(
+            'config LOCALVERSION\n\tstring\n\tdefault "-dirty"\n')
+        assert symbols[0].default_value == "-dirty"
+
+    def test_depends_on(self):
+        symbols = parse_kconfig(
+            "config A\n\tbool\n\tdepends on B && !C\n")
+        dep = symbols[0].depends_on
+        assert dep is not None
+        assert dep.symbols() == {"B", "C"}
+
+    def test_multiple_depends_anded(self):
+        symbols = parse_kconfig(
+            "config A\n\tbool\n\tdepends on B\n\tdepends on C\n")
+        assert symbols[0].depends_on.symbols() == {"B", "C"}
+
+    def test_select(self):
+        symbols = parse_kconfig(
+            "config A\n\tbool\n\tselect B\n\tselect C if D\n")
+        assert symbols[0].selects == ["B", "C"]
+
+    def test_default_y(self):
+        symbols = parse_kconfig("config A\n\tbool\n\tdefault y\n")
+        assert symbols[0].default is not None
+        assert symbols[0].default.evaluate({}) == Tristate.Y
+
+    def test_help_text_collected(self):
+        text = ("config A\n\tbool\n\thelp\n"
+                "\t  This is help.\n\t  More help.\n"
+                "config B\n\tbool\n")
+        symbols = parse_kconfig(text)
+        assert "This is help." in symbols[0].help_text
+        assert len(symbols) == 2
+
+    def test_source_file_recorded(self):
+        symbols = parse_kconfig("config A\n\tbool\n", path="drivers/Kconfig")
+        assert symbols[0].source_file == "drivers/Kconfig"
+
+    def test_comments_and_menus_ignored(self):
+        text = ('# a comment\nmainmenu "Linux"\nmenu "Drivers"\n'
+                "config A\n\tbool\nendmenu\n")
+        symbols = parse_kconfig(text)
+        assert [s.name for s in symbols] == ["A"]
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("config A\n\tbool\n\tfrobnicate yes\n")
+
+    def test_attribute_without_config_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("\tselect B\n")
+
+
+class TestChoice:
+    def test_members_tagged(self):
+        text = ("choice\n\tprompt \"CPU\"\n"
+                "config CPU_LITTLE\n\tbool \"LE\"\n"
+                "config CPU_BIG\n\tbool \"BE\"\n"
+                "endchoice\n"
+                "config OTHER\n\tbool\n")
+        symbols = parse_kconfig(text)
+        by_name = {s.name: s for s in symbols}
+        assert by_name["CPU_LITTLE"].choice_group is not None
+        assert by_name["CPU_LITTLE"].choice_group == \
+            by_name["CPU_BIG"].choice_group
+        assert by_name["OTHER"].choice_group is None
+
+    def test_named_choice(self):
+        text = "choice ENDIAN\nconfig LE\n\tbool\nendchoice\n"
+        symbols = parse_kconfig(text)
+        assert symbols[0].choice_group == "ENDIAN"
+
+    def test_unterminated_choice_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("choice\nconfig A\n\tbool\n")
+
+    def test_stray_endchoice_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig("endchoice\n")
+
+
+class TestSource:
+    def test_source_directive(self):
+        files = {"drivers/Kconfig": "config DRIVER_A\n\tbool\n"}
+        symbols = parse_kconfig(
+            'config TOP\n\tbool\nsource "drivers/Kconfig"\n',
+            provider=files.get)
+        assert [s.name for s in symbols] == ["TOP", "DRIVER_A"]
+        assert symbols[1].source_file == "drivers/Kconfig"
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig('source "gone/Kconfig"\n', provider=lambda p: None)
+
+    def test_source_without_provider_raises(self):
+        with pytest.raises(KconfigError):
+            parse_kconfig('source "x/Kconfig"\n')
+
+    def test_nested_sources(self):
+        files = {
+            "a/Kconfig": 'config A\n\tbool\nsource "b/Kconfig"\n',
+            "b/Kconfig": "config B\n\tbool\n",
+        }
+        symbols = parse_kconfig('source "a/Kconfig"\n', provider=files.get)
+        assert [s.name for s in symbols] == ["A", "B"]
+
+    def test_source_cycle_limited(self):
+        files = {"a/Kconfig": 'source "a/Kconfig"\n'}
+        with pytest.raises(KconfigError):
+            parse_kconfig('source "a/Kconfig"\n', provider=files.get)
+
+
+class TestExpressions:
+    def test_symbol(self):
+        expr = parse_expr("FOO")
+        assert expr.evaluate({"FOO": Tristate.Y}) == Tristate.Y
+        assert expr.evaluate({}) == Tristate.N
+
+    def test_not(self):
+        expr = parse_expr("!FOO")
+        assert expr.evaluate({}) == Tristate.Y
+        assert expr.evaluate({"FOO": Tristate.Y}) == Tristate.N
+        assert expr.evaluate({"FOO": Tristate.M}) == Tristate.M
+
+    def test_and_is_min(self):
+        expr = parse_expr("A && B")
+        assert expr.evaluate({"A": Tristate.Y, "B": Tristate.M}) == Tristate.M
+
+    def test_or_is_max(self):
+        expr = parse_expr("A || B")
+        assert expr.evaluate({"A": Tristate.N, "B": Tristate.M}) == Tristate.M
+
+    def test_parentheses(self):
+        expr = parse_expr("A && (B || C)")
+        assert expr.evaluate({"A": Tristate.Y, "C": Tristate.Y}) == Tristate.Y
+
+    def test_constants(self):
+        assert parse_expr("y").evaluate({}) == Tristate.Y
+        assert parse_expr("n").evaluate({}) == Tristate.N
+        assert parse_expr("m").evaluate({}) == Tristate.M
+
+    def test_equals_y(self):
+        expr = parse_expr("FOO = y")
+        assert expr.evaluate({"FOO": Tristate.Y}) == Tristate.Y
+
+    def test_equals_n_means_not(self):
+        expr = parse_expr("FOO = n")
+        assert expr.evaluate({}) == Tristate.Y
+        assert expr.evaluate({"FOO": Tristate.Y}) == Tristate.N
+
+    def test_not_equals(self):
+        expr = parse_expr("FOO != y")
+        assert expr.evaluate({}) == Tristate.Y
+
+    def test_empty_raises(self):
+        with pytest.raises(KconfigError):
+            parse_expr("")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(KconfigError):
+            parse_expr("A B")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(KconfigError):
+            parse_expr("(A && B")

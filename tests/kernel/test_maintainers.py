@@ -1,0 +1,75 @@
+"""Tests for the MAINTAINERS database."""
+
+from repro.kernel.maintainers import MaintainersDb, MaintainersEntry
+
+
+def sample_db():
+    return MaintainersDb([
+        MaintainersEntry(
+            name="NETWORKING DRIVERS",
+            maintainers=["Net Maintainer <net@example.org>"],
+            lists=["netdev@vger.kernel.org",
+                   "linux-kernel@vger.kernel.org"],
+            file_patterns=["drivers/net/"]),
+        MaintainersEntry(
+            name="E1000 DRIVER",
+            maintainers=["Intel Person <intel@example.org>"],
+            lists=["netdev@vger.kernel.org"],
+            file_patterns=["drivers/net/e1000.c"]),
+        MaintainersEntry(
+            name="HEADERS",
+            maintainers=["Header Person <hdr@example.org>"],
+            lists=["linux-kernel@vger.kernel.org"],
+            file_patterns=["include/linux/*.h"]),
+    ])
+
+
+class TestMatching:
+    def test_directory_pattern_matches_subtree(self):
+        db = sample_db()
+        assert "NETWORKING DRIVERS" in \
+            db.subsystems_for_path("drivers/net/wifi.c")
+
+    def test_exact_pattern(self):
+        db = sample_db()
+        names = db.subsystems_for_path("drivers/net/e1000.c")
+        assert "E1000 DRIVER" in names
+        assert "NETWORKING DRIVERS" in names  # overlapping entries
+
+    def test_glob_pattern(self):
+        db = sample_db()
+        assert db.subsystems_for_path("include/linux/netdevice.h") == \
+            ["HEADERS"]
+        assert db.subsystems_for_path("include/linux/sub/dir.h") == []
+
+    def test_no_match(self):
+        assert sample_db().subsystems_for_path("fs/ext4/inode.c") == []
+
+    def test_lists_deduplicated(self):
+        db = sample_db()
+        lists = db.lists_for_path("drivers/net/e1000.c")
+        assert lists.count("netdev@vger.kernel.org") == 1
+
+    def test_maintainer_emails(self):
+        db = sample_db()
+        emails = db.maintainer_emails_for_path("drivers/net/e1000.c")
+        assert emails == {"net@example.org", "intel@example.org"}
+
+
+class TestRoundTrip:
+    def test_render_parse(self):
+        db = sample_db()
+        reparsed = MaintainersDb.parse(db.render())
+        assert len(reparsed) == len(db)
+        assert reparsed.entries[0].name == "NETWORKING DRIVERS"
+        assert reparsed.entries[0].lists == [
+            "netdev@vger.kernel.org", "linux-kernel@vger.kernel.org"]
+        assert reparsed.entries[0].file_patterns == ["drivers/net/"]
+        assert reparsed.entries[1].maintainers == \
+            ["Intel Person <intel@example.org>"]
+
+    def test_parse_skips_prose(self):
+        text = ("Descriptions of section entries\n\n"
+                "FIRST ENTRY\nM:\tSomeone <s@x.org>\nF:\tfs/\n")
+        db = MaintainersDb.parse(text)
+        assert len(db) == 1

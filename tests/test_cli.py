@@ -1,0 +1,52 @@
+"""Tests for the jmake command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_exits_zero_and_reports(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out
+        assert "useful architectures" in out
+
+
+class TestJanitors:
+    def test_janitors_prints_tables(self, capsys):
+        assert main(["janitors", "--commits", "300",
+                     "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "file cv" in out
+        assert "ground-truth janitors recovered" in out
+
+
+class TestEvaluate:
+    def test_evaluate_prints_all_artifacts(self, capsys):
+        assert main(["evaluate", "--commits", "60", "--limit", "25",
+                     "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Table IV" in out
+        for marker in ("Fig 4a", "Fig 4b", "Fig 4c", "Fig 5", "Fig 6",
+                       "Architecture choice", "Mutation counts",
+                       "Summary", "Bootstrap-file limitation"):
+            assert marker in out, marker
+
+    def test_evaluate_no_configs_flag(self, capsys):
+        assert main(["evaluate", "--commits", "40", "--limit", "10",
+                     "--seed", "cli-test", "--no-configs"]) == 0
+        assert "Summary" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,109 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_string_seed_is_stable(self):
+        a = DeterministicRng("corpus-v1")
+        b = DeterministicRng("corpus-v1")
+        assert a.seed == b.seed
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_is_order_independent(self):
+        root1 = DeterministicRng(7)
+        root1.random()  # consume state on the root stream
+        fork_after = root1.fork("commits")
+
+        root2 = DeterministicRng(7)
+        fork_before = root2.fork("commits")
+
+        assert fork_after.randint(0, 10**9) == fork_before.randint(0, 10**9)
+
+    def test_forks_are_independent_by_namespace(self):
+        root = DeterministicRng(7)
+        a = root.fork("a")
+        b = root.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_label_tracks_lineage(self):
+        root = DeterministicRng(7)
+        child = root.fork("tree").fork("drivers")
+        assert child.label == "root/tree/drivers"
+
+
+class TestDraws:
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    def test_bernoulli_bounds(self):
+        rng = DeterministicRng(0)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+        with pytest.raises(ValueError):
+            rng.bernoulli(-0.1)
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(0)
+        assert not any(rng.bernoulli(0.0) for _ in range(100))
+        assert all(rng.bernoulli(1.0) for _ in range(100))
+
+    def test_weighted_choice_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).weighted_choice(["a", "b"], [1.0])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRng(3)
+        draws = {rng.weighted_choice(["a", "b"], [0.0, 1.0])
+                 for _ in range(50)}
+        assert draws == {"b"}
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_zipf_rank_in_range(self, n):
+        rng = DeterministicRng(5)
+        for _ in range(20):
+            assert 0 <= rng.zipf_rank(n) < n
+
+    def test_zipf_rank_biased_toward_zero(self):
+        rng = DeterministicRng(11)
+        draws = [rng.zipf_rank(100, skew=1.2) for _ in range(2000)]
+        count_low = sum(1 for draw in draws if draw < 10)
+        count_high = sum(1 for draw in draws if draw >= 90)
+        assert count_low > count_high * 3
+
+    def test_zipf_rank_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).zipf_rank(0)
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_randint_inclusive_bounds(self, low, high):
+        if low > high:
+            low, high = high, low
+        value = DeterministicRng(9).randint(low, high)
+        assert low <= value <= high
+
+    def test_sample_without_replacement(self):
+        rng = DeterministicRng(1)
+        drawn = rng.sample(range(10), 10)
+        assert sorted(drawn) == list(range(10))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(1)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))

@@ -1,0 +1,67 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.util.simclock import SimClock, StepTimer
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_charge_advances(self):
+        clock = SimClock()
+        clock.charge("config", 5.0)
+        clock.charge("make_i", 2.5)
+        assert clock.now == 7.5
+
+    def test_charge_records_spans(self):
+        clock = SimClock()
+        span = clock.charge("config", 5.0)
+        assert span.start == 0.0
+        assert span.end == 5.0
+        assert clock.spans[0].label == "config"
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("x", -1.0)
+
+    def test_zero_charge_allowed(self):
+        clock = SimClock()
+        clock.charge("noop", 0.0)
+        assert clock.now == 0.0
+        assert len(clock.spans) == 1
+
+    def test_durations_filter_by_label(self):
+        clock = SimClock()
+        clock.charge("a", 1.0)
+        clock.charge("b", 2.0)
+        clock.charge("a", 3.0)
+        assert clock.durations("a") == [1.0, 3.0]
+        assert clock.total("a") == 4.0
+        assert clock.total() == 6.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge("a", 1.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.spans == []
+
+
+class TestStepTimer:
+    def test_charges_on_exit(self):
+        clock = SimClock()
+        with StepTimer(clock, "make_o") as timer:
+            timer.cost = 4.0
+        assert clock.total("make_o") == 4.0
+        assert timer.span is not None
+        assert timer.span.duration == 4.0
+
+    def test_no_charge_on_exception(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with StepTimer(clock, "make_o") as timer:
+                timer.cost = 4.0
+                raise RuntimeError("boom")
+        assert clock.total() == 0.0

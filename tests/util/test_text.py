@@ -1,0 +1,70 @@
+"""Tests for text helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.text import (
+    ends_with_continuation,
+    join_spliced_lines,
+    split_lines_keepends,
+)
+
+
+class TestSplitLines:
+    def test_empty(self):
+        assert split_lines_keepends("") == []
+
+    def test_trailing_newline(self):
+        assert split_lines_keepends("a\nb\n") == ["a\n", "b\n"]
+
+    def test_no_trailing_newline(self):
+        assert split_lines_keepends("a\nb") == ["a\n", "b"]
+
+    def test_single_newline(self):
+        assert split_lines_keepends("\n") == ["\n"]
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\r"),
+                   max_size=200))
+    def test_roundtrip(self, text):
+        assert "".join(split_lines_keepends(text)) == text
+
+
+class TestContinuation:
+    def test_plain_line(self):
+        assert not ends_with_continuation("int x;\n")
+
+    def test_backslash(self):
+        assert ends_with_continuation("#define M(x) \\\n")
+
+    def test_backslash_with_trailing_spaces(self):
+        # gcc warns but accepts; we treat trailing blanks as continuation.
+        assert ends_with_continuation("#define M(x) \\   \n")
+
+    def test_backslash_mid_line(self):
+        assert not ends_with_continuation("char *s = \"a\\n\";\n")
+
+
+class TestJoinSpliced:
+    def test_simple_join(self):
+        lines = ["#define M(x) \\\n", "  ((x) + 1)\n", "int y;\n"]
+        logical, nxt = join_spliced_lines(lines, 0)
+        assert logical == "#define M(x)   ((x) + 1)"
+        assert nxt == 2
+
+    def test_no_continuation(self):
+        lines = ["int x;\n"]
+        logical, nxt = join_spliced_lines(lines, 0)
+        assert logical == "int x;"
+        assert nxt == 1
+
+    def test_continuation_at_eof_kept_literal(self):
+        lines = ["#define M \\\n"]
+        logical, nxt = join_spliced_lines(lines, 0)
+        # Nothing to splice with: the backslash stays.
+        assert logical.endswith("\\")
+        assert nxt == 1
+
+    def test_multi_level_splice(self):
+        lines = ["a \\\n", "b \\\n", "c\n"]
+        logical, nxt = join_spliced_lines(lines, 0)
+        assert logical == "a b c"
+        assert nxt == 3

@@ -1,0 +1,57 @@
+"""Tests for patch stats and log author filtering."""
+
+from repro.vcs.diff import Patch, diff_texts
+from repro.vcs.objects import Signature, Tree
+from repro.vcs.repository import Repository
+
+
+class TestPatchStats:
+    def test_counts(self):
+        old = "a\nb\nc\n"
+        new = "a\nB\nc\nd\n"
+        patch = Patch(files=[diff_texts("f.c", old, new,
+                                        ignore_whitespace=False)])
+        stats = patch.stats()
+        assert stats.files_changed == 1
+        assert stats.insertions == 2   # B and d
+        assert stats.deletions == 1    # b
+
+    def test_empty_patch(self):
+        stats = Patch().stats()
+        assert (stats.files_changed, stats.insertions,
+                stats.deletions) == (0, 0, 0)
+
+    def test_render(self):
+        old, new = "a\n", "b\n"
+        patch = Patch(files=[diff_texts("f.c", old, new)])
+        assert "1 file(s) changed" in patch.stats().render()
+
+
+class TestAuthorFilter:
+    def make_repo(self):
+        repo = Repository()
+        files = {"a.c": "int a;\n"}
+        repo.commit(Tree(files), Signature(
+            "Base", "base@x.org", "2015-01-01T00:00:00"), "base")
+        for index, (name, email) in enumerate(
+                [("Alice", "alice@x.org"), ("Bob", "bob@x.org"),
+                 ("Alice", "alice@x.org")]):
+            files = dict(files)
+            files["a.c"] = f"int a{index};\n"
+            repo.commit(Tree(files), Signature(
+                name, email, f"2015-01-0{index + 2}T00:00:00"),
+                f"change {index}")
+        return repo
+
+    def test_filter_by_email(self):
+        repo = self.make_repo()
+        assert len(repo.log(author="alice@x.org")) == 2
+        assert len(repo.log(author="bob@x.org")) == 1
+
+    def test_filter_by_name(self):
+        repo = self.make_repo()
+        assert len(repo.log(author="Alice")) == 2
+
+    def test_unknown_author_empty(self):
+        repo = self.make_repo()
+        assert repo.log(author="nobody@x.org") == []

@@ -1,0 +1,83 @@
+"""Tests for trees and commits."""
+
+import pytest
+
+from repro.vcs.objects import Commit, Signature, Tree
+
+
+def sig(name="Dev", email="dev@example.org", date="2015-11-10T00:00:00"):
+    return Signature(name=name, email=email, date=date)
+
+
+class TestTree:
+    def test_ids_depend_on_content(self):
+        a = Tree({"f.c": "int x;\n"})
+        b = Tree({"f.c": "int y;\n"})
+        assert a.id != b.id
+
+    def test_ids_stable_across_insertion_order(self):
+        a = Tree(dict([("a.c", "1"), ("b.c", "2")]))
+        b = Tree(dict([("b.c", "2"), ("a.c", "1")]))
+        assert a.id == b.id
+
+    def test_rejects_absolute_paths(self):
+        with pytest.raises(ValueError):
+            Tree({"/etc/passwd": "x"})
+
+    def test_rejects_parent_escapes(self):
+        with pytest.raises(ValueError):
+            Tree({"a/../b.c": "x"})
+
+    def test_with_files_returns_new_tree(self):
+        base = Tree({"a.c": "1"})
+        updated = base.with_files({"b.c": "2"})
+        assert "b.c" not in base
+        assert updated["b.c"] == "2"
+        assert updated["a.c"] == "1"
+
+    def test_without_files(self):
+        base = Tree({"a.c": "1", "b.c": "2"})
+        trimmed = base.without_files(["a.c"])
+        assert "a.c" not in trimmed
+        assert "b.c" in trimmed
+
+    def test_glob_by_suffix_and_prefix(self):
+        tree = Tree({
+            "drivers/net/a.c": "",
+            "drivers/net/a.h": "",
+            "fs/ext4/b.c": "",
+        })
+        assert tree.glob(suffix=".c") == ["drivers/net/a.c", "fs/ext4/b.c"]
+        assert tree.glob(prefix="drivers") == ["drivers/net/a.c",
+                                               "drivers/net/a.h"]
+        assert tree.glob(prefix="drivers/", suffix=".h") == ["drivers/net/a.h"]
+
+    def test_iteration_is_sorted(self):
+        tree = Tree({"z.c": "", "a.c": ""})
+        assert list(tree) == ["a.c", "z.c"]
+
+    def test_get_default(self):
+        tree = Tree({})
+        assert tree.get("missing") is None
+        assert tree.get("missing", "dflt") == "dflt"
+
+
+class TestCommit:
+    def test_id_changes_with_message(self):
+        tree = Tree({"a.c": "1"})
+        c1 = Commit(tree=tree, author=sig(), message="one")
+        c2 = Commit(tree=tree, author=sig(), message="two")
+        assert c1.id != c2.id
+
+    def test_merge_detection(self):
+        tree = Tree({})
+        root = Commit(tree=tree, author=sig(), message="root")
+        merge = Commit(tree=tree, author=sig(), message="merge",
+                       parents=(root.id, root.id))
+        assert not root.is_merge
+        assert merge.is_merge
+
+    def test_subject_is_first_line(self):
+        commit = Commit(tree=Tree({}), author=sig(),
+                        message="fix: things\n\nLong body.")
+        assert commit.subject == "fix: things"

@@ -1,0 +1,176 @@
+"""Tests for repository history, log filtering, and worktrees."""
+
+import pytest
+
+from repro.errors import VcsError
+from repro.vcs.diff import diff_texts, Patch
+from repro.vcs.objects import Signature, Tree
+from repro.vcs.repository import LogOptions, Repository
+
+
+def sig(name="Dev", email="dev@example.org", date="2015-11-10T00:00:00"):
+    return Signature(name=name, email=email, date=date)
+
+
+@pytest.fixture
+def repo_with_history():
+    repo = Repository()
+    t0 = Tree({"a.c": "int a;\n", "b.c": "int b;\n"})
+    c0 = repo.commit(t0, sig("Base"), "initial")
+    repo.tag("v4.3", c0.id)
+
+    t1 = t0.with_files({"a.c": "int a2;\n"})
+    c1 = repo.commit(t1, sig("Alice"), "change a")
+
+    t2 = t1.with_files({"b.c": "int  b ;\n"})  # whitespace-only
+    c2 = repo.commit(t2, sig("Bob"), "reformat b")
+
+    merge = repo.commit(t2, sig("Linus"), "Merge branch",
+                        parents=(c2.id, c1.id))
+
+    t3 = t2.with_files({"c.c": "int c;\n"})  # pure addition (not a mod)
+    c3 = repo.commit(t3, sig("Carol"), "add c.c")
+
+    t4 = t3.with_files({"c.c": "int c2;\n"})
+    c4 = repo.commit(t4, sig("Dan"), "modify c.c")
+    repo.tag("v4.4", c4.id)
+    return repo, (c0, c1, c2, merge, c3, c4)
+
+
+class TestCommitGraph:
+    def test_implicit_parent_chain(self, repo_with_history):
+        repo, commits = repo_with_history
+        c0, c1 = commits[0], commits[1]
+        assert c1.parents == (c0.id,)
+
+    def test_unknown_parent_rejected(self):
+        repo = Repository()
+        with pytest.raises(VcsError):
+            repo.commit(Tree({}), sig(), "bad", parents=("deadbeef",))
+
+    def test_resolve_by_prefix(self, repo_with_history):
+        repo, commits = repo_with_history
+        target = commits[1]
+        assert repo.resolve(target.id[:12]).id == target.id
+
+    def test_resolve_unknown(self, repo_with_history):
+        repo, _ = repo_with_history
+        with pytest.raises(VcsError):
+            repo.resolve("zzzz")
+
+    def test_tag_resolution(self, repo_with_history):
+        repo, commits = repo_with_history
+        assert repo.resolve("v4.3").id == commits[0].id
+
+    def test_head(self, repo_with_history):
+        repo, commits = repo_with_history
+        assert repo.head().id == commits[-1].id
+
+    def test_empty_repo_head_raises(self):
+        with pytest.raises(VcsError):
+            Repository().head()
+
+
+class TestLog:
+    def test_log_filters_match_paper_invocation(self, repo_with_history):
+        """-w --diff-filter=M --no-merges between the tags."""
+        repo, commits = repo_with_history
+        selected = repo.log(since="v4.3", until="v4.4")
+        messages = [commit.message for commit in selected]
+        # whitespace-only commit dropped by -w; merge dropped; addition
+        # dropped by --diff-filter=M.
+        assert messages == ["change a", "modify c.c"]
+
+    def test_log_without_whitespace_filter(self, repo_with_history):
+        repo, _ = repo_with_history
+        options = LogOptions(ignore_whitespace=False)
+        selected = repo.log(since="v4.3", until="v4.4", options=options)
+        assert "reformat b" in [commit.message for commit in selected]
+
+    def test_log_keeps_merges_when_asked(self, repo_with_history):
+        repo, _ = repo_with_history
+        options = LogOptions(no_merges=False, modifications_only=False)
+        selected = repo.log(since="v4.3", until="v4.4", options=options)
+        assert "Merge branch" in [commit.message for commit in selected]
+
+    def test_log_full_range(self, repo_with_history):
+        # The root commit has no parent, so --diff-filter=M drops it too.
+        repo, _ = repo_with_history
+        selected = repo.log()
+        assert [commit.message for commit in selected] == \
+            ["change a", "modify c.c"]
+
+
+class TestShow:
+    def test_show_produces_patch(self, repo_with_history):
+        repo, commits = repo_with_history
+        patch = repo.show(commits[1])
+        assert patch.paths() == ["a.c"]
+        added = patch.files[0].hunks[0].added_lines()
+        assert [line.text for line in added] == ["int a2;"]
+
+    def test_show_by_id_string(self, repo_with_history):
+        repo, commits = repo_with_history
+        patch = repo.show(commits[1].id)
+        assert patch.paths() == ["a.c"]
+
+    def test_show_root_commit_has_no_modifications(self, repo_with_history):
+        repo, commits = repo_with_history
+        assert repo.show(commits[0]).files == []
+
+
+class TestWorktree:
+    def test_checkout_reads_tree(self, repo_with_history):
+        repo, commits = repo_with_history
+        tree = repo.checkout(commits[1])
+        assert tree.read("a.c") == "int a2;\n"
+
+    def test_overlay_write_and_reset(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[1])
+        worktree.write("a.c", "MUTATED\n")
+        assert worktree.read("a.c") == "MUTATED\n"
+        worktree.reset_hard()
+        assert worktree.read("a.c") == "int a2;\n"
+
+    def test_untracked_survives_reset_only_if_not_cleaned(self,
+                                                          repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[1])
+        worktree.write_untracked("a.i", "preprocessed")
+        assert worktree.read("a.i") == "preprocessed"
+        worktree.clean()
+        assert not worktree.exists("a.i")
+
+    def test_overlay_untracked_rejected(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[1])
+        with pytest.raises(VcsError):
+            worktree.write("nonexistent.c", "x")
+
+    def test_missing_read_raises(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[1])
+        with pytest.raises(VcsError):
+            worktree.read("missing.c")
+
+    def test_apply_patch_mutates_overlay(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[0])
+        file_diff = diff_texts("a.c", "int a;\n", "int a; /* note */\n")
+        worktree.apply_patch(Patch(files=[file_diff]))
+        assert worktree.read("a.c") == "int a; /* note */\n"
+
+    def test_file_provider_view(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[0])
+        provider = worktree.as_file_provider()
+        assert provider("a.c") == "int a;\n"
+        assert provider("missing.h") is None
+
+    def test_paths_union(self, repo_with_history):
+        repo, commits = repo_with_history
+        worktree = repo.checkout(commits[0])
+        worktree.write_untracked("gen.i", "")
+        assert "gen.i" in worktree.paths()
+        assert "a.c" in worktree.paths()

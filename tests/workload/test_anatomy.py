@@ -1,0 +1,179 @@
+"""Tests for the source-anatomy scanner and edit primitives."""
+
+import pytest
+
+from repro.kernel.layout import HazardKind
+from repro.workload.anatomy import SourceAnatomy
+
+SAMPLE = """\
+/*
+ * demo driver
+ */
+#include <linux/kernel.h>
+
+#define DEMO_BASE 0x0100
+#define DEMO_UNUSED_SHIFT(x) ((x) << 2)
+
+static int demo_probe(int dev)
+{
+\tint value = 3;
+\treturn value + DEMO_BASE;
+}
+
+#ifdef CONFIG_IOSCHED_DEADLINE
+static int demo_alt(int dev)
+{
+\treturn dev + 2;
+}
+#endif
+
+#ifdef MODULE
+static void demo_cleanup(void)
+{
+\tint unused = 1;
+\treturn;
+}
+#endif
+
+#if 0
+static int demo_dead(void)
+{
+\treturn 9;
+}
+#endif
+
+#ifdef CONFIG_DEMO_EXTRA
+static int demo_fast(int v)
+{
+\treturn v << 1;
+}
+#else
+static int demo_slow(int v)
+{
+\treturn v + 7;
+}
+#endif
+"""
+
+
+@pytest.fixture
+def anatomy():
+    return SourceAnatomy.scan("drivers/demo/demo.c", SAMPLE)
+
+
+class TestScanning:
+    def test_code_lines_found(self, anatomy):
+        texts = [SAMPLE.split("\n")[l - 1] for l in anatomy.code_lines]
+        assert "\tint value = 3;" in texts
+
+    def test_code_lines_exclude_hazard_blocks(self, anatomy):
+        texts = [SAMPLE.split("\n")[l - 1] for l in anatomy.code_lines]
+        assert "\treturn dev + 2;" not in texts
+        assert "\treturn 9;" not in texts
+
+    def test_macro_lines(self, anatomy):
+        texts = [SAMPLE.split("\n")[l - 1] for l in anatomy.macro_lines]
+        assert any("DEMO_BASE" in text for text in texts)
+
+    def test_unused_macro_detected(self, anatomy):
+        assert len(anatomy.unused_macro_lines) == 1
+        line = SAMPLE.split("\n")[anatomy.unused_macro_lines[0] - 1]
+        assert "DEMO_UNUSED_SHIFT" in line
+
+    def test_comment_lines(self, anatomy):
+        assert 2 in anatomy.comment_lines
+
+    def test_hazard_blocks_found(self, anatomy):
+        kinds = {block.kind for block in anatomy.hazard_blocks}
+        assert HazardKind.CHOICE_UNSET in kinds
+        assert HazardKind.MODULE_ONLY in kinds
+        assert HazardKind.IF_ZERO in kinds
+        assert HazardKind.IFDEF_AND_ELSE in kinds
+
+    def test_hazard_lines_editable(self, anatomy):
+        lines = anatomy.hazard_lines(HazardKind.CHOICE_UNSET)
+        texts = [SAMPLE.split("\n")[l - 1] for l in lines]
+        assert "\treturn dev + 2;" in texts
+
+    def test_ifdef_else_pairs(self, anatomy):
+        pairs = anatomy.ifdef_else_pairs()
+        assert len(pairs) == 1
+        block = pairs[0]
+        assert block.body_lines and block.else_lines
+
+    def test_available_hazards(self, anatomy):
+        available = anatomy.available_hazards()
+        assert HazardKind.UNUSED_MACRO in available
+        assert HazardKind.IFDEF_AND_ELSE in available
+
+
+class TestEdits:
+    def test_bump_number(self, anatomy):
+        lineno = anatomy.code_lines[0]
+        new_text = anatomy.bump_number(lineno)
+        assert new_text is not None
+        assert new_text != SAMPLE
+        assert "int value = 4;" in new_text
+
+    def test_bump_hex_number(self, anatomy):
+        macro_line = next(l for l in anatomy.macro_lines
+                          if "DEMO_BASE" in SAMPLE.split("\n")[l - 1])
+        new_text = anatomy.bump_number(macro_line)
+        assert "0x101" in new_text
+
+    def test_bump_preserves_line_count(self, anatomy):
+        new_text = anatomy.bump_number(anatomy.code_lines[0])
+        assert new_text.count("\n") == SAMPLE.count("\n")
+
+    def test_insert_statement(self, anatomy):
+        lineno = anatomy.code_lines[0]
+        new_text = anatomy.insert_statement_after(lineno, "value = 9;")
+        assert new_text.count("\n") == SAMPLE.count("\n") + 1
+        assert "\tvalue = 9;" in new_text
+
+    def test_remove_line(self, anatomy):
+        lineno = anatomy.code_lines[0]
+        new_text = anatomy.remove_line(lineno)
+        assert new_text.count("\n") == SAMPLE.count("\n") - 1
+
+    def test_remove_rejects_non_statement(self, anatomy):
+        brace_line = SAMPLE.split("\n").index("{") + 1
+        assert anatomy.remove_line(brace_line) is None
+
+    def test_edit_comment(self, anatomy):
+        new_text = anatomy.edit_comment(2, "v2")
+        assert "v2" in new_text.split("\n")[1]
+
+    def test_out_of_range_returns_none(self, anatomy):
+        assert anatomy.bump_number(9999) is None
+        assert anatomy.remove_line(0) is None
+
+
+class TestEditedFilesStayValid:
+    """Every edit primitive must keep the file compilable."""
+
+    def compiles(self, text):
+        from repro.cc.compiler import Compiler
+        from repro.cc.toolchain import ToolchainRegistry
+        files = {
+            "drivers/demo/demo.c": text,
+            "include/linux/kernel.h": "#define max(a, b) (a)\n",
+        }
+        registry = ToolchainRegistry()
+        compiler = Compiler(registry.get("x86_64"), files.get,
+                            config_macros={"CONFIG_DEMO_EXTRA": "1"})
+        compiler.compile_object("drivers/demo/demo.c")
+        return True
+
+    def test_original_compiles(self, anatomy):
+        assert self.compiles(SAMPLE)
+
+    def test_bump_keeps_compiling(self, anatomy):
+        assert self.compiles(anatomy.bump_number(anatomy.code_lines[0]))
+
+    def test_insert_keeps_compiling(self, anatomy):
+        assert self.compiles(anatomy.insert_statement_after(
+            anatomy.code_lines[0], "value = value + 1;"))
+
+    def test_remove_keeps_compiling(self, anatomy):
+        assert self.compiles(anatomy.remove_line(anatomy.code_lines[0]))
