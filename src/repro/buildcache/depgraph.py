@@ -1,0 +1,85 @@
+"""The include-dependency graph behind incremental invalidation.
+
+Correctness of a cache probe is established by manifest validation
+(:func:`repro.buildcache.fingerprint.manifest_valid`), which is exact.
+The graph's job is the *incremental* part of the design: instead of
+recomputing every file's include closure per worktree, it remembers the
+closure observed the last time each source was preprocessed, maintains
+the reverse edges, and — fed each commit's diff — answers "which cached
+sources does this change touch" in time proportional to the diff's
+fan-out, not the tree size.
+
+Generations double as cheap staleness telemetry: every time a commit
+touches a file, the generation of every dependent source is bumped, so
+``generation(path)`` counts how often a source's closure has been
+perturbed over a window.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class IncludeDependencyGraph:
+    """Reverse include-closure index with per-source generations."""
+
+    def __init__(self) -> None:
+        #: source path -> closure paths recorded at last preprocess
+        self._closures: dict[str, frozenset[str]] = {}
+        #: closure member -> sources whose closure contains it
+        self._dependents: dict[str, set[str]] = {}
+        #: source path -> number of diff-driven perturbations observed
+        self._generations: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._closures)
+
+    def record(self, source: str, closure: Iterable[str]) -> None:
+        """Register (or refresh) one source's observed include closure.
+
+        The closure should include the source itself; it is added if
+        missing. Re-recording replaces the old edges — a source whose
+        includes changed does not keep phantom dependents.
+        """
+        new_closure = frozenset(closure) | {source}
+        old_closure = self._closures.get(source)
+        if old_closure == new_closure:
+            return
+        if old_closure:
+            for member in old_closure - new_closure:
+                dependents = self._dependents.get(member)
+                if dependents is not None:
+                    dependents.discard(source)
+                    if not dependents:
+                        del self._dependents[member]
+        self._closures[source] = new_closure
+        for member in new_closure:
+            self._dependents.setdefault(member, set()).add(source)
+
+    def closure_of(self, source: str) -> frozenset[str]:
+        """The last recorded closure of a source (empty if unknown)."""
+        return self._closures.get(source, frozenset())
+
+    def dependents_of(self, paths: Iterable[str]) -> set[str]:
+        """Sources whose recorded closure intersects ``paths``."""
+        dependents: set[str] = set()
+        for path in paths:
+            dependents.update(self._dependents.get(path, ()))
+        return dependents
+
+    def note_changed(self, changed_paths: Iterable[str]) -> set[str]:
+        """Apply one commit's diff: bump dependent generations.
+
+        Returns the set of sources whose closures the diff perturbed —
+        exactly the entries a naive cache would have to re-fingerprint,
+        computed from the reverse edges instead of by re-walking every
+        worktree file.
+        """
+        dependents = self.dependents_of(changed_paths)
+        for source in dependents:
+            self._generations[source] = self._generations.get(source, 0) + 1
+        return dependents
+
+    def generation(self, source: str) -> int:
+        """How many diffs have perturbed this source's closure."""
+        return self._generations.get(source, 0)

@@ -1,0 +1,132 @@
+"""Cache telemetry: per-artifact-kind counters and derived savings.
+
+Exported on :class:`repro.evalsuite.runner.EvaluationResult` and printed
+by ``jmake evaluate --cache-stats``. The counters support subtraction
+and merging so the parallel runner can combine per-worker deltas with
+the parent process's priming stats into one coherent surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+#: artifact kinds the cache distinguishes
+KINDS = ("preprocess", "object", "config", "model", "makefile")
+
+
+@dataclass
+class KindStats:
+    """Counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: sources whose entries a commit diff perturbed (depgraph fan-out)
+    invalidations: int = 0
+    #: artifact bytes served from cache instead of being recomputed
+    bytes_saved: int = 0
+    #: simulated seconds a probe-clocked hit saves vs full recomputation
+    sim_seconds_saved: float = 0.0
+
+    @property
+    def probes(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / probes, 0.0 when never probed."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def merge(self, other: "KindStats") -> None:
+        """Add another counter set into this one."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+
+    def delta(self, since: "KindStats") -> "KindStats":
+        """Counter-wise ``self - since``."""
+        return KindStats(*[
+            getattr(self, spec.name) - getattr(since, spec.name)
+            for spec in fields(self)])
+
+    def copy(self) -> "KindStats":
+        """An independent copy."""
+        return KindStats(*[getattr(self, spec.name) for spec in fields(self)])
+
+
+@dataclass
+class CacheStats:
+    """All counters, by artifact kind."""
+
+    kinds: dict[str, KindStats] = field(
+        default_factory=lambda: {kind: KindStats() for kind in KINDS})
+
+    def kind(self, name: str) -> KindStats:
+        """The counter set for one kind (created on demand)."""
+        if name not in self.kinds:
+            self.kinds[name] = KindStats()
+        return self.kinds[name]
+
+    @property
+    def hits(self) -> int:
+        """Total hits across kinds."""
+        return sum(stats.hits for stats in self.kinds.values())
+
+    @property
+    def misses(self) -> int:
+        """Total misses across kinds."""
+        return sum(stats.misses for stats in self.kinds.values())
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions across kinds."""
+        return sum(stats.evictions for stats in self.kinds.values())
+
+    @property
+    def bytes_saved(self) -> int:
+        """Total artifact bytes served from cache."""
+        return sum(stats.bytes_saved for stats in self.kinds.values())
+
+    @property
+    def sim_seconds_saved(self) -> float:
+        """Total simulated seconds saved across kinds."""
+        return sum(stats.sim_seconds_saved for stats in self.kinds.values())
+
+    def merge(self, other: "CacheStats") -> None:
+        """Add another stats object into this one, kind by kind."""
+        for name, stats in other.kinds.items():
+            self.kind(name).merge(stats)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counter-wise ``self - since`` across kinds."""
+        result = CacheStats(kinds={})
+        for name, stats in self.kinds.items():
+            base = since.kinds.get(name, KindStats())
+            result.kinds[name] = stats.delta(base)
+        return result
+
+    def copy(self) -> "CacheStats":
+        """A deep, independent copy."""
+        return CacheStats(kinds={name: stats.copy()
+                                 for name, stats in self.kinds.items()})
+
+    def render(self) -> str:
+        """A fixed-width table for ``--cache-stats``."""
+        header = (f"{'kind':<12} {'hits':>8} {'misses':>8} {'rate':>6} "
+                  f"{'evict':>6} {'inval':>6} {'bytes saved':>12} "
+                  f"{'sim s saved':>12}")
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.kinds):
+            stats = self.kinds[name]
+            lines.append(
+                f"{name:<12} {stats.hits:>8} {stats.misses:>8} "
+                f"{stats.hit_rate:>6.1%} {stats.evictions:>6} "
+                f"{stats.invalidations:>6} {stats.bytes_saved:>12} "
+                f"{stats.sim_seconds_saved:>12.1f}")
+        lines.append(
+            f"{'total':<12} {self.hits:>8} {self.misses:>8} "
+            f"{(self.hits / (self.hits + self.misses)) if (self.hits + self.misses) else 0.0:>6.1%} "
+            f"{self.evictions:>6} {'':>6} {self.bytes_saved:>12} "
+            f"{self.sim_seconds_saved:>12.1f}")
+        return "\n".join(lines)

@@ -89,10 +89,18 @@ class Compiler:
         result = self.preprocess(path)
         return lex_translation_unit(result.text, main_file=path)
 
-    def compile_object(self, path: str) -> ObjectFile:
-        """``make file.o``: raises :class:`CompileError` on any diagnostic."""
+    def compile_object(self, path: str,
+                       preprocessed: PreprocessResult | None = None
+                       ) -> ObjectFile:
+        """``make file.o``: raises :class:`CompileError` on any diagnostic.
+
+        ``preprocessed`` lets a caller that already holds the unit's
+        ``.i`` result (e.g. the build cache) skip re-preprocessing; it
+        must come from this compiler's exact environment.
+        """
         try:
-            preprocessed = self.preprocess(path)
+            if preprocessed is None:
+                preprocessed = self.preprocess(path)
         except PreprocessorError as error:
             raise CompileError(str(error), [Diagnostic(
                 file=error.file or path, line=error.line or 0,

@@ -47,6 +47,10 @@ def _demo(args: argparse.Namespace) -> int:
 
 
 def _evaluate(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"jmake evaluate: --jobs must be a positive integer "
+              f"(got {args.jobs})", file=sys.stderr)
+        return 2
     spec = CorpusSpec(seed=args.seed,
                       history_commits=max(200, args.commits // 2),
                       eval_commits=args.commits)
@@ -54,13 +58,28 @@ def _evaluate(args: argparse.Namespace) -> int:
     corpus = build_corpus(spec)
     options = JMakeOptions(use_configs=not args.no_configs,
                            use_allmodconfig=args.allmodconfig)
-    runner = EvaluationRunner(corpus, options=options)
+    if args.no_cache:
+        cache: "BuildCache | bool" = False
+    else:
+        from repro.buildcache.cache import BuildCache, CachePolicy
+        policy = CachePolicy(clock=args.cache_clock)
+        if args.cache_file:
+            cache = BuildCache.load(args.cache_file, policy)
+        else:
+            cache = BuildCache(policy)
+    runner = EvaluationRunner(corpus, options=options, cache=cache)
     print("Running JMake over the evaluation window ...")
     result = runner.run(limit=args.limit, jobs=args.jobs)
+    if args.cache_file and runner.cache is not None:
+        runner.cache.save(args.cache_file)
+        print(f"build cache written to {args.cache_file}")
 
     print(f"\ncommits: {result.total_commits}  ignored: "
           f"{result.ignored_commits}  patches checked: "
           f"{len(result.patches)}\n")
+    if args.cache_stats and result.cache_stats is not None:
+        print("Build cache statistics\n" + result.cache_stats.render()
+              + "\n")
     _, text = table3(result)
     print("Table III — patch characteristics\n" + text + "\n")
     _, text = table4(result)
@@ -125,6 +144,18 @@ def main(argv: list[str] | None = None) -> int:
                           help="also try allmodconfig (the E-A1 extension)")
     evaluate.add_argument("--jobs", type=int, default=1,
                           help="worker processes (the paper used 25)")
+    evaluate.add_argument("--no-cache", action="store_true",
+                          help="disable the content-addressed build cache")
+    evaluate.add_argument("--cache-stats", action="store_true",
+                          help="print build-cache hit/miss statistics")
+    evaluate.add_argument("--cache-file", default=None,
+                          help="pickle the build cache here "
+                               "(loaded first if it exists)")
+    evaluate.add_argument("--cache-clock", default="replay",
+                          choices=["replay", "probe"],
+                          help="hit accounting: replay charges the full "
+                               "modeled cost (timings byte-identical); "
+                               "probe charges only the probe cost")
     evaluate.add_argument("--output", default=None,
                           help="write a markdown report to this path")
     evaluate.set_defaults(func=_evaluate)

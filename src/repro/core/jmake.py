@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.buildcache.cache import BuildCache
 from repro.core.archselect import ArchSelector
 from repro.core.cfile import CFileProcessor
 from repro.core.changes import extract_changed_files
@@ -67,9 +68,11 @@ class JMake:
                  clock: SimClock | None = None,
                  cost_model: CostModel | None = None,
                  bootstrap_paths: set[str] | None = None,
-                 rebuild_trigger_paths: set[str] | None = None) -> None:
+                 rebuild_trigger_paths: set[str] | None = None,
+                 cache: "BuildCache | None" = None) -> None:
         self.options = options or JMakeOptions()
         self.clock = clock or SimClock()
+        self.cache = cache
         self._bootstrap = set(bootstrap_paths or ())
         self._triggers = set(rebuild_trigger_paths or ())
         self._cost_model = cost_model or CostModel()
@@ -78,13 +81,15 @@ class JMake:
     @classmethod
     def from_generated_tree(cls, tree, *,
                             options: JMakeOptions | None = None,
-                            clock: SimClock | None = None) -> "JMake":
+                            clock: SimClock | None = None,
+                            cache: "BuildCache | None" = None) -> "JMake":
         """Bind bootstrap/rebuild metadata from a generated tree."""
         return cls(
             options=options,
             clock=clock,
             bootstrap_paths=tree.bootstrap_paths,
             rebuild_trigger_paths=tree.rebuild_triggers,
+            cache=cache,
         )
 
     @staticmethod
@@ -108,6 +113,10 @@ class JMake:
         worktree.clean()
         worktree.reset_hard()
         patch = repository.show(commit)
+        if self.cache is not None:
+            # Incrementally perturb the dependency graph with the diff;
+            # entries stay resident (they revive when content recurs).
+            self.cache.on_commit(patch.paths())
         return self.check_patch(worktree, patch, commit_id=commit.id)
 
     def check_patch(self, worktree: Worktree, patch: Patch,
@@ -193,4 +202,5 @@ class JMake:
             bootstrap_paths=self._bootstrap,
             rebuild_trigger_paths=self._triggers,
             path_lister=worktree.paths,
+            cache=self.cache,
         )

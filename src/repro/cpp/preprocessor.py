@@ -45,6 +45,20 @@ class PreprocessResult:
     macros: MacroTable
     #: (file, line) pairs of source lines that contributed output text.
     emitted_lines: set[tuple[str, int]] = field(default_factory=set)
+    #: include candidates probed and found absent, in probe order; the
+    #: build cache records these so that *creating* a file that would
+    #: shadow an include search path invalidates dependent entries.
+    missing_includes: list[str] = field(default_factory=list)
+
+    def closure_paths(self) -> list[str]:
+        """Main file plus transitive includes, deduplicated in order."""
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for path in [self.main_file, *self.included_files]:
+            if path not in seen:
+                seen.add(path)
+                ordered.append(path)
+        return ordered
 
     def contains(self, needle: str) -> bool:
         """True when the needle occurs in the .i text."""
@@ -74,6 +88,8 @@ class Preprocessor:
         self._provider = provider
         self._include_paths = list(include_paths or [])
         self._predefined = dict(predefined or {})
+        #: include candidates probed and absent during the current run
+        self._missing_probes: list[str] = []
 
     def preprocess(self, main_file: str) -> PreprocessResult:
         """Produce the .i result for one translation unit."""
@@ -84,6 +100,7 @@ class Preprocessor:
         out: list[str] = []
         included: list[str] = []
         emitted: set[tuple[str, int]] = set()
+        self._missing_probes = []
         self._process_file(main_file, text, macros, out, included, emitted,
                            depth=0)
         return PreprocessResult(
@@ -92,6 +109,7 @@ class Preprocessor:
             included_files=included,
             macros=macros,
             emitted_lines=emitted,
+            missing_includes=list(self._missing_probes),
         )
 
     # -- file processing --------------------------------------------------
@@ -268,6 +286,7 @@ class Preprocessor:
         for candidate in candidates:
             if self._provider(candidate) is not None:
                 return candidate
+            self._missing_probes.append(candidate)
         return None
 
 

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.buildcache.cache import BuildCache
+from repro.buildcache.stats import CacheStats
+from repro.cc.toolchain import ToolchainRegistry
 from repro.core.changes import extract_changed_files
 from repro.core.jmake import JMake, JMakeOptions
 from repro.core.report import FileReport, FileStatus, PatchReport
@@ -76,6 +79,46 @@ class EvaluationResult:
     ignored_commits: int = 0
     janitor_emails: set[str] = field(default_factory=set)
     patches: list[PatchRecord] = field(default_factory=list)
+    #: build-cache telemetry for this run (None with caching disabled)
+    cache_stats: CacheStats | None = None
+
+    def canonical_records(self) -> str:
+        """A deterministic text rendering of every verdict-bearing field.
+
+        Two runs whose tables and figures would be identical produce the
+        same string — the cached-vs-uncached equivalence surface. Cache
+        telemetry is deliberately excluded; floats render via ``repr``
+        so even last-bit drift shows up.
+        """
+        lines = [f"total={self.total_commits}",
+                 f"ignored={self.ignored_commits}",
+                 f"janitors={','.join(sorted(self.janitor_emails))}"]
+        for patch in self.patches:
+            lines.append(
+                f"patch {patch.commit_id} author={patch.author_email} "
+                f"janitor={patch.is_janitor} shape={patch.shape} "
+                f"certified={patch.certified} "
+                f"elapsed={patch.elapsed_seconds!r}")
+            for kind in sorted(patch.invocation_counts):
+                durations = ",".join(
+                    repr(value) for value
+                    in patch.invocation_durations.get(kind, []))
+                lines.append(f"  step {kind} "
+                             f"n={patch.invocation_counts[kind]} "
+                             f"durations=[{durations}]")
+            for record in patch.files:
+                lines.append(
+                    f"  file {record.path} status={record.status.name} "
+                    f"mutations={record.mutation_count} "
+                    f"archs={','.join(record.useful_archs)} "
+                    f"missing={record.missing_lines} "
+                    f"candidates={record.candidate_compilations} "
+                    f"first_clean={record.first_clean_covers_all} "
+                    f"insidious={record.insidious_under_allyes} "
+                    f"non_host={record.needed_non_host_arch} "
+                    f"defconfig={record.used_defconfig} "
+                    f"hazards={','.join(kind.name for kind in record.hazard_kinds)}")
+        return "\n".join(lines)
 
     # -- selections -------------------------------------------------------
 
@@ -129,29 +172,53 @@ def scaled_criteria(corpus: Corpus) -> JanitorCriteria:
 
 
 #: worker-process state for the parallel runner (set by the pool
-#: initializer; each forked worker owns an independent JMake instance)
+#: initializer; each forked worker owns an independent JMake instance
+#: but shares the pre-forked, copy-on-write build cache)
 _WORKER: dict = {}
 
 
-def _init_worker(corpus: Corpus, options: JMakeOptions) -> None:
+def _init_worker(corpus: Corpus, options: JMakeOptions,
+                 cache: BuildCache | None) -> None:
     _WORKER["corpus"] = corpus
+    _WORKER["cache"] = cache
     _WORKER["jmake"] = JMake.from_generated_tree(corpus.tree,
-                                                 options=options)
+                                                 options=options,
+                                                 cache=cache)
+    _WORKER["stats_base"] = cache.stats_snapshot() \
+        if cache is not None else None
 
 
-def _check_one(commit_id: str) -> PatchReport:
+def _check_one(task: "tuple[int, str]"
+               ) -> "tuple[int, PatchReport, CacheStats | None]":
+    index, commit_id = task
     corpus: Corpus = _WORKER["corpus"]
-    return _WORKER["jmake"].check_commit(corpus.repository, commit_id)
+    report = _WORKER["jmake"].check_commit(corpus.repository, commit_id)
+    cache: BuildCache | None = _WORKER["cache"]
+    delta = None
+    if cache is not None:
+        snapshot = cache.stats_snapshot()
+        delta = snapshot.delta(_WORKER["stats_base"])
+        _WORKER["stats_base"] = snapshot
+    return index, report, delta
 
 
 class EvaluationRunner:
     """Runs JMake over a corpus window (§V-A protocol)."""
     def __init__(self, corpus: Corpus,
                  options: JMakeOptions | None = None,
-                 criteria: JanitorCriteria | None = None) -> None:
+                 criteria: JanitorCriteria | None = None,
+                 cache: "BuildCache | bool | None" = None) -> None:
         self.corpus = corpus
         self.options = options or JMakeOptions()
         self.criteria = criteria or scaled_criteria(corpus)
+        #: ``None``/``True`` -> a fresh private cache, ``False`` ->
+        #: caching off, a BuildCache -> shared (warm across runs)
+        if cache is False:
+            self.cache: BuildCache | None = None
+        elif cache is None or cache is True:
+            self.cache = BuildCache()
+        else:
+            self.cache = cache
 
     def identify_janitors(self) -> set[str]:
         """The §IV identification over the corpus history."""
@@ -175,6 +242,11 @@ class EvaluationRunner:
         results are identical to the serial run because every check is
         a pure function of (corpus, commit).
         """
+        if jobs < 1:
+            raise ValueError(
+                f"jobs must be a positive integer, got {jobs}")
+        stats_start = self.cache.stats_snapshot() \
+            if self.cache is not None else None
         result = EvaluationResult()
         if use_ground_truth_janitors:
             result.janitor_emails = {
@@ -208,7 +280,8 @@ class EvaluationRunner:
             reports = self._run_parallel(checkable, jobs)
         else:
             jmake = JMake.from_generated_tree(self.corpus.tree,
-                                              options=self.options)
+                                              options=self.options,
+                                              cache=self.cache)
             reports = [jmake.check_commit(repository, commit)
                        for commit in checkable]
 
@@ -216,19 +289,43 @@ class EvaluationRunner:
             record = self._patch_record(commit, report, result,
                                         metadata.get(commit.id))
             result.patches.append(record)
+        if self.cache is not None:
+            result.cache_stats = \
+                self.cache.stats_snapshot().delta(stats_start)
         return result
 
     def _run_parallel(self, commits, jobs: int):
-        """Fan patches out over forked worker processes."""
+        """Fan patches out over forked worker processes.
+
+        The shared build cache is primed in the parent before the fork
+        (Kconfig models and all*config per architecture), so every
+        worker inherits the solved artifacts copy-on-write. Tasks run
+        through ``imap_unordered`` in chunks — finished chunks stream
+        back instead of rendezvousing like ``pool.map`` — and order is
+        restored from each task's index. Workers return per-task stats
+        deltas which the parent merges into its own counters.
+        """
         import multiprocessing
 
+        if self.cache is not None:
+            self.cache.prime(
+                self.corpus.tree, ToolchainRegistry(),
+                use_allmodconfig=self.options.use_allmodconfig)
         context = multiprocessing.get_context("fork")
-        commit_ids = [commit.id for commit in commits]
+        tasks = [(index, commit.id)
+                 for index, commit in enumerate(commits)]
+        reports: list = [None] * len(tasks)
+        chunksize = max(1, len(tasks) // (jobs * 4))
         with context.Pool(
                 processes=jobs,
                 initializer=_init_worker,
-                initargs=(self.corpus, self.options)) as pool:
-            return pool.map(_check_one, commit_ids)
+                initargs=(self.corpus, self.options, self.cache)) as pool:
+            for index, report, delta in pool.imap_unordered(
+                    _check_one, tasks, chunksize):
+                reports[index] = report
+                if delta is not None and self.cache is not None:
+                    self.cache.stats.merge(delta)
+        return reports
 
     # -- record construction ------------------------------------------------
 

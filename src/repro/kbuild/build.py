@@ -19,6 +19,14 @@ under ``arch/<d>/`` build only for toolchains owning that directory.
 Bootstrap files (§V-D): the kernel Makefile compiles a few tree files to
 run *any* make target, so those files cannot be mutated; the tree marks
 them and :meth:`BuildSystem.is_bootstrap` exposes the set.
+
+When constructed with a :class:`~repro.buildcache.BuildCache`, every
+expensive artifact (parsed Kconfig models, solved configurations, parsed
+Makefiles, ``.i`` results, ``.o`` outcomes) is first probed in the
+shared content-addressed cache; under the default *replay* clock policy
+a hit charges exactly the cost the uncached run would have charged, so
+the simulated timeline — and thus every table and figure — is
+byte-identical while the real Python work is skipped.
 """
 
 from __future__ import annotations
@@ -27,6 +35,12 @@ import posixpath
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.buildcache.cache import BuildCache
+from repro.buildcache.fingerprint import (
+    RecordingProvider,
+    blob_digest,
+    env_fingerprint,
+)
 from repro.cc.compiler import Compiler, ObjectFile
 from repro.cc.toolchain import ToolchainRegistry, arch_directory
 from repro.cpp.preprocessor import FileProvider, PreprocessResult
@@ -68,6 +82,8 @@ class FileBuildResult:
     preprocess_result: PreprocessResult | None = None
     error: str | None = None
     error_kind: str | None = None  # no_makefile | no_rule | preprocess_failed
+    #: True when the result came out of the shared build cache
+    cached: bool = False
 
 
 @dataclass
@@ -106,16 +122,19 @@ class BuildSystem:
                  cost_model: CostModel | None = None,
                  bootstrap_paths: set[str] | None = None,
                  rebuild_trigger_paths: set[str] | None = None,
-                 path_lister: "Callable[[], list[str]] | None" = None) -> None:
+                 path_lister: "Callable[[], list[str]] | None" = None,
+                 cache: BuildCache | None = None) -> None:
         self._provider = provider
         self._path_lister = path_lister
         self.registry = registry or ToolchainRegistry()
         self.clock = clock or SimClock()
         self.cost_model = cost_model or CostModel()
+        self.cache = cache
         self._bootstrap_paths = set(bootstrap_paths or ())
         self._rebuild_trigger_paths = set(rebuild_trigger_paths or ())
         self._config_cache: dict[tuple[str, str], Config] = {}
         self._model_cache: dict[str, ConfigModel] = {}
+        self._model_digests: dict[str, str] = {}
         self._makefile_cache: dict[str, KbuildMakefile | None] = {}
         self._invocations_seen: set[tuple[str, str]] = set()
         self.invocations: list[MakeInvocation] = []
@@ -144,8 +163,23 @@ class BuildSystem:
             if text is None:
                 raise KconfigError(
                     f"no Kconfig found for architecture {arch_name}")
-            self._model_cache[directory] = ConfigModel.from_kconfig(
-                text, path=kconfig_path, provider=self._provider)
+            if self.cache is not None:
+                payload = self.cache.get_model(kconfig_path, text,
+                                               self._provider)
+                if payload is not None:
+                    model, digest = payload
+                else:
+                    recording = RecordingProvider(self._provider)
+                    recording(kconfig_path)  # root lands in the manifest
+                    model = ConfigModel.from_kconfig(
+                        text, path=kconfig_path, provider=recording)
+                    digest = self.cache.put_model(kconfig_path, text,
+                                                  recording, model)
+                self._model_digests[directory] = digest
+                self._model_cache[directory] = model
+            else:
+                self._model_cache[directory] = ConfigModel.from_kconfig(
+                    text, path=kconfig_path, provider=self._provider)
         return self._model_cache[directory]
 
     def make_config(self, arch_name: str, target: str = "allyesconfig"
@@ -160,20 +194,38 @@ class BuildSystem:
         if key in self._config_cache:
             return self._config_cache[key]
         model = self.config_model(arch_name)
-        if target == "allyesconfig":
-            config = allyesconfig(model)
-        elif target == "allmodconfig":
-            config = allmodconfig(model)
-        elif target == "allnoconfig":
-            config = allnoconfig(model)
-        else:
+        seed_text: str | None = None
+        if target not in ("allyesconfig", "allmodconfig", "allnoconfig"):
             directory = arch_directory(arch_name)
             seed_path = f"arch/{directory}/configs/{target}"
             seed_text = self._provider(seed_path)
             if seed_text is None:
                 raise KconfigError(f"no such defconfig: {seed_path}")
-            config = defconfig(model, seed_text, name=target)
         cost = self.cost_model.config_cost(arch_name, target, len(model))
+
+        config: Config | None = None
+        model_digest = self._model_digests.get(arch_directory(arch_name))
+        seed_digest = blob_digest(seed_text) if seed_text is not None else ""
+        if self.cache is not None and model_digest is not None:
+            config = self.cache.get_config(model_digest, target, seed_digest)
+        if config is not None:
+            probe = self.cost_model.cache_probe_seconds
+            counters = self.cache.stats.kind("config")
+            counters.sim_seconds_saved += max(0.0, cost - probe)
+            if self.cache.charge_probe_cost:
+                cost = probe
+        else:
+            if target == "allyesconfig":
+                config = allyesconfig(model)
+            elif target == "allmodconfig":
+                config = allmodconfig(model)
+            elif target == "allnoconfig":
+                config = allnoconfig(model)
+            else:
+                config = defconfig(model, seed_text, name=target)
+            if self.cache is not None and model_digest is not None:
+                self.cache.put_config(model_digest, target, config,
+                                      seed_digest)
         self.clock.charge("config", cost)
         self.invocations.append(MakeInvocation(
             kind="config", arch=arch_name, duration=cost,
@@ -257,8 +309,15 @@ class BuildSystem:
         path = posixpath.join(directory, "Makefile") if directory \
             else "Makefile"
         text = self._provider(path)
-        parsed = KbuildMakefile.parse(text, directory=directory) \
-            if text is not None else None
+        if text is None:
+            parsed = None
+        elif self.cache is not None:
+            parsed = self.cache.get_makefile(path, text)
+            if parsed is None:
+                parsed = KbuildMakefile.parse(text, directory=directory)
+                self.cache.put_makefile(path, text, parsed)
+        else:
+            parsed = KbuildMakefile.parse(text, directory=directory)
         self._makefile_cache[directory] = parsed
         return parsed
 
@@ -331,6 +390,27 @@ class BuildSystem:
             macros["MODULE"] = "1"
         return Compiler(architecture, self._provider, config_macros=macros)
 
+    def _env_digest(self, arch_name: str, config: Config,
+                    *, modular: bool) -> str:
+        return env_fingerprint(self.registry.get(arch_name), config,
+                               modular=modular)
+
+    def _cached_preprocess(self, path: str, compiler: Compiler,
+                           env: str) -> tuple[PreprocessResult, bool]:
+        """Probe/compute/store one ``.i`` result; (result, was_hit)."""
+        text = self._provider(path)
+        main_digest = blob_digest(text or "")
+        cached = self.cache.get_preprocess(path, env, main_digest,
+                                           self._provider)
+        if cached is not None:
+            self.cache.stats.kind("preprocess").bytes_saved += \
+                len(cached.text)
+            return cached, True
+        result = compiler.preprocess(path)
+        self.cache.put_preprocess(path, env, main_digest, self._provider,
+                                  result)
+        return result, False
+
     def make_i(self, paths: list[str], arch_name: str,
                config: Config) -> list[FileBuildResult]:
         """One batched preprocessing invocation over up to N files."""
@@ -347,6 +427,20 @@ class BuildSystem:
         self._invocations_seen.add((arch_name, config.name))
         cost = self.cost_model.i_cost(arch_name, sizes,
                                       first_invocation=first)
+        hit_count = sum(1 for result in results if result.cached)
+        if self.cache is not None and hit_count:
+            # What a real ccache-backed make would have cost: a probe per
+            # hit plus a normal invocation over the remaining misses.
+            probe_equivalent = hit_count * self.cost_model.cache_probe_seconds
+            miss_sizes = [size for size, result in zip(sizes, results)
+                          if not result.cached]
+            if miss_sizes:
+                probe_equivalent += self.cost_model.i_cost(
+                    arch_name, miss_sizes, first_invocation=first)
+            self.cache.stats.kind("preprocess").sim_seconds_saved += \
+                max(0.0, cost - probe_equivalent)
+            if self.cache.charge_probe_cost:
+                cost = min(cost, probe_equivalent)
         self.clock.charge("make_i", cost)
         self.invocations.append(MakeInvocation(
             kind="make_i", arch=arch_name, duration=cost, files=list(paths)))
@@ -366,14 +460,21 @@ class BuildSystem:
                 error_kind="no_rule")
         modular = self.is_modular(path, config)
         compiler = self._compiler(arch_name, config, modular_unit=modular)
+        hit = False
         try:
-            preprocessed = compiler.preprocess(path)
+            if self.cache is not None:
+                env = self._env_digest(arch_name, config, modular=modular)
+                preprocessed, hit = self._cached_preprocess(
+                    path, compiler, env)
+            else:
+                preprocessed = compiler.preprocess(path)
         except PreprocessorError as error:
             return FileBuildResult(path=path, ok=False, error=str(error),
                                    error_kind="preprocess_failed")
         return FileBuildResult(path=path, ok=True,
                                i_text=preprocessed.text,
-                               preprocess_result=preprocessed)
+                               preprocess_result=preprocessed,
+                               cached=hit)
 
     def make_o(self, path: str, arch_name: str, config: Config) -> ObjectFile:
         """Individual ``make file.o``; raises :class:`BuildError`."""
@@ -381,26 +482,82 @@ class BuildSystem:
         size = len(text) if text else 0
         first = (arch_name, config.name) not in self._invocations_seen
         self._invocations_seen.add((arch_name, config.name))
-        cost = self.cost_model.o_cost(
+        full_cost = self.cost_model.o_cost(
             arch_name, path, size, first_invocation=first,
             triggers_whole_kernel_rebuild=path in self._rebuild_trigger_paths)
-        self.clock.charge("make_o", cost)
-        self.invocations.append(MakeInvocation(
-            kind="make_o", arch=arch_name, duration=cost, files=[path]))
+        probe_clock = self.cache is not None and self.cache.charge_probe_cost
+        charged = False
 
+        def charge(amount: float) -> None:
+            # Idempotent so the replay clock can charge up front (the
+            # uncached ordering) while the probe clock defers until the
+            # hit/miss outcome is known.
+            nonlocal charged
+            if charged:
+                return
+            charged = True
+            self.clock.charge("make_o", amount)
+            self.invocations.append(MakeInvocation(
+                kind="make_o", arch=arch_name, duration=amount, files=[path]))
+
+        if not probe_clock:
+            charge(full_cost)
         try:
             self.governing_makefile(path)
         except MakefileNotFoundError as error:
+            charge(full_cost)
             raise BuildError(str(error), kind="no_makefile") from error
         if not self.is_buildable(path, arch_name, config):
+            charge(full_cost)
             raise BuildError(
                 f"no rule to make target '{path[:-2]}.o'", kind="no_rule")
         modular = self.is_modular(path, config)
         compiler = self._compiler(arch_name, config, modular_unit=modular)
+        if self.cache is None:
+            try:
+                return compiler.compile_object(path)
+            except CompileError as error:
+                raise BuildError(str(error),
+                                 kind="compile_failed") from error
+
+        env = self._env_digest(arch_name, config, modular=modular)
+        main_digest = blob_digest(text or "")
+        outcome = self.cache.get_object(path, env, main_digest,
+                                        self._provider)
+        if outcome is not None:
+            probe = self.cost_model.cache_probe_seconds
+            counters = self.cache.stats.kind("object")
+            counters.sim_seconds_saved += max(0.0, full_cost - probe)
+            charge(probe if probe_clock else full_cost)
+            status, payload = outcome
+            if status == "ok":
+                counters.bytes_saved += payload.size
+                return payload
+            raise BuildError(payload, kind="compile_failed")
+        charge(full_cost)
+        preprocessed: PreprocessResult | None = None
         try:
-            return compiler.compile_object(path)
+            preprocessed, _ = self._cached_preprocess(path, compiler, env)
+        except PreprocessorError:
+            # compile_object(path) below reproduces the exact uncached
+            # failure; no closure exists so the outcome is not cached.
+            preprocessed = None
+        try:
+            result = compiler.compile_object(path, preprocessed=preprocessed)
         except CompileError as error:
+            if preprocessed is not None:
+                self.cache.put_object(
+                    path, env, main_digest, self._provider,
+                    preprocessed.included_files,
+                    preprocessed.missing_includes,
+                    ("compile_failed", str(error)))
             raise BuildError(str(error), kind="compile_failed") from error
+        if preprocessed is not None:
+            self.cache.put_object(
+                path, env, main_digest, self._provider,
+                preprocessed.included_files, preprocessed.missing_includes,
+                ("ok", result))
+        return result
 
     def make_vmlinux(self, arch_name: str, config: Config,
                      *, keep_going: bool = True) -> "VmlinuxBuild":

@@ -56,6 +56,9 @@ class CostModel:
     o_noise_seconds: float = 1.8
     whole_kernel_rebuild_seconds: float = 6200.0
 
+    # -- build-cache probe (ccache-style hit, stat + hash lookup) ----------
+    cache_probe_seconds: float = 0.05
+
     def config_cost(self, arch: str, target: str, symbol_count: int) -> float:
         """Simulated seconds to create one configuration."""
         noise = _unit_noise("config", arch, target) * self.config_noise_seconds

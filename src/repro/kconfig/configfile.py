@@ -15,6 +15,7 @@ into every compilation (the stand-in for ``include/generated/autoconf.h``):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import KconfigError
@@ -48,6 +49,29 @@ class Config:
     def set(self, symbol: str, value: Tristate) -> None:
         """Assign a tristate value."""
         self.values[symbol] = value
+        self.__dict__.pop("_content_digest", None)
+
+    def content_digest(self) -> str:
+        """Digest of the value assignment, independent of the name.
+
+        The build cache keys preprocessing environments with this, so
+        two configurations that assign identical values share cache
+        entries whatever they are called. Memoized on the instance;
+        :meth:`set` drops the memo, but callers mutating ``values`` or
+        ``scalar_values`` directly must not have called this before.
+        """
+        digest = self.__dict__.get("_content_digest")
+        if digest is None:
+            hasher = hashlib.sha256()
+            for symbol in sorted(self.values):
+                hasher.update(
+                    f"{symbol}={self.values[symbol].letter};".encode())
+            for symbol in sorted(self.scalar_values):
+                hasher.update(
+                    f"{symbol}:{self.scalar_values[symbol]};".encode())
+            digest = hasher.hexdigest()[:16]
+            self.__dict__["_content_digest"] = digest
+        return digest
 
     def enabled_count(self) -> int:
         """Number of symbols set to y or m."""

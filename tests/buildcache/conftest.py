@@ -1,0 +1,45 @@
+"""Fixtures for the build-cache tests.
+
+Reuses the small hand-written kernel-like tree from the kbuild tests; a
+mutable dict doubles as the worktree so tests can simulate commits by
+editing file texts between builds.
+"""
+
+import pytest
+
+from repro.buildcache.cache import BuildCache, CachePolicy
+from repro.kbuild.build import BuildSystem
+
+from tests.kbuild.conftest import TREE
+
+
+@pytest.fixture
+def tree():
+    return dict(TREE)
+
+
+@pytest.fixture
+def cache():
+    return BuildCache()
+
+
+def make_build_system(tree, cache, **kwargs):
+    return BuildSystem(
+        tree.get,
+        bootstrap_paths={"kernel/bounds.c"},
+        rebuild_trigger_paths=set(),
+        path_lister=lambda: sorted(tree),
+        cache=cache,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def build_system(tree, cache):
+    return make_build_system(tree, cache)
+
+
+@pytest.fixture
+def probe_build_system(tree):
+    probe_cache = BuildCache(CachePolicy(clock="probe"))
+    return make_build_system(tree, probe_cache)

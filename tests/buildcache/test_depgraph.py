@@ -1,0 +1,60 @@
+"""Tests for the incremental include-dependency graph."""
+
+from repro.buildcache.depgraph import IncludeDependencyGraph
+
+
+class TestRecordAndQuery:
+    def test_source_is_its_own_dependent(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c", "a.h"])
+        assert graph.dependents_of(["a.c"]) == {"a.c"}
+
+    def test_header_maps_to_dependents(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c", "common.h"])
+        graph.record("b.c", ["b.c", "common.h"])
+        graph.record("c.c", ["c.c", "other.h"])
+        assert graph.dependents_of(["common.h"]) == {"a.c", "b.c"}
+
+    def test_closure_includes_source_implicitly(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["x.h"])
+        assert "a.c" in graph.closure_of("a.c")
+
+    def test_rerecord_replaces_edges(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c", "old.h"])
+        graph.record("a.c", ["a.c", "new.h"])
+        assert graph.dependents_of(["old.h"]) == set()
+        assert graph.dependents_of(["new.h"]) == {"a.c"}
+
+
+class TestNoteChanged:
+    def test_returns_perturbed_sources(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c", "common.h"])
+        graph.record("b.c", ["b.c", "common.h"])
+        graph.record("c.c", ["c.c"])
+        assert graph.note_changed(["common.h"]) == {"a.c", "b.c"}
+
+    def test_bumps_generations(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c", "h.h"])
+        assert graph.generation("a.c") == 0
+        graph.note_changed(["h.h"])
+        graph.note_changed(["h.h"])
+        assert graph.generation("a.c") == 2
+
+    def test_unknown_paths_are_noops(self):
+        graph = IncludeDependencyGraph()
+        graph.record("a.c", ["a.c"])
+        assert graph.note_changed(["never/seen.h"]) == set()
+
+    def test_fanout_is_exact(self):
+        """Only sources whose closure intersects the diff are touched."""
+        graph = IncludeDependencyGraph()
+        for index in range(10):
+            graph.record(f"f{index}.c", [f"f{index}.c", f"f{index}.h"])
+        graph.record("all.c", ["all.c"] + [f"f{i}.h" for i in range(10)])
+        assert graph.note_changed(["f3.h"]) == {"f3.c", "all.c"}
+        assert graph.generation("f4.c") == 0

@@ -41,6 +41,35 @@ class TestEvaluate:
                      "--seed", "cli-test", "--no-configs"]) == 0
         assert "Summary" in capsys.readouterr().out
 
+    def test_evaluate_cache_stats_flag(self, capsys):
+        assert main(["evaluate", "--commits", "40", "--limit", "10",
+                     "--seed", "cli-test", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Build cache statistics" in out
+        assert "preprocess" in out
+
+    def test_evaluate_no_cache_flag_suppresses_stats(self, capsys):
+        assert main(["evaluate", "--commits", "40", "--limit", "10",
+                     "--seed", "cli-test", "--no-cache",
+                     "--cache-stats"]) == 0
+        assert "Build cache statistics" not in capsys.readouterr().out
+
+    def test_evaluate_cache_file_roundtrip(self, capsys, tmp_path):
+        cache_file = str(tmp_path / "jmake.cache")
+        argv = ["evaluate", "--commits", "40", "--limit", "10",
+                "--seed", "cli-test", "--cache-file", cache_file,
+                "--cache-stats"]
+        assert main(argv) == 0
+        assert "build cache written to" in capsys.readouterr().out
+        assert main(argv) == 0  # warm second run loads the pickle
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_evaluate_rejects_bad_jobs(self, capsys):
+        assert main(["evaluate", "--commits", "40", "--limit", "5",
+                     "--seed", "cli-test", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be a positive integer" in err
+
 
 class TestParser:
     def test_missing_command_errors(self):
