@@ -45,9 +45,12 @@ from repro.buildcache.fingerprint import (
     manifest_for,
     manifest_valid,
 )
-from repro.buildcache.stats import CacheStats
+from repro.buildcache.stats import LOAD_ERRORS, CacheStats
+from repro.obs.logcfg import get_logger
 
 _PICKLE_VERSION = 1
+
+_logger = get_logger("buildcache")
 
 #: clock policies: "replay" charges the full modeled cost on a hit so
 #: simulated timings stay byte-identical to an uncached run (the work is
@@ -295,6 +298,13 @@ class BuildCache:
                         else allyesconfig
                     self.put_config(digest, target, solver(model))
 
+    def _note_load_error(self, path: str, reason: str) -> None:
+        """Count and log one failed persistent-cache load."""
+        self.stats.registry.counter(LOAD_ERRORS).inc()
+        _logger.warning(
+            "build cache load failed, starting empty: path=%s reason=%s",
+            path, reason)
+
     def stats_snapshot(self) -> CacheStats:
         """An independent copy of the counters."""
         return self.stats.copy()
@@ -313,17 +323,32 @@ class BuildCache:
     @classmethod
     def load(cls, path: str,
              policy: CachePolicy | None = None) -> "BuildCache":
-        """Unpickle a store; a fresh cache on any mismatch or error."""
+        """Unpickle a store; a fresh cache on any mismatch or error.
+
+        A missing file is the normal first-run case and stays quiet; a
+        present-but-unreadable file is counted in the
+        ``cache.load_errors`` instrument and logged as a structured
+        warning so a persistent cache silently rotting is visible.
+        """
         cache = cls(policy)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
+        except FileNotFoundError:
+            _logger.debug("no build cache at %s; starting empty", path)
+            return cache
         # pickle surfaces corrupt bytes as whatever the misread opcodes
         # raise (ValueError, KeyError, ...), not just UnpicklingError
-        except Exception:
+        except Exception as error:
+            cache._note_load_error(path, f"{type(error).__name__}: {error}")
             return cache
         if not isinstance(payload, dict) or \
                 payload.get("version") != _PICKLE_VERSION:
+            version = payload.get("version") if isinstance(payload, dict) \
+                else None
+            cache._note_load_error(
+                path, f"incompatible payload (version={version!r}, "
+                      f"expected {_PICKLE_VERSION})")
             return cache
         cache._slots = payload["slots"]
         cache.graph = payload["graph"]

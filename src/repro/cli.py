@@ -7,13 +7,22 @@ Subcommands::
     jmake evaluate [--commits N]    build a corpus, run the evaluation
                                     window, and print every table/figure
     jmake janitors [--commits N]    identify janitors (Tables I-II)
+    jmake trace <commit>            check one commit with tracing on and
+                                    print its annotated span tree
 
-Everything runs offline against the generated substrate; see README.md.
+Observability: ``jmake evaluate --trace-out FILE`` writes a Chrome
+trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev)
+with one span tree per checked commit; ``--metrics-out FILE`` writes the
+pipeline metrics registry (counters/gauges/histograms, cache telemetry
+included) as JSON. ``--log-level`` configures the ``repro.*`` logger
+hierarchy. Everything runs offline against the generated substrate; see
+README.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.jmake import JMake, JMakeOptions
@@ -22,6 +31,9 @@ from repro.evalsuite.runner import EvaluationRunner
 from repro.evalsuite.tables import table1, table2, table3, table4
 from repro.janitors.identify import JanitorFinder
 from repro.kernel.generator import generate_tree
+from repro.obs.logcfg import LEVELS, configure_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.vcs.diff import Patch, diff_texts
 from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
 from repro.workload.personas import PersonaKind
@@ -67,12 +79,28 @@ def _evaluate(args: argparse.Namespace) -> int:
             cache = BuildCache.load(args.cache_file, policy)
         else:
             cache = BuildCache(policy)
-    runner = EvaluationRunner(corpus, options=options, cache=cache)
+    observe = bool(args.trace_out or args.metrics_out)
+    runner = EvaluationRunner(corpus, options=options, cache=cache,
+                              observe=observe)
     print("Running JMake over the evaluation window ...")
     result = runner.run(limit=args.limit, jobs=args.jobs)
     if args.cache_file and runner.cache is not None:
         runner.cache.save(args.cache_file)
         print(f"build cache written to {args.cache_file}")
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+        events = write_chrome_trace(args.trace_out,
+                                    result.span_trees or [])
+        print(f"trace written to {args.trace_out} "
+              f"({events} events, {len(result.span_trees or [])} commits)")
+    if args.metrics_out:
+        combined = result.metrics.snapshot() \
+            if result.metrics is not None else MetricsRegistry()
+        if runner.cache is not None:
+            combined.merge(runner.cache.stats.registry)
+        with open(args.metrics_out, "w") as handle:
+            json.dump(combined.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"metrics written to {args.metrics_out}")
 
     print(f"\ncommits: {result.total_commits}  ignored: "
           f"{result.ignored_commits}  patches checked: "
@@ -94,6 +122,44 @@ def _evaluate(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             handle.write(write_markdown_report(result))
         print(f"markdown report written to {args.output}")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.errors import VcsError
+    from repro.obs.export import render_span_tree, span_count
+
+    spec = CorpusSpec(seed=args.seed,
+                      history_commits=max(200, args.commits // 2),
+                      eval_commits=args.commits)
+    print(f"Building corpus ({spec.eval_commits} evaluation commits) ...")
+    corpus = build_corpus(spec)
+    try:
+        commit = corpus.repository.resolve(args.commit)
+    except VcsError as error:
+        print(f"jmake trace: {error}", file=sys.stderr)
+        print("hint: commit ids come from the synthetic corpus; run "
+              "`jmake evaluate` (same --seed/--commits) to list them",
+              file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    options = JMakeOptions(use_configs=not args.no_configs,
+                           use_allmodconfig=args.allmodconfig)
+    jmake = JMake.from_generated_tree(corpus.tree, options=options,
+                                      tracer=tracer, metrics=metrics)
+    report = jmake.check_commit(corpus.repository, commit)
+    root = tracer.drain()[-1]
+    root.set("commit.index", 0)
+    root.set("worker", 0)
+    tree = root.to_dict()
+    print(f"\n{render_span_tree(tree)}\n")
+    print(f"spans: {span_count(tree)}  verdict: "
+          + ("CERTIFIED" if report.certified else "ATTENTION REQUIRED"))
+    if args.out:
+        from repro.obs.export import write_chrome_trace
+        events = write_chrome_trace(args.out, [tree])
+        print(f"trace written to {args.out} ({events} events)")
     return 0
 
 
@@ -128,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jmake",
         description="JMake reproduction (Lawall & Muller, DSN 2017)")
+    parser.add_argument("--log-level", default=None, choices=list(LEVELS),
+                        help="configure the repro.* logger hierarchy "
+                             "(default: warnings only, unformatted)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="check one demo patch")
@@ -158,6 +227,14 @@ def main(argv: list[str] | None = None) -> int:
                                "probe charges only the probe cost")
     evaluate.add_argument("--output", default=None,
                           help="write a markdown report to this path")
+    evaluate.add_argument("--trace-out", default=None,
+                          help="write a Chrome trace-event JSON "
+                               "(chrome://tracing / Perfetto) with one "
+                               "span tree per checked commit")
+    evaluate.add_argument("--metrics-out", default=None,
+                          help="write the pipeline metrics registry "
+                               "(counters/histograms + cache telemetry) "
+                               "as JSON")
     evaluate.set_defaults(func=_evaluate)
 
     janitors = sub.add_parser("janitors",
@@ -166,7 +243,24 @@ def main(argv: list[str] | None = None) -> int:
     janitors.add_argument("--seed", default="jmake-cli")
     janitors.set_defaults(func=_janitors)
 
+    trace = sub.add_parser("trace",
+                           help="check one commit with tracing on and "
+                                "print its annotated span tree")
+    trace.add_argument("commit", help="commit id (or unique prefix) "
+                                      "in the synthetic corpus")
+    trace.add_argument("--commits", type=int, default=400)
+    trace.add_argument("--seed", default="jmake-cli")
+    trace.add_argument("--no-configs", action="store_true",
+                       help="allyesconfig only (the E-S1 baseline)")
+    trace.add_argument("--allmodconfig", action="store_true",
+                       help="also try allmodconfig (the E-A1 extension)")
+    trace.add_argument("--out", default=None,
+                       help="also write this commit's Chrome trace JSON")
+    trace.set_defaults(func=_trace)
+
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 from repro.errors import MakefileNotFoundError
 from repro.kbuild.build import BuildSystem
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.util.rng import DeterministicRng
 
 
@@ -55,12 +57,15 @@ class ArchSelector:
                  path_lister: Callable[[], list[str]],
                  provider: Callable[[str], "str | None"],
                  rng: DeterministicRng | None = None,
-                 use_configs: bool = True) -> None:
+                 use_configs: bool = True,
+                 tracer=None, metrics=None) -> None:
         self._build = build_system
         self._paths = path_lister
         self._provider = provider
         self._rng = rng or DeterministicRng("archselect")
         self._use_configs = use_configs
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._arch_mention_cache: dict[str, set[str]] = {}
         self._configs_mention_cache: dict[str, list[str]] = {}
 
@@ -68,6 +73,17 @@ class ArchSelector:
 
     def select(self, source_path: str) -> ArchSelection:
         """Candidate (architecture, config) list for one source file."""
+        self._metrics.counter("arch.selections").inc()
+        with self._tracer.span("arch.select", path=source_path) as span:
+            selection = self._select(source_path)
+            span.set("candidates", len(selection.candidates))
+            if selection.unsupported:
+                span.set("unsupported", ",".join(selection.unsupported))
+            if selection.no_makefile:
+                span.set("no_makefile", True)
+            return selection
+
+    def _select(self, source_path: str) -> ArchSelection:
         selection = ArchSelection()
         parts = source_path.split("/")
         registry = self._build.registry

@@ -25,6 +25,8 @@ from repro.core.mutation import MutationOverlay, MutationPlan
 from repro.core.report import ArchAttempt, FileReport, FileStatus
 from repro.errors import KconfigError, ToolchainError
 from repro.kbuild.build import BuildError, BuildSystem
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.vcs.repository import Worktree
 
 
@@ -63,12 +65,15 @@ class CFileProcessor:
     def __init__(self, build_system: BuildSystem, selector: ArchSelector,
                  *, batch_limit: int = 50,
                  use_allmodconfig: bool = False,
-                 use_targeted_configs: bool = False) -> None:
+                 use_targeted_configs: bool = False,
+                 tracer=None, metrics=None) -> None:
         self._build = build_system
         self._selector = selector
         self._batch_limit = max(1, batch_limit)
         self._use_allmodconfig = use_allmodconfig
         self._use_targeted_configs = use_targeted_configs
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     def process(self, worktree: Worktree,
                 c_plans: list[MutationPlan],
@@ -160,6 +165,7 @@ class CFileProcessor:
             self._build.adopt_config(host, config)
             attempt = ArchAttempt(arch=host, config_target=config.name)
             state.attempts.append(attempt)
+            self._metrics.counter("arch.attempts").inc()
             result = self._build.make_i([state.plan.path], host,
                                         config)[0]
             if not result.ok:
@@ -205,6 +211,18 @@ class CFileProcessor:
                        batch: list["_FileState"],
                        all_header_tokens: set[str],
                        header_tokens: set[str]) -> None:
+        with self._tracer.span("cfile.candidate", arch=candidate.arch,
+                               config=candidate.config_target,
+                               files=len(batch)):
+            self._metrics.counter("arch.attempts").inc(len(batch))
+            self._try_candidate_traced(overlay, candidate, batch,
+                                       all_header_tokens, header_tokens)
+
+    def _try_candidate_traced(self, overlay: MutationOverlay,
+                              candidate: Candidate,
+                              batch: list["_FileState"],
+                              all_header_tokens: set[str],
+                              header_tokens: set[str]) -> None:
         try:
             config = self._build.make_config(candidate.arch,
                                              candidate.config_target)
@@ -231,9 +249,13 @@ class CFileProcessor:
                 attempt.i_ok = True
                 state.saw_i_success = True
                 i_text = result.i_text or ""
-                found_now = state.plan.tokens_found_in(i_text)
-                header_found_now = {token for token in all_header_tokens
-                                    if token in i_text}
+                with self._tracer.span("grep.tokens",
+                                       path=state.plan.path) as grep_span:
+                    found_now = state.plan.tokens_found_in(i_text)
+                    header_found_now = {token for token in all_header_tokens
+                                        if token in i_text}
+                    grep_span.set("found", len(found_now))
+                    grep_span.set("header_found", len(header_found_now))
                 state.tokens_seen_in_i |= found_now
                 # tokens_found records what this attempt's .i surfaced,
                 # whether or not the certification .o succeeds.
@@ -262,6 +284,11 @@ class CFileProcessor:
 
     def _finalize(self, state: _FileState) -> FileReport:
         plan = state.plan
+        if plan.tokens:
+            self._metrics.counter("tokens.found").inc(
+                len(state.found_tokens))
+            self._metrics.counter("tokens.missing").inc(
+                len(state.all_tokens - state.found_tokens))
         if not plan.tokens and plan.comment_lines:
             status = FileStatus.COMMENT_ONLY
         elif state.satisfied and (state.saw_o_success or not plan.tokens):

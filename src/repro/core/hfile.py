@@ -30,6 +30,8 @@ from repro.core.mutation import MutationOverlay, MutationPlan
 from repro.core.report import ArchAttempt, FileReport, FileStatus
 from repro.errors import KconfigError, ToolchainError
 from repro.kbuild.build import BuildError, BuildSystem
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.vcs.repository import Worktree
 
 IGNORED_PREFIXES = ("Documentation/", "scripts/", "tools/")
@@ -61,13 +63,16 @@ class HFileProcessor:
                  path_lister: Callable[[], list[str]],
                  provider: Callable[[str], "str | None"],
                  *, batch_limit: int = 50,
-                 candidate_cap: int = 100) -> None:
+                 candidate_cap: int = 100,
+                 tracer=None, metrics=None) -> None:
         self._build = build_system
         self._selector = selector
         self._paths = path_lister
         self._provider = provider
         self._batch_limit = max(1, batch_limit)
         self._candidate_cap = candidate_cap
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- candidate selection ---------------------------------------------------
 
@@ -131,7 +136,11 @@ class HFileProcessor:
 
         if overlay is None:
             overlay = MutationOverlay(worktree, [plan])
-        candidates = self.candidates_for(plan)
+        with self._tracer.span("hfile.candidate_search",
+                               path=plan.path) as search_span:
+            candidates = self.candidates_for(plan)
+            search_span.set("candidates", len(candidates))
+        self._metrics.counter("hfile.candidates").inc(len(candidates))
         allyes_only = len(candidates) > self._candidate_cap
 
         # Phase 1 — host allyesconfig, batched up to batch_limit files
@@ -155,14 +164,19 @@ class HFileProcessor:
                     attempt = ArchAttempt(arch=host,
                                           config_target="allyesconfig")
                     attempts.append(attempt)
+                    self._metrics.counter("arch.attempts").inc()
                     if not result.ok:
                         attempt.error = result.error
                         continue
                     attempt.i_ok = True
                     saw_i = True
                     i_text = result.i_text or ""
-                    found_now = {token for token in tokens
-                                 if token in i_text}
+                    with self._tracer.span(
+                            "grep.tokens",
+                            path=candidate.path) as grep_span:
+                        found_now = {token for token in tokens
+                                     if token in i_text}
+                        grep_span.set("found", len(found_now))
                     attempt.tokens_found = found_now
                     if not found_now - found:
                         continue
@@ -199,6 +213,7 @@ class HFileProcessor:
                     arch=config_candidate.arch,
                     config_target=config_candidate.config_target)
                 attempts.append(attempt)
+                self._metrics.counter("arch.attempts").inc()
                 try:
                     config = self._build.make_config(
                         config_candidate.arch,
@@ -215,7 +230,11 @@ class HFileProcessor:
                 attempt.i_ok = True
                 saw_i = True
                 i_text = result.i_text or ""
-                found_now = {token for token in tokens if token in i_text}
+                with self._tracer.span("grep.tokens",
+                                       path=candidate.path) as grep_span:
+                    found_now = {token for token in tokens
+                                 if token in i_text}
+                    grep_span.set("found", len(found_now))
                 attempt.tokens_found = found_now
                 if not found_now - found:
                     continue
@@ -235,6 +254,8 @@ class HFileProcessor:
                     if config_candidate.arch not in useful_archs:
                         useful_archs.append(config_candidate.arch)
 
+        self._metrics.counter("tokens.found").inc(len(found))
+        self._metrics.counter("tokens.missing").inc(len(tokens - found))
         if tokens <= found:
             status = FileStatus.OK
         elif candidates and not saw_i:

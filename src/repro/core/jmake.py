@@ -31,11 +31,16 @@ from repro.core.mutation import (
 from repro.core.report import FileReport, FileStatus, PatchReport
 from repro.kbuild.build import BuildSystem
 from repro.kbuild.timing import CostModel
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.util.rng import DeterministicRng
 from repro.util.simclock import SimClock
 from repro.vcs.diff import Patch
 from repro.vcs.objects import Commit, Signature, Tree
 from repro.vcs.repository import Repository, Worktree
+
+_logger = get_logger("core.jmake")
 
 
 @dataclass
@@ -69,10 +74,19 @@ class JMake:
                  cost_model: CostModel | None = None,
                  bootstrap_paths: set[str] | None = None,
                  rebuild_trigger_paths: set[str] | None = None,
-                 cache: "BuildCache | None" = None) -> None:
+                 cache: "BuildCache | None" = None,
+                 tracer=None, metrics=None) -> None:
         self.options = options or JMakeOptions()
         self.clock = clock or SimClock()
         self.cache = cache
+        #: observability sinks; default to the shared no-op instances so
+        #: un-observed runs pay nothing but an attribute lookup per site
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        if tracer is not None and tracer.enabled and \
+                tracer.sim_clock is None:
+            # a recording tracer reads (never charges) this clock
+            tracer.sim_clock = self.clock
         self._bootstrap = set(bootstrap_paths or ())
         self._triggers = set(rebuild_trigger_paths or ())
         self._cost_model = cost_model or CostModel()
@@ -82,7 +96,8 @@ class JMake:
     def from_generated_tree(cls, tree, *,
                             options: JMakeOptions | None = None,
                             clock: SimClock | None = None,
-                            cache: "BuildCache | None" = None) -> "JMake":
+                            cache: "BuildCache | None" = None,
+                            tracer=None, metrics=None) -> "JMake":
         """Bind bootstrap/rebuild metadata from a generated tree."""
         return cls(
             options=options,
@@ -90,6 +105,8 @@ class JMake:
             bootstrap_paths=tree.bootstrap_paths,
             rebuild_trigger_paths=tree.rebuild_triggers,
             cache=cache,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     @staticmethod
@@ -109,15 +126,27 @@ class JMake:
         """Check one commit: checkout, diff against parent, verify."""
         if isinstance(commit, str):
             commit = repository.resolve(commit)
-        worktree = repository.checkout(commit)
-        worktree.clean()
-        worktree.reset_hard()
-        patch = repository.show(commit)
-        if self.cache is not None:
-            # Incrementally perturb the dependency graph with the diff;
-            # entries stay resident (they revive when content recurs).
-            self.cache.on_commit(patch.paths())
-        return self.check_patch(worktree, patch, commit_id=commit.id)
+        with self.tracer.span("jmake.check_commit",
+                              commit=commit.id) as span:
+            with self.tracer.span("worktree.prepare"):
+                worktree = repository.checkout(commit)
+                worktree.clean()
+                worktree.reset_hard()
+            with self.tracer.span("patch.parse") as parse_span:
+                patch = repository.show(commit)
+                parse_span.set("files", len(patch.paths()))
+            if self.cache is not None:
+                # Incrementally perturb the dependency graph with the
+                # diff; entries stay resident (they revive when content
+                # recurs).
+                self.cache.on_commit(patch.paths())
+            report = self.check_patch(worktree, patch,
+                                      commit_id=commit.id)
+            span.set("certified", report.certified)
+            _logger.debug("checked %s: certified=%s files=%d",
+                          commit.id, report.certified,
+                          len(report.file_reports))
+            return report
 
     def check_patch(self, worktree: Worktree, patch: Patch,
                     commit_id: str | None = None) -> PatchReport:
@@ -128,68 +157,98 @@ class JMake:
         patch").
         """
         clock_start = self.clock.now
-        build = self._make_build_system(worktree)
-        invocations_start = len(build.invocations)
-        selector = ArchSelector(
-            build, worktree.paths, worktree.as_file_provider(),
-            rng=DeterministicRng(self.options.selection_seed),
-            use_configs=self.options.use_configs)
+        with self.tracer.span("jmake.check_patch",
+                              commit=commit_id or "<patch>") as patch_span:
+            build = self._make_build_system(worktree)
+            invocations_start = len(build.invocations)
+            selector = ArchSelector(
+                build, worktree.paths, worktree.as_file_provider(),
+                rng=DeterministicRng(self.options.selection_seed),
+                use_configs=self.options.use_configs,
+                tracer=self.tracer, metrics=self.metrics)
 
-        report = PatchReport(commit_id=commit_id)
-        changed = extract_changed_files(
-            patch, new_texts={path: worktree.read(path)
-                              for path in patch.paths()
-                              if worktree.exists(path)})
+            report = PatchReport(commit_id=commit_id)
+            with self.tracer.span("patch.extract_changes") as extract_span:
+                changed = extract_changed_files(
+                    patch, new_texts={path: worktree.read(path)
+                                      for path in patch.paths()
+                                      if worktree.exists(path)})
+                extract_span.set("files", len(changed))
 
-        c_plans: list[MutationPlan] = []
-        h_plans: list[MutationPlan] = []
-        for record in changed:
-            if record.path in self._bootstrap:
-                report.file_reports[record.path] = FileReport(
-                    path=record.path,
-                    status=FileStatus.BOOTSTRAP_UNTREATABLE)
-                continue
-            if not worktree.exists(record.path):
-                continue
-            plan = self._engine.plan(record.path,
-                                     worktree.read(record.path),
-                                     record.changed_lines)
-            if record.is_c:
-                c_plans.append(plan)
-            else:
-                h_plans.append(plan)
+            c_plans: list[MutationPlan] = []
+            h_plans: list[MutationPlan] = []
+            for record in changed:
+                if record.path in self._bootstrap:
+                    report.file_reports[record.path] = FileReport(
+                        path=record.path,
+                        status=FileStatus.BOOTSTRAP_UNTREATABLE)
+                    continue
+                if not worktree.exists(record.path):
+                    continue
+                with self.tracer.span("mutation.plan",
+                                      path=record.path) as plan_span:
+                    plan = self._engine.plan(record.path,
+                                             worktree.read(record.path),
+                                             record.changed_lines)
+                    plan_span.set("tokens", len(plan.mutations))
+                if plan.mutations:
+                    self.metrics.counter("files.mutated").inc()
+                    self.metrics.counter("tokens.placed").inc(
+                        len(plan.mutations))
+                if record.is_c:
+                    c_plans.append(plan)
+                else:
+                    h_plans.append(plan)
 
-        # Apply all mutated texts to the overlay before any .i run; the
-        # same overlay object lets the processors flip to the clean tree
-        # for every certification .o build.
-        overlay = MutationOverlay(worktree, c_plans + h_plans)
-        overlay.apply_all()
+            # Apply all mutated texts to the overlay before any .i run;
+            # the same overlay object lets the processors flip to the
+            # clean tree for every certification .o build.
+            overlay = MutationOverlay(worktree, c_plans + h_plans)
+            overlay.apply_all()
 
-        cfile = CFileProcessor(
-            build, selector,
-            batch_limit=self.options.batch_limit,
-            use_allmodconfig=self.options.use_allmodconfig,
-            use_targeted_configs=self.options.use_targeted_configs)
-        outcome = cfile.process(worktree, c_plans, h_plans, overlay=overlay)
-        report.file_reports.update(outcome.reports)
+            cfile = CFileProcessor(
+                build, selector,
+                batch_limit=self.options.batch_limit,
+                use_allmodconfig=self.options.use_allmodconfig,
+                use_targeted_configs=self.options.use_targeted_configs,
+                tracer=self.tracer, metrics=self.metrics)
+            with self.tracer.span("cfile.process",
+                                  files=len(c_plans)) as cfile_span:
+                outcome = cfile.process(worktree, c_plans, h_plans,
+                                        overlay=overlay)
+                cfile_span.set("header_tokens_found",
+                               len(outcome.header_tokens_found))
+            report.file_reports.update(outcome.reports)
 
-        hfile = HFileProcessor(
-            build, selector, worktree.paths,
-            worktree.as_file_provider(),
-            batch_limit=self.options.batch_limit,
-            candidate_cap=self.options.hfile_candidate_cap)
-        for plan in h_plans:
-            report.file_reports[plan.path] = hfile.process(
-                worktree, plan, outcome.header_tokens_found,
-                overlay=overlay)
+            hfile = HFileProcessor(
+                build, selector, worktree.paths,
+                worktree.as_file_provider(),
+                batch_limit=self.options.batch_limit,
+                candidate_cap=self.options.hfile_candidate_cap,
+                tracer=self.tracer, metrics=self.metrics)
+            for plan in h_plans:
+                with self.tracer.span("hfile.process",
+                                      path=plan.path) as hfile_span:
+                    file_report = hfile.process(
+                        worktree, plan, outcome.header_tokens_found,
+                        overlay=overlay)
+                    hfile_span.set("status", file_report.status.value)
+                report.file_reports[plan.path] = file_report
 
-        worktree.reset_hard()
-        report.elapsed_seconds = self.clock.now - clock_start
-        for invocation in build.invocations[invocations_start:]:
-            report.invocation_counts[invocation.kind] = \
-                report.invocation_counts.get(invocation.kind, 0) + 1
-            report.invocation_durations.setdefault(
-                invocation.kind, []).append(invocation.duration)
+            worktree.reset_hard()
+            report.elapsed_seconds = self.clock.now - clock_start
+            for invocation in build.invocations[invocations_start:]:
+                report.invocation_counts[invocation.kind] = \
+                    report.invocation_counts.get(invocation.kind, 0) + 1
+                report.invocation_durations.setdefault(
+                    invocation.kind, []).append(invocation.duration)
+            patch_span.set("certified", report.certified)
+            patch_span.set("files", len(report.file_reports))
+        self.metrics.counter("patches.checked").inc()
+        if report.certified:
+            self.metrics.counter("patches.certified").inc()
+        self.metrics.histogram("patch.elapsed_sim_seconds").observe(
+            report.elapsed_seconds)
         return report
 
     # -- helpers ---------------------------------------------------------------
@@ -203,4 +262,6 @@ class JMake:
             rebuild_trigger_paths=self._triggers,
             path_lister=worktree.paths,
             cache=self.cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )

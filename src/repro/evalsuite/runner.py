@@ -19,8 +19,13 @@ from repro.core.jmake import JMake, JMakeOptions
 from repro.core.report import FileReport, FileStatus, PatchReport
 from repro.janitors.identify import JanitorCriteria, JanitorFinder
 from repro.kernel.layout import HazardKind
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.workload.corpus import Corpus
 from repro.workload.personas import PersonaKind
+
+_logger = get_logger("evalsuite.runner")
 
 
 @dataclass
@@ -81,6 +86,11 @@ class EvaluationResult:
     patches: list[PatchRecord] = field(default_factory=list)
     #: build-cache telemetry for this run (None with caching disabled)
     cache_stats: CacheStats | None = None
+    #: serialized per-commit span trees, sorted by commit index
+    #: (None unless the runner observed the run)
+    span_trees: "list[dict] | None" = None
+    #: merged pipeline metrics (None unless the runner observed the run)
+    metrics: "MetricsRegistry | None" = None
 
     def canonical_records(self) -> str:
         """A deterministic text rendering of every verdict-bearing field.
@@ -178,18 +188,43 @@ _WORKER: dict = {}
 
 
 def _init_worker(corpus: Corpus, options: JMakeOptions,
-                 cache: BuildCache | None) -> None:
+                 cache: BuildCache | None, observe: bool,
+                 jobs: int) -> None:
     _WORKER["corpus"] = corpus
     _WORKER["cache"] = cache
+    _WORKER["jobs"] = jobs
+    tracer = Tracer() if observe else None
+    metrics = MetricsRegistry() if observe else None
+    _WORKER["tracer"] = tracer
+    _WORKER["metrics"] = metrics
+    _WORKER["metrics_base"] = metrics.snapshot() if metrics is not None \
+        else None
     _WORKER["jmake"] = JMake.from_generated_tree(corpus.tree,
                                                  options=options,
-                                                 cache=cache)
+                                                 cache=cache,
+                                                 tracer=tracer,
+                                                 metrics=metrics)
     _WORKER["stats_base"] = cache.stats_snapshot() \
         if cache is not None else None
 
 
-def _check_one(task: "tuple[int, str]"
-               ) -> "tuple[int, PatchReport, CacheStats | None]":
+def _serialize_commit_tree(tracer: Tracer, index: int, jobs: int) -> dict:
+    """Serialize the root span of the commit just checked.
+
+    Simulated times rebase to the commit's own start (a span tree is a
+    pure function of (corpus, commit)), and the worker id recorded is
+    the commit's deterministic *lane* (``index % jobs``) rather than
+    the racing OS process — together these make ``--trace-out`` output
+    byte-stable across runs for any ``--jobs`` value.
+    """
+    roots = tracer.drain()
+    root = roots[-1]
+    root.set("commit.index", index)
+    root.set("worker", index % jobs)
+    return root.to_dict()
+
+
+def _check_one(task: "tuple[int, str]") -> tuple:
     index, commit_id = task
     corpus: Corpus = _WORKER["corpus"]
     report = _WORKER["jmake"].check_commit(corpus.repository, commit_id)
@@ -199,7 +234,15 @@ def _check_one(task: "tuple[int, str]"
         snapshot = cache.stats_snapshot()
         delta = snapshot.delta(_WORKER["stats_base"])
         _WORKER["stats_base"] = snapshot
-    return index, report, delta
+    tree = None
+    metrics_delta = None
+    tracer: "Tracer | None" = _WORKER["tracer"]
+    if tracer is not None:
+        tree = _serialize_commit_tree(tracer, index, _WORKER["jobs"])
+        snapshot = _WORKER["metrics"].snapshot()
+        metrics_delta = snapshot.delta(_WORKER["metrics_base"])
+        _WORKER["metrics_base"] = snapshot
+    return index, report, delta, tree, metrics_delta
 
 
 class EvaluationRunner:
@@ -207,10 +250,14 @@ class EvaluationRunner:
     def __init__(self, corpus: Corpus,
                  options: JMakeOptions | None = None,
                  criteria: JanitorCriteria | None = None,
-                 cache: "BuildCache | bool | None" = None) -> None:
+                 cache: "BuildCache | bool | None" = None,
+                 observe: bool = False) -> None:
         self.corpus = corpus
         self.options = options or JMakeOptions()
         self.criteria = criteria or scaled_criteria(corpus)
+        #: when True the run records span trees and pipeline metrics
+        #: (simulated timings and verdicts are unaffected either way)
+        self.observe = observe
         #: ``None``/``True`` -> a fresh private cache, ``False`` ->
         #: caching off, a BuildCache -> shared (warm across runs)
         if cache is False:
@@ -276,14 +323,24 @@ class EvaluationRunner:
             else:
                 result.ignored_commits += 1
 
+        _logger.info("checking %d commits (jobs=%d, observe=%s)",
+                     len(checkable), jobs, self.observe)
         if jobs > 1:
-            reports = self._run_parallel(checkable, jobs)
+            reports, trees, metrics = self._run_parallel(checkable, jobs)
         else:
+            tracer = Tracer() if self.observe else None
+            metrics = MetricsRegistry() if self.observe else None
             jmake = JMake.from_generated_tree(self.corpus.tree,
                                               options=self.options,
-                                              cache=self.cache)
-            reports = [jmake.check_commit(repository, commit)
-                       for commit in checkable]
+                                              cache=self.cache,
+                                              tracer=tracer,
+                                              metrics=metrics)
+            reports = []
+            trees: "list[dict] | None" = [] if self.observe else None
+            for index, commit in enumerate(checkable):
+                reports.append(jmake.check_commit(repository, commit))
+                if tracer is not None:
+                    trees.append(_serialize_commit_tree(tracer, index, 1))
 
         for commit, report in zip(checkable, reports):
             record = self._patch_record(commit, report, result,
@@ -292,6 +349,8 @@ class EvaluationRunner:
         if self.cache is not None:
             result.cache_stats = \
                 self.cache.stats_snapshot().delta(stats_start)
+        result.span_trees = trees
+        result.metrics = metrics
         return result
 
     def _run_parallel(self, commits, jobs: int):
@@ -315,17 +374,30 @@ class EvaluationRunner:
         tasks = [(index, commit.id)
                  for index, commit in enumerate(commits)]
         reports: list = [None] * len(tasks)
+        trees: "list[dict] | None" = [None] * len(tasks) \
+            if self.observe else None
+        metrics = MetricsRegistry() if self.observe else None
         chunksize = max(1, len(tasks) // (jobs * 4))
         with context.Pool(
                 processes=jobs,
                 initializer=_init_worker,
-                initargs=(self.corpus, self.options, self.cache)) as pool:
-            for index, report, delta in pool.imap_unordered(
-                    _check_one, tasks, chunksize):
+                initargs=(self.corpus, self.options, self.cache,
+                          self.observe, jobs)) as pool:
+            for index, report, delta, tree, metrics_delta in \
+                    pool.imap_unordered(_check_one, tasks, chunksize):
                 reports[index] = report
                 if delta is not None and self.cache is not None:
                     self.cache.stats.merge(delta)
-        return reports
+                if tree is not None and trees is not None:
+                    # tasks land in completion order; slotting by index
+                    # (and commutative metric merging) keeps the merged
+                    # result identical however the workers raced
+                    trees[index] = tree
+                if metrics_delta is not None and metrics is not None:
+                    metrics.merge(metrics_delta)
+        if trees is not None:
+            trees = [tree for tree in trees if tree is not None]
+        return reports, trees, metrics
 
     # -- record construction ------------------------------------------------
 

@@ -61,6 +61,8 @@ from repro.kconfig.solver import (
     allyesconfig,
     defconfig,
 )
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.util.simclock import SimClock
 
 
@@ -123,11 +125,16 @@ class BuildSystem:
                  bootstrap_paths: set[str] | None = None,
                  rebuild_trigger_paths: set[str] | None = None,
                  path_lister: "Callable[[], list[str]] | None" = None,
-                 cache: BuildCache | None = None) -> None:
+                 cache: BuildCache | None = None,
+                 tracer=None, metrics=None) -> None:
         self._provider = provider
         self._path_lister = path_lister
         self.registry = registry or ToolchainRegistry()
         self.clock = clock or SimClock()
+        #: span sink (NULL_TRACER when observability is off); spans only
+        #: read the simulated clock, they never charge it
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.cost_model = cost_model or CostModel()
         self.cache = cache
         self._bootstrap_paths = set(bootstrap_paths or ())
@@ -193,43 +200,50 @@ class BuildSystem:
         key = (arch_name, target)
         if key in self._config_cache:
             return self._config_cache[key]
-        model = self.config_model(arch_name)
-        seed_text: str | None = None
-        if target not in ("allyesconfig", "allmodconfig", "allnoconfig"):
-            directory = arch_directory(arch_name)
-            seed_path = f"arch/{directory}/configs/{target}"
-            seed_text = self._provider(seed_path)
-            if seed_text is None:
-                raise KconfigError(f"no such defconfig: {seed_path}")
-        cost = self.cost_model.config_cost(arch_name, target, len(model))
+        with self.tracer.span("build.config", arch=arch_name,
+                              target=target) as span:
+            model = self.config_model(arch_name)
+            seed_text: str | None = None
+            if target not in ("allyesconfig", "allmodconfig", "allnoconfig"):
+                directory = arch_directory(arch_name)
+                seed_path = f"arch/{directory}/configs/{target}"
+                seed_text = self._provider(seed_path)
+                if seed_text is None:
+                    raise KconfigError(f"no such defconfig: {seed_path}")
+            cost = self.cost_model.config_cost(arch_name, target, len(model))
 
-        config: Config | None = None
-        model_digest = self._model_digests.get(arch_directory(arch_name))
-        seed_digest = blob_digest(seed_text) if seed_text is not None else ""
-        if self.cache is not None and model_digest is not None:
-            config = self.cache.get_config(model_digest, target, seed_digest)
-        if config is not None:
-            probe = self.cost_model.cache_probe_seconds
-            counters = self.cache.stats.kind("config")
-            counters.sim_seconds_saved += max(0.0, cost - probe)
-            if self.cache.charge_probe_cost:
-                cost = probe
-        else:
-            if target == "allyesconfig":
-                config = allyesconfig(model)
-            elif target == "allmodconfig":
-                config = allmodconfig(model)
-            elif target == "allnoconfig":
-                config = allnoconfig(model)
-            else:
-                config = defconfig(model, seed_text, name=target)
+            config: Config | None = None
+            model_digest = self._model_digests.get(arch_directory(arch_name))
+            seed_digest = blob_digest(seed_text) \
+                if seed_text is not None else ""
             if self.cache is not None and model_digest is not None:
-                self.cache.put_config(model_digest, target, config,
-                                      seed_digest)
-        self.clock.charge("config", cost)
-        self.invocations.append(MakeInvocation(
-            kind="config", arch=arch_name, duration=cost,
-            files=[target]))
+                config = self.cache.get_config(model_digest, target,
+                                               seed_digest)
+            span.set("cached", config is not None)
+            if config is not None:
+                probe = self.cost_model.cache_probe_seconds
+                counters = self.cache.stats.kind("config")
+                counters.sim_seconds_saved += max(0.0, cost - probe)
+                if self.cache.charge_probe_cost:
+                    cost = probe
+            else:
+                if target == "allyesconfig":
+                    config = allyesconfig(model)
+                elif target == "allmodconfig":
+                    config = allmodconfig(model)
+                elif target == "allnoconfig":
+                    config = allnoconfig(model)
+                else:
+                    config = defconfig(model, seed_text, name=target)
+                if self.cache is not None and model_digest is not None:
+                    self.cache.put_config(model_digest, target, config,
+                                          seed_digest)
+            self.clock.charge("config", cost)
+            span.set("sim_cost", cost)
+            self.invocations.append(MakeInvocation(
+                kind="config", arch=arch_name, duration=cost,
+                files=[target]))
+        self.metrics.counter("build.config.invocations").inc()
         self._config_cache[key] = config
         return config
 
@@ -416,34 +430,53 @@ class BuildSystem:
         """One batched preprocessing invocation over up to N files."""
         if not paths:
             return []
-        results: list[FileBuildResult] = []
-        sizes: list[tuple[str, int]] = []
-        for path in paths:
-            text = self._provider(path)
-            sizes.append((path, len(text) if text else 0))
-            result = self._make_one_i(path, arch_name, config)
-            results.append(result)
-        first = (arch_name, config.name) not in self._invocations_seen
-        self._invocations_seen.add((arch_name, config.name))
-        cost = self.cost_model.i_cost(arch_name, sizes,
-                                      first_invocation=first)
-        hit_count = sum(1 for result in results if result.cached)
-        if self.cache is not None and hit_count:
-            # What a real ccache-backed make would have cost: a probe per
-            # hit plus a normal invocation over the remaining misses.
-            probe_equivalent = hit_count * self.cost_model.cache_probe_seconds
-            miss_sizes = [size for size, result in zip(sizes, results)
-                          if not result.cached]
-            if miss_sizes:
-                probe_equivalent += self.cost_model.i_cost(
-                    arch_name, miss_sizes, first_invocation=first)
-            self.cache.stats.kind("preprocess").sim_seconds_saved += \
-                max(0.0, cost - probe_equivalent)
-            if self.cache.charge_probe_cost:
-                cost = min(cost, probe_equivalent)
-        self.clock.charge("make_i", cost)
-        self.invocations.append(MakeInvocation(
-            kind="make_i", arch=arch_name, duration=cost, files=list(paths)))
+        with self.tracer.span("build.make_i", arch=arch_name,
+                              config=config.name,
+                              files=len(paths)) as span:
+            results: list[FileBuildResult] = []
+            sizes: list[tuple[str, int]] = []
+            for path in paths:
+                text = self._provider(path)
+                sizes.append((path, len(text) if text else 0))
+                with self.tracer.span("build.preprocess",
+                                      path=path) as file_span:
+                    result = self._make_one_i(path, arch_name, config)
+                    file_span.set("ok", result.ok)
+                    file_span.set("cached", result.cached)
+                    if result.error_kind is not None:
+                        file_span.set("error_kind", result.error_kind)
+                results.append(result)
+            first = (arch_name, config.name) not in self._invocations_seen
+            self._invocations_seen.add((arch_name, config.name))
+            cost = self.cost_model.i_cost(arch_name, sizes,
+                                          first_invocation=first)
+            hit_count = sum(1 for result in results if result.cached)
+            if self.cache is not None and hit_count:
+                # What a real ccache-backed make would have cost: a probe
+                # per hit plus a normal invocation over the remaining
+                # misses.
+                probe_equivalent = hit_count * \
+                    self.cost_model.cache_probe_seconds
+                miss_sizes = [size for size, result in zip(sizes, results)
+                              if not result.cached]
+                if miss_sizes:
+                    probe_equivalent += self.cost_model.i_cost(
+                        arch_name, miss_sizes, first_invocation=first)
+                self.cache.stats.kind("preprocess").sim_seconds_saved += \
+                    max(0.0, cost - probe_equivalent)
+                if self.cache.charge_probe_cost:
+                    cost = min(cost, probe_equivalent)
+            self.clock.charge("make_i", cost)
+            span.set("sim_cost", cost)
+            span.set("cache_hits", hit_count)
+            self.invocations.append(MakeInvocation(
+                kind="make_i", arch=arch_name, duration=cost,
+                files=list(paths)))
+        self.metrics.counter("build.make_i.invocations").inc()
+        self.metrics.counter("build.make_i.files").inc(len(paths))
+        self.metrics.histogram(
+            "build.make_i.batch_size",
+            buckets=(1, 2, 5, 10, 20, 50, 100)).observe(len(paths))
         return results
 
     def _make_one_i(self, path: str, arch_name: str,
@@ -478,6 +511,13 @@ class BuildSystem:
 
     def make_o(self, path: str, arch_name: str, config: Config) -> ObjectFile:
         """Individual ``make file.o``; raises :class:`BuildError`."""
+        self.metrics.counter("build.make_o.invocations").inc()
+        with self.tracer.span("build.make_o", arch=arch_name,
+                              config=config.name, path=path) as span:
+            return self._make_o(path, arch_name, config, span)
+
+    def _make_o(self, path: str, arch_name: str, config: Config,
+                span) -> ObjectFile:
         text = self._provider(path)
         size = len(text) if text else 0
         first = (arch_name, config.name) not in self._invocations_seen
@@ -497,6 +537,7 @@ class BuildSystem:
                 return
             charged = True
             self.clock.charge("make_o", amount)
+            span.set("sim_cost", amount)
             self.invocations.append(MakeInvocation(
                 kind="make_o", arch=arch_name, duration=amount, files=[path]))
 
@@ -525,6 +566,7 @@ class BuildSystem:
         outcome = self.cache.get_object(path, env, main_digest,
                                         self._provider)
         if outcome is not None:
+            span.set("cached", True)
             probe = self.cost_model.cache_probe_seconds
             counters = self.cache.stats.kind("object")
             counters.sim_seconds_saved += max(0.0, full_cost - probe)

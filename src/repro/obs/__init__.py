@@ -1,0 +1,53 @@
+"""Zero-dependency pipeline observability: spans, metrics, exporters.
+
+Three layers, all optional and all no-op-cheap when disabled:
+
+- :mod:`repro.obs.tracer` — hierarchical context-manager spans over the
+  simulated *and* the wall clock; :data:`NULL_TRACER` when off;
+- :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms with the snapshot/merge/delta
+  algebra the parallel runner needs; :data:`NULL_METRICS` when off;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  and a plain-text span-tree renderer;
+- :mod:`repro.obs.logcfg` — the ``repro.*`` logger hierarchy behind the
+  CLI's ``--log-level``.
+
+Instrumentation reads the simulated clock but never charges it, so
+enabling tracing cannot perturb any table or figure.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_span_tree,
+    span_count,
+    write_chrome_trace,
+)
+from repro.obs.logcfg import configure_logging, get_logger
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "render_span_tree",
+    "span_count",
+    "write_chrome_trace",
+]

@@ -1,0 +1,51 @@
+"""The ``repro.*`` logger hierarchy and its one-call configuration.
+
+Every module logs through :func:`get_logger`, which roots names under
+``repro.`` so one ``--log-level`` flag (or one call to
+:func:`configure_logging`) governs the whole pipeline. Nothing is
+configured at import time: a library user who never calls
+``configure_logging`` gets Python's default behaviour (silence below
+WARNING), and the handler is attached to the ``repro`` logger — not
+the root logger — so embedding applications keep their own setup.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: root of the hierarchy
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: accepted ``--log-level`` values
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (idempotent, configuration-free)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(level: str = "warning", stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger at ``level``.
+
+    Re-configuring replaces the previous handler (so tests and REPL
+    sessions can flip levels freely without duplicate lines).
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(LEVELS)}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in [h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    return root

@@ -1,0 +1,255 @@
+"""Hierarchical spans over the simulated and the wall clock.
+
+A :class:`Tracer` hands out context-manager spans; nesting follows the
+runtime call structure, so one ``jmake.check_commit`` span owns the
+whole tree of patch-parsing, mutation, arch-selection, and per-step
+build spans that explain how the verdict was reached.
+
+Every span carries *two* time bases:
+
+- **simulated seconds** read from the pipeline's
+  :class:`~repro.util.simclock.SimClock` — spans only *read* the clock,
+  they never charge it, so instrumentation can never perturb the
+  modeled timings behind the paper's tables and figures;
+- **wall-clock seconds** (``time.perf_counter``) — what the machine
+  actually spent, useful for finding real hot paths.
+
+When tracing is off the pipeline holds :data:`NULL_TRACER`, whose
+``span()`` returns one shared do-nothing handle; the per-call cost is a
+dict-free attribute lookup plus a no-op ``with`` block (verified by
+``benchmarks/test_perf_obs.py``).
+
+Serialization (:meth:`Span.to_dict`) rebases simulated times to the
+tree's root, making a span tree a pure function of (corpus, commit) —
+the property the parallel runner relies on to merge per-worker trees
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+#: span completion states
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class Span:
+    """One traced operation: name, attributes, children, two clocks."""
+
+    __slots__ = ("name", "attributes", "children", "status", "error_type",
+                 "sim_start", "sim_end", "wall_start", "wall_end",
+                 "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: "dict[str, Any] | None" = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.children: list[Span] = []
+        self.status = STATUS_OK
+        self.error_type: str | None = None
+        self.sim_start: float | None = None
+        self.sim_end: float | None = None
+        self.wall_start: float = 0.0
+        self.wall_end: float = 0.0
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.sim_start = self._tracer._sim_now()
+        self.wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_end = time.perf_counter()
+        self.sim_end = self._tracer._sim_now()
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.error_type = exc_type.__name__
+        self._tracer._pop(self)
+
+    # -- mutation -------------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "Span":
+        """Record an instantaneous child span at the current time."""
+        child = Span(self._tracer, name, attributes)
+        child.sim_start = child.sim_end = self._tracer._sim_now()
+        child.wall_start = child.wall_end = time.perf_counter()
+        self.children.append(child)
+        return child
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds spanned (0.0 when no sim clock was bound)."""
+        if self.sim_start is None or self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall-clock seconds spanned."""
+        return self.wall_end - self.wall_start
+
+    def walk(self):
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self, *, rebase_sim: float | None = None,
+                rebase_wall: float | None = None) -> dict:
+        """A plain-dict view (JSON/pickle friendly).
+
+        ``rebase_sim``/``rebase_wall`` default to this span's own start,
+        so a root serializes with its whole tree starting at 0.0 —
+        identical regardless of what ran before it on the same clock.
+        """
+        if rebase_sim is None:
+            rebase_sim = self.sim_start or 0.0
+        if rebase_wall is None:
+            rebase_wall = self.wall_start
+        record: dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "sim_start": (self.sim_start or 0.0) - rebase_sim,
+            "sim_duration": self.sim_duration,
+            "wall_start": self.wall_start - rebase_wall,
+            "wall_duration": self.wall_duration,
+        }
+        if self.error_type is not None:
+            record["error_type"] = self.error_type
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [
+                child.to_dict(rebase_sim=rebase_sim,
+                              rebase_wall=rebase_wall)
+                for child in self.children]
+        return record
+
+
+class Tracer:
+    """Hands out nested spans; completed roots accumulate for export."""
+
+    def __init__(self, sim_clock=None, worker_id: int = 0) -> None:
+        #: object with a ``now`` property (a SimClock); bound late by
+        #: the pipeline component that owns the clock
+        self.sim_clock = sim_clock
+        self.worker_id = worker_id
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        """True — this tracer records spans."""
+        return True
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; use as ``with tracer.span("build.make_i"): ...``."""
+        return Span(self, name, attributes or None)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """An instantaneous event under the current span (or a root)."""
+        if self._stack:
+            self._stack[-1].event(name, **attributes)
+        else:
+            root = Span(self, name, attributes)
+            root.sim_start = root.sim_end = self._sim_now()
+            root.wall_start = root.wall_end = time.perf_counter()
+            self.roots.append(root)
+
+    def drain(self) -> list[Span]:
+        """Pop and return all completed root spans."""
+        roots, self.roots = self.roots, []
+        return roots
+
+    # -- internals -------------------------------------------------------------
+
+    def _sim_now(self) -> float | None:
+        clock = self.sim_clock
+        return clock.now if clock is not None else None
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate exotic unwinding: pop through to the span
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+
+class _NullSpan:
+    """Shared do-nothing span handle; every method is a cheap no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible tracer that records nothing.
+
+    ``span()`` returns one shared handle; no allocation, no clock reads.
+    """
+
+    __slots__ = ("sim_clock", "worker_id")
+
+    def __init__(self) -> None:
+        self.sim_clock = None
+        self.worker_id = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False — spans are discarded."""
+        return False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def drain(self) -> list:
+        return []
+
+
+#: the process-wide disabled tracer instrumented code defaults to
+NULL_TRACER = NullTracer()

@@ -1,0 +1,119 @@
+"""Tests for the Chrome-trace and text span-tree exporters."""
+
+import json
+
+from repro.obs.export import (chrome_trace, render_span_tree, span_count,
+                              write_chrome_trace)
+from repro.obs.tracer import Tracer
+from repro.util.simclock import SimClock
+
+
+def _tree(index=0, worker=0, commit="abc123"):
+    clock = SimClock()
+    tracer = Tracer(sim_clock=clock)
+    with tracer.span("jmake.check_commit", commit=commit) as root:
+        clock.charge("config", 2.0)
+        with tracer.span("build.make_i", files=1):
+            clock.charge("make_i", 3.0)
+        root.set("commit.index", index)
+        root.set("worker", worker)
+    return tracer.drain()[0].to_dict()
+
+
+class TestChromeTrace:
+    def test_events_reference_sim_microseconds(self):
+        trace = chrome_trace([_tree()])
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["jmake.check_commit",
+                                          "build.make_i"]
+        root, child = xs
+        assert root["ts"] == 0.0
+        assert root["dur"] == 5_000_000.0
+        assert child["ts"] == 2_000_000.0
+        assert child["dur"] == 3_000_000.0
+
+    def test_lane_and_track_metadata(self):
+        trace = chrome_trace([_tree(index=3, worker=1)])
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e for e in metas}
+        assert names["process_name"]["pid"] == 1
+        assert names["process_name"]["args"]["name"] == "worker 1"
+        assert names["thread_name"]["tid"] == 3
+        assert "abc123" in names["thread_name"]["args"]["name"]
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert all(e["pid"] == 1 and e["tid"] == 3 for e in xs)
+
+    def test_trees_sorted_by_commit_index(self):
+        trace = chrome_trace([_tree(index=2, commit="c2"),
+                              _tree(index=0, commit="c0"),
+                              _tree(index=1, commit="c1")])
+        roots = [e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and e["name"] == "jmake.check_commit"]
+        assert [e["tid"] for e in roots] == [0, 1, 2]
+
+    def test_status_and_error_type_in_args(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("op"):
+                raise OSError("disk")
+        except OSError:
+            pass
+        tree = tracer.drain()[0].to_dict()
+        event = chrome_trace([tree])["traceEvents"][-1]
+        assert event["args"]["status"] == "error"
+        assert event["args"]["error_type"] == "OSError"
+
+    def test_categories_derive_from_name_prefix(self):
+        trace = chrome_trace([_tree()])
+        cats = {e["name"]: e["cat"] for e in trace["traceEvents"]
+                if e["ph"] == "X"}
+        assert cats["jmake.check_commit"] == "jmake"
+        assert cats["build.make_i"] == "build"
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        events = write_chrome_trace(path, [_tree()])
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert len(loaded["traceEvents"]) == events
+        assert events == 4  # 2 X + 2 M
+
+    def test_byte_identical_for_same_trees(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_chrome_trace(a, [_tree(index=0), _tree(index=1)])
+        write_chrome_trace(b, [_tree(index=1), _tree(index=0)])
+        assert open(a).read() == open(b).read()
+
+
+class TestTextRenderer:
+    def test_renders_nesting_and_attributes(self):
+        text = render_span_tree(_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("jmake.check_commit")
+        assert lines[1].startswith("  build.make_i")
+        assert "files=1" in lines[1]
+        assert "sim 0.00s+5.00s" in lines[0]
+
+    def test_wall_clock_is_optional(self):
+        with_wall = render_span_tree(_tree(), show_wall=True)
+        without = render_span_tree(_tree(), show_wall=False)
+        assert "wall" in with_wall
+        assert "wall" not in without
+
+    def test_error_status_is_flagged(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("op"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        text = render_span_tree(tracer.drain()[0].to_dict())
+        assert "!error(ValueError)" in text
+
+
+class TestSpanCount:
+    def test_counts_whole_tree(self):
+        assert span_count(_tree()) == 2
+        assert span_count({"name": "leaf", "status": "ok",
+                           "sim_start": 0, "sim_duration": 0,
+                           "wall_start": 0, "wall_duration": 0}) == 1

@@ -1,0 +1,58 @@
+"""Tests for the repro.* logger hierarchy configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logcfg import ROOT_LOGGER, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in [h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_prefixes_under_repro(self):
+        assert get_logger("core.jmake").name == "repro.core.jmake"
+
+    def test_leaves_rooted_names_alone(self):
+        assert get_logger("repro.buildcache").name == "repro.buildcache"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_level_and_format(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("core.jmake").info("certified %s", "abc")
+        assert stream.getvalue() == "INFO repro.core.jmake: certified abc\n"
+
+    def test_debug_passes_lower_levels(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("kbuild").debug("detail")
+        assert "DEBUG repro.kbuild: detail" in stream.getvalue()
+
+    def test_reconfiguring_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_root_logger_untouched(self):
+        before = list(logging.getLogger().handlers)
+        configure_logging("info", stream=io.StringIO())
+        assert logging.getLogger().handlers == before
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("verbose")

@@ -1,8 +1,12 @@
 """Tests for the jmake command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import main
+from repro.obs.logcfg import ROOT_LOGGER
 
 
 class TestDemo:
@@ -69,6 +73,95 @@ class TestEvaluate:
                      "--seed", "cli-test", "--jobs", "0"]) == 2
         err = capsys.readouterr().err
         assert "--jobs must be a positive integer" in err
+
+    def test_evaluate_writes_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["evaluate", "--commits", "40", "--limit", "5",
+                     "--seed", "cli-test",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        roots = [event for event in trace["traceEvents"]
+                 if event.get("name") == "jmake.check_commit"]
+        assert len(roots) == 5  # one span tree per checked commit
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["patches.checked"] == 5
+        assert any(name.startswith("cache.")
+                   for name in metrics["counters"])
+
+    def test_evaluate_output_identical_with_observability(self, capsys,
+                                                          tmp_path):
+        argv = ["evaluate", "--commits", "40", "--limit", "5",
+                "--seed", "cli-test"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace-out",
+                            str(tmp_path / "t.json")]) == 0
+        observed = [line for line in capsys.readouterr().out.splitlines()
+                    if not line.startswith("trace written")]
+        assert observed == plain.splitlines()
+
+
+class TestTrace:
+    def _some_commit(self):
+        from repro.workload.corpus import CorpusSpec, build_corpus
+        corpus = build_corpus(CorpusSpec(seed="cli-test",
+                                         history_commits=200,
+                                         eval_commits=40))
+        return corpus.eval_window_commits()[0].id
+
+    def test_trace_renders_span_tree(self, capsys, tmp_path):
+        commit = self._some_commit()
+        out_path = tmp_path / "one.json"
+        assert main(["trace", commit, "--commits", "40",
+                     "--seed", "cli-test", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "jmake.check_commit" in out
+        assert "spans:" in out
+        assert "verdict:" in out
+        trace = json.loads(out_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_trace_accepts_unique_prefix(self, capsys):
+        commit = self._some_commit()
+        assert main(["trace", commit[:10], "--commits", "40",
+                     "--seed", "cli-test"]) == 0
+        assert "jmake.check_commit" in capsys.readouterr().out
+
+    def test_trace_unknown_commit_exits_two(self, capsys):
+        assert main(["trace", "doesnotexist", "--commits", "40",
+                     "--seed", "cli-test"]) == 2
+        err = capsys.readouterr().err
+        assert "jmake trace:" in err
+        assert "hint:" in err
+
+
+class TestLogLevel:
+    def _drop_handler(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        for handler in [h for h in root.handlers
+                        if getattr(h, "_repro_handler", False)]:
+            root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_log_level_wires_repro_hierarchy(self, capsys):
+        try:
+            assert main(["--log-level", "info", "evaluate",
+                         "--commits", "40", "--limit", "3",
+                         "--seed", "cli-test"]) == 0
+            err = capsys.readouterr().err
+            assert "INFO repro.evalsuite.runner: checking" in err
+        finally:
+            self._drop_handler()
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "demo"])
 
 
 class TestParser:
