@@ -46,6 +46,8 @@ from repro.buildcache.fingerprint import (
     manifest_valid,
 )
 from repro.buildcache.stats import LOAD_ERRORS, CacheStats
+from repro.faults.inject import NULL_INJECTOR
+from repro.faults.plan import SITE_CACHE_LOAD, SITE_CACHE_STORE
 from repro.obs.logcfg import get_logger
 
 _PICKLE_VERSION = 1
@@ -96,6 +98,10 @@ class BuildCache:
         self.stats = CacheStats()
         self.graph = IncludeDependencyGraph()
         self._slots: "OrderedDict[tuple, _Slot]" = OrderedDict()
+        #: fault-injection hook; an injected fault degrades a probe to a
+        #: miss and a store to a no-op — corruption can cost time, never
+        #: correctness, so cache-site faults cannot change any verdict
+        self.injector = NULL_INJECTOR
 
     def __len__(self) -> int:
         return sum(len(slot.variants) for slot in self._slots.values())
@@ -109,8 +115,13 @@ class BuildCache:
 
     def _probe(self, kind: str, key: tuple,
                provider: FileProvider | None) -> "_Entry | None":
-        slot = self._slots.get(key)
         counters = self.stats.kind(kind)
+        if self.injector.fire(SITE_CACHE_LOAD, path=self._fault_path(key)) \
+                is not None:
+            # rotten entry / read error: degrade to a miss and recompute
+            counters.misses += 1
+            return None
+        slot = self._slots.get(key)
         if slot is not None:
             for entry in slot.variants:
                 if provider is None or manifest_valid(entry.manifest,
@@ -121,8 +132,17 @@ class BuildCache:
         counters.misses += 1
         return None
 
+    @staticmethod
+    def _fault_path(key: tuple) -> str:
+        """The artifact identity a fault plan's path filter sees."""
+        return f"{key[0]}:{key[1]}" if len(key) > 1 else str(key[0])
+
     def _store(self, kind: str, key: tuple, manifest: Manifest,
                payload: Any) -> None:
+        if self.injector.fire(SITE_CACHE_STORE, path=self._fault_path(key)) \
+                is not None:
+            # failed write: the entry is simply not persisted
+            return
         slot = self._slots.get(key)
         if slot is None:
             slot = _Slot()
@@ -311,6 +331,10 @@ class BuildCache:
 
     def save(self, path: str) -> None:
         """Pickle the store (entries + graph, not stats) to disk."""
+        if self.injector.fire(SITE_CACHE_STORE, path=path) is not None:
+            _logger.warning(
+                "build cache save failed (injected fault): path=%s", path)
+            return
         payload = {
             "version": _PICKLE_VERSION,
             "policy": self.policy,
@@ -321,16 +345,23 @@ class BuildCache:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
-    def load(cls, path: str,
-             policy: CachePolicy | None = None) -> "BuildCache":
+    def load(cls, path: str, policy: CachePolicy | None = None,
+             injector=None) -> "BuildCache":
         """Unpickle a store; a fresh cache on any mismatch or error.
 
         A missing file is the normal first-run case and stays quiet; a
         present-but-unreadable file is counted in the
         ``cache.load_errors`` instrument and logged as a structured
         warning so a persistent cache silently rotting is visible.
+        ``injector`` lets a fault plan rot the pickle (``cache_corrupt``
+        at ``cache_load``), exercising exactly that recovery path.
         """
         cache = cls(policy)
+        if injector is not None:
+            cache.injector = injector
+            if injector.fire(SITE_CACHE_LOAD, path=path) is not None:
+                cache._note_load_error(path, "injected cache corruption")
+                return cache
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)

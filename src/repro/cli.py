@@ -63,6 +63,28 @@ def _evaluate(args: argparse.Namespace) -> int:
         print(f"jmake evaluate: --jobs must be a positive integer "
               f"(got {args.jobs})", file=sys.stderr)
         return 2
+    from repro.errors import FaultPlanError
+    from repro.faults.inject import FaultInjector, NULL_INJECTOR
+    from repro.faults.plan import FaultPlan
+    from repro.faults.resilience import RetryPolicy
+    fault_plan = None
+    injector = NULL_INJECTOR
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except FaultPlanError as error:
+            print(f"jmake evaluate: {error}", file=sys.stderr)
+            return 2
+        injector = FaultInjector(fault_plan)
+        print(f"fault plan loaded: {len(fault_plan.specs)} rule(s), "
+              f"seed={fault_plan.seed!r}")
+    try:
+        retry_policy = RetryPolicy(
+            max_retries=args.max_retries,
+            step_timeout_seconds=args.step_timeout)
+    except ValueError as error:
+        print(f"jmake evaluate: {error}", file=sys.stderr)
+        return 2
     spec = CorpusSpec(seed=args.seed,
                       history_commits=max(200, args.commits // 2),
                       eval_commits=args.commits)
@@ -76,12 +98,14 @@ def _evaluate(args: argparse.Namespace) -> int:
         from repro.buildcache.cache import BuildCache, CachePolicy
         policy = CachePolicy(clock=args.cache_clock)
         if args.cache_file:
-            cache = BuildCache.load(args.cache_file, policy)
+            cache = BuildCache.load(args.cache_file, policy,
+                                    injector=injector)
         else:
             cache = BuildCache(policy)
     observe = bool(args.trace_out or args.metrics_out)
     runner = EvaluationRunner(corpus, options=options, cache=cache,
-                              observe=observe)
+                              observe=observe, fault_plan=fault_plan,
+                              retry_policy=retry_policy)
     print("Running JMake over the evaluation window ...")
     result = runner.run(limit=args.limit, jobs=args.jobs)
     if args.cache_file and runner.cache is not None:
@@ -105,6 +129,16 @@ def _evaluate(args: argparse.Namespace) -> int:
     print(f"\ncommits: {result.total_commits}  ignored: "
           f"{result.ignored_commits}  patches checked: "
           f"{len(result.patches)}\n")
+    if fault_plan:
+        injected = sum(len(patch.fault_reports)
+                       for patch in result.patches)
+        partial = [patch for patch in result.patches
+                   if patch.quarantined_archs]
+        print(f"Robustness: {injected} fault(s) injected, "
+              f"{len(partial)} commit(s) degraded to PARTIAL")
+        for patch in partial:
+            print(f"  {patch.commit_id}: {patch.verdict}")
+        print()
     if args.cache_stats and result.cache_stats is not None:
         print("Build cache statistics\n" + result.cache_stats.render()
               + "\n")
@@ -154,8 +188,7 @@ def _trace(args: argparse.Namespace) -> int:
     root.set("worker", 0)
     tree = root.to_dict()
     print(f"\n{render_span_tree(tree)}\n")
-    print(f"spans: {span_count(tree)}  verdict: "
-          + ("CERTIFIED" if report.certified else "ATTENTION REQUIRED"))
+    print(f"spans: {span_count(tree)}  verdict: {report.verdict}")
     if args.out:
         from repro.obs.export import write_chrome_trace
         events = write_chrome_trace(args.out, [tree])
@@ -235,6 +268,16 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the pipeline metrics registry "
                                "(counters/histograms + cache telemetry) "
                                "as JSON")
+    evaluate.add_argument("--fault-plan", default=None,
+                          help="JSON fault plan to inject deterministic "
+                               "build failures (see DESIGN.md §5)")
+    evaluate.add_argument("--max-retries", type=int, default=2,
+                          help="bounded retries per faulted step "
+                               "(exponential backoff, simulated clock)")
+    evaluate.add_argument("--step-timeout", type=float, default=None,
+                          help="simulated seconds one config/compile "
+                               "step may take before failing with a "
+                               "timeout")
     evaluate.set_defaults(func=_evaluate)
 
     janitors = sub.add_parser("janitors",

@@ -226,7 +226,7 @@ class CFileProcessor:
         try:
             config = self._build.make_config(candidate.arch,
                                              candidate.config_target)
-        except (ToolchainError, KconfigError) as error:
+        except (ToolchainError, KconfigError, BuildError) as error:
             for state in batch:
                 state.attempts.append(ArchAttempt(
                     arch=candidate.arch,

@@ -150,7 +150,7 @@ class HFileProcessor:
         host = self._build.registry.host.name
         try:
             host_config = self._build.make_config(host, "allyesconfig")
-        except (ToolchainError, KconfigError):
+        except (ToolchainError, KconfigError, BuildError):
             host_config = None
         if host_config is not None:
             for start in range(0, len(candidates), self._batch_limit):
@@ -218,7 +218,7 @@ class HFileProcessor:
                     config = self._build.make_config(
                         config_candidate.arch,
                         config_candidate.config_target)
-                except (ToolchainError, KconfigError) as error:
+                except (ToolchainError, KconfigError, BuildError) as error:
                     attempt.error = str(error)
                     continue
                 results = self._build.make_i([candidate.path],

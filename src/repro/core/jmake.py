@@ -29,6 +29,9 @@ from repro.core.mutation import (
     MutationPlan,
 )
 from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import RetryPolicy
 from repro.kbuild.build import BuildSystem
 from repro.kbuild.timing import CostModel
 from repro.obs.logcfg import get_logger
@@ -75,10 +78,21 @@ class JMake:
                  bootstrap_paths: set[str] | None = None,
                  rebuild_trigger_paths: set[str] | None = None,
                  cache: "BuildCache | None" = None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None,
+                 fault_plan: "FaultPlan | None" = None,
+                 retry_policy: "RetryPolicy | None" = None) -> None:
         self.options = options or JMakeOptions()
         self.clock = clock or SimClock()
         self.cache = cache
+        #: one injector for the whole run; scope resets per patch keep
+        #: fault decisions a pure function of (plan, commit)
+        self.injector = FaultInjector(fault_plan) if fault_plan \
+            else NULL_INJECTOR
+        self.retry_policy = retry_policy
+        if cache is not None:
+            # (re)bind unconditionally so a cache shared across runs
+            # never keeps a previous run's injector alive
+            cache.injector = self.injector
         #: observability sinks; default to the shared no-op instances so
         #: un-observed runs pay nothing but an attribute lookup per site
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -97,7 +111,10 @@ class JMake:
                             options: JMakeOptions | None = None,
                             clock: SimClock | None = None,
                             cache: "BuildCache | None" = None,
-                            tracer=None, metrics=None) -> "JMake":
+                            tracer=None, metrics=None,
+                            fault_plan: "FaultPlan | None" = None,
+                            retry_policy: "RetryPolicy | None" = None
+                            ) -> "JMake":
         """Bind bootstrap/rebuild metadata from a generated tree."""
         return cls(
             options=options,
@@ -107,6 +124,8 @@ class JMake:
             cache=cache,
             tracer=tracer,
             metrics=metrics,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
 
     @staticmethod
@@ -156,7 +175,11 @@ class JMake:
         out "the snapshot of the source code resulting from applying the
         patch").
         """
-        clock_start = self.clock.now
+        clock_start = self.clock.span_count
+        # New commit, fresh fault scope: attempt counters and pending
+        # reports reset so decisions cannot leak across commits (or
+        # depend on which worker checks which commit).
+        self.injector.begin_scope(commit_id or "<patch>")
         with self.tracer.span("jmake.check_patch",
                               commit=commit_id or "<patch>") as patch_span:
             build = self._make_build_system(worktree)
@@ -236,17 +259,24 @@ class JMake:
                 report.file_reports[plan.path] = file_report
 
             worktree.reset_hard()
-            report.elapsed_seconds = self.clock.now - clock_start
+            report.elapsed_seconds = self.clock.elapsed_since(clock_start)
             for invocation in build.invocations[invocations_start:]:
                 report.invocation_counts[invocation.kind] = \
                     report.invocation_counts.get(invocation.kind, 0) + 1
                 report.invocation_durations.setdefault(
                     invocation.kind, []).append(invocation.duration)
+            report.quarantined_archs = build.quarantine.archs()
+            report.fault_reports = self.injector.drain_reports()
             patch_span.set("certified", report.certified)
             patch_span.set("files", len(report.file_reports))
+            if report.quarantined_archs:
+                patch_span.set("quarantined",
+                               ",".join(report.quarantined_archs))
         self.metrics.counter("patches.checked").inc()
         if report.certified:
             self.metrics.counter("patches.certified").inc()
+        if report.quarantined_archs:
+            self.metrics.counter("patches.partial").inc()
         self.metrics.histogram("patch.elapsed_sim_seconds").observe(
             report.elapsed_seconds)
         return report
@@ -264,4 +294,6 @@ class JMake:
             cache=self.cache,
             tracer=self.tracer,
             metrics=self.metrics,
+            injector=self.injector,
+            retry_policy=self.retry_policy,
         )

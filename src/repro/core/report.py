@@ -117,12 +117,30 @@ class PatchReport:
     #: per-invocation simulated durations by kind (config/make_i/make_o)
     invocation_durations: dict[str, list[float]] = field(
         default_factory=dict)
+    #: architectures the per-patch circuit breaker benched: their
+    #: candidates were never (fully) tried, so the verdict is PARTIAL
+    quarantined_archs: list[str] = field(default_factory=list)
+    #: structured records of the faults injected while checking the patch
+    fault_reports: list = field(default_factory=list)
 
     @property
     def certified(self) -> bool:
         """Every changed line of every file subjected to the compiler."""
         return bool(self.file_reports) and \
             all(report.certified for report in self.file_reports.values())
+
+    @property
+    def verdict(self) -> str:
+        """``CERTIFIED``, ``ATTENTION REQUIRED``, or ``PARTIAL:<archs>``.
+
+        A quarantined architecture means some candidates were never
+        tried, so neither success nor failure is trustworthy: the
+        explicit ``PARTIAL`` verdict tells the janitor to re-run rather
+        than silently counting the commit as fully checked.
+        """
+        if self.quarantined_archs:
+            return "PARTIAL:" + ",".join(self.quarantined_archs)
+        return "CERTIFIED" if self.certified else "ATTENTION REQUIRED"
 
     @property
     def c_reports(self) -> dict[str, FileReport]:
@@ -145,8 +163,11 @@ class PatchReport:
         return {
             "commit": self.commit_id,
             "certified": self.certified,
+            "verdict": self.verdict,
             "elapsed_seconds": self.elapsed_seconds,
             "invocations": dict(self.invocation_counts),
+            "quarantined_archs": list(self.quarantined_archs),
+            "faults": [report.to_dict() for report in self.fault_reports],
             "files": {
                 path: {
                     "status": report.status.value,
@@ -162,9 +183,12 @@ class PatchReport:
     def render(self) -> str:
         """Human-readable report (the tool's terminal output)."""
         header = f"JMake report for {self.commit_id or '<patch>'}: " + \
-            ("CERTIFIED" if self.certified else "ATTENTION REQUIRED")
+            self.verdict
         body = "\n".join(report.render()
                          for report in self.file_reports.values())
-        footer = (f"elapsed: {self.elapsed_seconds:.1f}s simulated, "
-                  f"invocations: {self.invocation_counts}")
-        return "\n".join([header, body, footer])
+        lines = [header, body]
+        for fault in self.fault_reports:
+            lines.append(f"  {fault.render()}")
+        lines.append(f"elapsed: {self.elapsed_seconds:.1f}s simulated, "
+                     f"invocations: {self.invocation_counts}")
+        return "\n".join(lines)

@@ -76,6 +76,10 @@ class MakefileNotFoundError(KbuildError):
     """Raised when no Kbuild Makefile governs a source file."""
 
 
+class FaultPlanError(ReproError):
+    """Raised on malformed fault-injection plans (``--fault-plan``)."""
+
+
 class WorkloadError(ReproError):
     """Raised by the synthetic corpus generator on inconsistent specs."""
 

@@ -17,6 +17,12 @@ from repro.cc.toolchain import ToolchainRegistry
 from repro.core.changes import extract_changed_files
 from repro.core.jmake import JMake, JMakeOptions
 from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.faults.plan import (
+    FaultPlan,
+    SITE_CACHE_LOAD,
+    SITE_CACHE_STORE,
+)
+from repro.faults.resilience import RetryPolicy
 from repro.janitors.identify import JanitorCriteria, JanitorFinder
 from repro.kernel.layout import HazardKind
 from repro.obs.logcfg import get_logger
@@ -75,6 +81,17 @@ class PatchRecord:
     invocation_durations: dict[str, list[float]] = field(
         default_factory=dict)
     files: list[FileInstanceRecord] = field(default_factory=list)
+    #: CERTIFIED / ATTENTION REQUIRED / PARTIAL:<archs>
+    verdict: str = ""
+    quarantined_archs: list[str] = field(default_factory=list)
+    #: FaultReport entries for the faults injected while checking
+    fault_reports: list = field(default_factory=list)
+
+    @property
+    def fully_checked(self) -> bool:
+        """False for PARTIAL commits — they must not be counted as
+        checked (that silent over-count was the quarantine bug)."""
+        return not self.quarantined_archs
 
 
 @dataclass
@@ -108,7 +125,17 @@ class EvaluationResult:
                 f"patch {patch.commit_id} author={patch.author_email} "
                 f"janitor={patch.is_janitor} shape={patch.shape} "
                 f"certified={patch.certified} "
+                f"verdict={patch.verdict} "
                 f"elapsed={patch.elapsed_seconds!r}")
+            for fault in patch.fault_reports:
+                # Cache-site faults only degrade probes/stores; their
+                # count depends on cache state, which legitimately varies
+                # with partitioning — step-site faults are the invariant.
+                if fault.site in (SITE_CACHE_LOAD, SITE_CACHE_STORE):
+                    continue
+                lines.append(
+                    f"  fault {fault.kind}@{fault.site} arch={fault.arch} "
+                    f"path={fault.path} attempt={fault.attempt}")
             for kind in sorted(patch.invocation_counts):
                 durations = ",".join(
                     repr(value) for value
@@ -189,7 +216,8 @@ _WORKER: dict = {}
 
 def _init_worker(corpus: Corpus, options: JMakeOptions,
                  cache: BuildCache | None, observe: bool,
-                 jobs: int) -> None:
+                 jobs: int, fault_plan: "FaultPlan | None" = None,
+                 retry_policy: "RetryPolicy | None" = None) -> None:
     _WORKER["corpus"] = corpus
     _WORKER["cache"] = cache
     _WORKER["jobs"] = jobs
@@ -203,7 +231,9 @@ def _init_worker(corpus: Corpus, options: JMakeOptions,
                                                  options=options,
                                                  cache=cache,
                                                  tracer=tracer,
-                                                 metrics=metrics)
+                                                 metrics=metrics,
+                                                 fault_plan=fault_plan,
+                                                 retry_policy=retry_policy)
     _WORKER["stats_base"] = cache.stats_snapshot() \
         if cache is not None else None
 
@@ -251,13 +281,19 @@ class EvaluationRunner:
                  options: JMakeOptions | None = None,
                  criteria: JanitorCriteria | None = None,
                  cache: "BuildCache | bool | None" = None,
-                 observe: bool = False) -> None:
+                 observe: bool = False,
+                 fault_plan: "FaultPlan | None" = None,
+                 retry_policy: "RetryPolicy | None" = None) -> None:
         self.corpus = corpus
         self.options = options or JMakeOptions()
         self.criteria = criteria or scaled_criteria(corpus)
         #: when True the run records span trees and pipeline metrics
         #: (simulated timings and verdicts are unaffected either way)
         self.observe = observe
+        #: active fault plan (None outside fault-injection runs) and the
+        #: retry/timeout policy the build systems run under
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         #: ``None``/``True`` -> a fresh private cache, ``False`` ->
         #: caching off, a BuildCache -> shared (warm across runs)
         if cache is False:
@@ -334,7 +370,9 @@ class EvaluationRunner:
                                               options=self.options,
                                               cache=self.cache,
                                               tracer=tracer,
-                                              metrics=metrics)
+                                              metrics=metrics,
+                                              fault_plan=self.fault_plan,
+                                              retry_policy=self.retry_policy)
             reports = []
             trees: "list[dict] | None" = [] if self.observe else None
             for index, commit in enumerate(checkable):
@@ -382,7 +420,8 @@ class EvaluationRunner:
                 processes=jobs,
                 initializer=_init_worker,
                 initargs=(self.corpus, self.options, self.cache,
-                          self.observe, jobs)) as pool:
+                          self.observe, jobs, self.fault_plan,
+                          self.retry_policy)) as pool:
             for index, report, delta, tree, metrics_delta in \
                     pool.imap_unordered(_check_one, tasks, chunksize):
                 reports[index] = report
@@ -420,6 +459,9 @@ class EvaluationRunner:
             invocation_durations={
                 kind: list(durations) for kind, durations
                 in report.invocation_durations.items()},
+            verdict=report.verdict,
+            quarantined_archs=list(report.quarantined_archs),
+            fault_reports=list(report.fault_reports),
         )
         hazard_by_path: dict[str, list[HazardKind]] = {}
         if ground_truth is not None:

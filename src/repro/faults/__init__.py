@@ -1,0 +1,70 @@
+"""Deterministic fault injection for the JMake pipeline (dependability).
+
+The paper's thesis is that a janitor must be able to *trust* JMake's
+verdict (§III-D); this package provides the machinery to prove the
+pipeline earns that trust when the substrate misbehaves:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`, a
+  seedable, declarative description of which faults fire where;
+- :mod:`repro.faults.inject` — :class:`FaultInjector`, the hook the
+  build system and cache consult at every step boundary, plus the
+  structured :class:`FaultReport` records a run emits;
+- :mod:`repro.faults.resilience` — :class:`RetryPolicy` (bounded,
+  sim-clock-charged exponential backoff) and :class:`Quarantine` (the
+  per-architecture circuit breaker behind ``PARTIAL:<arch>`` verdicts).
+
+Every decision is a pure function of (plan seed, commit scope, step
+identity, attempt number), so an injected run is exactly reproducible
+across ``--jobs`` values, cache on/off, and observability on/off.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    FaultReport,
+    NULL_INJECTOR,
+    NullInjector,
+)
+from repro.faults.plan import (
+    BUILTIN_KINDS,
+    FaultPlan,
+    FaultSpec,
+    INJECTION_SITES,
+    KIND_CACHE_CORRUPT,
+    KIND_COMPILE_TIMEOUT,
+    KIND_CONFIG_FAIL,
+    KIND_IO_ERROR,
+    KIND_PREPROCESS_FLAKE,
+    KIND_TRUNCATE_I,
+    SITE_CACHE_LOAD,
+    SITE_CACHE_STORE,
+    SITE_COMPILE,
+    SITE_CONFIG,
+    SITE_PREPROCESS,
+    valid_kind_sites,
+)
+from repro.faults.resilience import Quarantine, RetryPolicy
+
+__all__ = [
+    "BUILTIN_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "INJECTION_SITES",
+    "KIND_CACHE_CORRUPT",
+    "KIND_COMPILE_TIMEOUT",
+    "KIND_CONFIG_FAIL",
+    "KIND_IO_ERROR",
+    "KIND_PREPROCESS_FLAKE",
+    "KIND_TRUNCATE_I",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "Quarantine",
+    "RetryPolicy",
+    "SITE_CACHE_LOAD",
+    "SITE_CACHE_STORE",
+    "SITE_COMPILE",
+    "SITE_CONFIG",
+    "SITE_PREPROCESS",
+    "valid_kind_sites",
+]

@@ -51,6 +51,18 @@ from repro.errors import (
     MakefileNotFoundError,
     PreprocessorError,
 )
+from repro.faults.inject import NULL_INJECTOR
+from repro.faults.plan import (
+    KIND_COMPILE_TIMEOUT,
+    KIND_CONFIG_FAIL,
+    KIND_IO_ERROR,
+    KIND_PREPROCESS_FLAKE,
+    KIND_TRUNCATE_I,
+    SITE_COMPILE,
+    SITE_CONFIG,
+    SITE_PREPROCESS,
+)
+from repro.faults.resilience import DEFAULT_RETRY_POLICY, Quarantine
 from repro.kbuild.makefile import KbuildMakefile
 from repro.kbuild.timing import CostModel
 from repro.kconfig.configfile import Config
@@ -72,6 +84,15 @@ class BuildError(KbuildError):
     def __init__(self, message: str, kind: str) -> None:
         super().__init__(message)
         self.kind = kind
+
+
+#: BuildError kinds injected fault kinds surface as after retries
+_FAULT_ERROR_KINDS = {
+    KIND_CONFIG_FAIL: "config_failed",
+    KIND_PREPROCESS_FLAKE: "preprocess_flake",
+    KIND_COMPILE_TIMEOUT: "timeout",
+    KIND_IO_ERROR: "io_error",
+}
 
 
 @dataclass
@@ -104,11 +125,26 @@ class VmlinuxBuild:
 
     image: "object"
     failed: dict[str, str] = field(default_factory=dict)
+    arch: str = ""
 
     @property
     def clean(self) -> bool:
         """True when every enabled unit compiled."""
         return not self.failed
+
+    @property
+    def verdict(self) -> str:
+        """``CLEAN``, or ``PARTIAL:<arch>`` when any unit failed.
+
+        A ``keep_going`` build that recorded unit failures must never
+        pass for a fully checked kernel — callers that only test
+        ``image`` truthiness silently absorb the failures (the
+        silent-abort bug); this is the explicit signal they should
+        propagate instead.
+        """
+        if self.clean:
+            return "CLEAN"
+        return f"PARTIAL:{self.arch}" if self.arch else "PARTIAL"
 
 
 #: Directories the top-level Makefile always descends into.
@@ -126,7 +162,9 @@ class BuildSystem:
                  rebuild_trigger_paths: set[str] | None = None,
                  path_lister: "Callable[[], list[str]] | None" = None,
                  cache: BuildCache | None = None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None,
+                 injector=None, retry_policy=None,
+                 quarantine: Quarantine | None = None) -> None:
         self._provider = provider
         self._path_lister = path_lister
         self.registry = registry or ToolchainRegistry()
@@ -137,6 +175,15 @@ class BuildSystem:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.cost_model = cost_model or CostModel()
         self.cache = cache
+        #: fault-injection hook consulted at every step boundary;
+        #: NULL_INJECTOR (never fires) outside fault-plan runs
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else DEFAULT_RETRY_POLICY
+        #: per-architecture circuit breaker; a BuildSystem lives for one
+        #: patch, so quarantine state is naturally commit-scoped
+        self.quarantine = quarantine if quarantine is not None \
+            else Quarantine()
         self._bootstrap_paths = set(bootstrap_paths or ())
         self._rebuild_trigger_paths = set(rebuild_trigger_paths or ())
         self._config_cache: dict[tuple[str, str], Config] = {}
@@ -155,6 +202,78 @@ class BuildSystem:
     def bootstrap_paths(self) -> set[str]:
         """The set of §V-D bootstrap files."""
         return set(self._bootstrap_paths)
+
+    # -- fault injection and resilience --------------------------------------
+
+    def _guard_step(self, site: str, arch_name: str, path: str = ""):
+        """The fault gate every step passes through before real work.
+
+        Raises ``BuildError(kind="quarantined")`` when the architecture
+        is benched. Otherwise consults the injector: failing fault kinds
+        are absorbed by a bounded retry loop — each doomed attempt
+        charges its simulated cost (clamped by the step timeout), each
+        retry charges exponential backoff under a ``retry`` span — until
+        an attempt comes back clean or the budget is exhausted, at which
+        point the persistent failure is recorded with the quarantine and
+        raised as a :class:`BuildError`. Output-degrading kinds (e.g.
+        ``truncate_i``) are returned for the caller to apply; they never
+        fail the step.
+
+        Runs before any cache probe, so the decision sequence — and
+        therefore every verdict — is identical with the cache on or off.
+        """
+        if self.quarantine.is_quarantined(arch_name):
+            raise BuildError(
+                f"architecture {arch_name} is quarantined after persistent "
+                f"{self.quarantine.reason(arch_name)} failures",
+                kind="quarantined")
+        if not self.injector.enabled:
+            return None
+        retries = 0
+        while True:
+            spec = self.injector.fire(site, arch=arch_name, path=path)
+            if spec is None:
+                return None
+            self.metrics.counter("build.faults.injected").inc()
+            self.metrics.counter(f"build.faults.{spec.kind}").inc()
+            if spec.kind not in _FAULT_ERROR_KINDS:
+                return spec  # degrades output instead of failing the step
+            cost = self.retry_policy.clamp_attempt_seconds(
+                spec.attempt_cost_seconds)
+            if cost:
+                self.clock.charge("fault", cost)
+            if retries >= self.retry_policy.max_retries:
+                self.quarantine.record(arch_name, site)
+                raise BuildError(
+                    f"injected {spec.kind} at {site} "
+                    f"({path or arch_name}): {retries} retries exhausted",
+                    kind=_FAULT_ERROR_KINDS[spec.kind])
+            backoff = self.retry_policy.backoff_seconds(retries)
+            with self.tracer.span("retry", site=site, arch=arch_name,
+                                  path=path, attempt=retries + 1) as span:
+                self.clock.charge("retry_backoff", backoff)
+                span.set("backoff", backoff)
+                span.set("fault_kind", spec.kind)
+            self.metrics.counter("build.retries").inc()
+            retries += 1
+
+    def _check_step_timeout(self, site: str, arch_name: str, cost: float,
+                            charge) -> None:
+        """Fail a step whose simulated cost exceeds ``--step-timeout``.
+
+        A cost-model timeout is deterministic, so no retry loop: the
+        step burns the timeout budget and fails outright (config-site
+        timeouts bench the architecture immediately).
+        """
+        timeout = self.retry_policy.step_timeout_seconds
+        if timeout is None or cost <= timeout:
+            return
+        charge(timeout)
+        self.metrics.counter("build.timeouts").inc()
+        self.quarantine.record(arch_name, site)
+        raise BuildError(
+            f"{site} step for {arch_name} exceeded the "
+            f"{timeout:g}s step timeout", kind="timeout")
 
     # -- configuration -------------------------------------------------------
 
@@ -202,6 +321,9 @@ class BuildSystem:
             return self._config_cache[key]
         with self.tracer.span("build.config", arch=arch_name,
                               target=target) as span:
+            # Fault gate before the model cache probe below, so the
+            # decision sequence is cache-invariant.
+            self._guard_step(SITE_CONFIG, arch_name, path=target)
             model = self.config_model(arch_name)
             seed_text: str | None = None
             if target not in ("allyesconfig", "allmodconfig", "allnoconfig"):
@@ -211,6 +333,16 @@ class BuildSystem:
                 if seed_text is None:
                     raise KconfigError(f"no such defconfig: {seed_path}")
             cost = self.cost_model.config_cost(arch_name, target, len(model))
+
+            def _charge_timeout(amount: float) -> None:
+                self.clock.charge("config", amount)
+                span.set("sim_cost", amount)
+                self.invocations.append(MakeInvocation(
+                    kind="config", arch=arch_name, duration=amount,
+                    files=[target]))
+
+            self._check_step_timeout(SITE_CONFIG, arch_name, cost,
+                                     _charge_timeout)
 
             config: Config | None = None
             model_digest = self._model_digests.get(arch_directory(arch_name))
@@ -482,6 +614,11 @@ class BuildSystem:
     def _make_one_i(self, path: str, arch_name: str,
                     config: Config) -> FileBuildResult:
         try:
+            degrade = self._guard_step(SITE_PREPROCESS, arch_name, path=path)
+        except BuildError as error:
+            return FileBuildResult(path=path, ok=False, error=str(error),
+                                   error_kind=error.kind)
+        try:
             self.governing_makefile(path)
         except MakefileNotFoundError as error:
             return FileBuildResult(path=path, ok=False, error=str(error),
@@ -504,8 +641,17 @@ class BuildSystem:
         except PreprocessorError as error:
             return FileBuildResult(path=path, ok=False, error=str(error),
                                    error_kind="preprocess_failed")
+        i_text = preprocessed.text
+        if degrade is not None and degrade.kind == KIND_TRUNCATE_I:
+            # A torn .i write: keep the first half, cut at a line
+            # boundary. Only the grep view is degraded — the cached
+            # PreprocessResult stays intact — and losing lines can only
+            # lose tokens, so truncation can never credit a line the
+            # compiler did not see.
+            cut = i_text.rfind("\n", 0, len(i_text) // 2 + 1)
+            i_text = i_text[:cut + 1] if cut >= 0 else ""
         return FileBuildResult(path=path, ok=True,
-                               i_text=preprocessed.text,
+                               i_text=i_text,
                                preprocess_result=preprocessed,
                                cached=hit)
 
@@ -514,6 +660,9 @@ class BuildSystem:
         self.metrics.counter("build.make_o.invocations").inc()
         with self.tracer.span("build.make_o", arch=arch_name,
                               config=config.name, path=path) as span:
+            # Fault gate before the object-cache probe in _make_o, so
+            # the decision sequence is cache-invariant.
+            self._guard_step(SITE_COMPILE, arch_name, path=path)
             return self._make_o(path, arch_name, config, span)
 
     def _make_o(self, path: str, arch_name: str, config: Config,
@@ -541,6 +690,7 @@ class BuildSystem:
             self.invocations.append(MakeInvocation(
                 kind="make_o", arch=arch_name, duration=amount, files=[path]))
 
+        self._check_step_timeout(SITE_COMPILE, arch_name, full_cost, charge)
         if not probe_clock:
             charge(full_cost)
         try:
@@ -634,4 +784,4 @@ class BuildSystem:
                     raise
                 failed[path] = str(error)
         image = link(objects, architecture=arch_name)
-        return VmlinuxBuild(image=image, failed=failed)
+        return VmlinuxBuild(image=image, failed=failed, arch=arch_name)

@@ -12,6 +12,7 @@ rebuild outliers).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -58,6 +59,24 @@ class SimClock:
     def durations(self, label: str) -> list[float]:
         """All charged durations carrying the given label."""
         return [span.duration for span in self._spans if span.label == label]
+
+    @property
+    def span_count(self) -> int:
+        """Number of charged spans so far (a bookmark for elapsed_since)."""
+        return len(self._spans)
+
+    def elapsed_since(self, span_index: int) -> float:
+        """Exactly-rounded total charged since a ``span_count`` bookmark.
+
+        ``now - start`` is contaminated by the clock's accumulated
+        offset: the same charges on top of different running totals can
+        differ in the last float bits, which breaks byte-identical
+        serial-vs-parallel comparisons (each worker's clock carries a
+        different lane history). ``math.fsum`` over the interval's own
+        durations is a pure function of those charges alone.
+        """
+        return math.fsum(span.duration
+                         for span in self._spans[span_index:])
 
     def total(self, label: str | None = None) -> float:
         """Total charged time, optionally restricted to one label."""

@@ -11,17 +11,14 @@ import pytest
 from repro.buildcache.cache import BuildCache, CachePolicy
 from repro.cc.toolchain import ToolchainRegistry
 from repro.evalsuite.runner import EvaluationRunner
-from repro.workload.corpus import CorpusSpec, build_corpus
 
 LIMIT = 50
 
 
 @pytest.fixture(scope="module")
-def corpus():
-    return build_corpus(CorpusSpec(seed="cache-equivalence",
-                                   history_commits=160,
-                                   eval_commits=80,
-                                   regular_developers=10))
+def corpus(midsize_corpus):
+    """The shared session corpus (see ``tests/conftest.py``)."""
+    return midsize_corpus
 
 
 @pytest.fixture(scope="module")

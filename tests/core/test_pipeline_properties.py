@@ -1,0 +1,190 @@
+"""Property-based tests over the patch → mutate → token-grep pipeline.
+
+Random patches are pushed through the same chain the evaluation uses:
+``diff_texts`` → ``render``/``parse_patch`` → ``changed_new_linenos``
+→ ``MutationEngine.plan`` → preprocess/compile. The invariants:
+
+- a changed ordinary-code line yields exactly one ```"type:file:line"``
+  token; lines sharing a conditional-anchored group share that group's
+  single token (the engine's §III-A grouping);
+- mutated sources always preprocess — a mutation must never break
+  ``make file.i``;
+- whenever a token survives preprocessing, the unit never compiles
+  clean: the backtick is a guaranteed stray-character diagnostic.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cc.compiler import Compiler
+from repro.cc.toolchain import ToolchainRegistry
+from repro.core.mutation import Mutation, MutationEngine
+from repro.core.sourcemap import LineClass, SourceMap
+from repro.errors import CompileError
+from repro.util.text import split_lines_keepends
+from repro.vcs.diff import diff_texts, parse_patch
+
+from tests.core.test_mutation_properties import (
+    LINE_POOL,
+    source_strategy,
+)
+
+TOKEN_SHAPE = re.compile(r'^`"(code|define):f\.c:(\d+)"$')
+
+# Conditional-free pool: every code line is always active, so every
+# placed "code" token is guaranteed to surface in the .i output.
+FLAT_POOL = [line for line in LINE_POOL
+             if line not in ("#ifdef CONFIG_X", "#endif")]
+
+flat_source = st.lists(st.sampled_from(FLAT_POOL),
+                       min_size=3, max_size=20).map(
+    lambda lines: "\n".join(lines) + "\n")
+
+X86 = ToolchainRegistry().get("x86_64")
+
+
+def compiler_for(text):
+    return Compiler(X86, {"f.c": text}.get)
+
+
+def expected_groups(text, changed):
+    """Mirror the engine's grouping: (macro regions, code anchors)."""
+    source_map = SourceMap("f.c", text)
+    macro_starts, anchors = set(), set()
+    for lineno in changed:
+        if not 1 <= lineno <= source_map.line_count():
+            continue
+        line_class = source_map.classify(lineno)
+        if line_class is LineClass.COMMENT:
+            continue
+        if line_class is LineClass.MACRO_DEF:
+            macro_starts.add(source_map.macro_at(lineno).start)
+        else:
+            anchors.add(source_map.last_conditional_before(lineno))
+    return macro_starts, anchors
+
+
+def changed_via_diff(old, new):
+    """The evaluation's own changed-line extraction, round-tripped."""
+    file_diff = diff_texts("f.c", old, new)
+    if file_diff is None:
+        return None
+    return parse_patch(file_diff.render()).file("f.c").changed_new_linenos()
+
+
+class TestTokenPlacement:
+    @given(flat_source, st.data())
+    @settings(max_examples=80)
+    def test_single_code_line_yields_exactly_one_token(self, text, data):
+        source_map = SourceMap("f.c", text)
+        code_lines = [info.lineno for info in source_map.lines
+                      if info.line_class is LineClass.CODE
+                      and info.text.strip()]
+        if not code_lines:
+            return
+        lineno = data.draw(st.sampled_from(code_lines))
+        plan = MutationEngine().plan("f.c", text, [lineno])
+        assert len(plan.mutations) == 1
+        mutation = plan.mutations[0]
+        assert mutation.kind == "code"
+        assert mutation.line == lineno
+        assert mutation.token == Mutation.make_token("code", "f.c", lineno)
+        assert plan.mutated_text.count(mutation.token) == 1
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=80)
+    def test_one_token_per_changed_group(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=8, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        macro_starts, anchors = expected_groups(text, changed)
+        assert len(plan.mutations) == len(macro_starts) + len(anchors)
+        # each code group's token certifies the group's first change
+        code_lines = {m.line for m in plan.mutations if m.kind == "code"}
+        for anchor in anchors:
+            group = [lineno for lineno in changed
+                     if 1 <= lineno <= line_count
+                     and SourceMap("f.c", text).classify(lineno)
+                     not in (LineClass.COMMENT, LineClass.MACRO_DEF)
+                     and SourceMap("f.c", text)
+                     .last_conditional_before(lineno) == anchor]
+            assert min(group) in code_lines
+
+    @given(source_strategy, st.data())
+    @settings(max_examples=80)
+    def test_tokens_have_the_documented_shape(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=8, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        for mutation in plan.mutations:
+            match = TOKEN_SHAPE.match(mutation.token)
+            assert match is not None
+            assert match.group(1) == mutation.kind
+            assert int(match.group(2)) == mutation.line
+
+
+class TestDiffDrivenPipeline:
+    @given(source_strategy, source_strategy)
+    @settings(max_examples=60)
+    def test_diffed_changes_group_like_direct_changes(self, old, new):
+        changed = changed_via_diff(old, new)
+        if changed is None:
+            return
+        plan = MutationEngine().plan("f.c", new, changed)
+        macro_starts, anchors = expected_groups(new, changed)
+        assert len(plan.mutations) == len(macro_starts) + len(anchors)
+
+    @given(source_strategy, source_strategy)
+    @settings(max_examples=60)
+    def test_mutated_sources_always_preprocess(self, old, new):
+        changed = changed_via_diff(old, new)
+        if changed is None:
+            return
+        plan = MutationEngine().plan("f.c", new, changed)
+        result = compiler_for(plan.mutated_text).preprocess("f.c")
+        assert result.text is not None
+
+
+class TestNeverCompilesClean:
+    @given(flat_source, st.data())
+    @settings(max_examples=60)
+    def test_surfaced_tokens_fail_compilation(self, text, data):
+        line_count = len(split_lines_keepends(text))
+        changed = data.draw(st.lists(
+            st.integers(min_value=1, max_value=line_count),
+            min_size=1, max_size=6, unique=True))
+        plan = MutationEngine().plan("f.c", text, changed)
+        compiler = compiler_for(plan.mutated_text)
+        i_text = compiler.preprocess("f.c").text
+        surfaced = plan.tokens_found_in(i_text)
+        code_tokens = [m.token for m in plan.mutations if m.kind == "code"]
+        # conditional-free source: every code token is active
+        assert surfaced >= set(code_tokens)
+        if not surfaced:
+            return
+        # the backtick lexes as a stray character, one per token
+        strays = compiler.lex("f.c").stray_characters
+        assert len(strays) >= len(surfaced)
+        with pytest.raises(CompileError) as excinfo:
+            compiler.compile_object("f.c")
+        assert "stray" in str(excinfo.value)
+
+    @given(flat_source, st.data())
+    @settings(max_examples=40)
+    def test_comment_only_changes_leave_source_untouched(self, text, data):
+        source_map = SourceMap("f.c", text)
+        comments = [info.lineno for info in source_map.lines
+                    if info.line_class is LineClass.COMMENT]
+        if not comments:
+            return
+        lineno = data.draw(st.sampled_from(comments))
+        plan = MutationEngine().plan("f.c", text, [lineno])
+        assert plan.mutations == []
+        assert plan.mutated_text == text
+        assert plan.comment_lines == [lineno]

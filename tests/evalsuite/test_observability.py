@@ -13,15 +13,12 @@ import pytest
 
 from repro.evalsuite.runner import EvaluationRunner
 from repro.obs.export import chrome_trace, span_count, write_chrome_trace
-from repro.workload.corpus import CorpusSpec, build_corpus
 
 
 @pytest.fixture(scope="module")
-def corpus():
-    return build_corpus(CorpusSpec(seed="obs-test",
-                                   history_commits=120,
-                                   eval_commits=60,
-                                   regular_developers=8))
+def corpus(small_corpus):
+    """The shared session corpus (see ``tests/conftest.py``)."""
+    return small_corpus
 
 
 @pytest.fixture(scope="module")

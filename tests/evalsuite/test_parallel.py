@@ -5,15 +5,6 @@ import sys
 import pytest
 
 from repro.evalsuite.runner import EvaluationRunner
-from repro.workload.corpus import CorpusSpec, build_corpus
-
-
-@pytest.fixture(scope="module")
-def small_corpus():
-    return build_corpus(CorpusSpec(seed="parallel-test",
-                                   history_commits=120,
-                                   eval_commits=60,
-                                   regular_developers=8))
 
 
 @pytest.mark.skipif(sys.platform == "win32",

@@ -1,0 +1,55 @@
+"""Fixtures for the fault-injection suite.
+
+Build-system level tests reuse the small hand-written kernel-like tree
+from the kbuild tests; pipeline-level tests run over the shared session
+corpora from ``tests/conftest.py``.
+"""
+
+import pytest
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.kbuild.build import BuildSystem
+
+from tests.kbuild.conftest import TREE
+
+
+@pytest.fixture
+def tree():
+    return dict(TREE)
+
+
+def make_build_system(tree, *, plan=None, cache=None, **kwargs):
+    """A TREE-backed BuildSystem wired to an injector for ``plan``."""
+    injector = FaultInjector(plan) if plan is not None else None
+    build = BuildSystem(
+        tree.get,
+        bootstrap_paths={"kernel/bounds.c"},
+        rebuild_trigger_paths=set(),
+        path_lister=lambda: sorted(tree),
+        cache=cache,
+        injector=injector,
+        **kwargs,
+    )
+    if cache is not None and injector is not None:
+        cache.injector = injector
+    return build
+
+
+def plan_of(*specs, seed="faults-test"):
+    """A FaultPlan from inline (kind, **fields) rule tuples."""
+    return FaultPlan(seed=seed,
+                     specs=[FaultSpec(**spec) for spec in specs])
+
+
+@pytest.fixture(scope="session")
+def storm_plan():
+    """A mixed plan touching every site — the determinism workhorse."""
+    return FaultPlan(seed="storm", specs=[
+        FaultSpec(kind="preprocess_flake", rate=0.3),
+        FaultSpec(kind="compile_timeout", rate=0.15),
+        FaultSpec(kind="config_fail", arch="arm", rate=0.5, times=5),
+        FaultSpec(kind="truncate_i", rate=0.2),
+        FaultSpec(kind="cache_corrupt", rate=0.1),
+        FaultSpec(kind="io_error", site="cache_store", rate=0.1),
+    ])

@@ -1,0 +1,135 @@
+"""Unit tests for the deterministic fault injector."""
+
+from repro.faults.inject import NULL_INJECTOR, FaultInjector, FaultReport
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def injector_of(*specs, seed="inj-test"):
+    return FaultInjector(FaultPlan(seed=seed, specs=list(specs)))
+
+
+class TestFiring:
+    def test_fires_at_most_times_per_key(self):
+        injector = injector_of(FaultSpec(kind="preprocess_flake", times=2))
+        fired = [injector.fire("preprocess", arch="arm", path="a.c")
+                 for _ in range(5)]
+        assert [spec is not None for spec in fired] == \
+            [True, True, False, False, False]
+
+    def test_distinct_keys_have_independent_budgets(self):
+        injector = injector_of(FaultSpec(kind="preprocess_flake", times=1))
+        assert injector.fire("preprocess", arch="arm", path="a.c")
+        assert injector.fire("preprocess", arch="arm", path="b.c")
+        assert injector.fire("preprocess", arch="x86_64", path="a.c")
+        assert not injector.fire("preprocess", arch="arm", path="a.c")
+
+    def test_scope_reset_restores_budget(self):
+        injector = injector_of(FaultSpec(kind="preprocess_flake", times=1))
+        injector.begin_scope("commit-1")
+        assert injector.fire("preprocess", arch="arm", path="a.c")
+        assert not injector.fire("preprocess", arch="arm", path="a.c")
+        injector.begin_scope("commit-2")
+        assert injector.fire("preprocess", arch="arm", path="a.c")
+
+    def test_unmatched_site_never_fires(self):
+        injector = injector_of(FaultSpec(kind="config_fail"))
+        assert injector.fire("preprocess", arch="arm", path="a.c") is None
+
+    def test_arch_and_path_filters(self):
+        injector = injector_of(
+            FaultSpec(kind="compile_timeout", arch="arm", path="drivers/"))
+        assert injector.fire("compile", arch="x86_64",
+                             path="drivers/net/wifi.c") is None
+        assert injector.fire("compile", arch="arm",
+                             path="kernel/sched.c") is None
+        assert injector.fire("compile", arch="arm",
+                             path="drivers/net/wifi.c") is not None
+
+    def test_first_matching_rule_wins(self):
+        injector = injector_of(
+            FaultSpec(kind="preprocess_flake"),
+            FaultSpec(kind="truncate_i"))
+        spec = injector.fire("preprocess", arch="arm", path="a.c")
+        assert spec.kind == "preprocess_flake"
+
+    def test_rate_one_always_fires(self):
+        injector = injector_of(FaultSpec(kind="io_error", rate=1.0,
+                                         times=50))
+        assert all(injector.fire("config", arch="arm") is not None
+                   for _ in range(50))
+
+    def test_rate_zero_never_fires(self):
+        injector = injector_of(FaultSpec(kind="io_error", rate=0.0,
+                                         times=50))
+        assert all(injector.fire("config", arch="arm") is None
+                   for _ in range(50))
+
+    def test_fractional_rate_is_deterministic(self):
+        def pattern(scope):
+            injector = injector_of(
+                FaultSpec(kind="preprocess_flake", rate=0.5, times=100))
+            injector.begin_scope(scope)
+            return [injector.fire("preprocess", arch="arm",
+                                  path="a.c") is not None
+                    for _ in range(100)]
+
+        first, second = pattern("commit-1"), pattern("commit-1")
+        assert first == second
+        assert any(first)          # ~50 firings out of 100
+        assert not all(first)
+        assert pattern("commit-2") != first  # scope enters the draw
+
+
+class TestReports:
+    def test_one_report_per_firing(self):
+        injector = injector_of(FaultSpec(kind="preprocess_flake", times=2))
+        injector.begin_scope("c1")
+        injector.fire("preprocess", arch="arm", path="a.c")
+        injector.fire("preprocess", arch="arm", path="a.c")
+        injector.fire("preprocess", arch="arm", path="a.c")  # over budget
+        reports = injector.drain_reports()
+        assert len(reports) == 2
+        assert reports[0] == FaultReport(
+            kind="preprocess_flake", site="preprocess", arch="arm",
+            path="a.c", scope="c1", attempt=1)
+        assert reports[1].attempt == 2
+
+    def test_drain_clears(self):
+        injector = injector_of(FaultSpec(kind="io_error"))
+        injector.fire("config", arch="arm")
+        assert injector.drain_reports()
+        assert injector.drain_reports() == []
+
+    def test_begin_scope_discards_pending_reports(self):
+        injector = injector_of(FaultSpec(kind="io_error"))
+        injector.fire("config", arch="arm")
+        injector.begin_scope("next")
+        assert injector.drain_reports() == []
+
+    def test_fired_total_spans_scopes(self):
+        injector = injector_of(FaultSpec(kind="io_error"))
+        injector.begin_scope("c1")
+        injector.fire("config", arch="arm")
+        injector.begin_scope("c2")
+        injector.fire("config", arch="arm")
+        assert injector.fired_total == 2
+
+    def test_report_render_and_dict(self):
+        report = FaultReport(kind="io_error", site="compile", arch="arm",
+                             path="a.c", scope="c1", attempt=3)
+        assert report.render() == \
+            "fault io_error at compile (arm/a.c) attempt 3"
+        assert report.to_dict()["scope"] == "c1"
+
+
+class TestNullInjector:
+    def test_disabled_and_inert(self):
+        assert not NULL_INJECTOR.enabled
+        assert NULL_INJECTOR.fire("config", arch="arm") is None
+        NULL_INJECTOR.begin_scope("c1")
+        assert NULL_INJECTOR.drain_reports() == []
+        assert NULL_INJECTOR.fired_total == 0
+
+    def test_empty_plan_injector_is_disabled(self):
+        assert not FaultInjector(FaultPlan()).enabled
+        assert FaultInjector(None).fire("config", arch="arm") is None

@@ -1,0 +1,132 @@
+"""The per-architecture circuit breaker and its PARTIAL verdicts."""
+
+import pytest
+
+from repro.core.report import PatchReport
+from repro.faults.resilience import Quarantine
+from repro.kbuild.build import BuildError
+from repro.obs.metrics import MetricsRegistry
+
+from tests.faults.conftest import make_build_system, plan_of
+
+
+class TestQuarantineUnit:
+    def test_config_failure_trips_immediately(self):
+        quarantine = Quarantine()
+        assert quarantine.record("arm", "config")
+        assert quarantine.is_quarantined("arm")
+        assert quarantine.reason("arm") == "config"
+
+    def test_compile_failures_accrue_strikes(self):
+        quarantine = Quarantine(threshold=3)
+        assert not quarantine.record("arm", "compile")
+        assert not quarantine.record("arm", "compile")
+        assert quarantine.record("arm", "compile")
+        assert quarantine.is_quarantined("arm")
+        assert quarantine.reason("arm") == "compile"
+
+    def test_strikes_are_per_arch(self):
+        quarantine = Quarantine(threshold=2)
+        quarantine.record("arm", "compile")
+        quarantine.record("x86_64", "compile")
+        assert not quarantine.is_quarantined("arm")
+        assert not quarantine.is_quarantined("x86_64")
+
+    def test_already_benched_arch_records_nothing_new(self):
+        quarantine = Quarantine()
+        assert quarantine.record("arm", "config")
+        assert not quarantine.record("arm", "compile")
+        assert quarantine.reason("arm") == "config"
+
+    def test_archs_sorted(self):
+        quarantine = Quarantine()
+        quarantine.record("x86_64", "config")
+        quarantine.record("arm", "config")
+        assert quarantine.archs() == ["arm", "x86_64"]
+
+    def test_reset(self):
+        quarantine = Quarantine(threshold=2)
+        quarantine.record("arm", "config")
+        quarantine.record("mips", "compile")
+        quarantine.reset()
+        assert quarantine.archs() == []
+        assert not quarantine.record("mips", "compile")  # strikes cleared
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            Quarantine(threshold=0)
+
+
+class TestBuildSystemQuarantine:
+    def test_persistent_config_failure_benches_the_arch(self, tree):
+        build = make_build_system(
+            tree, plan=plan_of({"kind": "config_fail", "times": 10}))
+        with pytest.raises(BuildError) as excinfo:
+            build.make_config("x86_64", "allyesconfig")
+        assert excinfo.value.kind == "config_failed"
+        assert build.quarantine.is_quarantined("x86_64")
+        with pytest.raises(BuildError) as excinfo:
+            build.make_config("x86_64", "allyesconfig")
+        assert excinfo.value.kind == "quarantined"
+
+    def test_other_archs_keep_working(self, tree):
+        build = make_build_system(
+            tree, plan=plan_of({"kind": "config_fail", "arch": "arm",
+                                "times": 10}))
+        with pytest.raises(BuildError):
+            build.make_config("arm", "allyesconfig")
+        config = build.make_config("x86_64", "allyesconfig")
+        assert config.enabled("PCI")
+
+    def test_compile_failures_take_threshold_strikes(self, tree):
+        build = make_build_system(
+            tree, plan=plan_of({"kind": "io_error", "site": "compile",
+                                "times": 10}),
+            metrics=MetricsRegistry())
+        config = build.make_config("x86_64", "allyesconfig")
+        for path in ("kernel/sched.c", "drivers/net/wifi.c"):
+            with pytest.raises(BuildError) as excinfo:
+                build.make_o(path, "x86_64", config)
+            assert excinfo.value.kind == "io_error"
+            assert not build.quarantine.is_quarantined("x86_64")
+        with pytest.raises(BuildError):
+            build.make_o("drivers/net/e1000.c", "x86_64", config)
+        assert build.quarantine.is_quarantined("x86_64")
+        with pytest.raises(BuildError) as excinfo:
+            build.make_o("kernel/sched.c", "x86_64", config)
+        assert excinfo.value.kind == "quarantined"
+
+    def test_quarantined_arch_fails_fast(self, tree):
+        """Fail-fast steps charge no fault cost and fire no new faults."""
+        build = make_build_system(
+            tree, plan=plan_of({"kind": "config_fail", "times": 10}))
+        with pytest.raises(BuildError):
+            build.make_config("x86_64", "allyesconfig")
+        charged = len(build.clock.spans)
+        with pytest.raises(BuildError, match="quarantined"):
+            build.make_config("x86_64", "allyesconfig")
+        assert len(build.clock.spans) == charged
+
+
+class TestPartialVerdict:
+    def test_patch_report_degrades_to_partial(self):
+        report = PatchReport(commit_id="c1")
+        report.quarantined_archs = ["arm"]
+        assert report.verdict == "PARTIAL:arm"
+
+    def test_partial_lists_every_benched_arch(self):
+        report = PatchReport(commit_id="c1")
+        report.quarantined_archs = ["arm", "mips"]
+        assert report.verdict == "PARTIAL:arm,mips"
+
+    def test_unquarantined_verdicts(self):
+        report = PatchReport(commit_id="c1")
+        assert report.verdict == "ATTENTION REQUIRED"  # no file reports
+
+    def test_verdict_in_render_and_dict(self):
+        report = PatchReport(commit_id="c1")
+        report.quarantined_archs = ["arm"]
+        assert "PARTIAL:arm" in report.render()
+        payload = report.to_dict()
+        assert payload["verdict"] == "PARTIAL:arm"
+        assert payload["quarantined_archs"] == ["arm"]
