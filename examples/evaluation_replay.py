@@ -11,11 +11,15 @@ Run:  python examples/evaluation_replay.py [--commits N]
 
 import argparse
 
-from repro.evalsuite.experiments import EXPERIMENTS
-from repro.evalsuite.figures import figure5_overall
-from repro.evalsuite.runner import EvaluationRunner
-from repro.evalsuite.tables import table3, table4
-from repro.workload.corpus import CorpusSpec, build_corpus
+from repro.api import (
+    EXPERIMENTS,
+    CorpusSpec,
+    EvaluationSession,
+    build_corpus,
+    figure5_overall,
+    table3,
+    table4,
+)
 
 
 def main() -> None:
@@ -31,7 +35,7 @@ def main() -> None:
         eval_commits=args.commits))
 
     print("running JMake over the evaluation window ...\n")
-    result = EvaluationRunner(corpus).run()
+    result = EvaluationSession(corpus).run()
 
     print(f"{result.total_commits} commits; "
           f"{result.ignored_commits} ignored (merges, whitespace-only, "

@@ -9,12 +9,17 @@ then compares against the ground-truth personas.
 Run:  python examples/janitor_survey.py
 """
 
-from repro.evalsuite.runner import scaled_criteria
-from repro.evalsuite.tables import table1, table2
-from repro.janitors.activity import ActivityAnalyzer
-from repro.janitors.identify import JanitorFinder
-from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
-from repro.workload.personas import PersonaKind
+from repro.api import (
+    ActivityAnalyzer,
+    Corpus,
+    CorpusSpec,
+    JanitorFinder,
+    PersonaKind,
+    build_corpus,
+    scaled_criteria,
+    table1,
+    table2,
+)
 
 
 def main() -> None:

@@ -10,10 +10,14 @@ extension for ``#ifdef MODULE`` code.
 Run:  python examples/patch_audit.py
 """
 
-from repro.core.jmake import JMake, JMakeOptions
-from repro.kernel.generator import generate_tree
-from repro.kernel.layout import HazardKind
-from repro.vcs.diff import Patch, diff_texts
+from repro.api import (
+    CheckSession,
+    HazardKind,
+    JMakeOptions,
+    Patch,
+    diff_texts,
+    generate_tree,
+)
 
 
 def check(tree, path, old, new, **options):
@@ -22,9 +26,9 @@ def check(tree, path, old, new, **options):
     assert edited != original, f"edit failed in {path}"
     files = dict(tree.files)
     files[path] = edited
-    worktree = JMake.worktree_for_files(files)
+    worktree = CheckSession.worktree_for_files(files)
     patch = Patch(files=[diff_texts(path, original, edited)])
-    jmake = JMake.from_generated_tree(
+    jmake = CheckSession.from_generated_tree(
         tree, options=JMakeOptions(**options) if options else None)
     return jmake.check_patch(worktree, patch)
 

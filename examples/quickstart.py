@@ -8,16 +8,14 @@ subjected to the compiler — and for which architecture.
 Run:  python examples/quickstart.py
 """
 
-from repro.core.jmake import JMake
-from repro.kernel.generator import generate_tree
-from repro.vcs.diff import Patch, diff_texts
+from repro.api import CheckSession, Patch, diff_texts, generate_tree
 
 
 def main() -> None:
     # 1. The source tree. In the paper this is a Linux kernel checkout;
     #    here it is the structurally equivalent generated substrate.
     tree = generate_tree()
-    jmake = JMake.from_generated_tree(tree)
+    jmake = CheckSession.from_generated_tree(tree)
 
     # 2. A janitor-style change: add a bounds check to a staging driver.
     path = "drivers/staging/comedi/comedi1.c"
@@ -31,7 +29,7 @@ def main() -> None:
     #    (JMake checks the snapshot that results from applying it).
     files = dict(tree.files)
     files[path] = edited
-    worktree = JMake.worktree_for_files(files)
+    worktree = CheckSession.worktree_for_files(files)
     patch = Patch(files=[diff_texts(path, original, edited)])
 
     # 4. Run the check.

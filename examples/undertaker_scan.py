@@ -18,10 +18,13 @@ Run:  python examples/undertaker_scan.py
 
 from collections import Counter
 
-from repro.analysis.deadblocks import BlockVerdict, DeadBlockAnalyzer
-from repro.kbuild.build import BuildSystem
-from repro.kernel.generator import generate_tree
-from repro.kernel.layout import HazardKind
+from repro.api import (
+    BlockVerdict,
+    BuildSystem,
+    DeadBlockAnalyzer,
+    HazardKind,
+    generate_tree,
+)
 
 
 def main() -> None:

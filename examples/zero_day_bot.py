@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Zero-day bot: random-configuration testing vs JMake.
+"""Zero-day bot: random-configuration testing vs CheckSession.
 
 §I and §VI of the paper contrast JMake with Intel's 0-day build-testing
 service, which compiles every patch for a number of randomly selected
@@ -17,14 +17,19 @@ Run:  python examples/zero_day_bot.py [--configs N] [--commits N]
 
 import argparse
 
-from repro.core.changes import extract_changed_files
-from repro.core.jmake import JMake
-from repro.core.mutation import MutationEngine, MutationOverlay
-from repro.kbuild.build import BuildSystem
-from repro.kconfig.ast import Tristate
-from repro.kconfig.configfile import Config
-from repro.util.rng import DeterministicRng
-from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
+from repro.api import (
+    BuildSystem,
+    CheckSession,
+    Config,
+    Corpus,
+    CorpusSpec,
+    DeterministicRng,
+    MutationEngine,
+    MutationOverlay,
+    Tristate,
+    build_corpus,
+    extract_changed_files,
+)
 
 
 def random_config(model, rng: DeterministicRng, index: int) -> Config:
@@ -96,7 +101,7 @@ def main() -> None:
                if extract_changed_files(repository.show(c))]
 
     rng = DeterministicRng("zero-day-bot")
-    jmake = JMake.from_generated_tree(corpus.tree)
+    jmake = CheckSession.from_generated_tree(corpus.tree)
 
     bot_covered = jmake_certified = 0
     for commit in commits:

@@ -1,0 +1,208 @@
+"""The stable, versioned public API of the JMake reproduction.
+
+``repro.api`` is the only supported import surface: the CLI and every
+example script import from here, and anything importable from this
+module follows the serialized-record ``schema_version`` compatibility
+story (see :data:`SCHEMA_VERSION` / :func:`migrate_record`).
+
+Three tiers:
+
+- **functions** — :func:`check_commit`, :func:`check_patch`,
+  :func:`evaluate`, :func:`serve` cover the common one-shot paths;
+- **session objects** — :class:`CheckSession`,
+  :class:`EvaluationSession`, :class:`CheckService` for callers that
+  hold state across many checks;
+- **re-exports** — the data types and helpers user scripts legitimately
+  touch (reports, corpus construction, tables/figures, observability,
+  fault plans).
+
+The old scattered entry points (``repro.core.jmake.JMake``,
+``repro.evalsuite.runner.EvaluationRunner``) still work but emit
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+# -- the facade's own imports (public re-export surface) ----------------------
+
+from repro.analysis.deadblocks import BlockVerdict, DeadBlockAnalyzer
+from repro.buildcache.cache import BuildCache, CachePolicy
+from repro.core.changes import extract_changed_files
+from repro.core.jmake import CheckSession, JMake, JMakeOptions
+from repro.core.mutation import MutationEngine, MutationOverlay
+from repro.core.report import (
+    SCHEMA_VERSION,
+    FileReport,
+    FileStatus,
+    PatchReport,
+    migrate_record,
+)
+from repro.core.units import UnitDag, WorkUnit, run_units
+from repro.errors import (
+    FaultPlanError,
+    ReproError,
+    SchemaError,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceOverloadedError,
+    VcsError,
+)
+from repro.evalsuite.experiments import EXPERIMENTS
+from repro.evalsuite.figures import figure5_overall
+from repro.evalsuite.reportdoc import write_markdown_report
+from repro.evalsuite.runner import (
+    EvaluationResult,
+    EvaluationRunner,
+    EvaluationSession,
+    scaled_criteria,
+)
+from repro.evalsuite.tables import table1, table2, table3, table4
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import RetryPolicy
+from repro.janitors.activity import ActivityAnalyzer
+from repro.janitors.identify import JanitorFinder
+from repro.kbuild.build import BuildSystem
+from repro.kconfig.ast import Tristate
+from repro.kconfig.configfile import Config
+from repro.kernel.generator import generate_tree
+from repro.kernel.layout import HazardKind
+from repro.obs.export import (
+    render_span_tree,
+    span_count,
+    write_chrome_trace,
+)
+from repro.obs.logcfg import LEVELS, configure_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.service import (
+    CheckRequest,
+    CheckResult,
+    CheckService,
+    ServiceConfig,
+)
+from repro.util.rng import DeterministicRng
+from repro.vcs.diff import Patch, diff_texts
+from repro.vcs.repository import Repository, Worktree
+from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
+from repro.workload.personas import PersonaKind
+
+__all__ = [
+    # functions
+    "check_commit", "check_patch", "evaluate", "serve", "validate_jobs",
+    # sessions / service
+    "CheckSession", "EvaluationSession", "CheckService", "ServiceConfig",
+    "CheckRequest", "CheckResult",
+    # schema
+    "SCHEMA_VERSION", "migrate_record",
+    # deprecated shims (still exported so old code keeps importing)
+    "JMake", "EvaluationRunner",
+    # data types and helpers
+    "ActivityAnalyzer", "BlockVerdict", "BuildCache", "BuildSystem",
+    "CachePolicy", "Config", "Corpus", "CorpusSpec", "DeadBlockAnalyzer",
+    "DeterministicRng", "EXPERIMENTS", "EvaluationResult", "FaultInjector",
+    "FaultPlan", "FaultPlanError", "FileReport", "FileStatus",
+    "HazardKind", "JMakeOptions", "JanitorFinder", "LEVELS",
+    "MetricsRegistry", "MutationEngine", "MutationOverlay",
+    "NULL_INJECTOR", "Patch", "PatchReport", "PersonaKind", "ReproError",
+    "Repository", "RetryPolicy", "SchemaError", "ServiceDrainingError",
+    "ServiceError", "ServiceOverloadedError", "Tracer", "Tristate",
+    "UnitDag", "VcsError", "WorkUnit", "Worktree", "build_corpus",
+    "configure_logging", "diff_texts", "extract_changed_files",
+    "figure5_overall", "generate_tree", "render_span_tree", "run_units",
+    "scaled_criteria", "span_count", "table1", "table2", "table3",
+    "table4", "write_chrome_trace", "write_markdown_report",
+]
+
+
+# -- validation ---------------------------------------------------------------
+
+def validate_jobs(jobs, *, what: str = "jobs") -> int:
+    """The one place ``--jobs``/shard counts are validated.
+
+    Accepts any integral value ≥ 1 (bools rejected); raises
+    ``ValueError`` with a uniform message otherwise. The CLI, the
+    evaluation session, and the service config all call this, so
+    ``jmake serve --shards 0`` and ``jmake evaluate --jobs 0`` fail the
+    same way.
+    """
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"{what} must be a positive integer, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(
+            f"{what} must be a positive integer, got {jobs}")
+    return jobs
+
+
+# -- one-shot functions -------------------------------------------------------
+
+def check_commit(tree, repository: Repository, commit,
+                 *, options: JMakeOptions | None = None,
+                 cache: "BuildCache | None" = None,
+                 tracer=None, metrics=None,
+                 fault_plan: "FaultPlan | None" = None,
+                 retry_policy: "RetryPolicy | None" = None) -> PatchReport:
+    """Check one commit of a repository against a generated tree."""
+    session = CheckSession.from_generated_tree(
+        tree, options=options, cache=cache, tracer=tracer,
+        metrics=metrics, fault_plan=fault_plan,
+        retry_policy=retry_policy)
+    return session.check_commit(repository, commit)
+
+
+def check_patch(worktree: Worktree, patch: Patch,
+                *, tree=None, commit_id: str | None = None,
+                options: JMakeOptions | None = None,
+                cache: "BuildCache | None" = None,
+                tracer=None, metrics=None,
+                fault_plan: "FaultPlan | None" = None,
+                retry_policy: "RetryPolicy | None" = None) -> PatchReport:
+    """Check a patch against an already-checked-out worktree.
+
+    ``tree`` (a generated kernel tree) binds bootstrap/rebuild
+    metadata when available; without it the check runs bare.
+    """
+    if tree is not None:
+        session = CheckSession.from_generated_tree(
+            tree, options=options, cache=cache, tracer=tracer,
+            metrics=metrics, fault_plan=fault_plan,
+            retry_policy=retry_policy)
+    else:
+        session = CheckSession(
+            options=options, cache=cache, tracer=tracer,
+            metrics=metrics, fault_plan=fault_plan,
+            retry_policy=retry_policy)
+    return session.check_patch(worktree, patch, commit_id=commit_id)
+
+
+def evaluate(corpus: Corpus, *,
+             options: JMakeOptions | None = None,
+             criteria=None,
+             cache: "BuildCache | bool | None" = None,
+             observe: bool = False,
+             fault_plan: "FaultPlan | None" = None,
+             retry_policy: "RetryPolicy | None" = None,
+             limit: int | None = None,
+             use_ground_truth_janitors: bool = False,
+             jobs: int = 1,
+             service: "bool | int | ServiceConfig" = False
+             ) -> EvaluationResult:
+    """Run the §V evaluation protocol over a corpus window."""
+    session = EvaluationSession(
+        corpus, options=options, criteria=criteria, cache=cache,
+        observe=observe, fault_plan=fault_plan,
+        retry_policy=retry_policy)
+    return session.run(limit=limit,
+                       use_ground_truth_janitors=use_ground_truth_janitors,
+                       jobs=jobs, service=service)
+
+
+def serve(corpus: Corpus, *,
+          options: JMakeOptions | None = None,
+          config: "ServiceConfig | None" = None,
+          cache: "BuildCache | bool | None" = True) -> CheckService:
+    """Construct a check service over a corpus (call ``start()`` or
+    use the ``check_commits`` sync wrapper)."""
+    return CheckService(corpus, options=options, config=config,
+                        cache=cache)

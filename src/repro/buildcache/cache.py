@@ -102,6 +102,16 @@ class BuildCache:
         #: miss and a store to a no-op — corruption can cost time, never
         #: correctness, so cache-site faults cannot change any verdict
         self.injector = NULL_INJECTOR
+        #: when True, CheckSession leaves ``injector`` alone — the check
+        #: service pins one injector on the cache it shares across
+        #: concurrent sessions, so per-request sessions cannot rebind it
+        #: out from under each other
+        self.injector_pinned = False
+
+    def pin_injector(self, injector) -> None:
+        """Bind ``injector`` and refuse later per-session rebinding."""
+        self.injector = injector
+        self.injector_pinned = True
 
     def __len__(self) -> int:
         return sum(len(slot.variants) for slot in self._slots.values())

@@ -9,6 +9,10 @@ Subcommands::
     jmake janitors [--commits N]    identify janitors (Tables I-II)
     jmake trace <commit>            check one commit with tracing on and
                                     print its annotated span tree
+    jmake serve [--shards N]        start the sharded check service,
+                                    submit a batch of commits, report
+                                    per-request verdicts and scheduling
+                                    stats, and drain cleanly
 
 Observability: ``jmake evaluate --trace-out FILE`` writes a Chrome
 trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev)
@@ -17,6 +21,9 @@ pipeline metrics registry (counters/gauges/histograms, cache telemetry
 included) as JSON. ``--log-level`` configures the ``repro.*`` logger
 hierarchy. Everything runs offline against the generated substrate; see
 README.md.
+
+This module imports only from :mod:`repro.api` — the stable facade is
+the CLI's sole dependency on the library, by design.
 """
 
 from __future__ import annotations
@@ -25,23 +32,12 @@ import argparse
 import json
 import sys
 
-from repro.core.jmake import JMake, JMakeOptions
-from repro.evalsuite.experiments import EXPERIMENTS
-from repro.evalsuite.runner import EvaluationRunner
-from repro.evalsuite.tables import table1, table2, table3, table4
-from repro.janitors.identify import JanitorFinder
-from repro.kernel.generator import generate_tree
-from repro.obs.logcfg import LEVELS, configure_logging
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import Tracer
-from repro.vcs.diff import Patch, diff_texts
-from repro.workload.corpus import Corpus, CorpusSpec, build_corpus
-from repro.workload.personas import PersonaKind
+from repro import api
 
 
 def _demo(args: argparse.Namespace) -> int:
-    tree = generate_tree()
-    jmake = JMake.from_generated_tree(tree)
+    tree = api.generate_tree()
+    session = api.CheckSession.from_generated_tree(tree)
 
     path = "drivers/staging/comedi/comedi0.c"
     original = tree.files[path]
@@ -49,79 +45,74 @@ def _demo(args: argparse.Namespace) -> int:
                               "int status = 0;\n\tint retries = 0;")
     files = dict(tree.files)
     files[path] = edited
-    worktree = JMake.worktree_for_files(files)
-    patch = Patch(files=[diff_texts(path, original, edited)])
+    worktree = api.CheckSession.worktree_for_files(files)
+    patch = api.Patch(files=[api.diff_texts(path, original, edited)])
 
     print(f"Checking a demo patch touching {path} ...")
-    report = jmake.check_patch(worktree, patch)
+    report = session.check_patch(worktree, patch)
     print(report.render())
     return 0 if report.certified else 1
 
 
 def _evaluate(args: argparse.Namespace) -> int:
-    if args.jobs < 1:
-        print(f"jmake evaluate: --jobs must be a positive integer "
-              f"(got {args.jobs})", file=sys.stderr)
+    try:
+        api.validate_jobs(args.jobs, what="--jobs")
+    except ValueError as error:
+        print(f"jmake evaluate: {error}", file=sys.stderr)
         return 2
-    from repro.errors import FaultPlanError
-    from repro.faults.inject import FaultInjector, NULL_INJECTOR
-    from repro.faults.plan import FaultPlan
-    from repro.faults.resilience import RetryPolicy
     fault_plan = None
-    injector = NULL_INJECTOR
+    injector = api.NULL_INJECTOR
     if args.fault_plan:
         try:
-            fault_plan = FaultPlan.load(args.fault_plan)
-        except FaultPlanError as error:
+            fault_plan = api.FaultPlan.load(args.fault_plan)
+        except api.FaultPlanError as error:
             print(f"jmake evaluate: {error}", file=sys.stderr)
             return 2
-        injector = FaultInjector(fault_plan)
+        injector = api.FaultInjector(fault_plan)
         print(f"fault plan loaded: {len(fault_plan.specs)} rule(s), "
               f"seed={fault_plan.seed!r}")
     try:
-        retry_policy = RetryPolicy(
+        retry_policy = api.RetryPolicy(
             max_retries=args.max_retries,
             step_timeout_seconds=args.step_timeout)
     except ValueError as error:
         print(f"jmake evaluate: {error}", file=sys.stderr)
         return 2
-    spec = CorpusSpec(seed=args.seed,
-                      history_commits=max(200, args.commits // 2),
-                      eval_commits=args.commits)
+    spec = api.CorpusSpec(seed=args.seed,
+                          history_commits=max(200, args.commits // 2),
+                          eval_commits=args.commits)
     print(f"Building corpus ({spec.eval_commits} evaluation commits) ...")
-    corpus = build_corpus(spec)
-    options = JMakeOptions(use_configs=not args.no_configs,
-                           use_allmodconfig=args.allmodconfig)
+    corpus = api.build_corpus(spec)
+    options = api.JMakeOptions(use_configs=not args.no_configs,
+                               use_allmodconfig=args.allmodconfig)
     if args.no_cache:
-        cache: "BuildCache | bool" = False
+        cache: "api.BuildCache | bool" = False
     else:
-        from repro.buildcache.cache import BuildCache, CachePolicy
-        policy = CachePolicy(clock=args.cache_clock)
+        policy = api.CachePolicy(clock=args.cache_clock)
         if args.cache_file:
-            cache = BuildCache.load(args.cache_file, policy,
-                                    injector=injector)
+            cache = api.BuildCache.load(args.cache_file, policy,
+                                        injector=injector)
         else:
-            cache = BuildCache(policy)
+            cache = api.BuildCache(policy)
     observe = bool(args.trace_out or args.metrics_out)
-    runner = EvaluationRunner(corpus, options=options, cache=cache,
-                              observe=observe, fault_plan=fault_plan,
-                              retry_policy=retry_policy)
+    session = api.EvaluationSession(corpus, options=options, cache=cache,
+                                    observe=observe, fault_plan=fault_plan,
+                                    retry_policy=retry_policy)
     print("Running JMake over the evaluation window ...")
-    result = runner.run(limit=args.limit, jobs=args.jobs)
-    if args.cache_file and runner.cache is not None:
-        runner.cache.save(args.cache_file)
+    result = session.run(limit=args.limit, jobs=args.jobs)
+    if args.cache_file and session.cache is not None:
+        session.cache.save(args.cache_file)
         print(f"build cache written to {args.cache_file}")
     if args.trace_out:
-        from repro.obs.export import write_chrome_trace
-        events = write_chrome_trace(args.trace_out,
-                                    result.span_trees or [])
+        events = api.write_chrome_trace(args.trace_out,
+                                        result.span_trees or [])
         print(f"trace written to {args.trace_out} "
               f"({events} events, {len(result.span_trees or [])} commits)")
     if args.metrics_out:
         combined = result.metrics.snapshot() \
-            if result.metrics is not None else MetricsRegistry()
-        if runner.cache is not None:
-            combined.merge(runner.cache.stats.registry)
+            if result.metrics is not None else api.MetricsRegistry()
+        if session.cache is not None:
+            combined.merge(session.cache.stats.registry)
         with open(args.metrics_out, "w") as handle:
             json.dump(combined.to_dict(), handle, indent=1, sort_keys=True)
         print(f"metrics written to {args.metrics_out}")
@@ -142,81 +133,138 @@ def _evaluate(args: argparse.Namespace) -> int:
     if args.cache_stats and result.cache_stats is not None:
         print("Build cache statistics\n" + result.cache_stats.render()
               + "\n")
-    _, text = table3(result)
+    _, text = api.table3(result)
     print("Table III — patch characteristics\n" + text + "\n")
-    _, text = table4(result)
+    _, text = api.table4(result)
     print("Table IV — reasons lines escape the compiler (janitors)\n"
           + text + "\n")
     for experiment_id in ("E-F4a", "E-F4b", "E-F4c", "E-F5", "E-F6",
                           "E-S1", "E-S2", "E-S3", "E-S4", "E-S5", "E-S6"):
-        _, text = EXPERIMENTS[experiment_id].run(result)
+        _, text = api.EXPERIMENTS[experiment_id].run(result)
         print(text + "\n")
     if args.output:
-        from repro.evalsuite.reportdoc import write_markdown_report
         with open(args.output, "w") as handle:
-            handle.write(write_markdown_report(result))
+            handle.write(api.write_markdown_report(result))
         print(f"markdown report written to {args.output}")
     return 0
 
 
-def _trace(args: argparse.Namespace) -> int:
-    from repro.errors import VcsError
-    from repro.obs.export import render_span_tree, span_count
-
-    spec = CorpusSpec(seed=args.seed,
-                      history_commits=max(200, args.commits // 2),
-                      eval_commits=args.commits)
+def _serve(args: argparse.Namespace) -> int:
+    try:
+        api.validate_jobs(args.shards, what="--shards")
+        config = api.ServiceConfig(
+            shards=args.shards,
+            batch_limit=args.batch_limit,
+            max_pending_requests=args.max_pending)
+    except ValueError as error:
+        print(f"jmake serve: {error}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = api.FaultPlan.load(args.fault_plan)
+        except api.FaultPlanError as error:
+            print(f"jmake serve: {error}", file=sys.stderr)
+            return 2
+        config.fault_plan = fault_plan
+    spec = api.CorpusSpec(seed=args.seed,
+                          history_commits=max(200, args.commits // 2),
+                          eval_commits=args.commits)
     print(f"Building corpus ({spec.eval_commits} evaluation commits) ...")
-    corpus = build_corpus(spec)
+    corpus = api.build_corpus(spec)
+    service = api.serve(corpus,
+                        config=config,
+                        cache=not args.no_cache)
+
+    commits = corpus.repository.log(since=api.Corpus.TAG_EVAL_START,
+                                    until=api.Corpus.TAG_EVAL_END)
+    checkable = [commit for commit in commits
+                 if api.extract_changed_files(
+                     corpus.repository.show(commit))]
+    if args.limit is not None:
+        checkable = checkable[:args.limit]
+    print(f"service: shards={config.shards} "
+          f"batch_limit={config.batch_limit}; submitting "
+          f"{len(checkable)} request(s) ...")
+    results = service.check_commits([commit.id for commit in checkable])
+    for result in results:
+        print(f"  {result.request_id} {result.commit_id}: "
+              f"{result.verdict} "
+              f"({result.elapsed_sim_seconds:.1f}s simulated)")
+    stats = service.stats()
+    print(f"\nrequests completed: {stats['requests_completed']}")
+    for index, shard in enumerate(stats["shards"]):
+        print(f"  shard {index}: units={shard['units_run']} "
+              f"batches={shard['batches_run']} "
+              f"archs={','.join(shard['archs']) or '-'} "
+              f"queue_depth={shard['queue_depth']}")
+    batcher = stats["batcher"]
+    print(f"  batcher: flushes={batcher.get('flushes', 0)} "
+          f"units_batched={batcher.get('units_batched', 0)} "
+          f"pending={batcher.get('pending_units', 0)}")
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(stats, handle, indent=1, sort_keys=True)
+        print(f"stats written to {args.stats_out}")
+    drained = not stats["started"] and not batcher.get("pending_units")
+    print("drain: clean" if drained else "drain: NOT CLEAN")
+    return 0 if drained and len(results) == len(checkable) else 1
+
+
+def _trace(args: argparse.Namespace) -> int:
+    spec = api.CorpusSpec(seed=args.seed,
+                          history_commits=max(200, args.commits // 2),
+                          eval_commits=args.commits)
+    print(f"Building corpus ({spec.eval_commits} evaluation commits) ...")
+    corpus = api.build_corpus(spec)
     try:
         commit = corpus.repository.resolve(args.commit)
-    except VcsError as error:
+    except api.VcsError as error:
         print(f"jmake trace: {error}", file=sys.stderr)
         print("hint: commit ids come from the synthetic corpus; run "
               "`jmake evaluate` (same --seed/--commits) to list them",
               file=sys.stderr)
         return 2
-    tracer = Tracer()
-    metrics = MetricsRegistry()
-    options = JMakeOptions(use_configs=not args.no_configs,
-                           use_allmodconfig=args.allmodconfig)
-    jmake = JMake.from_generated_tree(corpus.tree, options=options,
-                                      tracer=tracer, metrics=metrics)
-    report = jmake.check_commit(corpus.repository, commit)
+    tracer = api.Tracer()
+    metrics = api.MetricsRegistry()
+    options = api.JMakeOptions(use_configs=not args.no_configs,
+                               use_allmodconfig=args.allmodconfig)
+    session = api.CheckSession.from_generated_tree(
+        corpus.tree, options=options, tracer=tracer, metrics=metrics)
+    report = session.check_commit(corpus.repository, commit)
     root = tracer.drain()[-1]
     root.set("commit.index", 0)
     root.set("worker", 0)
     tree = root.to_dict()
-    print(f"\n{render_span_tree(tree)}\n")
-    print(f"spans: {span_count(tree)}  verdict: {report.verdict}")
+    print(f"\n{api.render_span_tree(tree)}\n")
+    print(f"spans: {api.span_count(tree)}  verdict: {report.verdict}")
     if args.out:
-        from repro.obs.export import write_chrome_trace
-        events = write_chrome_trace(args.out, [tree])
+        events = api.write_chrome_trace(args.out, [tree])
         print(f"trace written to {args.out} ({events} events)")
     return 0
 
 
 def _janitors(args: argparse.Namespace) -> int:
-    spec = CorpusSpec(seed=args.seed,
-                      history_commits=args.commits,
-                      eval_commits=max(100, args.commits // 3))
+    spec = api.CorpusSpec(seed=args.seed,
+                          history_commits=args.commits,
+                          eval_commits=max(100, args.commits // 3))
     print(f"Building corpus ({spec.history_commits} history commits) ...")
-    corpus = build_corpus(spec)
-    from repro.evalsuite.runner import scaled_criteria
-    criteria = scaled_criteria(corpus)
-    _, text = table1(criteria)
+    corpus = api.build_corpus(spec)
+    criteria = api.scaled_criteria(corpus)
+    _, text = api.table1(criteria)
     print("Table I — thresholds\n" + text + "\n")
-    finder = JanitorFinder(corpus.repository, corpus.tree.maintainers,
-                           criteria=criteria)
+    finder = api.JanitorFinder(corpus.repository, corpus.tree.maintainers,
+                               criteria=criteria)
     ranked = finder.identify(
-        history_since=None, history_until=Corpus.TAG_EVAL_END,
-        eval_since=Corpus.TAG_EVAL_START, eval_until=Corpus.TAG_EVAL_END)
+        history_since=None, history_until=api.Corpus.TAG_EVAL_END,
+        eval_since=api.Corpus.TAG_EVAL_START,
+        eval_until=api.Corpus.TAG_EVAL_END)
     tool_users = {p.name for p in corpus.roster if p.tool_user}
     interns = {p.name for p in corpus.roster if p.intern}
-    _, text = table2(ranked, tool_users=tool_users, interns=interns)
+    _, text = api.table2(ranked, tool_users=tool_users, interns=interns)
     print("Table II — identified janitors\n" + text)
     ground_truth = {p.name for p in corpus.roster
-                    if p.kind is PersonaKind.JANITOR}
+                    if p.kind is api.PersonaKind.JANITOR}
     hits = sum(1 for dev in ranked if dev.name in ground_truth)
     print(f"\nground-truth janitors recovered: {hits}/{len(ranked)}")
     return 0
@@ -227,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="jmake",
         description="JMake reproduction (Lawall & Muller, DSN 2017)")
-    parser.add_argument("--log-level", default=None, choices=list(LEVELS),
+    parser.add_argument("--log-level", default=None,
+                        choices=list(api.LEVELS),
                         help="configure the repro.* logger hierarchy "
                              "(default: warnings only, unformatted)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -280,6 +329,28 @@ def main(argv: list[str] | None = None) -> int:
                                "timeout")
     evaluate.set_defaults(func=_evaluate)
 
+    serve = sub.add_parser("serve",
+                           help="start the sharded check service, run a "
+                                "batch of requests, and drain")
+    serve.add_argument("--commits", type=int, default=400)
+    serve.add_argument("--limit", type=int, default=8,
+                       help="requests to submit from the eval window")
+    serve.add_argument("--seed", default="jmake-cli")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="per-architecture shard workers")
+    serve.add_argument("--batch-limit", type=int, default=50,
+                       help="max files per coalesced preprocess "
+                            "invocation (§III-D)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission control: concurrent requests")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared build cache")
+    serve.add_argument("--fault-plan", default=None,
+                       help="JSON fault plan applied per request")
+    serve.add_argument("--stats-out", default=None,
+                       help="write scheduling stats JSON here")
+    serve.set_defaults(func=_serve)
+
     janitors = sub.add_parser("janitors",
                               help="identify janitors (Tables I-II)")
     janitors.add_argument("--commits", type=int, default=900)
@@ -303,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.log_level:
+        configure_logging = api.configure_logging
         configure_logging(args.log_level)
     return args.func(args)
 

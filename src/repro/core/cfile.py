@@ -14,6 +14,11 @@ For each candidate (architecture, configuration), in order:
    succeeds);
 5. stop when every token of a file has been credited, or when the
    candidates are exhausted.
+
+The pipeline is expressed as a generator of :class:`~repro.core.units.
+WorkUnit` steps (config → preprocess-batch → token-grep → certify), so
+the same control flow serves both the sequential
+:meth:`CFileProcessor.process` wrapper and the sharded check service.
 """
 
 from __future__ import annotations
@@ -23,6 +28,16 @@ from dataclasses import dataclass, field
 from repro.core.archselect import ArchSelection, ArchSelector, Candidate
 from repro.core.mutation import MutationOverlay, MutationPlan
 from repro.core.report import ArchAttempt, FileReport, FileStatus
+from repro.core.units import (
+    STAGE_CERTIFY,
+    STAGE_CONFIG,
+    STAGE_GREP,
+    STAGE_PREPROCESS,
+    UnitDag,
+    UnitFailure,
+    UnitGenerator,
+    run_units,
+)
 from repro.errors import KconfigError, ToolchainError
 from repro.kbuild.build import BuildError, BuildSystem
 from repro.obs.metrics import NULL_METRICS
@@ -60,6 +75,39 @@ class CFileOutcome:
     header_tokens_found: set[str] = field(default_factory=set)
 
 
+def make_config_unit(dag: UnitDag, build: BuildSystem, arch: str,
+                     config_target: str, deps=()):
+    """A config-stage unit; its result is a Config or UnitFailure."""
+    def run():
+        try:
+            return build.make_config(arch, config_target)
+        except (ToolchainError, KconfigError, BuildError) as error:
+            return UnitFailure(str(error),
+                               kind=getattr(error, "kind", ""))
+    return dag.new_unit(STAGE_CONFIG, run, arch=arch,
+                        config_target=config_target,
+                        paths=(config_target,), deps=deps)
+
+
+def make_certify_unit(dag: UnitDag, build: BuildSystem,
+                      overlay: MutationOverlay, path: str, arch: str,
+                      config, deps=()):
+    """A certify-stage unit: clean .o of the unmutated tree.
+
+    Result: ``True`` on success, :class:`UnitFailure` otherwise.
+    """
+    def run():
+        with overlay.clean_build():
+            try:
+                build.make_o(path, arch, config)
+                return True
+            except BuildError as error:
+                return UnitFailure(str(error), kind=error.kind)
+    return dag.new_unit(STAGE_CERTIFY, run, arch=arch,
+                        config_target=config.name, paths=(path,),
+                        deps=deps)
+
+
 class CFileProcessor:
     """Drives the §III-D pipeline over a patch's .c files."""
     def __init__(self, build_system: BuildSystem, selector: ArchSelector,
@@ -80,6 +128,18 @@ class CFileProcessor:
                 h_plans: list[MutationPlan],
                 overlay: MutationOverlay | None = None) -> CFileOutcome:
         """Run all candidates for all files; returns per-file reports."""
+        return run_units(self.iter_process(worktree, c_plans, h_plans,
+                                           overlay=overlay))
+
+    def iter_process(self, worktree: Worktree,
+                     c_plans: list[MutationPlan],
+                     h_plans: list[MutationPlan],
+                     overlay: MutationOverlay | None = None,
+                     dag: UnitDag | None = None,
+                     deps: tuple[int, ...] = ()) -> UnitGenerator:
+        """The unit-yielding form of :meth:`process`."""
+        if dag is None:
+            dag = UnitDag()
         header_tokens: set[str] = set()
         all_header_tokens = {token for plan in h_plans
                              for token in plan.tokens}
@@ -112,13 +172,15 @@ class CFileProcessor:
                 state.candidate_index = max(
                     state.candidate_index,
                     state.selection.candidates.index(candidate) + 1)
-            self._try_candidate(overlay, candidate, batch,
-                                all_header_tokens, header_tokens)
+            yield from self._iter_candidate(dag, deps, overlay, candidate,
+                                            batch, all_header_tokens,
+                                            header_tokens)
 
         if self._use_targeted_configs:
             for state in states.values():
                 if not state.satisfied and state.plan.tokens:
-                    self._try_targeted(overlay, state)
+                    yield from self._iter_targeted(dag, deps, overlay,
+                                                   state)
 
         reports = {path: self._finalize(state)
                    for path, state in states.items()}
@@ -127,8 +189,8 @@ class CFileProcessor:
 
     # -- targeted covering configurations (§VII extension) ----------------
 
-    def _try_targeted(self, overlay: MutationOverlay,
-                      state: "_FileState") -> None:
+    def _iter_targeted(self, dag: UnitDag, deps, overlay: MutationOverlay,
+                       state: "_FileState") -> UnitGenerator:
         """Last resort: build configurations aimed at the exact blocks
         holding the still-uncovered changed lines (Vampyr/Troll style,
         the paper's suggested §VII complement)."""
@@ -162,33 +224,49 @@ class CFileProcessor:
                 name=f"targeted:{state.plan.path}:{block.start}")
             if config is None:
                 continue
-            self._build.adopt_config(host, config)
+            adopt_unit = dag.new_unit(
+                STAGE_CONFIG,
+                lambda config=config: self._build.adopt_config(host, config),
+                arch=host, config_target=config.name,
+                paths=(config.name,), deps=deps)
+            yield adopt_unit
             attempt = ArchAttempt(arch=host, config_target=config.name)
             state.attempts.append(attempt)
             self._metrics.counter("arch.attempts").inc()
-            result = self._build.make_i([state.plan.path], host,
-                                        config)[0]
+            preprocess_unit = dag.new_unit(
+                STAGE_PREPROCESS,
+                lambda config=config: self._build.make_i(
+                    [state.plan.path], host, config),
+                arch=host, config_target=config.name,
+                paths=(state.plan.path,), deps=(adopt_unit.unit_id,))
+            result = (yield preprocess_unit)[0]
             if not result.ok:
                 attempt.error = result.error
                 continue
             attempt.i_ok = True
             state.saw_i_success = True
-            found_now = state.plan.tokens_found_in(result.i_text or "")
+            i_text = result.i_text or ""
+            grep_unit = dag.new_unit(
+                STAGE_GREP,
+                lambda i_text=i_text: state.plan.tokens_found_in(i_text),
+                paths=(state.plan.path,),
+                deps=(preprocess_unit.unit_id,))
+            found_now = yield grep_unit
             attempt.tokens_found = found_now
             state.tokens_seen_in_i |= found_now
             if not found_now - state.found_tokens:
                 continue
-            with overlay.clean_build():
-                try:
-                    self._build.make_o(state.plan.path, host, config)
-                    attempt.o_ok = True
-                except BuildError as error:
-                    attempt.error = str(error)
-            if attempt.o_ok:
+            certified = yield make_certify_unit(
+                dag, self._build, overlay, state.plan.path, host, config,
+                deps=(grep_unit.unit_id,))
+            if certified is True:
+                attempt.o_ok = True
                 state.saw_o_success = True
                 state.found_tokens |= found_now
                 if host not in state.useful_archs:
                     state.useful_archs.append(host)
+            else:
+                attempt.error = certified.error
 
     # -- internals ---------------------------------------------------------
 
@@ -206,38 +284,48 @@ class CFileProcessor:
             state.done = True
         return None
 
-    def _try_candidate(self, overlay: MutationOverlay,
-                       candidate: Candidate,
-                       batch: list["_FileState"],
-                       all_header_tokens: set[str],
-                       header_tokens: set[str]) -> None:
+    def _iter_candidate(self, dag: UnitDag, deps,
+                        overlay: MutationOverlay,
+                        candidate: Candidate,
+                        batch: list["_FileState"],
+                        all_header_tokens: set[str],
+                        header_tokens: set[str]) -> UnitGenerator:
         with self._tracer.span("cfile.candidate", arch=candidate.arch,
                                config=candidate.config_target,
                                files=len(batch)):
             self._metrics.counter("arch.attempts").inc(len(batch))
-            self._try_candidate_traced(overlay, candidate, batch,
-                                       all_header_tokens, header_tokens)
+            yield from self._iter_candidate_traced(
+                dag, deps, overlay, candidate, batch, all_header_tokens,
+                header_tokens)
 
-    def _try_candidate_traced(self, overlay: MutationOverlay,
-                              candidate: Candidate,
-                              batch: list["_FileState"],
-                              all_header_tokens: set[str],
-                              header_tokens: set[str]) -> None:
-        try:
-            config = self._build.make_config(candidate.arch,
-                                             candidate.config_target)
-        except (ToolchainError, KconfigError, BuildError) as error:
+    def _iter_candidate_traced(self, dag: UnitDag, deps,
+                               overlay: MutationOverlay,
+                               candidate: Candidate,
+                               batch: list["_FileState"],
+                               all_header_tokens: set[str],
+                               header_tokens: set[str]) -> UnitGenerator:
+        config_unit = make_config_unit(dag, self._build, candidate.arch,
+                                       candidate.config_target, deps=deps)
+        config = yield config_unit
+        if isinstance(config, UnitFailure):
             for state in batch:
                 state.attempts.append(ArchAttempt(
                     arch=candidate.arch,
                     config_target=candidate.config_target,
-                    error=str(error)))
+                    error=config.error))
             return
 
         paths = [state.plan.path for state in batch]
         for start in range(0, len(paths), self._batch_limit):
             chunk = paths[start:start + self._batch_limit]
-            results = self._build.make_i(chunk, candidate.arch, config)
+            preprocess_unit = dag.new_unit(
+                STAGE_PREPROCESS,
+                lambda chunk=chunk, config=config: self._build.make_i(
+                    chunk, candidate.arch, config),
+                arch=candidate.arch,
+                config_target=candidate.config_target,
+                paths=chunk, deps=(config_unit.unit_id,))
+            results = yield preprocess_unit
             for state, result in zip(batch[start:start + self._batch_limit],
                                      results):
                 attempt = ArchAttempt(arch=candidate.arch,
@@ -249,13 +337,22 @@ class CFileProcessor:
                 attempt.i_ok = True
                 state.saw_i_success = True
                 i_text = result.i_text or ""
-                with self._tracer.span("grep.tokens",
-                                       path=state.plan.path) as grep_span:
-                    found_now = state.plan.tokens_found_in(i_text)
-                    header_found_now = {token for token in all_header_tokens
-                                        if token in i_text}
-                    grep_span.set("found", len(found_now))
-                    grep_span.set("header_found", len(header_found_now))
+
+                def grep(state=state, i_text=i_text):
+                    with self._tracer.span("grep.tokens",
+                                           path=state.plan.path) as span:
+                        found_now = state.plan.tokens_found_in(i_text)
+                        header_found_now = {
+                            token for token in all_header_tokens
+                            if token in i_text}
+                        span.set("found", len(found_now))
+                        span.set("header_found", len(header_found_now))
+                    return found_now, header_found_now
+
+                grep_unit = dag.new_unit(
+                    STAGE_GREP, grep, paths=(state.plan.path,),
+                    deps=(preprocess_unit.unit_id,))
+                found_now, header_found_now = yield grep_unit
                 state.tokens_seen_in_i |= found_now
                 # tokens_found records what this attempt's .i surfaced,
                 # whether or not the certification .o succeeds.
@@ -264,13 +361,13 @@ class CFileProcessor:
                     continue
                 # Mutants detected: certify with a clean .o build of the
                 # fully unmutated tree.
-                with overlay.clean_build():
-                    try:
-                        self._build.make_o(state.plan.path, candidate.arch,
-                                           config)
-                        attempt.o_ok = True
-                    except BuildError as error:
-                        attempt.error = str(error)
+                certified = yield make_certify_unit(
+                    dag, self._build, overlay, state.plan.path,
+                    candidate.arch, config, deps=(grep_unit.unit_id,))
+                if certified is True:
+                    attempt.o_ok = True
+                else:
+                    attempt.error = certified.error
                 if attempt.o_ok:
                     state.saw_o_success = True
                     new_tokens = found_now - state.found_tokens

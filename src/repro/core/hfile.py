@@ -16,20 +16,32 @@ Candidates are compiled "as though they all occurred in the same patch
 but without mutations" of their own: only the header's tokens are being
 hunted. Success: every header token appears in the ``.i`` of at least
 one candidate that also compiles cleanly.
+
+Like the ``.c`` pipeline, the control flow is a generator of
+:class:`~repro.core.units.WorkUnit` steps; :meth:`HFileProcessor.
+process` drives it inline, the check service drives it sharded.
 """
 
 from __future__ import annotations
 
 import posixpath
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.archselect import ArchSelector
+from repro.core.cfile import make_certify_unit, make_config_unit
 from repro.core.mutation import MutationOverlay, MutationPlan
 from repro.core.report import ArchAttempt, FileReport, FileStatus
-from repro.errors import KconfigError, ToolchainError
-from repro.kbuild.build import BuildError, BuildSystem
+from repro.core.units import (
+    STAGE_GREP,
+    STAGE_PREPROCESS,
+    UnitDag,
+    UnitFailure,
+    UnitGenerator,
+    run_units,
+)
+from repro.kbuild.build import BuildSystem
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.vcs.repository import Worktree
@@ -114,6 +126,17 @@ class HFileProcessor:
                 already_found: set[str],
                 overlay: MutationOverlay | None = None) -> FileReport:
         """Resolve one header's remaining tokens via candidate .c files."""
+        return run_units(self.iter_process(worktree, plan, already_found,
+                                           overlay=overlay))
+
+    def iter_process(self, worktree: Worktree, plan: MutationPlan,
+                     already_found: set[str],
+                     overlay: MutationOverlay | None = None,
+                     dag: UnitDag | None = None,
+                     deps: tuple[int, ...] = ()) -> UnitGenerator:
+        """The unit-yielding form of :meth:`process`."""
+        if dag is None:
+            dag = UnitDag()
         tokens = set(plan.tokens)
         found = set(already_found) & tokens
         attempts: list[ArchAttempt] = []
@@ -148,18 +171,25 @@ class HFileProcessor:
         # included by many .c files is what produces the paper's large
         # .i invocations).
         host = self._build.registry.host.name
-        try:
-            host_config = self._build.make_config(host, "allyesconfig")
-        except (ToolchainError, KconfigError, BuildError):
+        host_config_unit = make_config_unit(dag, self._build, host,
+                                            "allyesconfig", deps=deps)
+        host_config = yield host_config_unit
+        if isinstance(host_config, UnitFailure):
             host_config = None
         if host_config is not None:
             for start in range(0, len(candidates), self._batch_limit):
                 if tokens <= found:
                     break
                 chunk = candidates[start:start + self._batch_limit]
-                results = self._build.make_i(
-                    [candidate.path for candidate in chunk],
-                    host, host_config)
+                preprocess_unit = dag.new_unit(
+                    STAGE_PREPROCESS,
+                    lambda chunk=chunk: self._build.make_i(
+                        [candidate.path for candidate in chunk],
+                        host, host_config),
+                    arch=host, config_target="allyesconfig",
+                    paths=tuple(candidate.path for candidate in chunk),
+                    deps=(host_config_unit.unit_id,))
+                results = yield preprocess_unit
                 for candidate, result in zip(chunk, results):
                     attempt = ArchAttempt(arch=host,
                                           config_target="allyesconfig")
@@ -171,27 +201,34 @@ class HFileProcessor:
                     attempt.i_ok = True
                     saw_i = True
                     i_text = result.i_text or ""
-                    with self._tracer.span(
-                            "grep.tokens",
-                            path=candidate.path) as grep_span:
-                        found_now = {token for token in tokens
-                                     if token in i_text}
-                        grep_span.set("found", len(found_now))
+
+                    def grep(candidate=candidate, i_text=i_text):
+                        with self._tracer.span(
+                                "grep.tokens",
+                                path=candidate.path) as grep_span:
+                            found_now = {token for token in tokens
+                                         if token in i_text}
+                            grep_span.set("found", len(found_now))
+                        return found_now
+
+                    grep_unit = dag.new_unit(
+                        STAGE_GREP, grep, paths=(candidate.path,),
+                        deps=(preprocess_unit.unit_id,))
+                    found_now = yield grep_unit
                     attempt.tokens_found = found_now
                     if not found_now - found:
                         continue
                     compilations += 1
-                    with overlay.clean_build():
-                        try:
-                            self._build.make_o(candidate.path, host,
-                                               host_config)
-                            attempt.o_ok = True
-                        except BuildError as error:
-                            attempt.error = str(error)
-                    if attempt.o_ok:
+                    certified = yield make_certify_unit(
+                        dag, self._build, overlay, candidate.path, host,
+                        host_config, deps=(grep_unit.unit_id,))
+                    if certified is True:
+                        attempt.o_ok = True
                         found |= found_now
                         if host not in useful_archs:
                             useful_archs.append(host)
+                    else:
+                        attempt.error = certified.error
 
         # Phase 2 — per-candidate architecture exploration for whatever
         # the host pass could not cover.
@@ -214,15 +251,23 @@ class HFileProcessor:
                     config_target=config_candidate.config_target)
                 attempts.append(attempt)
                 self._metrics.counter("arch.attempts").inc()
-                try:
-                    config = self._build.make_config(
-                        config_candidate.arch,
-                        config_candidate.config_target)
-                except (ToolchainError, KconfigError, BuildError) as error:
-                    attempt.error = str(error)
+                config_unit = make_config_unit(
+                    dag, self._build, config_candidate.arch,
+                    config_candidate.config_target, deps=deps)
+                config = yield config_unit
+                if isinstance(config, UnitFailure):
+                    attempt.error = config.error
                     continue
-                results = self._build.make_i([candidate.path],
-                                             config_candidate.arch, config)
+                preprocess_unit = dag.new_unit(
+                    STAGE_PREPROCESS,
+                    lambda config=config, candidate=candidate:
+                        self._build.make_i([candidate.path],
+                                           config_candidate.arch, config),
+                    arch=config_candidate.arch,
+                    config_target=config_candidate.config_target,
+                    paths=(candidate.path,),
+                    deps=(config_unit.unit_id,))
+                results = yield preprocess_unit
                 result = results[0]
                 if not result.ok:
                     attempt.error = result.error
@@ -230,29 +275,37 @@ class HFileProcessor:
                 attempt.i_ok = True
                 saw_i = True
                 i_text = result.i_text or ""
-                with self._tracer.span("grep.tokens",
-                                       path=candidate.path) as grep_span:
-                    found_now = {token for token in tokens
-                                 if token in i_text}
-                    grep_span.set("found", len(found_now))
+
+                def grep(candidate=candidate, i_text=i_text):
+                    with self._tracer.span("grep.tokens",
+                                           path=candidate.path) as grep_span:
+                        found_now = {token for token in tokens
+                                     if token in i_text}
+                        grep_span.set("found", len(found_now))
+                    return found_now
+
+                grep_unit = dag.new_unit(
+                    STAGE_GREP, grep, paths=(candidate.path,),
+                    deps=(preprocess_unit.unit_id,))
+                found_now = yield grep_unit
                 attempt.tokens_found = found_now
                 if not found_now - found:
                     continue
                 compilations += 1
                 # Certify: the candidate must compile against the fully
                 # unmutated tree.
-                with overlay.clean_build():
-                    try:
-                        self._build.make_o(candidate.path,
-                                           config_candidate.arch, config)
-                        attempt.o_ok = True
-                    except BuildError as error:
-                        attempt.error = str(error)
-                if attempt.o_ok:
+                certified = yield make_certify_unit(
+                    dag, self._build, overlay, candidate.path,
+                    config_candidate.arch, config,
+                    deps=(grep_unit.unit_id,))
+                if certified is True:
+                    attempt.o_ok = True
                     attempt.tokens_found = found_now
                     found |= found_now
                     if config_candidate.arch not in useful_archs:
                         useful_archs.append(config_candidate.arch)
+                else:
+                    attempt.error = certified.error
 
         self._metrics.counter("tokens.found").inc(len(found))
         self._metrics.counter("tokens.missing").inc(len(tokens - found))

@@ -1,21 +1,35 @@
-"""The JMake facade.
+"""The check-session engine behind the ``repro.api`` facade.
 
-Typical use::
+Typical use (through the stable facade)::
 
-    jmake = JMake.from_generated_tree(tree)       # binds hazard metadata
-    report = jmake.check_commit(repo, commit_id)  # one patch
-    print(report.render())
+    from repro import api
+    result = api.check_commit(tree, repository, commit_id)
+    print(result.report.render())
+
+or, holding a session for many checks::
+
+    session = CheckSession.from_generated_tree(tree)
+    report = session.check_commit(repo, commit_id)
 
 ``check_commit`` performs the paper's per-patch protocol (§V-A): clean
 the worktree (``git clean -dfx`` / ``git reset --hard``), check out the
 commit's snapshot, extract the changed lines, mutate, and drive the
 compile checks. ``check_patch`` is the lower-level entry for a worktree
-the caller already holds; :meth:`JMake.worktree_for_files` builds a
-throwaway single-commit worktree for VCS-less use.
+the caller already holds; :meth:`CheckSession.worktree_for_files`
+builds a throwaway single-commit worktree for VCS-less use.
+
+Both entry points are thin drivers over ``iter_check_commit`` /
+``iter_check_patch`` — generators that yield
+:class:`~repro.core.units.WorkUnit` steps. The sequential wrappers run
+every unit inline; the check service (:mod:`repro.service`) feeds the
+same generators to per-architecture shard workers.
+
+``JMake`` remains as a deprecated alias of :class:`CheckSession`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.buildcache.cache import BuildCache
@@ -29,6 +43,7 @@ from repro.core.mutation import (
     MutationPlan,
 )
 from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.core.units import STAGE_MUTATE, UnitDag, UnitGenerator, run_units
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import RetryPolicy
@@ -70,8 +85,8 @@ class JMakeOptions:
     selection_seed: int | str = "jmake"
 
 
-class JMake:
-    """The user-facing facade: check commits or patches."""
+class CheckSession:
+    """One checking context: clock, cache, faults, observability."""
     def __init__(self, *, options: JMakeOptions | None = None,
                  clock: SimClock | None = None,
                  cost_model: CostModel | None = None,
@@ -89,9 +104,11 @@ class JMake:
         self.injector = FaultInjector(fault_plan) if fault_plan \
             else NULL_INJECTOR
         self.retry_policy = retry_policy
-        if cache is not None:
+        if cache is not None and not cache.injector_pinned:
             # (re)bind unconditionally so a cache shared across runs
-            # never keeps a previous run's injector alive
+            # never keeps a previous run's injector alive — unless the
+            # cache owner pinned an injector (the service shares one
+            # cache across concurrent sessions)
             cache.injector = self.injector
         #: observability sinks; default to the shared no-op instances so
         #: un-observed runs pay nothing but an attribute lookup per site
@@ -105,6 +122,8 @@ class JMake:
         self._triggers = set(rebuild_trigger_paths or ())
         self._cost_model = cost_model or CostModel()
         self._engine = MutationEngine()
+        #: BuildSystem of the most recent check (quarantine inspection)
+        self.last_build: BuildSystem | None = None
 
     @classmethod
     def from_generated_tree(cls, tree, *,
@@ -114,7 +133,7 @@ class JMake:
                             tracer=None, metrics=None,
                             fault_plan: "FaultPlan | None" = None,
                             retry_policy: "RetryPolicy | None" = None
-                            ) -> "JMake":
+                            ) -> "CheckSession":
         """Bind bootstrap/rebuild metadata from a generated tree."""
         return cls(
             options=options,
@@ -143,8 +162,29 @@ class JMake:
     def check_commit(self, repository: Repository,
                      commit: "Commit | str") -> PatchReport:
         """Check one commit: checkout, diff against parent, verify."""
+        return run_units(self.iter_check_commit(repository, commit))
+
+    def check_patch(self, worktree: Worktree, patch: Patch,
+                    commit_id: str | None = None) -> PatchReport:
+        """Check a patch against an already-checked-out worktree.
+
+        The worktree must hold the *post-patch* state (the paper checks
+        out "the snapshot of the source code resulting from applying the
+        patch").
+        """
+        return run_units(self.iter_check_patch(worktree, patch,
+                                               commit_id=commit_id))
+
+    # -- unit-yielding pipelines -----------------------------------------------
+
+    def iter_check_commit(self, repository: Repository,
+                          commit: "Commit | str",
+                          dag: UnitDag | None = None) -> UnitGenerator:
+        """The unit-yielding form of :meth:`check_commit`."""
         if isinstance(commit, str):
             commit = repository.resolve(commit)
+        if dag is None:
+            dag = UnitDag(request_id=commit.id)
         with self.tracer.span("jmake.check_commit",
                               commit=commit.id) as span:
             with self.tracer.span("worktree.prepare"):
@@ -159,22 +199,20 @@ class JMake:
                 # diff; entries stay resident (they revive when content
                 # recurs).
                 self.cache.on_commit(patch.paths())
-            report = self.check_patch(worktree, patch,
-                                      commit_id=commit.id)
+            report = yield from self.iter_check_patch(
+                worktree, patch, commit_id=commit.id, dag=dag)
             span.set("certified", report.certified)
             _logger.debug("checked %s: certified=%s files=%d",
                           commit.id, report.certified,
                           len(report.file_reports))
             return report
 
-    def check_patch(self, worktree: Worktree, patch: Patch,
-                    commit_id: str | None = None) -> PatchReport:
-        """Check a patch against an already-checked-out worktree.
-
-        The worktree must hold the *post-patch* state (the paper checks
-        out "the snapshot of the source code resulting from applying the
-        patch").
-        """
+    def iter_check_patch(self, worktree: Worktree, patch: Patch,
+                         commit_id: str | None = None,
+                         dag: UnitDag | None = None) -> UnitGenerator:
+        """The unit-yielding form of :meth:`check_patch`."""
+        if dag is None:
+            dag = UnitDag(request_id=commit_id or "<patch>")
         clock_start = self.clock.span_count
         # New commit, fresh fault scope: attempt counters and pending
         # reports reset so decisions cannot leak across commits (or
@@ -183,6 +221,7 @@ class JMake:
         with self.tracer.span("jmake.check_patch",
                               commit=commit_id or "<patch>") as patch_span:
             build = self._make_build_system(worktree)
+            self.last_build = build
             invocations_start = len(build.invocations)
             selector = ArchSelector(
                 build, worktree.paths, worktree.as_file_provider(),
@@ -191,43 +230,52 @@ class JMake:
                 tracer=self.tracer, metrics=self.metrics)
 
             report = PatchReport(commit_id=commit_id)
-            with self.tracer.span("patch.extract_changes") as extract_span:
-                changed = extract_changed_files(
-                    patch, new_texts={path: worktree.read(path)
-                                      for path in patch.paths()
-                                      if worktree.exists(path)})
-                extract_span.set("files", len(changed))
 
-            c_plans: list[MutationPlan] = []
-            h_plans: list[MutationPlan] = []
-            for record in changed:
-                if record.path in self._bootstrap:
-                    report.file_reports[record.path] = FileReport(
-                        path=record.path,
-                        status=FileStatus.BOOTSTRAP_UNTREATABLE)
-                    continue
-                if not worktree.exists(record.path):
-                    continue
-                with self.tracer.span("mutation.plan",
-                                      path=record.path) as plan_span:
-                    plan = self._engine.plan(record.path,
-                                             worktree.read(record.path),
-                                             record.changed_lines)
-                    plan_span.set("tokens", len(plan.mutations))
-                if plan.mutations:
-                    self.metrics.counter("files.mutated").inc()
-                    self.metrics.counter("tokens.placed").inc(
-                        len(plan.mutations))
-                if record.is_c:
-                    c_plans.append(plan)
-                else:
-                    h_plans.append(plan)
+            def mutate():
+                with self.tracer.span(
+                        "patch.extract_changes") as extract_span:
+                    changed = extract_changed_files(
+                        patch, new_texts={path: worktree.read(path)
+                                          for path in patch.paths()
+                                          if worktree.exists(path)})
+                    extract_span.set("files", len(changed))
 
-            # Apply all mutated texts to the overlay before any .i run;
-            # the same overlay object lets the processors flip to the
-            # clean tree for every certification .o build.
-            overlay = MutationOverlay(worktree, c_plans + h_plans)
-            overlay.apply_all()
+                c_plans: list[MutationPlan] = []
+                h_plans: list[MutationPlan] = []
+                for record in changed:
+                    if record.path in self._bootstrap:
+                        report.file_reports[record.path] = FileReport(
+                            path=record.path,
+                            status=FileStatus.BOOTSTRAP_UNTREATABLE)
+                        continue
+                    if not worktree.exists(record.path):
+                        continue
+                    with self.tracer.span("mutation.plan",
+                                          path=record.path) as plan_span:
+                        plan = self._engine.plan(
+                            record.path, worktree.read(record.path),
+                            record.changed_lines)
+                        plan_span.set("tokens", len(plan.mutations))
+                    if plan.mutations:
+                        self.metrics.counter("files.mutated").inc()
+                        self.metrics.counter("tokens.placed").inc(
+                            len(plan.mutations))
+                    if record.is_c:
+                        c_plans.append(plan)
+                    else:
+                        h_plans.append(plan)
+
+                # Apply all mutated texts to the overlay before any .i
+                # run; the same overlay object lets the processors flip
+                # to the clean tree for every certification .o build.
+                overlay = MutationOverlay(worktree, c_plans + h_plans)
+                overlay.apply_all()
+                return c_plans, h_plans, overlay
+
+            mutate_unit = dag.new_unit(STAGE_MUTATE, mutate,
+                                       paths=tuple(patch.paths()))
+            c_plans, h_plans, overlay = yield mutate_unit
+            deps = (mutate_unit.unit_id,)
 
             cfile = CFileProcessor(
                 build, selector,
@@ -237,8 +285,9 @@ class JMake:
                 tracer=self.tracer, metrics=self.metrics)
             with self.tracer.span("cfile.process",
                                   files=len(c_plans)) as cfile_span:
-                outcome = cfile.process(worktree, c_plans, h_plans,
-                                        overlay=overlay)
+                outcome = yield from cfile.iter_process(
+                    worktree, c_plans, h_plans, overlay=overlay,
+                    dag=dag, deps=deps)
                 cfile_span.set("header_tokens_found",
                                len(outcome.header_tokens_found))
             report.file_reports.update(outcome.reports)
@@ -252,9 +301,9 @@ class JMake:
             for plan in h_plans:
                 with self.tracer.span("hfile.process",
                                       path=plan.path) as hfile_span:
-                    file_report = hfile.process(
+                    file_report = yield from hfile.iter_process(
                         worktree, plan, outcome.header_tokens_found,
-                        overlay=overlay)
+                        overlay=overlay, dag=dag, deps=deps)
                     hfile_span.set("status", file_report.status.value)
                 report.file_reports[plan.path] = file_report
 
@@ -297,3 +346,14 @@ class JMake:
             injector=self.injector,
             retry_policy=self.retry_policy,
         )
+
+
+class JMake(CheckSession):
+    """Deprecated pre-``repro.api`` name of :class:`CheckSession`."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "JMake is deprecated; use repro.api.CheckSession (or the "
+            "repro.api.check_commit/check_patch helpers)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

@@ -15,6 +15,41 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.core.mutation import Mutation
+from repro.errors import SchemaError
+
+#: version of the canonical serialized check/evaluation records.
+#:
+#: 1 — PR-3 era: no ``schema_version`` key; ``quarantined_archs`` and
+#:     ``faults`` may be absent on records written before the fault
+#:     layer existed.
+#: 2 — adds ``schema_version`` and the explicit ``fully_checked`` flag
+#:     (PARTIAL commits must not be counted as checked).
+SCHEMA_VERSION = 2
+
+
+def migrate_record(record: dict) -> dict:
+    """Upgrade a serialized :meth:`PatchReport.to_dict` record to
+    :data:`SCHEMA_VERSION`.
+
+    Unversioned (PR-3-era and older) records are treated as version 1:
+    missing fault-layer keys get their empty defaults and
+    ``fully_checked`` is derived from ``quarantined_archs``. Records
+    already at the current version pass through (copied); unknown or
+    future versions raise :class:`~repro.errors.SchemaError`.
+    """
+    version = record.get("schema_version", 1)
+    if version == SCHEMA_VERSION:
+        return dict(record)
+    if version != 1:
+        raise SchemaError(
+            f"cannot migrate record with schema_version={version!r} "
+            f"(supported: 1..{SCHEMA_VERSION})")
+    migrated = dict(record)
+    migrated.setdefault("quarantined_archs", [])
+    migrated.setdefault("faults", [])
+    migrated["fully_checked"] = not migrated["quarantined_archs"]
+    migrated["schema_version"] = SCHEMA_VERSION
+    return migrated
 
 
 class FileStatus(Enum):
@@ -161,9 +196,11 @@ class PatchReport:
     def to_dict(self) -> dict:
         """A JSON-serializable view for tooling (CI bots, dashboards)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "commit": self.commit_id,
             "certified": self.certified,
             "verdict": self.verdict,
+            "fully_checked": not self.quarantined_archs,
             "elapsed_seconds": self.elapsed_seconds,
             "invocations": dict(self.invocation_counts),
             "quarantined_archs": list(self.quarantined_archs),

@@ -86,3 +86,20 @@ class WorkloadError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised by the evaluation harness on malformed experiment requests."""
+
+
+class SchemaError(ReproError):
+    """Raised on serialized records that cannot be migrated to the
+    current ``schema_version`` (unknown or future versions)."""
+
+
+class ServiceError(ReproError):
+    """Base class for check-service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a request (queue full)."""
+
+
+class ServiceDrainingError(ServiceError):
+    """Raised when a request arrives after shutdown/drain began."""

@@ -15,7 +15,7 @@ from repro.buildcache.cache import BuildCache
 from repro.buildcache.stats import CacheStats
 from repro.cc.toolchain import ToolchainRegistry
 from repro.core.changes import extract_changed_files
-from repro.core.jmake import JMake, JMakeOptions
+from repro.core.jmake import CheckSession, JMakeOptions
 from repro.core.report import FileReport, FileStatus, PatchReport
 from repro.faults.plan import (
     FaultPlan,
@@ -227,7 +227,7 @@ def _init_worker(corpus: Corpus, options: JMakeOptions,
     _WORKER["metrics"] = metrics
     _WORKER["metrics_base"] = metrics.snapshot() if metrics is not None \
         else None
-    _WORKER["jmake"] = JMake.from_generated_tree(corpus.tree,
+    _WORKER["jmake"] = CheckSession.from_generated_tree(corpus.tree,
                                                  options=options,
                                                  cache=cache,
                                                  tracer=tracer,
@@ -275,7 +275,7 @@ def _check_one(task: "tuple[int, str]") -> tuple:
     return index, report, delta, tree, metrics_delta
 
 
-class EvaluationRunner:
+class EvaluationSession:
     """Runs JMake over a corpus window (§V-A protocol)."""
     def __init__(self, corpus: Corpus,
                  options: JMakeOptions | None = None,
@@ -317,17 +317,24 @@ class EvaluationRunner:
 
     def run(self, *, limit: int | None = None,
             use_ground_truth_janitors: bool = False,
-            jobs: int = 1) -> EvaluationResult:
+            jobs: int = 1,
+            service: "bool | int | object" = False) -> EvaluationResult:
         """Run JMake over the evaluation window.
 
         ``jobs`` > 1 distributes patches over worker processes the way
         the paper ran 25 parallel processes on its testbed (§V-A);
         results are identical to the serial run because every check is
         a pure function of (corpus, commit).
+
+        ``service`` routes the commits through an in-process sharded
+        :class:`~repro.service.CheckService` instead — ``True`` for the
+        default config, an int for a shard count, or a full
+        ``ServiceConfig``. Verdict-bearing records are byte-identical
+        to the sequential path (the differential suite pins this);
+        span trees/metrics are not collected in service mode.
         """
-        if jobs < 1:
-            raise ValueError(
-                f"jobs must be a positive integer, got {jobs}")
+        from repro.api import validate_jobs
+        jobs = validate_jobs(jobs)
         stats_start = self.cache.stats_snapshot() \
             if self.cache is not None else None
         result = EvaluationResult()
@@ -359,14 +366,18 @@ class EvaluationRunner:
             else:
                 result.ignored_commits += 1
 
-        _logger.info("checking %d commits (jobs=%d, observe=%s)",
-                     len(checkable), jobs, self.observe)
-        if jobs > 1:
+        _logger.info("checking %d commits (jobs=%d, observe=%s, "
+                     "service=%s)", len(checkable), jobs, self.observe,
+                     bool(service))
+        if service:
+            reports = self._run_service(checkable, service)
+            trees, metrics = None, None
+        elif jobs > 1:
             reports, trees, metrics = self._run_parallel(checkable, jobs)
         else:
             tracer = Tracer() if self.observe else None
             metrics = MetricsRegistry() if self.observe else None
-            jmake = JMake.from_generated_tree(self.corpus.tree,
+            jmake = CheckSession.from_generated_tree(self.corpus.tree,
                                               options=self.options,
                                               cache=self.cache,
                                               tracer=tracer,
@@ -390,6 +401,33 @@ class EvaluationRunner:
         result.span_trees = trees
         result.metrics = metrics
         return result
+
+    def _run_service(self, commits, service) -> list:
+        """Route the commits through an in-process check service.
+
+        The service shares this runner's cache/fault-plan/retry-policy
+        substrate; per-request sessions keep verdicts byte-identical to
+        the sequential path. Results come back in submission order, so
+        the record loop below sees the same sequence either way.
+        """
+        from repro.service import CheckService, ServiceConfig
+
+        if isinstance(service, ServiceConfig):
+            config = service
+        elif service is True:
+            config = ServiceConfig()
+        else:
+            config = ServiceConfig(shards=int(service))
+        if config.fault_plan is None:
+            config.fault_plan = self.fault_plan
+        if config.retry_policy is None:
+            config.retry_policy = self.retry_policy
+        check_service = CheckService(
+            self.corpus, options=self.options, config=config,
+            cache=self.cache if self.cache is not None else False)
+        results = check_service.check_commits(
+            [commit.id for commit in commits])
+        return [result.report for result in results]
 
     def _run_parallel(self, commits, jobs: int):
         """Fan patches out over forked worker processes.
@@ -512,3 +550,16 @@ class EvaluationRunner:
             used_defconfig=used_defconfig,
             hazard_kinds=hazard_kinds,
         )
+
+
+class EvaluationRunner(EvaluationSession):
+    """Deprecated pre-``repro.api`` name of :class:`EvaluationSession`."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        import warnings
+        warnings.warn(
+            "EvaluationRunner is deprecated; use "
+            "repro.api.EvaluationSession (or the repro.api.evaluate "
+            "helper)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,22 @@
+"""The sharded, cross-request-batching check service.
+
+Import the public names from :mod:`repro.api`; this package is the
+implementation. See DESIGN.md §6 for the architecture.
+"""
+
+from repro.service.batcher import CrossRequestBatcher
+from repro.service.request import CheckRequest, CheckResult
+from repro.service.service import CheckService, ServiceConfig, drive_units
+from repro.service.shards import ArchShard, ShardPool, shard_index
+
+__all__ = [
+    "ArchShard",
+    "CheckRequest",
+    "CheckResult",
+    "CheckService",
+    "CrossRequestBatcher",
+    "ServiceConfig",
+    "ShardPool",
+    "drive_units",
+    "shard_index",
+]

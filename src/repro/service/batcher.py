@@ -1,0 +1,162 @@
+"""Cross-request coalescing of preprocess work units.
+
+The paper batches up to 50 files per cpp invocation *within* one patch
+(§III-D). A long-lived service can generalize that across patches:
+preprocess units from different in-flight requests that target the
+same (arch, config target) are packed, FIFO, into one shard job of up
+to ``batch_limit`` files' occupancy, so the shard runs them
+back-to-back with the arch's configuration state hot in the shared
+BuildCache.
+
+A group flushes when
+
+- packing the next unit would exceed ``batch_limit`` occupancy, or
+- occupancy reaches ``batch_limit`` exactly, or
+- the batch window expires (``loop.call_soon`` when the window is 0 —
+  i.e. "whatever arrived in this event-loop tick"), or
+- the service drains.
+
+Coalescing cannot perturb verdicts: each unit's thunk is still executed
+exactly once, in FIFO order, and every request consumes its own
+results in its own yield order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.service.shards import ShardPool
+
+
+class CrossRequestBatcher:
+    """Packs preprocess units from many requests into shard jobs."""
+
+    def __init__(self, pool: ShardPool, *, batch_limit: int = 50,
+                 batch_window: float = 0.0,
+                 metrics=None, tracer=None) -> None:
+        if batch_limit < 1:
+            raise ValueError(
+                f"batch_limit must be a positive integer, "
+                f"got {batch_limit}")
+        self._pool = pool
+        self.batch_limit = batch_limit
+        self.batch_window = batch_window
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: (arch, config_target) -> FIFO of (unit, future)
+        self._pending: dict[tuple, list] = {}
+        self._occupancy: dict[tuple, int] = {}
+        self._handles: dict[tuple, object] = {}
+        #: in-flight enqueue tasks (a flush must not block its caller)
+        self._tasks: set = set()
+        self.flushes = 0
+        self.units_batched = 0
+
+    @property
+    def pending_units(self) -> int:
+        """Units currently waiting in unflushed groups."""
+        return sum(len(group) for group in self._pending.values())
+
+    @property
+    def pending_occupancy(self) -> int:
+        """Total file occupancy currently waiting."""
+        return sum(self._occupancy.values())
+
+    async def submit(self, unit) -> object:
+        """Queue one preprocess unit; resolves when its batch ran."""
+        loop = asyncio.get_running_loop()
+        key = (unit.arch, unit.config_target)
+        if self._pending.get(key) and \
+                self._occupancy.get(key, 0) + unit.occupancy \
+                > self.batch_limit:
+            # this unit would overflow the open group: flush it first
+            self._flush(key)
+        future = loop.create_future()
+        self._pending.setdefault(key, []).append((unit, future))
+        self._occupancy[key] = \
+            self._occupancy.get(key, 0) + unit.occupancy
+        self._metrics.gauge("service.batcher.pending_units").set(
+            self.pending_units)
+        if self._occupancy[key] >= self.batch_limit:
+            self._flush(key)
+        elif key not in self._handles:
+            if self.batch_window <= 0:
+                self._handles[key] = loop.call_soon(self._flush_cb, key)
+            else:
+                self._handles[key] = loop.call_later(
+                    self.batch_window, self._flush_cb, key)
+        return await future
+
+    def _flush_cb(self, key: tuple) -> None:
+        self._handles.pop(key, None)
+        self._flush(key)
+
+    def _flush(self, key: tuple) -> None:
+        handle = self._handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        group = self._pending.pop(key, [])
+        occupancy = self._occupancy.pop(key, 0)
+        if not group:
+            return
+        arch = key[0]
+        shard = self._pool.shard_for(arch)
+        tracer = self._tracer
+
+        def job() -> None:
+            with tracer.span("service.batch", arch=arch,
+                             config=key[1], units=len(group),
+                             occupancy=occupancy):
+                for unit, future in group:
+                    try:
+                        result = unit.run()
+                    except BaseException as error:
+                        if not future.cancelled():
+                            future.set_exception(error)
+                        continue
+                    if not future.cancelled():
+                        future.set_result(result)
+            shard.units_run += len(group)
+            shard.batches_run += 1
+            if arch:
+                shard.archs_seen.add(arch)
+
+        self.flushes += 1
+        self.units_batched += len(group)
+        self._metrics.counter("service.batch.flushes").inc()
+        self._metrics.histogram("service.batch.occupancy").observe(
+            occupancy)
+        self._metrics.histogram("service.batch.units").observe(
+            len(group))
+        # enqueue from task context so a full shard queue exerts
+        # backpressure without blocking the (possibly sync) flusher
+        task = asyncio.get_running_loop().create_task(
+            shard.enqueue(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def flush_all(self) -> None:
+        """Flush every open group (drain path)."""
+        for key in list(self._pending):
+            self._flush(key)
+
+    async def drain(self) -> None:
+        """Flush everything and wait for the enqueues to land."""
+        self.flush_all()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks))
+
+    def stats(self) -> dict:
+        """Batch counters for the service stats endpoint."""
+        return {
+            "flushes": self.flushes,
+            "units_batched": self.units_batched,
+            "pending_units": self.pending_units,
+            "pending_occupancy": self.pending_occupancy,
+            "mean_occupancy": (
+                self._metrics.histogram(
+                    "service.batch.occupancy").mean
+                if self._metrics.enabled else None),
+        }

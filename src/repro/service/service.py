@@ -1,0 +1,299 @@
+"""The persistent check service.
+
+One :class:`CheckService` holds the long-lived substrate — the shared
+BuildCache, the per-architecture shard pool, the cross-request batcher,
+and the service metrics registry — while every submitted
+:class:`~repro.service.request.CheckRequest` gets its own
+:class:`~repro.core.jmake.CheckSession` (own SimClock, own
+FaultInjector scope, own BuildSystem and quarantine). The request
+coroutine drives the session's unit generator: request-local stages
+(mutate, token-grep) run inline, preprocess units go through the
+batcher, config/certify units go straight to the owning arch shard.
+
+Because each request consumes every unit's result before yielding the
+next, a request's clock charges and verdict are the same whether zero
+or fifty other requests are in flight — the differential suite pins
+service output byte-identical to the sequential ``EvaluationRunner``.
+
+Admission control: ``submit()`` awaits a bounded slot (backpressure),
+``submit_nowait()`` raises :class:`~repro.errors.
+ServiceOverloadedError` when no slot is free. After ``drain()`` begins,
+new submissions raise :class:`~repro.errors.ServiceDrainingError`;
+in-flight requests finish, the batcher flushes, shard queues join, and
+the workers stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.buildcache.cache import BuildCache
+from repro.core.jmake import CheckSession, JMakeOptions
+from repro.core.units import (
+    STAGE_PREPROCESS,
+    UnitDag,
+    UnitGenerator,
+)
+from repro.errors import ServiceDrainingError, ServiceOverloadedError
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import RetryPolicy
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.service.batcher import CrossRequestBatcher
+from repro.service.request import CheckRequest, CheckResult
+from repro.service.shards import ShardPool
+from repro.workload.corpus import Corpus
+
+_logger = get_logger("service")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`CheckService`."""
+
+    #: shard workers; every architecture maps to exactly one shard
+    shards: int = 2
+    #: max file occupancy per coalesced preprocess invocation (§III-D)
+    batch_limit: int = 50
+    #: real seconds a batch group waits for co-batchable units
+    #: (0 = whatever arrives in the same event-loop tick)
+    batch_window_seconds: float = 0.0
+    #: admission control: requests admitted concurrently
+    max_pending_requests: int = 64
+    #: bounded per-shard unit queue (put() backpressure beyond this)
+    shard_queue_limit: int = 128
+    #: fault plan applied per request (same semantics as sequential)
+    fault_plan: "FaultPlan | None" = None
+    retry_policy: "RetryPolicy | None" = None
+    #: optional tracer for service-level spans (unit/batch execution)
+    tracer: object = None
+
+    def __post_init__(self) -> None:
+        from repro.api import validate_jobs
+        self.shards = validate_jobs(self.shards, what="shards")
+        if self.batch_limit < 1:
+            raise ValueError(
+                f"batch_limit must be a positive integer, "
+                f"got {self.batch_limit}")
+        if self.max_pending_requests < 1:
+            raise ValueError(
+                f"max_pending_requests must be a positive integer, "
+                f"got {self.max_pending_requests}")
+        if self.shard_queue_limit < 1:
+            raise ValueError(
+                f"shard_queue_limit must be a positive integer, "
+                f"got {self.shard_queue_limit}")
+
+
+async def drive_units(generator: UnitGenerator, execute) -> object:
+    """Drive a unit generator, awaiting ``execute(unit)`` per unit."""
+    try:
+        unit = generator.send(None)
+        while True:
+            result = await execute(unit)
+            unit = generator.send(result)
+    except StopIteration as stop:
+        return stop.value
+
+
+class CheckService:
+    """A long-lived, sharded, batching check service over one corpus."""
+
+    def __init__(self, corpus: Corpus, *,
+                 options: JMakeOptions | None = None,
+                 config: ServiceConfig | None = None,
+                 cache: "BuildCache | bool | None" = True) -> None:
+        self.corpus = corpus
+        self.options = options or JMakeOptions()
+        self.config = config or ServiceConfig()
+        if cache is False or cache is None:
+            self.cache: "BuildCache | None" = None
+        elif cache is True:
+            self.cache = BuildCache()
+        else:
+            self.cache = cache
+        #: service-wide metrics (scheduling + aggregated pipeline)
+        self.metrics = MetricsRegistry()
+        self._tracer = self.config.tracer \
+            if self.config.tracer is not None else NULL_TRACER
+        #: injector pinned on the shared cache (cache-site faults are
+        #: verdict-neutral; per-request injectors own the step sites)
+        if self.cache is not None:
+            pinned = FaultInjector(self.config.fault_plan) \
+                if self.config.fault_plan else NULL_INJECTOR
+            self.cache.pin_injector(pinned)
+        self._pool: "ShardPool | None" = None
+        self._batcher: "CrossRequestBatcher | None" = None
+        self._admission: "asyncio.Semaphore | None" = None
+        self._requests: set = set()
+        self._started = False
+        self._draining = False
+        self._request_seq = 0
+        self.requests_completed = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the shard pool/batcher and start the workers."""
+        if self._started:
+            return
+        self._pool = ShardPool(self.config.shards,
+                               queue_limit=self.config.shard_queue_limit,
+                               metrics=self.metrics,
+                               tracer=self._tracer)
+        self._batcher = CrossRequestBatcher(
+            self._pool,
+            batch_limit=self.config.batch_limit,
+            batch_window=self.config.batch_window_seconds,
+            metrics=self.metrics,
+            tracer=self._tracer)
+        self._admission = asyncio.Semaphore(
+            self.config.max_pending_requests)
+        self._pool.start()
+        self._started = True
+        self._draining = False
+        _logger.info("service started: shards=%d batch_limit=%d",
+                     self.config.shards, self.config.batch_limit)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, stop workers."""
+        if not self._started:
+            return
+        self._draining = True
+        # in-flight request coroutines first (they stop producing units)
+        while self._requests:
+            await asyncio.gather(*list(self._requests),
+                                 return_exceptions=True)
+        if self._batcher is not None:
+            await self._batcher.drain()
+        if self._pool is not None:
+            await self._pool.join()
+            await self._pool.stop()
+        self._started = False
+        _logger.info("service drained: requests=%d",
+                     self.requests_completed)
+
+    # -- submission ------------------------------------------------------------
+
+    def _admit(self, request: CheckRequest) -> None:
+        if self._draining or not self._started:
+            raise ServiceDrainingError(
+                "service is draining; request rejected")
+        self._request_seq += 1
+        if not request.request_id:
+            request.request_id = f"req-{self._request_seq}"
+
+    async def submit(self, request: CheckRequest) -> CheckResult:
+        """Admit (awaiting a slot under load) and run one request."""
+        self._admit(request)
+        return await self._run_admitted(request)
+
+    def submit_nowait(self, request: CheckRequest) -> "asyncio.Task":
+        """Admit without waiting; raises ServiceOverloadedError when
+        admission is full. Returns the request's task."""
+        self._admit(request)
+        if self._admission.locked():
+            self.metrics.counter("service.rejected").inc()
+            raise ServiceOverloadedError(
+                f"admission queue full "
+                f"({self.config.max_pending_requests} in flight)")
+        return asyncio.get_running_loop().create_task(
+            self._run_admitted(request))
+
+    async def _run_admitted(self, request: CheckRequest) -> CheckResult:
+        # register before the semaphore wait so drain() sees requests
+        # that were admitted but are still queued for a slot
+        task = asyncio.current_task()
+        self._requests.add(task)
+        self.metrics.gauge("service.requests.in_flight").set(
+            len(self._requests))
+        try:
+            async with self._admission:
+                return await self._run_request(request)
+        finally:
+            self._requests.discard(task)
+            self.metrics.gauge("service.requests.in_flight").set(
+                len(self._requests))
+
+    # -- execution -------------------------------------------------------------
+
+    def _make_session(self, request: CheckRequest) -> CheckSession:
+        return CheckSession.from_generated_tree(
+            self.corpus.tree,
+            options=request.options or self.options,
+            cache=self.cache,
+            metrics=self.metrics,
+            fault_plan=self.config.fault_plan,
+            retry_policy=self.config.retry_policy)
+
+    async def _run_request(self, request: CheckRequest) -> CheckResult:
+        session = self._make_session(request)
+        dag = UnitDag(request_id=request.request_id)
+        repository = self.corpus.repository
+        commit = repository.resolve(request.commit_id)
+        with self._tracer.span("service.request",
+                               request=request.request_id,
+                               commit=commit.id):
+            generator = session.iter_check_commit(repository, commit,
+                                                  dag=dag)
+            report = await drive_units(generator, self._execute_unit)
+        if session.last_build is not None and self._pool is not None:
+            self._pool.absorb_quarantine(session.last_build.quarantine)
+        self.requests_completed += 1
+        self.metrics.counter("service.requests.completed").inc()
+        if report.fault_reports:
+            self.metrics.counter("service.requests.faulted").inc()
+        return CheckResult(
+            request_id=request.request_id,
+            commit_id=commit.id,
+            report=report,
+            record=report.to_dict(),
+            elapsed_sim_seconds=report.elapsed_seconds,
+            stage_counts=dag.stage_counts(),
+        )
+
+    async def _execute_unit(self, unit) -> object:
+        if unit.arch is None:
+            # request-local stage (mutate, token-grep): run inline
+            self.metrics.counter("service.units.local").inc()
+            return unit.run()
+        if unit.stage == STAGE_PREPROCESS:
+            return await self._batcher.submit(unit)
+        return await self._pool.shard_for(unit.arch).submit(unit)
+
+    # -- conveniences ----------------------------------------------------------
+
+    def check_commits(self, commit_ids, *,
+                      options: JMakeOptions | None = None
+                      ) -> list[CheckResult]:
+        """Synchronous wrapper: start, submit all, drain, return results
+        in submission order."""
+
+        async def main() -> list[CheckResult]:
+            await self.start()
+            try:
+                tasks = [
+                    asyncio.ensure_future(self.submit(CheckRequest(
+                        commit_id=commit_id, options=options)))
+                    for commit_id in commit_ids]
+                return list(await asyncio.gather(*tasks))
+            finally:
+                await self.drain()
+
+        return asyncio.run(main())
+
+    def stats(self) -> dict:
+        """Scheduling telemetry: shards, batcher, admission."""
+        return {
+            "started": self._started,
+            "draining": self._draining,
+            "requests_completed": self.requests_completed,
+            "requests_in_flight": len(self._requests),
+            "shards": self._pool.stats() if self._pool else [],
+            "batcher": self._batcher.stats() if self._batcher else {},
+            "cache": None if self.cache is None
+            else self.cache.stats_snapshot().render(),
+        }

@@ -1,0 +1,166 @@
+"""Per-architecture shard workers.
+
+Every architecture maps to exactly one shard (stable CRC32 hashing), so
+all config/preprocess/certify units for that architecture execute
+serially on the same worker. That serialization is the point: a shard
+re-uses the shared BuildCache's allyesconfig state across *requests*
+(the solved config and warm preprocess entries of request A are hits
+for request B), instead of every request solving the same
+configurations in a private cache.
+
+Shards never touch verdict state. Each request keeps its own
+BuildSystem/clock/injector/quarantine; the shard's own
+:class:`~repro.faults.resilience.Quarantine` is an operational
+aggregation — "which architectures are flaking across traffic" — fed
+by :meth:`ShardPool.absorb_quarantine` after each request and never
+read back by the pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+from repro.faults.resilience import Quarantine
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+
+
+class ArchShard:
+    """One worker coroutine plus its bounded unit queue."""
+
+    def __init__(self, index: int, *, queue_limit: int = 128,
+                 metrics=None, tracer=None) -> None:
+        self.index = index
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
+        #: ops view of arch flakiness across requests (never verdicts)
+        self.quarantine = Quarantine()
+        self.units_run = 0
+        self.batches_run = 0
+        #: architectures this shard has executed units for
+        self.archs_seen: set[str] = set()
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._task: "asyncio.Task | None" = None
+
+    def start(self) -> None:
+        """Spawn the worker task on the running loop."""
+        self._task = asyncio.get_running_loop().create_task(
+            self._worker(), name=f"shard-{self.index}")
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            self._gauge_depth()
+            try:
+                job()
+            finally:
+                self.queue.task_done()
+            # yield so request coroutines can consume results between
+            # jobs (everything is cooperative and single-threaded)
+            await asyncio.sleep(0)
+
+    def _gauge_depth(self) -> None:
+        self._metrics.gauge(
+            f"service.shard.{self.index}.queue_depth").set(
+                self.queue.qsize())
+
+    async def enqueue(self, job) -> None:
+        """Queue one job; awaits (backpressure) while the queue is full."""
+        await self.queue.put(job)
+        self._gauge_depth()
+
+    async def submit(self, unit) -> object:
+        """Run one work unit on this shard; returns its result."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        def job() -> None:
+            with self._tracer.span("service.unit", shard=self.index,
+                                   stage=unit.stage, arch=unit.arch):
+                try:
+                    result = unit.run()
+                except BaseException as error:  # thunks shouldn't raise
+                    if not future.cancelled():
+                        future.set_exception(error)
+                    return
+            self.units_run += 1
+            if unit.arch:
+                self.archs_seen.add(unit.arch)
+            self._metrics.counter(
+                f"service.shard.{self.index}.units").inc()
+            if not future.cancelled():
+                future.set_result(result)
+
+        await self.enqueue(job)
+        return await future
+
+    async def stop(self) -> None:
+        """Cancel the worker task and wait for it to die."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    def stats(self) -> dict:
+        """Queue depth, units run, batches run, archs, quarantine."""
+        return {
+            "queue_depth": self.queue.qsize(),
+            "units_run": self.units_run,
+            "batches_run": self.batches_run,
+            "archs": sorted(self.archs_seen),
+            "quarantined": self.quarantine.archs(),
+        }
+
+
+def shard_index(arch: str, shard_count: int) -> int:
+    """Stable arch → shard mapping (CRC32, not Python's salted hash)."""
+    return zlib.crc32(arch.encode("utf-8")) % shard_count
+
+
+class ShardPool:
+    """The fixed set of shard workers one service runs."""
+
+    def __init__(self, shard_count: int, *, queue_limit: int = 128,
+                 metrics=None, tracer=None) -> None:
+        if shard_count < 1:
+            raise ValueError(
+                f"shard_count must be a positive integer, "
+                f"got {shard_count}")
+        self.shards = [ArchShard(index, queue_limit=queue_limit,
+                                 metrics=metrics, tracer=tracer)
+                       for index in range(shard_count)]
+
+    def shard_for(self, arch: str) -> ArchShard:
+        """The shard owning one architecture."""
+        return self.shards[shard_index(arch, len(self.shards))]
+
+    def start(self) -> None:
+        """Start every shard worker."""
+        for shard in self.shards:
+            shard.start()
+
+    async def join(self) -> None:
+        """Wait until every shard queue is fully processed."""
+        for shard in self.shards:
+            await shard.queue.join()
+
+    async def stop(self) -> None:
+        """Cancel every worker."""
+        for shard in self.shards:
+            await shard.stop()
+
+    def absorb_quarantine(self, quarantine: Quarantine) -> None:
+        """Fold a finished request's quarantine into the owning shards'
+        operational views (routing each arch to its shard)."""
+        for arch in quarantine.archs():
+            self.shard_for(arch).quarantine.note(
+                arch, quarantine.reason(arch))
+
+    def stats(self) -> list[dict]:
+        """Per-shard stats dicts, in shard order."""
+        return [shard.stats() for shard in self.shards]

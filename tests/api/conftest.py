@@ -1,0 +1,3 @@
+"""Fixtures for the facade suite (shared with the service suite)."""
+
+from tests.service.conftest import checkable_commits  # noqa: F401

@@ -1,0 +1,68 @@
+"""The deprecated pre-``repro.api`` entry points: warn but still work.
+
+Every test scopes ``-W error::DeprecationWarning`` locally, so the new
+names are proven warning-free under the strictest filter while the old
+names are proven to (a) warn and (b) keep behaving identically.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.core.jmake import JMake
+from repro.evalsuite.runner import EvaluationRunner
+
+
+@pytest.fixture
+def strict_deprecations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestOldNamesWarn:
+    def test_jmake_constructor_warns(self):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.api.CheckSession"):
+            JMake()
+
+    def test_jmake_from_generated_tree_warns(self):
+        tree = api.generate_tree()
+        with pytest.warns(DeprecationWarning):
+            JMake.from_generated_tree(tree)
+
+    def test_evaluation_runner_warns(self, small_corpus):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.api.EvaluationSession"):
+            EvaluationRunner(small_corpus)
+
+
+class TestOldNamesStillWork:
+    def test_jmake_is_a_check_session(self):
+        with pytest.warns(DeprecationWarning):
+            session = JMake()
+        assert isinstance(session, api.CheckSession)
+
+    def test_runner_verdicts_match_session(self, small_corpus):
+        with pytest.warns(DeprecationWarning):
+            runner = EvaluationRunner(small_corpus)
+        old = runner.run(limit=2, use_ground_truth_janitors=True)
+        new = api.EvaluationSession(small_corpus).run(
+            limit=2, use_ground_truth_janitors=True)
+        assert old.canonical_records() == new.canonical_records()
+
+
+class TestNewNamesAreQuiet:
+    def test_check_session_is_warning_free(self, strict_deprecations):
+        tree = api.generate_tree()
+        api.CheckSession.from_generated_tree(tree)
+
+    def test_evaluation_session_is_warning_free(self, small_corpus,
+                                                strict_deprecations):
+        api.EvaluationSession(small_corpus)
+
+    def test_facade_helpers_are_warning_free(self, small_corpus,
+                                             strict_deprecations):
+        api.validate_jobs(4)
+        api.serve(small_corpus)

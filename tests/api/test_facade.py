@@ -1,0 +1,80 @@
+"""The ``repro.api`` facade: completeness and the one-shot helpers."""
+
+import pytest
+
+from repro import api
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_sessions_are_the_real_classes(self):
+        from repro.core.jmake import CheckSession
+        from repro.evalsuite.runner import EvaluationSession
+        from repro.service import CheckService
+        assert api.CheckSession is CheckSession
+        assert api.EvaluationSession is EvaluationSession
+        assert api.CheckService is CheckService
+
+    def test_schema_constants_exported(self):
+        assert api.SCHEMA_VERSION >= 2
+        assert callable(api.migrate_record)
+
+
+class TestValidateJobs:
+    def test_accepts_positive_ints(self):
+        assert api.validate_jobs(1) == 1
+        assert api.validate_jobs(25) == 25
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "4", None, True])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError,
+                           match="must be a positive integer"):
+            api.validate_jobs(bad)
+
+    def test_custom_label_lands_in_message(self):
+        with pytest.raises(ValueError, match="--shards"):
+            api.validate_jobs(0, what="--shards")
+
+
+class TestOneShotHelpers:
+    def test_check_patch_on_demo_edit(self):
+        tree = api.generate_tree()
+        path = "drivers/staging/comedi/comedi0.c"
+        original = tree.files[path]
+        edited = original.replace("int status = 0;",
+                                  "int status = 0;\n\tint extra = 1;")
+        files = dict(tree.files)
+        files[path] = edited
+        worktree = api.CheckSession.worktree_for_files(files)
+        patch = api.Patch(files=[api.diff_texts(path, original,
+                                                edited)])
+        report = api.check_patch(worktree, patch, tree=tree)
+        assert report.verdict == "CERTIFIED"
+        assert report.to_dict()["schema_version"] == api.SCHEMA_VERSION
+
+    def test_check_commit_matches_session(self, small_corpus,
+                                          checkable_commits):
+        commit = checkable_commits[0]
+        via_helper = api.check_commit(small_corpus.tree,
+                                      small_corpus.repository, commit)
+        session = api.CheckSession.from_generated_tree(
+            small_corpus.tree)
+        direct = session.check_commit(small_corpus.repository, commit)
+        assert via_helper.to_dict() == direct.to_dict()
+
+    def test_evaluate_helper_runs_window(self, small_corpus):
+        result = api.evaluate(small_corpus, limit=3,
+                              use_ground_truth_janitors=True)
+        assert len(result.patches) == 3
+
+    def test_serve_helper_builds_service(self, small_corpus,
+                                         checkable_commits):
+        service = api.serve(small_corpus,
+                            config=api.ServiceConfig(shards=2))
+        results = service.check_commits(
+            [checkable_commits[0].id])
+        assert len(results) == 1
+        assert results[0].verdict

@@ -1,0 +1,87 @@
+"""Record schema versioning: ``schema_version`` and migration."""
+
+import pytest
+
+from repro.core.report import (
+    SCHEMA_VERSION,
+    FileReport,
+    FileStatus,
+    PatchReport,
+    migrate_record,
+)
+from repro.errors import SchemaError
+
+
+def v1_record(**overrides):
+    """A PR-3-era record: no schema_version, no fully_checked."""
+    record = {
+        "commit": "abc123",
+        "certified": True,
+        "verdict": "CERTIFIED",
+        "elapsed_seconds": 12.5,
+        "invocations": {"config": 1},
+        "quarantined_archs": [],
+        "faults": [],
+        "files": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestToDict:
+    def test_records_carry_current_version(self):
+        report = PatchReport(commit_id="abc")
+        record = report.to_dict()
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["fully_checked"] is True
+
+    def test_partial_reports_are_not_fully_checked(self):
+        report = PatchReport(commit_id="abc",
+                             quarantined_archs=["arm"])
+        record = report.to_dict()
+        assert record["fully_checked"] is False
+        assert record["verdict"] == "PARTIAL:arm"
+
+    def test_migrating_current_record_is_identity(self):
+        report = PatchReport(commit_id="abc", file_reports={
+            "a.c": FileReport(path="a.c", status=FileStatus.OK)})
+        record = report.to_dict()
+        assert migrate_record(record) == record
+
+
+class TestMigration:
+    def test_v1_upgrades_to_current(self):
+        migrated = migrate_record(v1_record())
+        assert migrated["schema_version"] == SCHEMA_VERSION
+        assert migrated["fully_checked"] is True
+        # the original is not mutated
+        assert "schema_version" not in v1_record()
+
+    def test_v1_quarantined_record_is_not_fully_checked(self):
+        migrated = migrate_record(
+            v1_record(quarantined_archs=["arm", "mips"],
+                      verdict="PARTIAL:arm,mips"))
+        assert migrated["fully_checked"] is False
+
+    def test_pre_fault_layer_records_get_empty_defaults(self):
+        ancient = v1_record()
+        del ancient["quarantined_archs"]
+        del ancient["faults"]
+        migrated = migrate_record(ancient)
+        assert migrated["quarantined_archs"] == []
+        assert migrated["faults"] == []
+        assert migrated["fully_checked"] is True
+
+    def test_migration_does_not_mutate_input(self):
+        original = v1_record()
+        snapshot = dict(original)
+        migrate_record(original)
+        assert original == snapshot
+
+    def test_future_version_raises(self):
+        with pytest.raises(SchemaError, match="schema_version=99"):
+            migrate_record(v1_record(schema_version=99))
+
+    def test_garbage_version_raises(self):
+        with pytest.raises(SchemaError):
+            migrate_record(v1_record(schema_version="two"))

@@ -1,0 +1,24 @@
+"""Fixtures for the check-service suite.
+
+The corpora come from the session fixtures in ``tests/conftest.py``;
+the fault storm is the same plan the fault-determinism suite uses, so
+the differential tests pin service mode against exactly the reference
+the sequential suite already trusts.
+"""
+
+import pytest
+
+from repro.core.changes import extract_changed_files
+from repro.workload.corpus import Corpus
+
+from tests.faults.conftest import storm_plan  # noqa: F401  (fixture)
+
+
+@pytest.fixture(scope="session")
+def checkable_commits(small_corpus):
+    """The checkable commits of the shared small corpus, in order."""
+    repository = small_corpus.repository
+    commits = repository.log(since=Corpus.TAG_EVAL_START,
+                             until=Corpus.TAG_EVAL_END)
+    return [commit for commit in commits
+            if extract_changed_files(repository.show(commit))]

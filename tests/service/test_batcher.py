@@ -1,0 +1,158 @@
+"""Cross-request batching: occupancy packing, flush triggers, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.core.units import STAGE_PREPROCESS, WorkUnit
+from repro.service.batcher import CrossRequestBatcher
+from repro.service.shards import ShardPool
+
+
+def preprocess_unit(paths, *, arch="x86_64",
+                    config_target="allyesconfig", log=None, tag=None):
+    def run():
+        if log is not None:
+            log.append(tag)
+        return tag
+    return WorkUnit(stage=STAGE_PREPROCESS, run=run, arch=arch,
+                    config_target=config_target, paths=tuple(paths))
+
+
+async def with_batcher(body, **kwargs):
+    pool = ShardPool(kwargs.pop("shards", 2))
+    pool.start()
+    batcher = CrossRequestBatcher(pool, **kwargs)
+    try:
+        await body(batcher, pool)
+        await batcher.drain()
+        await pool.join()
+    finally:
+        await pool.stop()
+
+
+class TestCoalescing:
+    def test_same_tick_units_share_one_batch(self):
+        async def body(batcher, pool):
+            units = [preprocess_unit([f"f{i}.c"], tag=i)
+                     for i in range(4)]
+            results = await asyncio.gather(
+                *[batcher.submit(unit) for unit in units])
+            assert results == [0, 1, 2, 3]
+            assert batcher.flushes == 1
+            assert batcher.units_batched == 4
+        asyncio.run(with_batcher(body, batch_limit=50))
+
+    def test_different_keys_never_coalesce(self):
+        async def body(batcher, pool):
+            await asyncio.gather(
+                batcher.submit(preprocess_unit(["a.c"], arch="arm")),
+                batcher.submit(preprocess_unit(["b.c"], arch="mips")),
+                batcher.submit(preprocess_unit(
+                    ["c.c"], arch="arm", config_target="defconfig")))
+            assert batcher.flushes == 3
+        asyncio.run(with_batcher(body, batch_limit=50))
+
+    def test_batch_runs_fifo(self):
+        log = []
+
+        async def body(batcher, pool):
+            units = [preprocess_unit([f"f{i}.c"], log=log, tag=i)
+                     for i in range(6)]
+            await asyncio.gather(
+                *[batcher.submit(unit) for unit in units])
+            assert log == sorted(log)
+        asyncio.run(with_batcher(body, batch_limit=50))
+
+
+class TestOccupancyLimit:
+    def test_exact_fill_flushes_immediately(self):
+        async def body(batcher, pool):
+            await asyncio.gather(
+                batcher.submit(preprocess_unit(["a.c", "b.c"])),
+                batcher.submit(preprocess_unit(["c.c", "d.c"])))
+            assert batcher.flushes == 1
+        asyncio.run(with_batcher(body, batch_limit=4))
+
+    def test_overflow_preflushes_open_group(self):
+        async def body(batcher, pool):
+            big = preprocess_unit(["a.c", "b.c", "c.c"])
+            bigger = preprocess_unit(["d.c", "e.c", "f.c"])
+            await asyncio.gather(batcher.submit(big),
+                                 batcher.submit(bigger))
+            # 3 + 3 would exceed limit 4: each unit gets its own batch
+            assert batcher.flushes == 2
+        asyncio.run(with_batcher(body, batch_limit=4))
+
+    def test_occupancy_never_exceeds_limit(self):
+        from repro.obs.metrics import MetricsRegistry
+        limit = 5
+        metrics = MetricsRegistry()
+
+        async def body(batcher, pool):
+            units = [preprocess_unit([f"{i}a.c", f"{i}b.c"], tag=i)
+                     for i in range(8)]
+            results = await asyncio.gather(
+                *[batcher.submit(unit) for unit in units])
+            assert results == list(range(8))
+            # occupancy-2 units under limit 5 pack at most two per
+            # batch, so 8 units need at least 4 flushes
+            assert batcher.flushes >= 4
+            assert batcher.units_batched == 8
+            histogram = metrics.histogram("service.batch.occupancy")
+            assert histogram.count == batcher.flushes
+            assert histogram.total == 16
+            assert histogram.mean <= limit
+        asyncio.run(with_batcher(body, batch_limit=limit,
+                                 metrics=metrics))
+
+    def test_rejects_bad_limit(self):
+        pool = ShardPool(1)
+        with pytest.raises(ValueError):
+            CrossRequestBatcher(pool, batch_limit=0)
+
+
+class TestWindowAndDrain:
+    def test_timed_window_flushes_later(self):
+        async def body(batcher, pool):
+            task = asyncio.get_running_loop().create_task(
+                batcher.submit(preprocess_unit(["a.c"], tag="late")))
+            await asyncio.sleep(0)
+            assert batcher.pending_units == 1
+            assert batcher.flushes == 0
+            assert await task == "late"
+            assert batcher.flushes == 1
+        asyncio.run(with_batcher(body, batch_limit=50,
+                                 batch_window=0.01))
+
+    def test_drain_flushes_partial_groups(self):
+        async def body(batcher, pool):
+            task = asyncio.get_running_loop().create_task(
+                batcher.submit(preprocess_unit(["a.c"], tag="z")))
+            await asyncio.sleep(0)
+            # window is long: only drain() can flush this group
+            batcher.flush_all()
+            assert await task == "z"
+        asyncio.run(with_batcher(body, batch_limit=50, batch_window=60))
+
+    def test_stats_shape(self):
+        async def body(batcher, pool):
+            await batcher.submit(preprocess_unit(["a.c"]))
+            stats = batcher.stats()
+            assert stats["flushes"] == 1
+            assert stats["units_batched"] == 1
+            assert stats["pending_units"] == 0
+        asyncio.run(with_batcher(body, batch_limit=50))
+
+    def test_batch_counts_land_on_owning_shard(self):
+        async def body(batcher, pool):
+            await asyncio.gather(
+                batcher.submit(preprocess_unit(["a.c"], arch="arm")),
+                batcher.submit(preprocess_unit(["b.c"], arch="arm")))
+            await batcher.drain()
+            await pool.join()
+            shard = pool.shard_for("arm")
+            assert shard.batches_run == 1
+            assert shard.units_run == 2
+            assert shard.archs_seen == {"arm"}
+        asyncio.run(with_batcher(body, batch_limit=50, shards=4))

@@ -1,0 +1,66 @@
+"""The service-mode acceptance surface: byte-identical verdicts.
+
+The INVARIANT of the check service (DESIGN.md §6): for any corpus, any
+shard count, cache on or off, fault plan active or not, the
+verdict-bearing canonical records of a service-mode run are
+byte-identical to the sequential ``EvaluationSession`` run. This is
+the service analogue of the cache-equivalence and fault-determinism
+suites, and it is what makes the service safe to put in front of
+janitors: sharding and cross-request batching are pure scheduling.
+"""
+
+import pytest
+
+from repro.evalsuite.runner import EvaluationSession
+from repro.service import ServiceConfig
+
+LIMIT = 30
+
+
+@pytest.fixture(scope="module")
+def sequential(small_corpus):
+    """The clean reference: serial, private cache, no faults."""
+    return EvaluationSession(small_corpus).run(limit=LIMIT)
+
+
+@pytest.fixture(scope="module")
+def faulted_sequential(small_corpus, storm_plan):
+    """The faulted reference: serial run under the mixed storm."""
+    return EvaluationSession(small_corpus,
+                             fault_plan=storm_plan).run(limit=LIMIT)
+
+
+class TestCleanRunsMatch:
+    def test_default_service_config(self, small_corpus, sequential):
+        via_service = EvaluationSession(small_corpus).run(
+            limit=LIMIT, service=True)
+        assert via_service.canonical_records() == \
+            sequential.canonical_records()
+
+    def test_tiny_batch_limit_is_invariant(self, small_corpus,
+                                           sequential):
+        config = ServiceConfig(shards=2, batch_limit=3)
+        via_service = EvaluationSession(small_corpus).run(
+            limit=LIMIT, service=config)
+        assert via_service.canonical_records() == \
+            sequential.canonical_records()
+
+
+class TestFaultedRunsMatch:
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("cache", [False, True])
+    def test_shards_times_cache_grid(self, small_corpus, storm_plan,
+                                     faulted_sequential, shards,
+                                     cache):
+        via_service = EvaluationSession(
+            small_corpus, cache=cache,
+            fault_plan=storm_plan).run(limit=LIMIT, service=shards)
+        assert via_service.canonical_records() == \
+            faulted_sequential.canonical_records()
+
+    def test_storm_actually_stormed(self, faulted_sequential,
+                                    sequential):
+        assert faulted_sequential.canonical_records() != \
+            sequential.canonical_records()
+        assert sum(len(patch.fault_reports)
+                   for patch in faulted_sequential.patches) > 0

@@ -1,0 +1,125 @@
+"""Shard routing, worker execution, and the ops quarantine view."""
+
+import asyncio
+
+import pytest
+
+from repro.core.units import STAGE_CERTIFY, STAGE_CONFIG, WorkUnit
+from repro.faults.resilience import Quarantine
+from repro.service.shards import ArchShard, ShardPool, shard_index
+
+
+def certify_unit(arch, result="ok"):
+    return WorkUnit(stage=STAGE_CERTIFY, run=lambda: result,
+                    arch=arch, config_target="allyesconfig",
+                    paths=("drivers/a.c",))
+
+
+class TestShardIndex:
+    def test_stable_across_calls(self):
+        assert shard_index("x86_64", 4) == shard_index("x86_64", 4)
+
+    def test_within_bounds_and_spread(self):
+        archs = ["x86_64", "arm", "arm64", "mips", "powerpc", "sparc"]
+        indices = {arch: shard_index(arch, 4) for arch in archs}
+        assert all(0 <= index < 4 for index in indices.values())
+        # CRC32 is fixed, so the mapping is a frozen contract: a shard
+        # must keep owning its architectures across service restarts
+        assert len(set(indices.values())) > 1
+
+    def test_single_shard_owns_everything(self):
+        assert shard_index("anything", 1) == 0
+
+    def test_pool_routes_by_index(self):
+        pool = ShardPool(4)
+        for arch in ("x86_64", "arm", "mips"):
+            assert pool.shard_for(arch) is \
+                pool.shards[shard_index(arch, 4)]
+
+    def test_pool_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ShardPool(0)
+
+
+class TestShardExecution:
+    def test_submit_runs_unit_and_counts(self):
+        async def main():
+            shard = ArchShard(0)
+            shard.start()
+            try:
+                result = await shard.submit(certify_unit("arm"))
+                assert result == "ok"
+                assert shard.units_run == 1
+                assert shard.archs_seen == {"arm"}
+                assert shard.stats()["queue_depth"] == 0
+            finally:
+                await shard.stop()
+        asyncio.run(main())
+
+    def test_units_execute_fifo_per_shard(self):
+        order = []
+
+        def make(tag):
+            def run():
+                order.append(tag)
+                return tag
+            return WorkUnit(stage=STAGE_CONFIG, run=run, arch="arm",
+                            config_target="allyesconfig",
+                            paths=("allyesconfig",))
+
+        async def main():
+            pool = ShardPool(2)
+            pool.start()
+            try:
+                shard = pool.shard_for("arm")
+                results = await asyncio.gather(
+                    *[shard.submit(make(i)) for i in range(5)])
+                assert results == list(range(5))
+                assert order == list(range(5))
+            finally:
+                await pool.stop()
+        asyncio.run(main())
+
+
+class TestOpsQuarantine:
+    def test_absorb_routes_to_owning_shard(self):
+        async def main():
+            pool = ShardPool(4)
+            request_quarantine = Quarantine()
+            request_quarantine.record("arm", "config")
+            pool.absorb_quarantine(request_quarantine)
+            owner = pool.shard_for("arm")
+            assert owner.quarantine.is_quarantined("arm")
+            assert owner.quarantine.reason("arm") == "config"
+            for shard in pool.shards:
+                if shard is not owner:
+                    assert not shard.quarantine.archs()
+        asyncio.run(main())
+
+    def test_merge_folds_strikes_and_keeps_first_reason(self):
+        left = Quarantine()
+        right = Quarantine()
+        left.record("mips", "compile")
+        right.record("mips", "compile")
+        right.record("mips", "compile")
+        left.merge(right)
+        # strikes fold additively; benching only copies, it is never
+        # re-derived (the ops aggregate must not look like a verdict)
+        assert left._strikes["mips"] == 3
+        assert not left.is_quarantined("mips")
+        # one more recorded failure trips the already-loaded breaker
+        left.record("mips", "compile")
+        assert left.is_quarantined("mips")
+        first = Quarantine()
+        first.note("arm", "config")
+        second = Quarantine()
+        second.note("arm", "preprocess")
+        first.merge(second)
+        assert first.reason("arm") == "config"
+
+    def test_note_is_idempotent(self):
+        quarantine = Quarantine()
+        quarantine.note("arm", "config")
+        quarantine.note("arm", "compile")
+        assert quarantine.reason("arm") == "config"
+        assert quarantine.archs() == ["arm"]

@@ -1,0 +1,108 @@
+"""The unit decomposition: DAG shape and sequential equivalence.
+
+The pipeline generators yield one WorkUnit per former build-system
+call site; ``run_units`` must reproduce the monolithic behavior
+exactly, and the recorded DAG must have the §III-D stage structure
+(mutate → config → preprocess → grep → certify).
+"""
+
+import pytest
+
+from repro.core.jmake import CheckSession
+from repro.core.units import (
+    ARCH_STAGES,
+    STAGE_CERTIFY,
+    STAGE_CONFIG,
+    STAGE_GREP,
+    STAGE_MUTATE,
+    STAGE_PREPROCESS,
+    UnitDag,
+    UnitFailure,
+    WorkUnit,
+    run_units,
+)
+
+pytestmark = pytest.mark.usefixtures("small_corpus")
+
+
+@pytest.fixture(scope="module")
+def traced(small_corpus, checkable_commits):
+    """One commit checked through the generator, DAG recorded."""
+    session = CheckSession.from_generated_tree(small_corpus.tree)
+    commit = checkable_commits[0]
+    dag = UnitDag(request_id="traced")
+    generator = session.iter_check_commit(
+        small_corpus.repository, commit, dag=dag)
+    report = run_units(generator)
+    return commit, dag, report
+
+
+class TestUnitPrimitives:
+    def test_failure_is_falsy(self):
+        assert not UnitFailure("boom", kind="timeout")
+        assert UnitFailure("boom").kind == ""
+
+    def test_occupancy_counts_paths(self):
+        unit = WorkUnit(stage=STAGE_PREPROCESS, run=lambda: None,
+                        paths=("a.c", "b.c", "c.c"))
+        assert unit.occupancy == 3
+
+    def test_dag_assigns_sequential_ids(self):
+        dag = UnitDag()
+        first = dag.new_unit(STAGE_MUTATE, lambda: None)
+        second = dag.new_unit(STAGE_CONFIG, lambda: None,
+                              arch="x86_64", deps=(first.unit_id,))
+        assert (first.unit_id, second.unit_id) == (0, 1)
+        assert len(dag) == 2
+        assert dag.edges() == [(0, 1)]
+        assert dag.stage_of(1) == STAGE_CONFIG
+
+
+class TestDagShape:
+    def test_stages_present(self, traced):
+        _, dag, _ = traced
+        counts = dag.stage_counts()
+        assert counts.get(STAGE_MUTATE) == 1
+        for stage in (STAGE_CONFIG, STAGE_PREPROCESS, STAGE_GREP):
+            assert counts.get(stage, 0) >= 1, stage
+
+    def test_every_non_mutate_unit_depends_on_something(self, traced):
+        _, dag, _ = traced
+        for unit in dag.units:
+            if unit.stage == STAGE_MUTATE:
+                assert unit.deps == ()
+            else:
+                assert unit.deps, f"{unit.stage} unit has no deps"
+
+    def test_edges_point_backwards(self, traced):
+        _, dag, _ = traced
+        for dep, unit_id in dag.edges():
+            assert 0 <= dep < unit_id < len(dag)
+
+    def test_arch_stages_carry_routing_keys(self, traced):
+        _, dag, _ = traced
+        for unit in dag.units:
+            if unit.stage in ARCH_STAGES:
+                assert unit.arch, f"{unit.stage} unit without arch"
+                assert unit.config_target
+            if unit.stage == STAGE_PREPROCESS:
+                assert unit.occupancy >= 1
+            if unit.stage == STAGE_CERTIFY:
+                assert unit.occupancy == 1
+
+    def test_to_dict_is_json_shaped(self, traced):
+        import json
+        _, dag, _ = traced
+        payload = dag.to_dict()
+        assert payload["request_id"] == "traced"
+        assert len(payload["units"]) == len(dag)
+        json.dumps(payload)
+
+
+class TestSequentialEquivalence:
+    def test_generator_matches_monolithic_check(self, small_corpus,
+                                                traced):
+        commit, _, report = traced
+        fresh = CheckSession.from_generated_tree(small_corpus.tree)
+        direct = fresh.check_commit(small_corpus.repository, commit)
+        assert direct.to_dict() == report.to_dict()
