@@ -40,12 +40,17 @@ from repro.core.report import (
 from repro.core.units import UnitDag, WorkUnit, run_units
 from repro.errors import (
     FaultPlanError,
+    JournalCorruptError,
+    JournalError,
     ReproError,
     SchemaError,
     ServiceDrainingError,
     ServiceError,
     ServiceOverloadedError,
+    ServiceOverloadError,
+    SimulatedCrashError,
     VcsError,
+    WorkerCrashError,
 )
 from repro.evalsuite.experiments import EXPERIMENTS
 from repro.evalsuite.figures import figure5_overall
@@ -57,9 +62,11 @@ from repro.evalsuite.runner import (
     scaled_criteria,
 )
 from repro.evalsuite.tables import table1, table2, table3, table4
+from repro.faults.chaos import CrashPoint, crash_offsets
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import RetryPolicy
+from repro.journal import Journal, ReplayResult, VerdictLedger
 from repro.janitors.activity import ActivityAnalyzer
 from repro.janitors.identify import JanitorFinder
 from repro.kbuild.build import BuildSystem
@@ -80,6 +87,13 @@ from repro.service import (
     CheckResult,
     CheckService,
     ServiceConfig,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from repro.util.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
 )
 from repro.util.rng import DeterministicRng
 from repro.vcs.diff import Patch, diff_texts
@@ -92,7 +106,11 @@ __all__ = [
     "check_commit", "check_patch", "evaluate", "serve", "validate_jobs",
     # sessions / service
     "CheckSession", "EvaluationSession", "CheckService", "ServiceConfig",
-    "CheckRequest", "CheckResult",
+    "CheckRequest", "CheckResult", "ShardSupervisor", "SupervisorConfig",
+    # durability (write-ahead journal, resume, chaos)
+    "Journal", "ReplayResult", "VerdictLedger", "CrashPoint",
+    "crash_offsets", "JournalError", "JournalCorruptError",
+    "SimulatedCrashError", "WorkerCrashError",
     # schema
     "SCHEMA_VERSION", "migrate_record",
     # deprecated shims (still exported so old code keeps importing)
@@ -106,8 +124,11 @@ __all__ = [
     "MetricsRegistry", "MutationEngine", "MutationOverlay",
     "NULL_INJECTOR", "Patch", "PatchReport", "PersonaKind", "ReproError",
     "Repository", "RetryPolicy", "SchemaError", "ServiceDrainingError",
-    "ServiceError", "ServiceOverloadedError", "Tracer", "Tristate",
-    "UnitDag", "VcsError", "WorkUnit", "Worktree", "build_corpus",
+    "ServiceError", "ServiceOverloadedError", "ServiceOverloadError",
+    "Tracer", "Tristate",
+    "UnitDag", "VcsError", "WorkUnit", "Worktree",
+    "atomic_write_bytes", "atomic_write_json", "atomic_write_text",
+    "build_corpus",
     "configure_logging", "diff_texts", "extract_changed_files",
     "figure5_overall", "generate_tree", "render_span_tree", "run_units",
     "scaled_criteria", "span_count", "table1", "table2", "table3",

@@ -340,7 +340,15 @@ class BuildCache:
         return self.stats.copy()
 
     def save(self, path: str) -> None:
-        """Pickle the store (entries + graph, not stats) to disk."""
+        """Pickle the store (entries + graph, not stats) to disk.
+
+        The pickle lands via temp-file + fsync + ``os.replace``, so a
+        crash mid-save leaves the previous cache file intact instead of
+        a torn pickle (which the next :meth:`load` would discard as
+        corrupt, silently dropping the warm state).
+        """
+        from repro.util.atomicio import atomic_write_bytes
+
         if self.injector.fire(SITE_CACHE_STORE, path=path) is not None:
             _logger.warning(
                 "build cache save failed (injected fault): path=%s", path)
@@ -351,8 +359,8 @@ class BuildCache:
             "slots": self._slots,
             "graph": self.graph,
         }
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(
+            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
     @classmethod
     def load(cls, path: str, policy: CachePolicy | None = None,

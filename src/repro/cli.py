@@ -94,12 +94,48 @@ def _evaluate(args: argparse.Namespace) -> int:
                                         injector=injector)
         else:
             cache = api.BuildCache(policy)
+    if args.resume and not args.journal:
+        print("jmake evaluate: --resume requires --journal",
+              file=sys.stderr)
+        return 2
+    if args.chaos_kill_after is not None and not args.journal:
+        print("jmake evaluate: --chaos-kill-after requires --journal",
+              file=sys.stderr)
+        return 2
     observe = bool(args.trace_out or args.metrics_out)
     session = api.EvaluationSession(corpus, options=options, cache=cache,
                                     observe=observe, fault_plan=fault_plan,
                                     retry_policy=retry_policy)
+    crash_point = None
+    if args.chaos_kill_after is not None:
+        try:
+            crash_point = api.CrashPoint(args.chaos_kill_after)
+        except ValueError as error:
+            print(f"jmake evaluate: {error}", file=sys.stderr)
+            return 2
     print("Running JMake over the evaluation window ...")
-    result = session.run(limit=args.limit, jobs=args.jobs)
+    try:
+        result = session.run(limit=args.limit, jobs=args.jobs,
+                             journal=args.journal, resume=args.resume,
+                             on_journal_append=crash_point)
+    except api.SimulatedCrashError as error:
+        # the chaos harness killed the run at the requested journal
+        # offset; everything already journaled survives for --resume
+        print(f"jmake evaluate: {error}", file=sys.stderr)
+        print(f"resume with: jmake evaluate --journal {args.journal} "
+              f"--resume", file=sys.stderr)
+        return 3
+    except api.JournalError as error:
+        # covers corruption too: a damaged interior record must stop
+        # the run loudly, never silently re-check what was durable
+        print(f"jmake evaluate: {error}", file=sys.stderr)
+        return 2
+    if result.journal_stats is not None:
+        stats = result.journal_stats
+        print(f"journal {stats['path']}: {stats['records']} verdict(s) "
+              f"durable ({stats['resumed']} resumed, "
+              f"{stats['emitted']} fresh, "
+              f"{stats['checkpoints_written']} checkpoint(s))")
     if args.cache_file and session.cache is not None:
         session.cache.save(args.cache_file)
         print(f"build cache written to {args.cache_file}")
@@ -113,8 +149,7 @@ def _evaluate(args: argparse.Namespace) -> int:
             if result.metrics is not None else api.MetricsRegistry()
         if session.cache is not None:
             combined.merge(session.cache.stats.registry)
-        with open(args.metrics_out, "w") as handle:
-            json.dump(combined.to_dict(), handle, indent=1, sort_keys=True)
+        api.atomic_write_json(args.metrics_out, combined.to_dict())
         print(f"metrics written to {args.metrics_out}")
 
     print(f"\ncommits: {result.total_commits}  ignored: "
@@ -143,8 +178,8 @@ def _evaluate(args: argparse.Namespace) -> int:
         _, text = api.EXPERIMENTS[experiment_id].run(result)
         print(text + "\n")
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(api.write_markdown_report(result))
+        api.atomic_write_text(args.output,
+                              api.write_markdown_report(result))
         print(f"markdown report written to {args.output}")
     return 0
 
@@ -203,8 +238,7 @@ def _serve(args: argparse.Namespace) -> int:
           f"units_batched={batcher.get('units_batched', 0)} "
           f"pending={batcher.get('pending_units', 0)}")
     if args.stats_out:
-        with open(args.stats_out, "w") as handle:
-            json.dump(stats, handle, indent=1, sort_keys=True)
+        api.atomic_write_json(args.stats_out, stats)
         print(f"stats written to {args.stats_out}")
     drained = not stats["started"] and not batcher.get("pending_units")
     print("drain: clean" if drained else "drain: NOT CLEAN")
@@ -317,6 +351,20 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the pipeline metrics registry "
                                "(counters/histograms + cache telemetry) "
                                "as JSON")
+    evaluate.add_argument("--journal", default=None,
+                          help="write-ahead verdict journal: every "
+                               "patch verdict is fsynced here the "
+                               "moment it exists (see DESIGN.md §7)")
+    evaluate.add_argument("--resume", action="store_true",
+                          help="replay --journal and rerun only the "
+                               "commits without a durable verdict; the "
+                               "final records are byte-identical to an "
+                               "uninterrupted run")
+    evaluate.add_argument("--chaos-kill-after", type=int, default=None,
+                          metavar="N",
+                          help="chaos harness: simulate sudden process "
+                               "death after N journaled verdicts "
+                               "(exit 3; rerun with --resume)")
     evaluate.add_argument("--fault-plan", default=None,
                           help="JSON fault plan to inject deterministic "
                                "build failures (see DESIGN.md §5)")

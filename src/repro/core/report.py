@@ -11,6 +11,7 @@ file."
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -24,7 +25,28 @@ from repro.errors import SchemaError
 #:     layer existed.
 #: 2 — adds ``schema_version`` and the explicit ``fully_checked`` flag
 #:     (PARTIAL commits must not be counted as checked).
-SCHEMA_VERSION = 2
+#: 3 — adds the ``journal`` block (durability metadata: the dedup key
+#:     under which the verdict is emitted exactly once into the
+#:     write-ahead journal).
+SCHEMA_VERSION = 3
+
+#: a record missing any of these was cut off mid-write (or never was a
+#: check record); migration refuses it rather than guessing
+_REQUIRED_KEYS = ("commit", "certified", "verdict", "files")
+
+
+def _validate_record(record: dict) -> None:
+    """Refuse truncated or numerically-poisoned records."""
+    missing = [key for key in _REQUIRED_KEYS if key not in record]
+    if missing:
+        raise SchemaError(
+            f"truncated record: missing required key(s) "
+            f"{', '.join(missing)}")
+    elapsed = record.get("elapsed_seconds", 0.0)
+    if isinstance(elapsed, float) and not math.isfinite(elapsed):
+        raise SchemaError(
+            f"record has non-finite elapsed_seconds ({elapsed!r}); "
+            f"refusing to migrate a numerically poisoned record")
 
 
 def migrate_record(record: dict) -> dict:
@@ -33,21 +55,33 @@ def migrate_record(record: dict) -> dict:
 
     Unversioned (PR-3-era and older) records are treated as version 1:
     missing fault-layer keys get their empty defaults and
-    ``fully_checked`` is derived from ``quarantined_archs``. Records
-    already at the current version pass through (copied); unknown or
-    future versions raise :class:`~repro.errors.SchemaError`.
+    ``fully_checked`` is derived from ``quarantined_archs``; version 2
+    records gain the v3 ``journal`` block with its dedup key derived
+    from the commit id. Every record — current version included — is
+    validated first: truncated records (missing required keys) and
+    records carrying non-finite floats raise
+    :class:`~repro.errors.SchemaError`, as do unknown or future
+    versions. Always returns a copy.
     """
+    if not isinstance(record, dict):
+        raise SchemaError(
+            f"record is not an object: {type(record).__name__}")
     version = record.get("schema_version", 1)
-    if version == SCHEMA_VERSION:
-        return dict(record)
-    if version != 1:
+    if not isinstance(version, int) or isinstance(version, bool) or \
+            not 1 <= version <= SCHEMA_VERSION:
         raise SchemaError(
             f"cannot migrate record with schema_version={version!r} "
             f"(supported: 1..{SCHEMA_VERSION})")
     migrated = dict(record)
-    migrated.setdefault("quarantined_archs", [])
-    migrated.setdefault("faults", [])
-    migrated["fully_checked"] = not migrated["quarantined_archs"]
+    _validate_record(migrated)
+    if version == 1:
+        migrated.setdefault("quarantined_archs", [])
+        migrated.setdefault("faults", [])
+        migrated["fully_checked"] = not migrated["quarantined_archs"]
+        version = 2
+    if version == 2:
+        migrated["journal"] = {"dedup_key": migrated.get("commit")}
+        version = 3
     migrated["schema_version"] = SCHEMA_VERSION
     return migrated
 
@@ -205,6 +239,9 @@ class PatchReport:
             "invocations": dict(self.invocation_counts),
             "quarantined_archs": list(self.quarantined_archs),
             "faults": [report.to_dict() for report in self.fault_reports],
+            # durability metadata: the key this verdict deduplicates
+            # under when emitted into the write-ahead journal
+            "journal": {"dedup_key": self.commit_id},
             "files": {
                 path: {
                     "status": report.status.value,

@@ -98,8 +98,62 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """Raised when admission control rejects a request (queue full)."""
+    """Raised when admission control rejects a request (queue full).
+
+    Carries structured context so callers can distinguish overload from
+    other submit failures and log something actionable: the admission
+    ``queue_depth`` at rejection time, the configured ``limit``, and the
+    ``shard_id`` of the deepest shard queue (None before the pool
+    starts).
+    """
+
+    def __init__(self, message: str, *,
+                 queue_depth: int = 0,
+                 limit: int = 0,
+                 shard_id: "int | None" = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.shard_id = shard_id
+
+
+#: preferred name for the typed overload rejection (same class; the
+#: historical ``ServiceOverloadedError`` spelling remains an alias)
+ServiceOverloadError = ServiceOverloadedError
 
 
 class ServiceDrainingError(ServiceError):
     """Raised when a request arrives after shutdown/drain began."""
+
+
+class WorkerCrashError(ServiceError):
+    """Raised inside a shard worker when an injected ``worker_crash``
+    fault kills it; the supervisor treats the dead task as a crashed
+    worker process."""
+
+
+class SimulatedCrashError(ReproError):
+    """Raised by the chaos harness to model sudden process death
+    (power loss, OOM kill) at a deterministic point. Production code
+    never catches it — that is the point: whatever was not yet durable
+    when it fires is what a real crash would lose."""
+
+
+class JournalError(ReproError):
+    """Base class for write-ahead journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """Raised when journal replay meets a corrupted *interior* record
+    (CRC mismatch with valid data after it). A torn *final* record is
+    the expected crash signature and is truncated instead.
+
+    ``offset`` is the byte offset of the bad frame; ``path`` the
+    journal file.
+    """
+
+    def __init__(self, message: str, *, path: str = "",
+                 offset: int = 0) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset

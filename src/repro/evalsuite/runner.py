@@ -17,6 +17,8 @@ from repro.cc.toolchain import ToolchainRegistry
 from repro.core.changes import extract_changed_files
 from repro.core.jmake import CheckSession, JMakeOptions
 from repro.core.report import FileReport, FileStatus, PatchReport
+from repro.errors import EvaluationError
+from repro.faults.inject import FaultInjector
 from repro.faults.plan import (
     FaultPlan,
     SITE_CACHE_LOAD,
@@ -108,6 +110,11 @@ class EvaluationResult:
     span_trees: "list[dict] | None" = None
     #: merged pipeline metrics (None unless the runner observed the run)
     metrics: "MetricsRegistry | None" = None
+    #: verdict-journal telemetry (None when the run was not journaled);
+    #: ``resumed`` is how many verdicts were replayed instead of rerun
+    journal_stats: "dict | None" = None
+    #: service scheduling telemetry (None outside service mode)
+    service_stats: "dict | None" = None
 
     def canonical_records(self) -> str:
         """A deterministic text rendering of every verdict-bearing field.
@@ -318,7 +325,12 @@ class EvaluationSession:
     def run(self, *, limit: int | None = None,
             use_ground_truth_janitors: bool = False,
             jobs: int = 1,
-            service: "bool | int | object" = False) -> EvaluationResult:
+            service: "bool | int | object" = False,
+            journal: str | None = None,
+            resume: bool = False,
+            journal_fsync: bool = True,
+            journal_checkpoint_interval: int = 32,
+            on_journal_append=None) -> EvaluationResult:
         """Run JMake over the evaluation window.
 
         ``jobs`` > 1 distributes patches over worker processes the way
@@ -332,9 +344,25 @@ class EvaluationSession:
         ``ServiceConfig``. Verdict-bearing records are byte-identical
         to the sequential path (the differential suite pins this);
         span trees/metrics are not collected in service mode.
+
+        ``journal`` names a write-ahead verdict journal: every patch
+        verdict is durably appended the moment it exists, under every
+        driver. ``resume=True`` replays that journal first and reruns
+        only the commits without a durable verdict — the final result
+        is byte-identical (``canonical_records()``) to an uninterrupted
+        run, because verdicts are pure functions of (corpus, commit)
+        and the codec round-trips them exactly. ``resume=False`` with
+        an existing journal starts over (the stale journal is wiped).
+        Span trees/metrics cover only the *fresh* commits of a resumed
+        run; verdict-bearing records are unaffected.
+        ``on_journal_append`` is the chaos observer (see
+        :class:`repro.faults.chaos.CrashPoint`).
         """
         from repro.api import validate_jobs
         jobs = validate_jobs(jobs)
+        if resume and journal is None:
+            raise EvaluationError(
+                "resume=True requires a journal path")
         stats_start = self.cache.stats_snapshot() \
             if self.cache is not None else None
         result = EvaluationResult()
@@ -366,34 +394,73 @@ class EvaluationSession:
             else:
                 result.ignored_commits += 1
 
-        _logger.info("checking %d commits (jobs=%d, observe=%s, "
-                     "service=%s)", len(checkable), jobs, self.observe,
-                     bool(service))
-        if service:
-            reports = self._run_service(checkable, service)
-            trees, metrics = None, None
-        elif jobs > 1:
-            reports, trees, metrics = self._run_parallel(checkable, jobs)
-        else:
-            tracer = Tracer() if self.observe else None
-            metrics = MetricsRegistry() if self.observe else None
-            jmake = CheckSession.from_generated_tree(self.corpus.tree,
-                                              options=self.options,
-                                              cache=self.cache,
-                                              tracer=tracer,
-                                              metrics=metrics,
-                                              fault_plan=self.fault_plan,
-                                              retry_policy=self.retry_policy)
-            reports = []
-            trees: "list[dict] | None" = [] if self.observe else None
-            for index, commit in enumerate(checkable):
-                reports.append(jmake.check_commit(repository, commit))
-                if tracer is not None:
-                    trees.append(_serialize_commit_tree(tracer, index, 1))
+        ledger = None
+        replayed: dict[str, PatchRecord] = {}
+        if journal is not None:
+            from repro.journal.records import patch_record_from_dict
+            ledger = self._open_ledger(
+                journal, resume=resume, fsync=journal_fsync,
+                checkpoint_interval=journal_checkpoint_interval,
+                on_append=on_journal_append,
+                ground_truth=use_ground_truth_janitors)
+            for key in ledger.keys():
+                replayed[key] = patch_record_from_dict(ledger.get(key))
+        pending = [commit for commit in checkable
+                   if commit.id not in replayed]
 
-        for commit, report in zip(checkable, reports):
+        fresh: dict[str, PatchRecord] = {}
+
+        def record_report(commit, report: PatchReport) -> None:
+            """Build the verdict record and journal it immediately."""
             record = self._patch_record(commit, report, result,
                                         metadata.get(commit.id))
+            fresh[commit.id] = record
+            if ledger is not None:
+                from repro.journal.records import patch_record_to_dict
+                ledger.emit(commit.id, patch_record_to_dict(record))
+
+        _logger.info("checking %d commits (%d replayed from journal; "
+                     "jobs=%d, observe=%s, service=%s)", len(pending),
+                     len(checkable) - len(pending), jobs, self.observe,
+                     bool(service))
+        trees: "list[dict] | None" = None
+        metrics: "MetricsRegistry | None" = None
+        try:
+            if service:
+                result.service_stats = self._run_service(
+                    pending, service, record_report)
+            elif jobs > 1:
+                trees, metrics = self._run_parallel(
+                    pending, jobs, record_report)
+            else:
+                tracer = Tracer() if self.observe else None
+                metrics = MetricsRegistry() if self.observe else None
+                jmake = CheckSession.from_generated_tree(
+                    self.corpus.tree,
+                    options=self.options,
+                    cache=self.cache,
+                    tracer=tracer,
+                    metrics=metrics,
+                    fault_plan=self.fault_plan,
+                    retry_policy=self.retry_policy)
+                trees = [] if self.observe else None
+                for index, commit in enumerate(pending):
+                    record_report(commit,
+                                  jmake.check_commit(repository, commit))
+                    if tracer is not None:
+                        trees.append(
+                            _serialize_commit_tree(tracer, index, 1))
+        finally:
+            if ledger is not None:
+                result.journal_stats = dict(
+                    ledger.stats(),
+                    resumed=len(checkable) - len(pending))
+                ledger.close()
+
+        for commit in checkable:
+            record = fresh.get(commit.id)
+            if record is None:
+                record = replayed[commit.id]
             result.patches.append(record)
         if self.cache is not None:
             result.cache_stats = \
@@ -402,13 +469,43 @@ class EvaluationSession:
         result.metrics = metrics
         return result
 
-    def _run_service(self, commits, service) -> list:
+    def _open_ledger(self, journal: str, *, resume: bool, fsync: bool,
+                     checkpoint_interval: int, on_append,
+                     ground_truth: bool):
+        """Open (or wipe) the verdict ledger and bind the run identity.
+
+        The meta record refuses a --resume against a journal written by
+        a different corpus/options combination — replaying verdicts of
+        another run would silently produce wrong tables.
+        """
+        from repro.journal import VerdictLedger
+
+        injector = FaultInjector(self.fault_plan) \
+            if self.fault_plan else None
+        ledger = VerdictLedger(journal, fsync=fsync,
+                               checkpoint_interval=checkpoint_interval,
+                               injector=injector, on_append=on_append,
+                               fresh=not resume)
+        spec = self.corpus.spec
+        ledger.bind_meta({
+            "corpus_seed": spec.seed,
+            "history_commits": spec.history_commits,
+            "eval_commits": spec.eval_commits,
+            "use_configs": self.options.use_configs,
+            "use_allmodconfig": self.options.use_allmodconfig,
+            "ground_truth": ground_truth,
+        })
+        return ledger
+
+    def _run_service(self, commits, service, on_report) -> dict:
         """Route the commits through an in-process check service.
 
         The service shares this runner's cache/fault-plan/retry-policy
         substrate; per-request sessions keep verdicts byte-identical to
-        the sequential path. Results come back in submission order, so
-        the record loop below sees the same sequence either way.
+        the sequential path. ``on_report`` fires per commit in
+        submission order as results land (journaling incrementally);
+        returns the service's scheduling stats (supervisor/breaker
+        state included).
         """
         from repro.service import CheckService, ServiceConfig
 
@@ -425,11 +522,14 @@ class EvaluationSession:
         check_service = CheckService(
             self.corpus, options=self.options, config=config,
             cache=self.cache if self.cache is not None else False)
-        results = check_service.check_commits(
-            [commit.id for commit in commits])
-        return [result.report for result in results]
+        by_id = {commit.id: commit for commit in commits}
+        check_service.check_commits(
+            [commit.id for commit in commits],
+            on_result=lambda result: on_report(by_id[result.commit_id],
+                                               result.report))
+        return check_service.stats()
 
-    def _run_parallel(self, commits, jobs: int):
+    def _run_parallel(self, commits, jobs: int, on_report):
         """Fan patches out over forked worker processes.
 
         The shared build cache is primed in the parent before the fork
@@ -449,7 +549,6 @@ class EvaluationSession:
         context = multiprocessing.get_context("fork")
         tasks = [(index, commit.id)
                  for index, commit in enumerate(commits)]
-        reports: list = [None] * len(tasks)
         trees: "list[dict] | None" = [None] * len(tasks) \
             if self.observe else None
         metrics = MetricsRegistry() if self.observe else None
@@ -462,7 +561,10 @@ class EvaluationSession:
                           self.retry_policy)) as pool:
             for index, report, delta, tree, metrics_delta in \
                     pool.imap_unordered(_check_one, tasks, chunksize):
-                reports[index] = report
+                # reports land (and journal) in completion order; the
+                # caller restores final ordering from the commit list,
+                # and the ledger is an order-free keyed map
+                on_report(commits[index], report)
                 if delta is not None and self.cache is not None:
                     self.cache.stats.merge(delta)
                 if tree is not None and trees is not None:
@@ -474,7 +576,7 @@ class EvaluationSession:
                     metrics.merge(metrics_delta)
         if trees is not None:
             trees = [tree for tree in trees if tree is not None]
-        return reports, trees, metrics
+        return trees, metrics
 
     # -- record construction ------------------------------------------------
 

@@ -11,13 +11,21 @@ pipeline earns that trust when the substrate misbehaves:
   structured :class:`FaultReport` records a run emits;
 - :mod:`repro.faults.resilience` — :class:`RetryPolicy` (bounded,
   sim-clock-charged exponential backoff) and :class:`Quarantine` (the
-  per-architecture circuit breaker behind ``PARTIAL:<arch>`` verdicts).
+  per-architecture circuit breaker behind ``PARTIAL:<arch>`` verdicts);
+- :mod:`repro.faults.chaos` — the process-level chaos harness: seeded
+  crash points (kill a run at a chosen journal offset) backing the
+  kill/resume differential suites.
 
 Every decision is a pure function of (plan seed, commit scope, step
 identity, attempt number), so an injected run is exactly reproducible
 across ``--jobs`` values, cache on/off, and observability on/off.
+Process-level kinds (``worker_crash``, ``worker_hang``,
+``torn_journal_write``) extend the same determinism to kill/restart
+cycles: they are keyed by (shard, pickup sequence) or (journal,
+append sequence), never by wall-clock time.
 """
 
+from repro.faults.chaos import CrashPoint, crash_offsets
 from repro.faults.inject import (
     FaultInjector,
     FaultReport,
@@ -34,18 +42,26 @@ from repro.faults.plan import (
     KIND_CONFIG_FAIL,
     KIND_IO_ERROR,
     KIND_PREPROCESS_FLAKE,
+    KIND_TORN_JOURNAL_WRITE,
     KIND_TRUNCATE_I,
+    KIND_WORKER_CRASH,
+    KIND_WORKER_HANG,
+    PIPELINE_SITES,
+    PROCESS_SITES,
     SITE_CACHE_LOAD,
     SITE_CACHE_STORE,
     SITE_COMPILE,
     SITE_CONFIG,
+    SITE_JOURNAL_APPEND,
     SITE_PREPROCESS,
+    SITE_WORKER,
     valid_kind_sites,
 )
 from repro.faults.resilience import Quarantine, RetryPolicy
 
 __all__ = [
     "BUILTIN_KINDS",
+    "CrashPoint",
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
@@ -56,15 +72,23 @@ __all__ = [
     "KIND_CONFIG_FAIL",
     "KIND_IO_ERROR",
     "KIND_PREPROCESS_FLAKE",
+    "KIND_TORN_JOURNAL_WRITE",
     "KIND_TRUNCATE_I",
+    "KIND_WORKER_CRASH",
+    "KIND_WORKER_HANG",
     "NULL_INJECTOR",
     "NullInjector",
+    "PIPELINE_SITES",
+    "PROCESS_SITES",
     "Quarantine",
     "RetryPolicy",
     "SITE_CACHE_LOAD",
     "SITE_CACHE_STORE",
     "SITE_COMPILE",
     "SITE_CONFIG",
+    "SITE_JOURNAL_APPEND",
     "SITE_PREPROCESS",
+    "SITE_WORKER",
+    "crash_offsets",
     "valid_kind_sites",
 ]

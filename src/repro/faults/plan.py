@@ -48,6 +48,18 @@ KIND_CACHE_CORRUPT = "cache_corrupt"
 #: a transient I/O error at any step boundary
 KIND_IO_ERROR = "io_error"
 
+# -- process-level fault kinds (PR 5 chaos vocabulary) ----------------------
+
+#: a shard worker dies at job pickup (OOM kill, segfault, host loss);
+#: the claimed unit never ran and must be requeued by the supervisor
+KIND_WORKER_CRASH = "worker_crash"
+#: a shard worker stalls holding its claimed unit (livelock, NFS hang)
+#: until the supervisor's hang deadline expires
+KIND_WORKER_HANG = "worker_hang"
+#: a journal append is cut short mid-frame (power loss, full disk) —
+#: replay must truncate the torn tail and continue
+KIND_TORN_JOURNAL_WRITE = "torn_journal_write"
+
 # -- injection sites --------------------------------------------------------
 
 SITE_CONFIG = "config"            # BuildSystem.make_config
@@ -55,9 +67,21 @@ SITE_PREPROCESS = "preprocess"    # BuildSystem.make_i, per file
 SITE_COMPILE = "compile"          # BuildSystem.make_o
 SITE_CACHE_LOAD = "cache_load"    # BuildCache probes + BuildCache.load
 SITE_CACHE_STORE = "cache_store"  # BuildCache stores + BuildCache.save
+SITE_WORKER = "worker"            # shard worker job pickup
+SITE_JOURNAL_APPEND = "journal_append"  # Journal.append frame write
 
 INJECTION_SITES = (SITE_CONFIG, SITE_PREPROCESS, SITE_COMPILE,
-                   SITE_CACHE_LOAD, SITE_CACHE_STORE)
+                   SITE_CACHE_LOAD, SITE_CACHE_STORE, SITE_WORKER,
+                   SITE_JOURNAL_APPEND)
+
+#: the in-pipeline sites (step + cache) a sequential check consults
+PIPELINE_SITES = (SITE_CONFIG, SITE_PREPROCESS, SITE_COMPILE,
+                  SITE_CACHE_LOAD, SITE_CACHE_STORE)
+
+#: the verdict-neutral process-level sites: faults here may only delay
+#: or re-route work (supervisor requeue, journal tail truncation),
+#: never change what a commit's record says
+PROCESS_SITES = (SITE_WORKER, SITE_JOURNAL_APPEND)
 
 #: sites each kind may legally be injected at; the first is the default
 _KIND_SITES: dict[str, tuple[str, ...]] = {
@@ -68,12 +92,17 @@ _KIND_SITES: dict[str, tuple[str, ...]] = {
     KIND_CACHE_CORRUPT: (SITE_CACHE_LOAD,),
     KIND_IO_ERROR: (SITE_CONFIG, SITE_PREPROCESS, SITE_COMPILE,
                     SITE_CACHE_LOAD, SITE_CACHE_STORE),
+    KIND_WORKER_CRASH: (SITE_WORKER,),
+    KIND_WORKER_HANG: (SITE_WORKER,),
+    KIND_TORN_JOURNAL_WRITE: (SITE_JOURNAL_APPEND,),
 }
 
 BUILTIN_KINDS = tuple(_KIND_SITES)
 
 #: default simulated seconds one failed attempt burns before the error
-#: surfaces (a timeout burns the step-timeout budget instead, when set)
+#: surfaces (a timeout burns the step-timeout budget instead, when set).
+#: Process-level kinds charge nothing: they stall or kill the *worker*,
+#: not the simulated step, so verdict-bearing timings stay untouched.
 _DEFAULT_COST_SECONDS = {
     KIND_CONFIG_FAIL: 2.0,
     KIND_PREPROCESS_FLAKE: 3.0,
@@ -81,6 +110,9 @@ _DEFAULT_COST_SECONDS = {
     KIND_TRUNCATE_I: 0.0,
     KIND_CACHE_CORRUPT: 0.0,
     KIND_IO_ERROR: 1.0,
+    KIND_WORKER_CRASH: 0.0,
+    KIND_WORKER_HANG: 0.0,
+    KIND_TORN_JOURNAL_WRITE: 0.0,
 }
 
 

@@ -1,0 +1,118 @@
+"""PatchRecord <-> JSON codec for journaled verdicts.
+
+The journal stores the *evaluation* record (:class:`PatchRecord`), not
+the leaner :meth:`PatchReport.to_dict` form: resuming a run must be
+able to regenerate every table and figure, and that needs the
+attempt-level file-instance data (``first_clean_covers_all``,
+``insidious_under_allyes``, hazard kinds, ...) that the report dict
+does not carry.
+
+Round-trip fidelity is what makes kill/resume byte-identical:
+
+- floats pass through JSON unchanged (Python's JSON writer emits
+  ``repr``-exact doubles and the reader parses them back to the same
+  bit pattern), so ``elapsed_seconds`` and every duration survive;
+- enums (:class:`FileStatus`, :class:`HazardKind`) serialize by *name*
+  — the spelling :meth:`EvaluationResult.canonical_records` renders;
+- :class:`FaultReport` entries use their own ``to_dict`` contract.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import FileStatus
+from repro.errors import SchemaError
+from repro.evalsuite.runner import FileInstanceRecord, PatchRecord
+from repro.faults.inject import FaultReport
+from repro.kernel.layout import HazardKind
+
+#: version tag stored in every journaled verdict payload
+RECORD_VERSION = 1
+
+_FILE_FIELDS = ("commit_id", "path", "mutation_count", "useful_archs",
+                "missing_lines", "candidate_compilations",
+                "first_clean_covers_all", "insidious_under_allyes",
+                "needed_non_host_arch", "used_defconfig")
+
+
+def patch_record_to_dict(record: PatchRecord) -> dict:
+    """JSON-ready form of one evaluation PatchRecord."""
+    return {
+        "v": RECORD_VERSION,
+        "commit_id": record.commit_id,
+        "author_name": record.author_name,
+        "author_email": record.author_email,
+        "is_janitor": record.is_janitor,
+        "shape": record.shape,
+        "certified": record.certified,
+        "elapsed_seconds": record.elapsed_seconds,
+        "invocation_counts": dict(record.invocation_counts),
+        "invocation_durations": {
+            kind: list(durations) for kind, durations
+            in record.invocation_durations.items()},
+        "verdict": record.verdict,
+        "quarantined_archs": list(record.quarantined_archs),
+        "fault_reports": [fault.to_dict()
+                          for fault in record.fault_reports],
+        "files": [_file_to_dict(entry) for entry in record.files],
+    }
+
+
+def _file_to_dict(entry: FileInstanceRecord) -> dict:
+    payload = {name: getattr(entry, name) for name in _FILE_FIELDS}
+    payload["status"] = entry.status.name
+    payload["hazard_kinds"] = [kind.name for kind in entry.hazard_kinds]
+    return payload
+
+
+def patch_record_from_dict(payload: dict) -> PatchRecord:
+    """Rebuild a PatchRecord from its journaled form.
+
+    Raises :class:`~repro.errors.SchemaError` on payloads written by a
+    different codec version or missing required fields — a journal from
+    an incompatible build must fail loudly, not resume with holes.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"journaled verdict is not an object: {type(payload).__name__}")
+    version = payload.get("v")
+    if version != RECORD_VERSION:
+        raise SchemaError(
+            f"journaled verdict has record version {version!r}, "
+            f"expected {RECORD_VERSION}")
+    try:
+        return PatchRecord(
+            commit_id=payload["commit_id"],
+            author_name=payload["author_name"],
+            author_email=payload["author_email"],
+            is_janitor=payload["is_janitor"],
+            shape=payload["shape"],
+            certified=payload["certified"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            invocation_counts=dict(payload["invocation_counts"]),
+            invocation_durations={
+                kind: list(durations) for kind, durations
+                in payload["invocation_durations"].items()},
+            verdict=payload["verdict"],
+            quarantined_archs=list(payload["quarantined_archs"]),
+            fault_reports=[FaultReport(**fault)
+                           for fault in payload["fault_reports"]],
+            files=[_file_from_dict(entry)
+                   for entry in payload["files"]],
+        )
+    except (KeyError, TypeError) as error:
+        raise SchemaError(
+            f"journaled verdict is missing or has malformed fields: "
+            f"{error}") from error
+
+
+def _file_from_dict(payload: dict) -> FileInstanceRecord:
+    try:
+        kwargs = {name: payload[name] for name in _FILE_FIELDS}
+        status = FileStatus[payload["status"]]
+        hazards = [HazardKind[name] for name in payload["hazard_kinds"]]
+    except KeyError as error:
+        raise SchemaError(
+            f"journaled file instance is missing or has unknown "
+            f"fields: {error}") from error
+    return FileInstanceRecord(status=status, hazard_kinds=hazards,
+                              **kwargs)

@@ -83,10 +83,12 @@ def chrome_trace(trees: Iterable[dict]) -> dict:
 
 
 def write_chrome_trace(path: str, trees: Iterable[dict]) -> int:
-    """Write the Chrome trace JSON; returns the number of events."""
+    """Write the Chrome trace JSON crash-atomically; returns the number
+    of events."""
+    from repro.util.atomicio import atomic_write_json
+
     trace = chrome_trace(trees)
-    with open(path, "w") as handle:
-        json.dump(trace, handle, indent=1, sort_keys=True)
+    atomic_write_json(path, trace)
     return len(trace["traceEvents"])
 
 

@@ -8,6 +8,7 @@ from repro.service.batcher import CrossRequestBatcher
 from repro.service.request import CheckRequest, CheckResult
 from repro.service.service import CheckService, ServiceConfig, drive_units
 from repro.service.shards import ArchShard, ShardPool, shard_index
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 
 __all__ = [
     "ArchShard",
@@ -17,6 +18,8 @@ __all__ = [
     "CrossRequestBatcher",
     "ServiceConfig",
     "ShardPool",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "drive_units",
     "shard_index",
 ]

@@ -45,6 +45,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.service.batcher import CrossRequestBatcher
 from repro.service.request import CheckRequest, CheckResult
 from repro.service.shards import ShardPool
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.workload.corpus import Corpus
 
 _logger = get_logger("service")
@@ -70,6 +71,11 @@ class ServiceConfig:
     retry_policy: "RetryPolicy | None" = None
     #: optional tracer for service-level spans (unit/batch execution)
     tracer: object = None
+    #: run the shard supervisor (crash/hang detection, restarts,
+    #: circuit breaking); off only for tests that want a bare pool
+    supervise: bool = True
+    #: supervisor tunables (None -> SupervisorConfig defaults)
+    supervisor: "SupervisorConfig | None" = None
 
     def __post_init__(self) -> None:
         from repro.api import validate_jobs
@@ -127,6 +133,7 @@ class CheckService:
             self.cache.pin_injector(pinned)
         self._pool: "ShardPool | None" = None
         self._batcher: "CrossRequestBatcher | None" = None
+        self._supervisor: "ShardSupervisor | None" = None
         self._admission: "asyncio.Semaphore | None" = None
         self._requests: set = set()
         self._started = False
@@ -140,10 +147,21 @@ class CheckService:
         """Create the shard pool/batcher and start the workers."""
         if self._started:
             return
+        # the worker-site injector is service-level (process faults are
+        # about *this service's* workers, not any one request) and is
+        # keyed by (shard, pickup sequence), so firing is deterministic
+        # for a given submission order
+        worker_injector = FaultInjector(self.config.fault_plan) \
+            if self.config.fault_plan else NULL_INJECTOR
         self._pool = ShardPool(self.config.shards,
                                queue_limit=self.config.shard_queue_limit,
                                metrics=self.metrics,
-                               tracer=self._tracer)
+                               tracer=self._tracer,
+                               injector=worker_injector)
+        if self.config.supervise:
+            self._supervisor = ShardSupervisor(
+                self._pool, config=self.config.supervisor,
+                metrics=self.metrics)
         self._batcher = CrossRequestBatcher(
             self._pool,
             batch_limit=self.config.batch_limit,
@@ -153,10 +171,14 @@ class CheckService:
         self._admission = asyncio.Semaphore(
             self.config.max_pending_requests)
         self._pool.start()
+        if self._supervisor is not None:
+            self._supervisor.start()
         self._started = True
         self._draining = False
-        _logger.info("service started: shards=%d batch_limit=%d",
-                     self.config.shards, self.config.batch_limit)
+        _logger.info("service started: shards=%d batch_limit=%d "
+                     "supervised=%s", self.config.shards,
+                     self.config.batch_limit,
+                     self._supervisor is not None)
 
     async def drain(self) -> None:
         """Graceful shutdown: finish in-flight work, stop workers."""
@@ -170,7 +192,13 @@ class CheckService:
         if self._batcher is not None:
             await self._batcher.drain()
         if self._pool is not None:
+            # the supervisor must outlive join(): a worker that crashes
+            # during the drain still needs its claimed job requeued for
+            # the queues to ever empty
             await self._pool.join()
+        if self._supervisor is not None:
+            await self._supervisor.stop()
+        if self._pool is not None:
             await self._pool.stop()
         self._started = False
         _logger.info("service drained: requests=%d",
@@ -197,9 +225,15 @@ class CheckService:
         self._admit(request)
         if self._admission.locked():
             self.metrics.counter("service.rejected").inc()
+            deepest = max(self._pool.shards,
+                          key=lambda shard: shard.queue.qsize()) \
+                if self._pool is not None else None
             raise ServiceOverloadedError(
                 f"admission queue full "
-                f"({self.config.max_pending_requests} in flight)")
+                f"({self.config.max_pending_requests} in flight)",
+                queue_depth=len(self._requests),
+                limit=self.config.max_pending_requests,
+                shard_id=deepest.index if deepest is not None else None)
         return asyncio.get_running_loop().create_task(
             self._run_admitted(request))
 
@@ -267,10 +301,18 @@ class CheckService:
     # -- conveniences ----------------------------------------------------------
 
     def check_commits(self, commit_ids, *,
-                      options: JMakeOptions | None = None
-                      ) -> list[CheckResult]:
+                      options: JMakeOptions | None = None,
+                      on_result=None) -> list[CheckResult]:
         """Synchronous wrapper: start, submit all, drain, return results
-        in submission order."""
+        in submission order.
+
+        ``on_result`` fires per result, in submission order, as soon as
+        it (and every earlier one) is available — the hook the resumable
+        evaluation runner journals verdicts through. An exception from
+        the callback aborts the run (that is how a simulated crash
+        propagates); already-computed but not-yet-journaled results are
+        lost, exactly as a real crash would lose them.
+        """
 
         async def main() -> list[CheckResult]:
             await self.start()
@@ -279,7 +321,13 @@ class CheckService:
                     asyncio.ensure_future(self.submit(CheckRequest(
                         commit_id=commit_id, options=options)))
                     for commit_id in commit_ids]
-                return list(await asyncio.gather(*tasks))
+                results = []
+                for task in tasks:
+                    result = await task
+                    if on_result is not None:
+                        on_result(result)
+                    results.append(result)
+                return results
             finally:
                 await self.drain()
 
@@ -294,6 +342,8 @@ class CheckService:
             "requests_in_flight": len(self._requests),
             "shards": self._pool.stats() if self._pool else [],
             "batcher": self._batcher.stats() if self._batcher else {},
+            "supervisor": self._supervisor.stats()
+            if self._supervisor else {},
             "cache": None if self.cache is None
             else self.cache.stats_snapshot().render(),
         }

@@ -14,6 +14,18 @@ BuildSystem/clock/injector/quarantine; the shard's own
 aggregation — "which architectures are flaking across traffic" — fed
 by :meth:`ShardPool.absorb_quarantine` after each request and never
 read back by the pipeline.
+
+Supervision hooks (PR 5): every job pickup stamps a heartbeat and
+records the *claimed* job before running it, so the
+:class:`~repro.service.supervisor.ShardSupervisor` can tell a crashed
+or hung worker from an idle one and requeue the claimed job without
+losing it. The ``worker_crash``/``worker_hang`` fault kinds fire here,
+keyed by (shard index, pickup sequence) — deterministic across runs,
+independent of wall-clock time. A crash fires *before* the job runs,
+so requeueing it is trivially idempotent (the unit never started).
+When a shard's circuit breaker is open, :meth:`ArchShard.enqueue` runs
+jobs inline instead of queueing them — the degraded-to-sequential
+``run_units`` path.
 """
 
 from __future__ import annotations
@@ -21,16 +33,26 @@ from __future__ import annotations
 import asyncio
 import zlib
 
+from repro.errors import WorkerCrashError
+from repro.faults.inject import NULL_INJECTOR
+from repro.faults.plan import (
+    KIND_WORKER_CRASH,
+    KIND_WORKER_HANG,
+    SITE_WORKER,
+)
 from repro.faults.resilience import Quarantine
+from repro.obs.logcfg import get_logger
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+
+_logger = get_logger("service.shards")
 
 
 class ArchShard:
     """One worker coroutine plus its bounded unit queue."""
 
     def __init__(self, index: int, *, queue_limit: int = 128,
-                 metrics=None, tracer=None) -> None:
+                 metrics=None, tracer=None, injector=None) -> None:
         self.index = index
         self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
         #: ops view of arch flakiness across requests (never verdicts)
@@ -41,21 +63,81 @@ class ArchShard:
         self.archs_seen: set[str] = set()
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: service-level injector owning the ``worker`` site (process
+        #: faults only; step-site faults stay with per-request injectors)
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self._task: "asyncio.Task | None" = None
+        # -- supervision state ------------------------------------------------
+        #: job pickups over the shard's lifetime (fault-injection key)
+        self.pickups = 0
+        #: the job currently held by the worker (None when idle); the
+        #: supervisor requeues this on crash/hang
+        self.claimed = None
+        #: loop time of the last worker heartbeat (pickup/completion)
+        self.last_beat: float = 0.0
+        #: True while an injected hang has the worker parked
+        self.hung = False
+        self.crashes = 0
+        self.hangs = 0
+        self.restarts = 0
+        #: circuit breaker: open -> jobs run inline, worker bypassed
+        self.breaker_open = False
+        self.breaker_reason = ""
+        #: jobs executed inline because the breaker was open
+        self.inline_jobs = 0
+        self._stall: "asyncio.Event | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         """Spawn the worker task on the running loop."""
+        self.hung = False
+        self._stall = asyncio.Event()
+        self.beat()
         self._task = asyncio.get_running_loop().create_task(
             self._worker(), name=f"shard-{self.index}")
+
+    def beat(self) -> None:
+        """Stamp the heartbeat the supervisor's deadline checks read."""
+        self.last_beat = asyncio.get_running_loop().time()
+
+    @property
+    def task(self) -> "asyncio.Task | None":
+        """The worker task (the supervisor inspects liveness on it)."""
+        return self._task
 
     async def _worker(self) -> None:
         while True:
             job = await self.queue.get()
+            self.pickups += 1
+            self.claimed = job
+            self.beat()
             self._gauge_depth()
-            try:
-                job()
-            finally:
-                self.queue.task_done()
+            spec = self.injector.fire(SITE_WORKER,
+                                      arch=f"shard-{self.index}",
+                                      path=f"pickup-{self.pickups}")
+            if spec is not None and spec.kind == KIND_WORKER_CRASH:
+                # die *before* the job runs: the claimed unit never
+                # started, so the supervisor's requeue replays nothing
+                self.crashes += 1
+                self._metrics.counter(
+                    f"service.shard.{self.index}.crashes").inc()
+                raise WorkerCrashError(
+                    f"shard {self.index} crashed at pickup "
+                    f"{self.pickups}")
+            if spec is not None and spec.kind == KIND_WORKER_HANG:
+                # park holding the claimed job until the supervisor's
+                # hang deadline kills this worker (the event is never
+                # set on purpose)
+                self.hung = True
+                self.hangs += 1
+                self._metrics.counter(
+                    f"service.shard.{self.index}.hangs").inc()
+                await self._stall.wait()
+            job()
+            self.claimed = None
+            self.beat()
+            self.queue.task_done()
             # yield so request coroutines can consume results between
             # jobs (everything is cooperative and single-threaded)
             await asyncio.sleep(0)
@@ -65,8 +147,21 @@ class ArchShard:
             f"service.shard.{self.index}.queue_depth").set(
                 self.queue.qsize())
 
+    # -- job intake --------------------------------------------------------
+
     async def enqueue(self, job) -> None:
-        """Queue one job; awaits (backpressure) while the queue is full."""
+        """Queue one job; awaits (backpressure) while the queue is full.
+
+        With the circuit breaker open the worker is gone for good:
+        the job runs inline right here instead — same executions, same
+        results, sequential instead of pipelined.
+        """
+        if self.breaker_open:
+            self.inline_jobs += 1
+            self._metrics.counter(
+                f"service.shard.{self.index}.inline_jobs").inc()
+            job()
+            return
         await self.queue.put(job)
         self._gauge_depth()
 
@@ -81,7 +176,7 @@ class ArchShard:
                 try:
                     result = unit.run()
                 except BaseException as error:  # thunks shouldn't raise
-                    if not future.cancelled():
+                    if not future.done():
                         future.set_exception(error)
                     return
             self.units_run += 1
@@ -89,7 +184,7 @@ class ArchShard:
                 self.archs_seen.add(unit.arch)
             self._metrics.counter(
                 f"service.shard.{self.index}.units").inc()
-            if not future.cancelled():
+            if not future.done():
                 future.set_result(result)
 
         await self.enqueue(job)
@@ -102,18 +197,25 @@ class ArchShard:
         self._task.cancel()
         try:
             await self._task
-        except asyncio.CancelledError:
+        except (asyncio.CancelledError, WorkerCrashError):
             pass
         self._task = None
 
     def stats(self) -> dict:
-        """Queue depth, units run, batches run, archs, quarantine."""
+        """Queue depth, units run, supervision counters, breaker state."""
         return {
             "queue_depth": self.queue.qsize(),
             "units_run": self.units_run,
             "batches_run": self.batches_run,
             "archs": sorted(self.archs_seen),
             "quarantined": self.quarantine.archs(),
+            "pickups": self.pickups,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "restarts": self.restarts,
+            "breaker_open": self.breaker_open,
+            "breaker_reason": self.breaker_reason,
+            "inline_jobs": self.inline_jobs,
         }
 
 
@@ -126,13 +228,14 @@ class ShardPool:
     """The fixed set of shard workers one service runs."""
 
     def __init__(self, shard_count: int, *, queue_limit: int = 128,
-                 metrics=None, tracer=None) -> None:
+                 metrics=None, tracer=None, injector=None) -> None:
         if shard_count < 1:
             raise ValueError(
                 f"shard_count must be a positive integer, "
                 f"got {shard_count}")
         self.shards = [ArchShard(index, queue_limit=queue_limit,
-                                 metrics=metrics, tracer=tracer)
+                                 metrics=metrics, tracer=tracer,
+                                 injector=injector)
                        for index in range(shard_count)]
 
     def shard_for(self, arch: str) -> ArchShard:
@@ -145,9 +248,14 @@ class ShardPool:
             shard.start()
 
     async def join(self) -> None:
-        """Wait until every shard queue is fully processed."""
+        """Wait until every shard queue is fully processed.
+
+        Breaker-open shards are excluded: their queues were drained
+        inline when the breaker opened and will never tick again.
+        """
         for shard in self.shards:
-            await shard.queue.join()
+            if not shard.breaker_open:
+                await shard.queue.join()
 
     async def stop(self) -> None:
         """Cancel every worker."""

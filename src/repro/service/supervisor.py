@@ -1,0 +1,243 @@
+"""Shard supervision: crash/hang detection, restarts, circuit breaking.
+
+The :class:`ShardSupervisor` is a periodic real-time poll task over the
+service's :class:`~repro.service.shards.ShardPool`. Per shard it
+distinguishes three states:
+
+- **crashed** — the worker task is done with an exception (the
+  ``worker_crash`` fault, or any bug that escapes the worker loop);
+- **hung** — the worker task is alive but has held its claimed job past
+  the hang deadline without a heartbeat (the ``worker_hang`` fault:
+  because the event loop is single-threaded and real jobs are
+  synchronous, the only way the supervisor can *observe* a held claim
+  is a worker awaiting something that never resolves — so the deadline
+  cannot false-positive on a slow legitimate job);
+- **healthy** — anything else.
+
+Recovery is requeue-then-restart: the claimed job goes back on the
+shard's queue (idempotent — crashes fire before the job runs, so
+nothing is replayed; verdict exactly-once is additionally guaranteed by
+the journal ledger's dedup keys), the abandoned ``queue.get()`` is
+settled so ``queue.join()`` stays balanced, and the worker restarts
+under an exponential-backoff restart budget. When the budget is
+exhausted the shard's **circuit breaker** opens: its queue is drained
+inline (the degraded sequential ``run_units`` driver), and from then on
+:meth:`ArchShard.enqueue` runs every job inline. Requests lose
+pipelining on that shard but never results.
+
+State machine (per shard)::
+
+    RUNNING --crash/hang--> RECOVERING --budget left--> RUNNING
+                                |
+                                +--budget exhausted--> BREAKER_OPEN
+                                                        (terminal)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import NULL_METRICS
+
+_logger = get_logger("service.supervisor")
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables of one :class:`ShardSupervisor` (real seconds — the
+    supervisor watches OS-level liveness, not the simulated clock)."""
+
+    #: real seconds between liveness sweeps
+    poll_interval_seconds: float = 0.02
+    #: real seconds a claimed job may be held without a heartbeat
+    #: before the worker counts as hung
+    hang_deadline_seconds: float = 0.2
+    #: worker restarts allowed per shard before the breaker opens
+    max_restarts_per_shard: int = 3
+    #: exponential-backoff restart delays: base * factor**(restart-1),
+    #: capped at the max
+    backoff_base_seconds: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_seconds <= 0:
+            raise ValueError(
+                f"poll_interval_seconds must be positive, "
+                f"got {self.poll_interval_seconds}")
+        if self.hang_deadline_seconds <= 0:
+            raise ValueError(
+                f"hang_deadline_seconds must be positive, "
+                f"got {self.hang_deadline_seconds}")
+        if self.max_restarts_per_shard < 0:
+            raise ValueError(
+                f"max_restarts_per_shard cannot be negative, "
+                f"got {self.max_restarts_per_shard}")
+
+    def backoff_seconds(self, restart: int) -> float:
+        """Delay before restart number ``restart`` (1-based)."""
+        delay = self.backoff_base_seconds * (
+            self.backoff_factor ** max(0, restart - 1))
+        return min(delay, self.backoff_max_seconds)
+
+
+class ShardSupervisor:
+    """Watches shard workers, revives them, opens breakers."""
+
+    def __init__(self, pool, *, config: SupervisorConfig | None = None,
+                 metrics=None) -> None:
+        self.pool = pool
+        self.config = config or SupervisorConfig()
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._task: "asyncio.Task | None" = None
+        self.crashes_detected = 0
+        self.hangs_detected = 0
+        self.restarts = 0
+        self.requeued_jobs = 0
+        self.breakers_opened = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the poll task on the running loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="shard-supervisor")
+
+    async def stop(self) -> None:
+        """Cancel the poll task."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.poll_interval_seconds)
+            await self.sweep()
+
+    # -- detection ---------------------------------------------------------
+
+    async def sweep(self) -> None:
+        """One liveness pass over every shard (also callable directly
+        by tests to avoid real-time waits)."""
+        for shard in self.pool.shards:
+            if shard.breaker_open:
+                # a producer blocked in queue.put() when the breaker
+                # opened can still land a job afterwards; keep the
+                # queue of a broken shard drained
+                self._drain_inline(shard)
+                continue
+            task = shard.task
+            if task is not None and task.done():
+                error = task.exception() \
+                    if not task.cancelled() else None
+                self.crashes_detected += 1
+                self.metrics.counter(
+                    "service.supervisor.crashes_detected").inc()
+                _logger.warning(
+                    "shard %d worker crashed (%s); recovering",
+                    shard.index,
+                    type(error).__name__ if error else "cancelled")
+                await self._revive(shard, settle_get=True)
+            elif self._is_hung(shard):
+                self.hangs_detected += 1
+                self.metrics.counter(
+                    "service.supervisor.hangs_detected").inc()
+                _logger.warning(
+                    "shard %d worker hung past the %.3fs deadline; "
+                    "killing and recovering", shard.index,
+                    self.config.hang_deadline_seconds)
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                await self._revive(shard, settle_get=True)
+
+    def _is_hung(self, shard) -> bool:
+        if shard.claimed is None:
+            return False
+        held = asyncio.get_running_loop().time() - shard.last_beat
+        return held > self.config.hang_deadline_seconds
+
+    # -- recovery ----------------------------------------------------------
+
+    async def _revive(self, shard, *, settle_get: bool) -> None:
+        """Requeue the claimed job and restart (or break) the shard.
+
+        ``settle_get`` balances the ``queue.get()`` the dead worker
+        never matched with ``task_done()`` — without it, ``drain()``'s
+        ``queue.join()`` would hang forever on the lost claim.
+        """
+        claimed, shard.claimed = shard.claimed, None
+        if claimed is not None:
+            # put first, then settle: the job is never off-queue and
+            # unclaimed at the same time
+            shard.queue.put_nowait(claimed)
+            if settle_get:
+                shard.queue.task_done()
+            self.requeued_jobs += 1
+            self.metrics.counter(
+                "service.supervisor.requeued_jobs").inc()
+        if shard.restarts >= self.config.max_restarts_per_shard:
+            self._open_breaker(shard)
+            return
+        shard.restarts += 1
+        self.restarts += 1
+        self.metrics.counter("service.supervisor.restarts").inc()
+        delay = self.config.backoff_seconds(shard.restarts)
+        _logger.info("restarting shard %d worker (restart %d/%d, "
+                     "backoff %.3fs)", shard.index, shard.restarts,
+                     self.config.max_restarts_per_shard, delay)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        shard.start()
+
+    def _open_breaker(self, shard) -> None:
+        """Terminal degradation: run everything this shard owns inline."""
+        shard.breaker_open = True
+        shard.breaker_reason = (
+            f"restart budget exhausted "
+            f"({self.config.max_restarts_per_shard} restart(s))")
+        self.breakers_opened += 1
+        self.metrics.counter("service.supervisor.breakers_opened").inc()
+        self.metrics.gauge(
+            f"service.shard.{shard.index}.breaker_open").set(1)
+        _logger.error("shard %d circuit breaker OPEN (%s); degrading "
+                      "to inline sequential execution", shard.index,
+                      shard.breaker_reason)
+        # whatever the dead worker left queued runs inline right now
+        self._drain_inline(shard)
+
+    @staticmethod
+    def _drain_inline(shard) -> None:
+        while True:
+            try:
+                job = shard.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            shard.inline_jobs += 1
+            try:
+                job()
+            finally:
+                shard.queue.task_done()
+
+    def stats(self) -> dict:
+        """Supervision telemetry for ``stats()``/``--stats-out``."""
+        return {
+            "crashes_detected": self.crashes_detected,
+            "hangs_detected": self.hangs_detected,
+            "restarts": self.restarts,
+            "requeued_jobs": self.requeued_jobs,
+            "breakers_opened": self.breakers_opened,
+            "breaker_open_shards": [shard.index
+                                    for shard in self.pool.shards
+                                    if shard.breaker_open],
+        }

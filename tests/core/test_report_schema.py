@@ -28,6 +28,13 @@ def v1_record(**overrides):
     return record
 
 
+def v2_record(**overrides):
+    """A PR-4-era record: versioned, no journal block."""
+    record = v1_record(schema_version=2, fully_checked=True)
+    record.update(overrides)
+    return record
+
+
 class TestToDict:
     def test_records_carry_current_version(self):
         report = PatchReport(commit_id="abc")
@@ -47,6 +54,10 @@ class TestToDict:
             "a.c": FileReport(path="a.c", status=FileStatus.OK)})
         record = report.to_dict()
         assert migrate_record(record) == record
+
+    def test_records_carry_the_journal_dedup_key(self):
+        record = PatchReport(commit_id="abc").to_dict()
+        assert record["journal"] == {"dedup_key": "abc"}
 
 
 class TestMigration:
@@ -78,6 +89,17 @@ class TestMigration:
         migrate_record(original)
         assert original == snapshot
 
+    def test_v1_gains_the_journal_block(self):
+        migrated = migrate_record(v1_record())
+        assert migrated["journal"] == {"dedup_key": "abc123"}
+
+    def test_v2_upgrades_to_current(self):
+        migrated = migrate_record(v2_record())
+        assert migrated["schema_version"] == SCHEMA_VERSION
+        assert migrated["journal"] == {"dedup_key": "abc123"}
+        # v2's own fields survive untouched
+        assert migrated["fully_checked"] is True
+
     def test_future_version_raises(self):
         with pytest.raises(SchemaError, match="schema_version=99"):
             migrate_record(v1_record(schema_version=99))
@@ -85,3 +107,52 @@ class TestMigration:
     def test_garbage_version_raises(self):
         with pytest.raises(SchemaError):
             migrate_record(v1_record(schema_version="two"))
+
+    def test_bool_version_raises(self):
+        # True == 1 in Python; a bool is still not a version number
+        with pytest.raises(SchemaError):
+            migrate_record(v1_record(schema_version=True))
+
+    def test_non_dict_record_raises(self):
+        with pytest.raises(SchemaError):
+            migrate_record(["not", "a", "record"])
+
+
+class TestHardening:
+    """Truncated and numerically-poisoned records are refused."""
+
+    @pytest.mark.parametrize("missing", [
+        "commit", "certified", "verdict", "files"])
+    def test_truncated_record_raises(self, missing):
+        record = v1_record()
+        del record[missing]
+        with pytest.raises(SchemaError, match="truncated"):
+            migrate_record(record)
+
+    @pytest.mark.parametrize("version_fixture", [v1_record, v2_record])
+    def test_truncation_is_checked_at_every_version(self,
+                                                    version_fixture):
+        record = version_fixture()
+        del record["verdict"]
+        with pytest.raises(SchemaError):
+            migrate_record(record)
+
+    @pytest.mark.parametrize("poison", [
+        float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_elapsed_raises(self, poison):
+        with pytest.raises(SchemaError, match="non-finite"):
+            migrate_record(v1_record(elapsed_seconds=poison))
+
+    def test_current_version_records_are_validated_too(self):
+        record = PatchReport(commit_id="abc").to_dict()
+        record["elapsed_seconds"] = float("nan")
+        with pytest.raises(SchemaError):
+            migrate_record(record)
+
+    def test_missing_elapsed_is_tolerated(self):
+        # pre-timing records simply have no elapsed_seconds; absence
+        # is not poisoning
+        record = v1_record()
+        del record["elapsed_seconds"]
+        assert migrate_record(record)["schema_version"] == \
+            SCHEMA_VERSION

@@ -5,6 +5,8 @@ import pytest
 from repro.evalsuite.runner import EvaluationRunner
 from repro.workload.corpus import CorpusSpec, build_corpus
 
+from tests.faults.conftest import storm_plan  # noqa: F401  (fixture)
+
 
 @pytest.fixture(scope="session")
 def corpus():

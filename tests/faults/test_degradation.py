@@ -15,6 +15,7 @@ from repro.evalsuite.runner import EvaluationRunner
 from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
+    PROCESS_SITES,
     SITE_CACHE_LOAD,
     SITE_CACHE_STORE,
     valid_kind_sites,
@@ -24,13 +25,19 @@ LIMIT = 4
 
 STEP_SITES = ("config", "preprocess", "compile")
 
+#: the sequential pipeline's matrix; process-level kinds (worker
+#: crash/hang, torn journal writes) have their own chaos suites in
+#: tests/faults/test_chaos.py and tests/service/test_supervisor.py
+PIPELINE_MATRIX = [combo for combo in valid_kind_sites()
+                   if combo[1] not in PROCESS_SITES]
+
 
 @pytest.fixture(scope="module")
 def baseline(small_corpus):
     return EvaluationRunner(small_corpus).run(limit=LIMIT)
 
 
-@pytest.fixture(scope="module", params=valid_kind_sites(),
+@pytest.fixture(scope="module", params=PIPELINE_MATRIX,
                 ids=lambda combo: "@".join(combo))
 def faulted_combo(request, small_corpus):
     """(kind, site, result) for one always-firing single-rule plan."""

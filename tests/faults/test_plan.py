@@ -8,6 +8,8 @@ from repro.errors import FaultPlanError
 from repro.faults.plan import (
     BUILTIN_KINDS,
     INJECTION_SITES,
+    PIPELINE_SITES,
+    PROCESS_SITES,
     FaultPlan,
     FaultSpec,
     unit_draw,
@@ -23,14 +25,21 @@ class TestFaultMatrix:
         kinds = {kind for kind, _ in valid_kind_sites()}
         assert kinds == set(BUILTIN_KINDS)
 
-    def test_io_error_is_valid_everywhere(self):
+    def test_io_error_is_valid_at_every_pipeline_site(self):
         io_sites = {site for kind, site in valid_kind_sites()
                     if kind == "io_error"}
-        assert io_sites == set(INJECTION_SITES)
+        assert io_sites == set(PIPELINE_SITES)
+
+    def test_sites_partition_into_pipeline_and_process(self):
+        assert set(INJECTION_SITES) == \
+            set(PIPELINE_SITES) | set(PROCESS_SITES)
+        assert not set(PIPELINE_SITES) & set(PROCESS_SITES)
 
     def test_matrix_size(self):
-        # 5 single-site kinds + io_error at all 5 sites
-        assert len(valid_kind_sites()) == 10
+        # 5 single-site pipeline kinds + io_error at all 5 pipeline
+        # sites + the 3 process-level kinds (worker crash/hang, torn
+        # journal append)
+        assert len(valid_kind_sites()) == 13
 
 
 class TestFaultSpecValidation:

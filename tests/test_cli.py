@@ -107,6 +107,76 @@ class TestEvaluate:
         assert observed == plain.splitlines()
 
 
+class TestJournal:
+    ARGV = ["evaluate", "--commits", "40", "--limit", "8",
+            "--seed", "cli-test"]
+
+    def test_journaled_run_prints_durability_stats(self, capsys,
+                                                   tmp_path):
+        journal = str(tmp_path / "run.jnl")
+        assert main(self.ARGV + ["--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert f"journal {journal}: 8 verdict(s) durable" in out
+        assert "(0 resumed, 8 fresh" in out
+
+    def test_chaos_kill_then_resume(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.jnl")
+        assert main(self.ARGV + ["--journal", journal,
+                                 "--chaos-kill-after", "3"]) == 3
+        err = capsys.readouterr().err
+        assert "simulated" in err.lower()
+        assert f"resume with: jmake evaluate --journal {journal} " \
+               f"--resume" in err
+        assert main(self.ARGV + ["--journal", journal,
+                                 "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(3 resumed, 5 fresh" in out
+        assert "Summary" in out
+
+    def test_resumed_output_matches_the_uninterrupted_run(self, capsys,
+                                                          tmp_path):
+        assert main(self.ARGV) == 0
+        plain = capsys.readouterr().out
+        journal = str(tmp_path / "run.jnl")
+        assert main(self.ARGV + ["--journal", journal,
+                                 "--chaos-kill-after", "4"]) == 3
+        capsys.readouterr()
+        assert main(self.ARGV + ["--journal", journal,
+                                 "--resume"]) == 0
+        resumed = [line for line in capsys.readouterr().out.splitlines()
+                   if not line.startswith("journal ")]
+        assert resumed == plain.splitlines()
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(self.ARGV + ["--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_chaos_kill_requires_journal(self, capsys):
+        assert main(self.ARGV + ["--chaos-kill-after", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--chaos-kill-after requires --journal" in err
+
+    def test_chaos_kill_rejects_nonpositive_offset(self, capsys,
+                                                   tmp_path):
+        assert main(self.ARGV + ["--journal",
+                                 str(tmp_path / "run.jnl"),
+                                 "--chaos-kill-after", "0"]) == 2
+
+    def test_resume_refuses_another_runs_journal(self, capsys,
+                                                 tmp_path):
+        # a clean error, not a traceback: the journal names the run
+        # it belongs to
+        journal = str(tmp_path / "run.jnl")
+        assert main(self.ARGV + ["--journal", journal,
+                                 "--chaos-kill-after", "2"]) == 3
+        capsys.readouterr()
+        other = ["evaluate", "--commits", "40", "--limit", "8",
+                 "--seed", "cli-other", "--journal", journal,
+                 "--resume"]
+        assert main(other) == 2
+        assert "different run" in capsys.readouterr().err
+
+
 class TestTrace:
     def _some_commit(self):
         from repro.workload.corpus import CorpusSpec, build_corpus

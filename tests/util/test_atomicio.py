@@ -1,0 +1,75 @@
+"""Crash-atomic write helper behavior."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+)
+
+
+class TestAtomicWriteBytes:
+    def test_creates_the_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(str(target), b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), b"x")
+        atomic_write_bytes(str(target), b"y")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_failed_write_preserves_the_old_file(self, tmp_path,
+                                                 monkeypatch):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"precious")
+
+        def explode(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(target), b"doomed")
+        # old content intact, temp file cleaned up
+        assert target.read_bytes() == b"precious"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_fsync_false_still_writes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), b"fast", fsync=False)
+        assert target.read_bytes() == b"fast"
+
+
+class TestTextAndJson:
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(str(target), "héllo\n")
+        assert target.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_json_is_sorted_and_newline_terminated(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(str(target), {"b": 2, "a": 1})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+
+class TestFsyncDirectory:
+    def test_missing_directory_is_a_no_op(self, tmp_path):
+        fsync_directory(str(tmp_path / "never-created"))
+
+    def test_real_directory_is_fine(self, tmp_path):
+        fsync_directory(str(tmp_path))
