@@ -1,0 +1,133 @@
+"""CI throughput regression guard for the substrate fast path.
+
+Compares a freshly measured ``benchmarks/artifacts/BENCH_substrate.json``
+(written by ``test_perf_fastpath_speedup``) against the committed
+baseline ``benchmarks/BENCH_substrate.json`` and fails when preprocess
+throughput regressed by more than the tolerance (default 20%).
+
+Raw ops/sec are machine-dependent, so the comparison uses
+``normalized_throughput`` — ops/sec divided by the run's own
+calibration workload (a fixed regex+string loop). That ratio cancels
+interpreter and hardware speed, leaving only how much work the
+substrate does per line, which is exactly what a code change regresses.
+The committed baseline stores deliberately conservative values (75% of
+a measured run; see ``--write-baseline``) so ordinary run-to-run noise
+stays inside the tolerance while a real regression still trips it.
+
+The headline speedups (fast vs reference pipeline, measured in the same
+process) are ratios already and are compared directly.
+
+Usage::
+
+    python benchmarks/perf_guard.py [--baseline PATH] [--fresh PATH]
+                                    [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+
+#: stages whose normalized throughput must not regress; the *_reference
+#: stages are deliberately excluded (they measure the disabled pipeline,
+#: which a fast-path change legitimately leaves alone)
+GUARDED_STAGES = (
+    "strip_fastpath",
+    "tokenize_fastpath",
+    "expand_fastpath",
+    "preprocess_driver_cold",
+    "preprocess_driver_warm",
+    "preprocess_tree_cold",
+    "preprocess_tree_warm",
+)
+
+#: speedup ratios that must hold within tolerance of the baseline, and
+#: the hard floors the ISSUE's acceptance criteria set
+GUARDED_SPEEDUPS = {"preprocess_driver_cold": 3.0,
+                    "preprocess_driver_warm": 3.0}
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"perf_guard: missing {path} "
+                 f"(run benchmarks/test_perf_substrate.py first)")
+
+
+def _stage_map(payload: dict) -> dict:
+    return {stage["stage"]: stage for stage in payload["stages"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline",
+                        default=HERE / "BENCH_substrate.json",
+                        type=pathlib.Path)
+    parser.add_argument("--fresh",
+                        default=HERE / "artifacts" / "BENCH_substrate.json",
+                        type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop (default 0.20)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the fresh "
+                             "measurement, deflated by 25%% to absorb "
+                             "run-to-run noise")
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        payload = _load(args.fresh)
+        for stage in payload["stages"]:
+            stage["normalized_throughput"] = round(
+                stage["normalized_throughput"] * 0.75, 6)
+        payload["_note"] = ("baseline deflated to 75% of a measured run; "
+                            "regenerate with perf_guard.py --write-baseline")
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    baseline = _stage_map(_load(args.baseline))
+    fresh = _stage_map(_load(args.fresh))
+    fresh_speedup = _load(args.fresh)["speedup"]
+
+    failures = []
+    for name in GUARDED_STAGES:
+        if name not in baseline:
+            continue  # baseline predates this stage; nothing to hold
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh measurement")
+            continue
+        want = baseline[name]["normalized_throughput"]
+        got = fresh[name]["normalized_throughput"]
+        floor = want * (1.0 - args.tolerance)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"{name:28} baseline={want:10.4f} fresh={got:10.4f} "
+              f"floor={floor:10.4f}  {verdict}")
+        if got < floor:
+            failures.append(
+                f"{name}: normalized throughput {got:.4f} fell below "
+                f"{floor:.4f} ({(1 - got / want):.0%} drop, "
+                f"tolerance {args.tolerance:.0%})")
+
+    for name, floor in GUARDED_SPEEDUPS.items():
+        got = fresh_speedup.get(name, 0.0)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"speedup {name:20} floor={floor:.1f}x fresh={got:.2f}x  "
+              f"{verdict}")
+        if got < floor:
+            failures.append(f"speedup {name}: {got:.2f}x below the "
+                            f"{floor:.1f}x acceptance floor")
+
+    if failures:
+        print("\nperf_guard: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf_guard: all throughput checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,9 @@ from repro.faults.inject import NULL_INJECTOR
 from repro.faults.plan import SITE_CACHE_LOAD, SITE_CACHE_STORE
 from repro.obs.logcfg import get_logger
 
-_PICKLE_VERSION = 1
+# v2: Token gained __slots__ and MacroTable drops its read recorder on
+# pickling, so v1 stores (pre-slotted token payloads) must not be loaded
+_PICKLE_VERSION = 2
 
 _logger = get_logger("buildcache")
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.cpp.lexer import Token, TokenKind, tokenize
+from repro.cpp.lexer import Token, TokenKind, tokenize_shared
 
 _LINE_MARKER_RE = re.compile(r'^#\s+(\d+)\s+"([^"]*)"')
 
@@ -46,12 +46,16 @@ def lex_translation_unit(i_text: str, *,
     current_file = main_file
     current_line = 1
     for raw in i_text.split("\n"):
-        marker = _LINE_MARKER_RE.match(raw)
-        if marker:
-            current_line = int(marker.group(1))
-            current_file = marker.group(2)
+        if not raw:
+            current_line += 1
             continue
-        for token in tokenize(raw):
+        if raw[0] == "#":
+            marker = _LINE_MARKER_RE.match(raw)
+            if marker:
+                current_line = int(marker.group(1))
+                current_file = marker.group(2)
+                continue
+        for token in tokenize_shared(raw):
             if token.is_ws:
                 continue
             lexed = LexedToken(token=token, file=current_file,

@@ -168,6 +168,10 @@ def _evaluate(args: argparse.Namespace) -> int:
     if args.cache_stats and result.cache_stats is not None:
         print("Build cache statistics\n" + result.cache_stats.render()
               + "\n")
+    if args.cache_stats:
+        from repro.cpp import prepared
+        print("Substrate fast-path statistics\n" + prepared.render_stats()
+              + "\n")
     _, text = api.table3(result)
     print("Table III — patch characteristics\n" + text + "\n")
     _, text = api.table4(result)

@@ -10,6 +10,9 @@ on for ``make file.i``:
   (:mod:`repro.cpp.evaluator`)
 - the driver producing ``.i`` text with gcc-style ``# line "file"``
   markers (:mod:`repro.cpp.preprocessor`)
+- the substrate fast path: content-keyed prepared files, header-level
+  replay, and the global switch gating every reuse level
+  (:mod:`repro.cpp.prepared`)
 
 The mutation mechanics of JMake (§III-A of the paper) are preprocessor
 semantics: a mutation token inside a macro body must surface at *use*
@@ -18,6 +21,7 @@ a token under an untaken conditional branch must vanish. This package
 implements those semantics for real rather than approximating them.
 """
 
+from repro.cpp import prepared
 from repro.cpp.lexer import strip_comments, tokenize
 from repro.cpp.macro import Macro, MacroTable
 from repro.cpp.preprocessor import PreprocessResult, Preprocessor
@@ -27,6 +31,7 @@ __all__ = [
     "MacroTable",
     "PreprocessResult",
     "Preprocessor",
+    "prepared",
     "strip_comments",
     "tokenize",
 ]

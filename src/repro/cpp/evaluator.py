@@ -18,30 +18,134 @@ Grammar (precedence climbing):
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
-from repro.cpp.lexer import Token, TokenKind, tokenize
+from repro.cpp.lexer import TokenKind, tokenize, tokenize_shared
 from repro.cpp.macro import MacroTable
 from repro.errors import PreprocessorError
 
 _INT_RE = re.compile(r"^(0[xX][0-9a-fA-F]+|0[0-7]*|[1-9][0-9]*)[uUlL]*$")
+
+#: the dominant kernel condition shapes, resolvable with one dict probe:
+#: ``defined(CONFIG_X)`` / ``defined CONFIG_X``, optionally negated
+_DEFINED_ONLY_RE = re.compile(
+    r"[ \t]*(!?)[ \t]*defined"
+    r"(?:[ \t]*\([ \t]*([A-Za-z_][A-Za-z0-9_]*)[ \t]*\)"
+    r"|[ \t]+([A-Za-z_][A-Za-z0-9_]*))[ \t]*$")
+
+#: a bare identifier condition (``#if CONFIG_X``)
+_IDENT_ONLY_RE = re.compile(r"[ \t]*([A-Za-z_][A-Za-z0-9_]*)[ \t]*$")
+
+#: flipped by repro.cpp.prepared.configure for differential testing
+_FASTPATH_ENABLED = True
+
+
+def set_condition_fastpath_enabled(enabled: bool) -> None:
+    """Enable/disable the condition fast paths and the defined-split
+    memo."""
+    global _FASTPATH_ENABLED
+    _FASTPATH_ENABLED = bool(enabled)
+    _split_defined.cache_clear()
 
 
 def evaluate_condition(expression: str, macros: MacroTable, *,
                        file: str | None = None,
                        line: int | None = None) -> bool:
     """Evaluate an ``#if``/``#elif`` controlling expression."""
-    resolved = _resolve_defined(expression, macros)
+    if _FASTPATH_ENABLED:
+        match = _DEFINED_ONLY_RE.match(expression)
+        if match is not None:
+            value = macros.is_defined(match.group(2) or match.group(3))
+            return not value if match.group(1) else value
+        match = _IDENT_ONLY_RE.match(expression)
+        if match is not None:
+            macro = macros.get(match.group(1))
+            if macro is None:
+                return False  # undefined identifiers evaluate to 0
+            if macro.params is None and macro.body in ("0", "1"):
+                return macro.body == "1"
+            # non-trivial body: take the full expand/parse path below
+        resolved = _resolve_defined(expression, macros)
+    else:
+        resolved = _resolve_defined_uncached(expression, macros)
     expanded = macros.expand_text(resolved)
-    tokens = [token for token in tokenize(expanded) if not token.is_ws]
+    tokens = [token for token in tokenize_shared(expanded)
+              if not token.is_ws]
     parser = _Parser(tokens, file=file, line=line)
     value = parser.parse()
     return value != 0
 
 
+@lru_cache(maxsize=8192)
+def _split_defined(expression: str) -> tuple[tuple[str, ...],
+                                             tuple[str, ...]]:
+    """Split a condition around its ``defined`` operators, memoized.
+
+    Returns ``(pieces, names)`` such that interleaving ``pieces`` with
+    the 0/1 value of each name reconstructs exactly what the uncached
+    token walk produces: ``pieces[0] + v0 + pieces[1] + v1 + ...``.
+    Conditions repeat massively across files and configs, so the walk
+    runs once per distinct spelling.
+    """
+    tokens = tokenize_shared(expression)
+    pieces: list[str] = []
+    names: list[str] = []
+    current: list[str] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token.kind is TokenKind.IDENT and token.text == "defined":
+            j = i + 1
+            while j < len(tokens) and tokens[j].is_ws:
+                j += 1
+            name: str | None = None
+            next_i = i
+            if j < len(tokens) and tokens[j].text == "(":
+                k = j + 1
+                while k < len(tokens) and tokens[k].is_ws:
+                    k += 1
+                if k < len(tokens) and tokens[k].kind is TokenKind.IDENT:
+                    name = tokens[k].text
+                    k += 1
+                    while k < len(tokens) and tokens[k].is_ws:
+                        k += 1
+                    if k < len(tokens) and tokens[k].text == ")":
+                        next_i = k + 1
+                    else:
+                        name = None
+            elif j < len(tokens) and tokens[j].kind is TokenKind.IDENT:
+                name = tokens[j].text
+                next_i = j + 1
+            if name is not None:
+                pieces.append("".join(current))
+                current = []
+                names.append(name)
+                i = next_i
+                continue
+        current.append(token.text)
+        i += 1
+    pieces.append("".join(current))
+    return tuple(pieces), tuple(names)
+
+
 def _resolve_defined(expression: str, macros: MacroTable) -> str:
-    """Replace ``defined X`` / ``defined(X)`` with 0 or 1 before expansion."""
+    """Replace ``defined X`` / ``defined(X)`` with 0 or 1 (memoized
+    split)."""
+    pieces, names = _split_defined(expression)
+    if not names:
+        return pieces[0]
+    parts = [pieces[0]]
+    for name, piece in zip(names, pieces[1:]):
+        parts.append("1" if macros.is_defined(name) else "0")
+        parts.append(piece)
+    return "".join(parts)
+
+
+def _resolve_defined_uncached(expression: str,
+                              macros: MacroTable) -> str:
+    """The original per-call token walk (differential reference path)."""
     tokens = tokenize(expression)
-    out: list[Token] = []
+    out: list[str] = []
     i = 0
     while i < len(tokens):
         token = tokens[i]
@@ -61,17 +165,20 @@ def _resolve_defined(expression: str, macros: MacroTable) -> str:
                         k += 1
                     if k < len(tokens) and tokens[k].text == ")":
                         i = k + 1
+                    else:
+                        # unbalanced "defined(NAME": not the operator;
+                        # fall through so the parser reports it instead
+                        # of this walk spinning forever
+                        name = None
             elif j < len(tokens) and tokens[j].kind is TokenKind.IDENT:
                 name = tokens[j].text
                 i = j + 1
             if name is not None:
-                out.append(Token(
-                    TokenKind.NUMBER,
-                    "1" if macros.is_defined(name) else "0"))
+                out.append("1" if macros.is_defined(name) else "0")
                 continue
-        out.append(token)
+        out.append(token.text)
         i += 1
-    return "".join(token.text for token in out)
+    return "".join(out)
 
 
 class _Parser:

@@ -10,13 +10,35 @@ Two jobs live here:
    tokens (for example JMake's mutation character) come through as
    single-character ``other`` tokens, which is exactly the pass-through
    behaviour a real preprocessor exhibits.
+
+Both jobs sit on the hottest path of the whole system — every verdict
+funnels through them thousands of times — so this module also carries
+the first reuse level of the substrate fast path (DESIGN.md §8):
+
+- :class:`Token` is a slotted plain class with a precomputed ``is_ws``
+  flag instead of a frozen dataclass, cutting per-token allocation and
+  attribute-access cost;
+- identifier and punctuator tokens are interned process-wide, so the
+  same ``CONFIG_FOO`` spelling is one shared object across every file,
+  arch, and config;
+- whole-line token streams are memoized (:func:`tokenize_shared`):
+  kernel-style trees re-lex the same logical lines massively — macro
+  bodies, repeated ``#if`` conditions, shared-header lines — and a
+  repeat costs one dict probe instead of a regex scan;
+- :meth:`CommentStripper.strip_line` short-circuits lines that cannot
+  contain a comment or literal (the overwhelmingly common case).
+
+All fast paths are exact (token streams are immutable and shared, the
+strip short-circuit only fires when the slow loop would be an identity
+copy) and can be force-disabled via :func:`repro.cpp.prepared.configure`
+for differential testing.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 
 class TokenKind(Enum):
@@ -30,16 +52,38 @@ class TokenKind(Enum):
     OTHER = "other"
 
 
-@dataclass(frozen=True)
 class Token:
-    """One preprocessor token (kind + exact text)."""
-    kind: TokenKind
-    text: str
+    """One preprocessor token (kind + exact text).
 
-    @property
-    def is_ws(self) -> bool:
-        """True for whitespace runs."""
-        return self.kind is TokenKind.WS
+    Slotted and immutable by convention: token objects are shared freely
+    between cached token streams, so callers must never mutate them.
+    ``is_ws`` is a precomputed attribute (not a property) because the
+    expansion loops test it constantly.
+    """
+
+    __slots__ = ("kind", "text", "is_ws")
+
+    def __init__(self, kind: TokenKind, text: str) -> None:
+        self.kind = kind
+        self.text = text
+        self.is_ws = kind is TokenKind.WS
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Token) and self.kind is other.kind
+                and self.text == other.text)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text))
+
+    def __repr__(self) -> str:
+        return f"Token(kind={self.kind!r}, text={self.text!r})"
+
+    def __getstate__(self):
+        return (self.kind, self.text)
+
+    def __setstate__(self, state) -> None:
+        self.kind, self.text = state
+        self.is_ws = self.kind is TokenKind.WS
 
 
 # Longest-match punctuation, ordered so multi-char operators win.
@@ -74,18 +118,96 @@ _KIND_BY_GROUP = {
     "other": TokenKind.OTHER,
 }
 
+# -- interning --------------------------------------------------------------
 
-def tokenize(text: str) -> list[Token]:
-    """Split one logical line (no newlines) into preprocessor tokens."""
+#: shared singletons for every punctuator and the single-space run
+_PUNCT_TOKENS = {p: Token(TokenKind.PUNCT, p) for p in _PUNCTUATORS}
+_WS_SPACE = Token(TokenKind.WS, " ")
+
+#: bounded process-wide identifier intern table; past the cap new
+#: spellings simply stop being interned (never evicted mid-run, so a
+#: shared token is shared for the process lifetime)
+_IDENT_INTERN_LIMIT = 32768
+_IDENT_TOKENS: dict[str, Token] = {}
+
+#: size bound of the per-line token-stream memo
+_LINE_CACHE_SIZE = 65536
+
+#: flipped by repro.cpp.prepared.configure for differential testing
+_TOKEN_CACHE_ENABLED = True
+_STRIP_FASTPATH_ENABLED = True
+
+
+def set_token_cache_enabled(enabled: bool) -> None:
+    """Enable/disable the shared per-line token-stream memo."""
+    global _TOKEN_CACHE_ENABLED
+    _TOKEN_CACHE_ENABLED = bool(enabled)
+    _tokenize_cached.cache_clear()
+
+
+def set_strip_fastpath_enabled(enabled: bool) -> None:
+    """Enable/disable the comment-strip identity short-circuit."""
+    global _STRIP_FASTPATH_ENABLED
+    _STRIP_FASTPATH_ENABLED = bool(enabled)
+
+
+def clear_token_caches() -> None:
+    """Drop the line memo and the identifier intern table."""
+    _tokenize_cached.cache_clear()
+    _IDENT_TOKENS.clear()
+
+
+def _tokenize_uncached(text: str) -> list[Token]:
     tokens: list[Token] = []
+    append = tokens.append
+    ident_tokens = _IDENT_TOKENS
     for match in _TOKEN_RE.finditer(text):
         group = match.lastgroup
-        assert group is not None
-        tokens.append(Token(_KIND_BY_GROUP[group], match.group()))
+        piece = match.group()
+        if group == "ident":
+            token = ident_tokens.get(piece)
+            if token is None:
+                token = Token(TokenKind.IDENT, piece)
+                if len(ident_tokens) < _IDENT_INTERN_LIMIT:
+                    ident_tokens[piece] = token
+            append(token)
+        elif group == "punct":
+            append(_PUNCT_TOKENS[piece])
+        elif group == "ws" and piece == " ":
+            append(_WS_SPACE)
+        else:
+            append(Token(_KIND_BY_GROUP[group], piece))
     return tokens
 
 
-def untokenize(tokens: list[Token]) -> str:
+@lru_cache(maxsize=_LINE_CACHE_SIZE)
+def _tokenize_cached(text: str) -> tuple[Token, ...]:
+    return tuple(_tokenize_uncached(text))
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split one logical line (no newlines) into preprocessor tokens.
+
+    Returns a fresh list the caller may mutate; the Token objects inside
+    it are shared and must be treated as immutable.
+    """
+    if _TOKEN_CACHE_ENABLED:
+        return list(_tokenize_cached(text))
+    return _tokenize_uncached(text)
+
+
+def tokenize_shared(text: str) -> tuple[Token, ...]:
+    """The memoized token stream of one logical line, as a shared tuple.
+
+    The hot-loop variant of :func:`tokenize`: no per-call list copy.
+    Callers must not mutate the tuple or the tokens.
+    """
+    if _TOKEN_CACHE_ENABLED:
+        return _tokenize_cached(text)
+    return tuple(_tokenize_uncached(text))
+
+
+def untokenize(tokens) -> str:
     """Concatenate token texts back into source text."""
     return "".join(token.text for token in tokens)
 
@@ -105,6 +227,13 @@ class CommentStripper:
 
     def strip_line(self, line: str) -> str:
         """Strip comments from one physical line, updating state."""
+        if _STRIP_FASTPATH_ENABLED and not self.in_block_comment \
+                and "/" not in line and '"' not in line \
+                and "'" not in line:
+            # No slash means no comment can open, no quote means no
+            # literal needs scanning: the slow loop below would copy the
+            # line verbatim, so return it unchanged.
+            return line
         out: list[str] = []
         i = 0
         n = len(line)

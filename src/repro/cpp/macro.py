@@ -12,14 +12,81 @@ Expansion follows the ISO C model closely enough for kernel-style code:
   JMake's mutation payload survive macro rewriting verbatim (§III-A);
 - ``__VA_ARGS__`` variadic macros (the kernel uses them in logging
   helpers).
+
+Perf notes (DESIGN.md §8): :meth:`MacroTable.expand_text` screens the
+line with a raw identifier scan first and returns it unchanged when no
+identifier names a live macro — the overwhelmingly common case in
+kernel-style code — skipping tokenize→expand→untokenize entirely. The
+screen is conservative: any identifier-shaped substring that matches a
+macro name sends the line down the full expansion path, so it can never
+change output. The table also supports *read recording*
+(:meth:`MacroTable.begin_recording`): every name whose presence or
+definition influenced processing is captured, which is what makes the
+header-level replay cache in :mod:`repro.cpp.prepared` sound.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 
-from repro.cpp.lexer import Token, TokenKind, tokenize, untokenize
+from repro.cpp.lexer import (
+    Token,
+    TokenKind,
+    tokenize,
+    tokenize_shared,
+    untokenize,
+)
 from repro.errors import MacroError
+
+#: maximal identifier-shaped runs; a superset of the IDENT tokens the
+#: tokenizer would produce, which is what makes the screen conservative
+_IDENT_SCAN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: flipped by repro.cpp.prepared.configure for differential testing
+_SCREEN_ENABLED = True
+
+
+def set_expand_screen_enabled(enabled: bool) -> None:
+    """Enable/disable the expand_text identifier screen."""
+    global _SCREEN_ENABLED
+    _SCREEN_ENABLED = bool(enabled)
+
+
+@lru_cache(maxsize=16384)
+def _predefined_macro(name: str, body: str) -> "Macro":
+    """Shared object-like Macro for a predefined (name, body) pair.
+
+    Every :class:`MacroTable` built from the same arch/config predefines
+    reuses the same frozen Macro objects instead of re-allocating
+    hundreds of them per translation unit.
+    """
+    return Macro(name=name, body=body)
+
+
+class _ReadRecorder:
+    """Captures one file's macro reads and writes for replay caching.
+
+    ``reads`` maps each externally-read name to the definition observed
+    at first read (None = absent); names the file itself (re)defined
+    first are internal and never recorded. ``delta`` is the ordered
+    define/undef log to replay, and ``emitted_ranges`` collects the
+    (start, end) physical-line ranges the file emitted.
+    """
+
+    __slots__ = ("reads", "delta", "written", "emitted_ranges")
+
+    def __init__(self) -> None:
+        self.reads: dict[str, "Macro | None"] = {}
+        self.delta: list[tuple[str, object]] = []
+        self.written: set[str] = set()
+        self.emitted_ranges: list[tuple[int, int]] = []
+
+    def note(self, name: str, macro: "Macro | None") -> None:
+        """Record one read (first observation wins; writes shadow)."""
+        if name not in self.written and name not in self.reads:
+            self.reads[name] = macro
 
 
 @dataclass(frozen=True)
@@ -50,7 +117,7 @@ class Macro:
         stripped = text.strip()
         if not stripped:
             raise MacroError("empty #define", file=file, line=line)
-        tokens = tokenize(stripped)
+        tokens = tokenize_shared(stripped)
         if not tokens or tokens[0].kind is not TokenKind.IDENT:
             raise MacroError(f"macro name expected in {stripped!r}",
                              file=file, line=line)
@@ -70,9 +137,8 @@ class Macro:
         return cls(name=name, body=body, params=None, file=file, line=line)
 
     @staticmethod
-    def _parse_params(tokens: list[Token], name: str, *,
-                      file: str | None, line: int | None
-                      ) -> tuple[list[str], list[Token]]:
+    def _parse_params(tokens, name: str, *,
+                      file: str | None, line: int | None):
         params: list[str] = []
         i = 0
         expecting_name = True
@@ -107,24 +173,66 @@ class MacroTable:
 
     def __init__(self, predefined: dict[str, str] | None = None) -> None:
         self._macros: dict[str, Macro] = {}
-        for name, body in (predefined or {}).items():
-            self._macros[name] = Macro(name=name, body=body)
+        self._recorder: _ReadRecorder | None = None
+        if predefined:
+            self._macros = {name: _predefined_macro(name, body)
+                            for name, body in predefined.items()}
+
+    def __getstate__(self):
+        # Recorders are transient per-file state; never pickle them
+        # (build-cache payloads embed MacroTables).
+        return {"_macros": self._macros}
+
+    def __setstate__(self, state) -> None:
+        self._macros = state["_macros"]
+        self._recorder = None
+
+    # -- read recording (header replay support) --------------------------
+
+    def begin_recording(self) -> _ReadRecorder:
+        """Start capturing reads/writes; returns the live recorder."""
+        recorder = _ReadRecorder()
+        self._recorder = recorder
+        return recorder
+
+    def end_recording(self) -> None:
+        """Stop capturing (the recorder keeps its collected state)."""
+        self._recorder = None
+
+    def definition(self, name: str) -> Macro | None:
+        """The definition, or None — never recorded as a read."""
+        return self._macros.get(name)
 
     def define(self, macro: Macro) -> None:
         """Install or replace a definition."""
         self._macros[macro.name] = macro
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.delta.append(("define", macro))
+            recorder.written.add(macro.name)
 
     def undef(self, name: str) -> None:
         """Remove a definition (no-op when absent)."""
         self._macros.pop(name, None)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.delta.append(("undef", name))
+            recorder.written.add(name)
 
     def is_defined(self, name: str) -> bool:
         """True when the name has a live definition."""
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.note(name, self._macros.get(name))
         return name in self._macros
 
     def get(self, name: str) -> Macro | None:
         """The definition, or None."""
-        return self._macros.get(name)
+        macro = self._macros.get(name)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.note(name, macro)
+        return macro
 
     def names(self) -> list[str]:
         """Sorted names of all live definitions."""
@@ -140,11 +248,41 @@ class MacroTable:
 
     def expand_text(self, text: str) -> str:
         """Fully macro-expand one logical line of non-directive text."""
-        return untokenize(self._expand_tokens(tokenize(text), frozenset()))
+        if _SCREEN_ENABLED and not self._mentions_macro(text):
+            # No identifier in the line names a live macro: expansion is
+            # the identity (tokenize/untokenize round-trips exactly).
+            return text
+        return untokenize(self._expand_tokens(tokenize_shared(text),
+                                              frozenset()))
 
-    def _expand_tokens(self, tokens: list[Token],
+    def _mentions_macro(self, text: str) -> bool:
+        """True when any identifier-shaped run names a live macro.
+
+        The scan over raw text finds a superset of the IDENT tokens the
+        tokenizer would produce (e.g. it also matches inside string
+        literals), so a False is always safe while a True merely takes
+        the full expansion path.
+        """
+        macros = self._macros
+        recorder = self._recorder
+        if recorder is None:
+            for match in _IDENT_SCAN_RE.finditer(text):
+                if match.group() in macros:
+                    return True
+            return False
+        for match in _IDENT_SCAN_RE.finditer(text):
+            name = match.group()
+            macro = macros.get(name)
+            recorder.note(name, macro)
+            if macro is not None:
+                return True
+        return False
+
+    def _expand_tokens(self, tokens,
                        hidden: frozenset[str]) -> list[Token]:
         out: list[Token] = []
+        macros = self._macros
+        recorder = self._recorder
         i = 0
         while i < len(tokens):
             token = tokens[i]
@@ -152,14 +290,16 @@ class MacroTable:
                 out.append(token)
                 i += 1
                 continue
-            macro = self._macros.get(token.text)
+            macro = macros.get(token.text)
+            if recorder is not None:
+                recorder.note(token.text, macro)
             if macro is None or token.text in hidden:
                 out.append(token)
                 i += 1
                 continue
             if not macro.is_function_like:
                 expansion = self._expand_tokens(
-                    tokenize(macro.body), hidden | {macro.name})
+                    tokenize_shared(macro.body), hidden | {macro.name})
                 out.extend(expansion)
                 i += 1
                 continue
@@ -178,7 +318,7 @@ class MacroTable:
             i = next_index
         return out
 
-    def _collect_args(self, tokens: list[Token], open_index: int,
+    def _collect_args(self, tokens, open_index: int,
                       macro: Macro) -> tuple[list[list[Token]], int]:
         """Collect comma-separated argument token lists at paren depth 1."""
         args: list[list[Token]] = [[]]
@@ -237,7 +377,7 @@ class MacroTable:
                 va.extend(arg)
             by_name["__VA_ARGS__"] = va
 
-        body = tokenize(macro.body)
+        body = tokenize_shared(macro.body)
         out: list[Token] = []
         i = 0
         while i < len(body):
@@ -284,7 +424,7 @@ class MacroTable:
                     out.extend(by_name[token.text])
                 else:
                     out.extend(self._expand_tokens(
-                        list(by_name[token.text]), hidden))
+                        by_name[token.text], hidden))
                 i += 1
                 continue
             out.append(token)
@@ -292,7 +432,7 @@ class MacroTable:
         return out
 
 
-def _trim_ws(tokens: list[Token]) -> list[Token]:
+def _trim_ws(tokens):
     start = 0
     end = len(tokens)
     while start < end and tokens[start].is_ws:
@@ -302,7 +442,7 @@ def _trim_ws(tokens: list[Token]) -> list[Token]:
     return tokens[start:end]
 
 
-def _next_non_ws(tokens: list[Token], index: int) -> Token | None:
+def _next_non_ws(tokens, index: int) -> Token | None:
     while index < len(tokens):
         if not tokens[index].is_ws:
             return tokens[index]

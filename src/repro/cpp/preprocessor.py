@@ -16,6 +16,15 @@ Behaviour that JMake depends on (paper §III-A/D):
 - characters that are not valid C (the mutation character) flow through
   untouched — the preprocessor does not reject them, only the compiler
   front end does.
+
+Two equivalent pipelines live here (DESIGN.md §8). The fast path walks
+the content-keyed :class:`~repro.cpp.prepared.PreparedFile` (stripping,
+splicing, and directive classification done once per distinct content,
+process-wide) and consults the header replay cache for leaf files whose
+recorded macro reads still hold. The slow path is the original
+per-visit loop, kept verbatim as the byte-identity reference the
+differential suite compares against; both produce identical ``.i``
+text, emitted-line sets, include lists, and missing-include probes.
 """
 
 from __future__ import annotations
@@ -24,8 +33,9 @@ import posixpath
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.cpp.lexer import CommentStripper
+from repro.cpp import prepared as _prepared
 from repro.cpp.evaluator import evaluate_condition
+from repro.cpp.lexer import CommentStripper, TokenKind, tokenize_shared
 from repro.cpp.macro import Macro, MacroTable
 from repro.errors import IncludeNotFoundError, PreprocessorError
 from repro.util.text import split_lines_keepends
@@ -84,10 +94,14 @@ class Preprocessor:
 
     def __init__(self, provider: FileProvider,
                  include_paths: list[str] | None = None,
-                 predefined: dict[str, str] | None = None) -> None:
+                 predefined: dict[str, str] | None = None,
+                 fastpath: bool | None = None) -> None:
         self._provider = provider
         self._include_paths = list(include_paths or [])
         self._predefined = dict(predefined or {})
+        #: None = follow the global switch; True/False pins this instance
+        self._fastpath = fastpath
+        self._fast_active = False
         #: include candidates probed and absent during the current run
         self._missing_probes: list[str] = []
 
@@ -96,6 +110,8 @@ class Preprocessor:
         text = self._provider(main_file)
         if text is None:
             raise IncludeNotFoundError("no such file", file=main_file)
+        self._fast_active = _prepared.enabled() \
+            if self._fastpath is None else self._fastpath
         macros = MacroTable(self._predefined)
         out: list[str] = []
         included: list[str] = []
@@ -119,6 +135,87 @@ class Preprocessor:
                       emitted: set[tuple[str, int]], depth: int) -> None:
         if depth > _MAX_INCLUDE_DEPTH:
             raise PreprocessorError("include depth limit exceeded", file=path)
+        if not self._fast_active:
+            self._process_file_slow(path, text, macros, out, included,
+                                    emitted, depth)
+            return
+        pfile = _prepared.prepared_file(text)
+        recorder = None
+        if pfile.leaf:
+            replay = _prepared.header_cache().probe(path, text, macros)
+            if replay is not None:
+                out.append(replay.out_text)
+                replay.apply(macros, emitted, path)
+                return
+            recorder = macros.begin_recording()
+        mark = len(out)
+        try:
+            self._process_prepared(path, pfile, macros, out, included,
+                                   emitted, depth, recorder)
+        except BaseException:
+            if recorder is not None:
+                macros.end_recording()
+            raise
+        if recorder is not None:
+            macros.end_recording()
+            _prepared.header_cache().store(path, text, recorder,
+                                           "".join(out[mark:]))
+
+    def _process_prepared(self, path: str,
+                          pfile: "_prepared.PreparedFile",
+                          macros: MacroTable, out: list[str],
+                          included: list[str],
+                          emitted: set[tuple[str, int]], depth: int,
+                          recorder) -> None:
+        """The fast loop over a prepared (pre-stripped) file."""
+        out.append(f'# 1 "{path}"\n')
+        conditions: list[_CondState] = []
+        pending_marker = False
+        active = True
+        expand_text = macros.expand_text
+        out_append = out.append
+        emitted_add = emitted.add
+        for pline in pfile.lines:
+            directive = pline.directive
+            if directive is not None:
+                pending_marker = self._handle_directive(
+                    directive, pline.rest, path, pline.start, macros,
+                    conditions, out, included, emitted, depth,
+                    pending_marker)
+                active = not conditions or _all_active(conditions)
+                continue
+            if not active:
+                pending_marker = True
+                continue
+            if pline.blank:
+                out_append("\n")
+                continue
+            if pending_marker:
+                out_append(f'# {pline.start} "{path}"\n')
+                pending_marker = False
+            expanded = expand_text(pline.text)
+            if "__LINE__" in expanded or "__FILE__" in expanded:
+                # Positional builtins resolve at the use site, whether
+                # written directly or produced by a macro expansion.
+                expanded = _resolve_positional_builtins(
+                    expanded, path, pline.start)
+            out_append(expanded + "\n")
+            start = pline.start
+            end = pline.end
+            if recorder is not None:
+                recorder.emitted_ranges.append((start, end))
+            for physical in range(start, end + 1):
+                emitted_add((path, physical))
+        if conditions:
+            raise PreprocessorError(
+                "unterminated conditional (missing #endif)",
+                file=path, line=pfile.line_count)
+
+    def _process_file_slow(self, path: str, text: str, macros: MacroTable,
+                           out: list[str], included: list[str],
+                           emitted: set[tuple[str, int]],
+                           depth: int) -> None:
+        """The original per-visit loop (differential reference path)."""
         out.append(f'# 1 "{path}"\n')
         lines = split_lines_keepends(text)
         stripper = CommentStripper()
@@ -131,8 +228,10 @@ class Preprocessor:
             stripped = stripper.strip_line(logical)
             directive = _directive_name(stripped)
             if directive is not None:
+                body = stripped.strip()[1:].strip()  # drop '#'
+                rest = body[len(directive):].strip()
                 pending_marker = self._handle_directive(
-                    directive, stripped, path, start_line, macros,
+                    directive, rest, path, start_line, macros,
                     conditions, out, included, emitted, depth,
                     pending_marker)
                 continue
@@ -163,30 +262,16 @@ class Preprocessor:
     @staticmethod
     def _splice(lines: list[str], index: int) -> tuple[str, int]:
         """Join backslash-continued physical lines into one logical line."""
-        parts: list[str] = []
-        while index < len(lines):
-            raw = lines[index].rstrip("\n")
-            trimmed = raw.rstrip(" \t")
-            if trimmed.endswith("\\") and index + 1 < len(lines):
-                parts.append(trimmed[:-1])
-                index += 1
-                continue
-            parts.append(raw)
-            index += 1
-            break
-        return "".join(parts), index
+        return _prepared.splice_logical_line(lines, index)
 
     # -- directives ---------------------------------------------------------
 
-    def _handle_directive(self, name: str, stripped: str, path: str,
+    def _handle_directive(self, keyword: str, rest: str, path: str,
                           line: int, macros: MacroTable,
                           conditions: list[_CondState], out: list[str],
                           included: list[str],
                           emitted: set[tuple[str, int]], depth: int,
                           pending_marker: bool) -> bool:
-        body = stripped.strip()[1:].strip()  # drop '#'
-        keyword = name
-        rest = body[len(keyword):].strip()
         active = _all_active(conditions)
 
         if keyword in ("ifdef", "ifndef"):
@@ -294,10 +379,10 @@ def _resolve_positional_builtins(line: str, path: str,
                                  lineno: int) -> str:
     """Substitute ``__LINE__``/``__FILE__`` as identifier tokens only
     (never inside string or character literals)."""
-    from repro.cpp.lexer import TokenKind, tokenize
-
+    if "__LINE__" not in line and "__FILE__" not in line:
+        return line
     parts: list[str] = []
-    for token in tokenize(line):
+    for token in tokenize_shared(line):
         if token.kind is TokenKind.IDENT and token.text == "__LINE__":
             parts.append(str(lineno))
         elif token.kind is TokenKind.IDENT and token.text == "__FILE__":
@@ -313,17 +398,7 @@ def _all_active(conditions: list[_CondState]) -> bool:
 
 def _directive_name(stripped_line: str) -> str | None:
     """The directive keyword, or None for ordinary text lines."""
-    text = stripped_line.lstrip(" \t")
-    if not text.startswith("#"):
-        return None
-    rest = text[1:].lstrip(" \t")
-    name = ""
-    for ch in rest:
-        if ch.isalpha():
-            name += ch
-        else:
-            break
-    return name  # may be "" for a null directive "#"
+    return _prepared.directive_name(stripped_line)
 
 
 def _parse_include_target(rest: str, macros: MacroTable, *,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.buildcache.cache import BuildCache
 from repro.core.jmake import CheckSession, JMakeOptions
+from repro.cpp import prepared
 from repro.core.units import (
     STAGE_PREPROCESS,
     UnitDag,
@@ -346,4 +347,7 @@ class CheckService:
             if self._supervisor else {},
             "cache": None if self.cache is None
             else self.cache.stats_snapshot().render(),
+            # process-local view: forked shard workers keep their own
+            # substrate counters, this reports the coordinator's
+            "substrate": prepared.stats_snapshot(),
         }
