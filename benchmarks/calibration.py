@@ -1,0 +1,63 @@
+"""Shared machine-speed calibration for the wall-clock benchmarks.
+
+Raw ops/sec are machine-dependent; every benchmark that emits a
+machine-readable ``BENCH_*.json`` divides its measured throughput by
+:func:`calibrate` — a fixed regex+string workload that tracks raw
+interpreter speed but uses none of the library's caches. The resulting
+``normalized_throughput`` transfers across machines, which is what lets
+``perf_guard.py`` hold a committed baseline against CI runners of
+unknown speed.
+
+One module so the substrate and observability benchmarks (and any
+future ``BENCH_*`` emitter) normalize by the *same* unit — two local
+copies would silently drift and make their baselines incomparable.
+"""
+
+import re
+import time
+
+_CALIBRATION_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|[0-9]+|\S")
+_CALIBRATION_TEXT = " ".join(
+    f"token_{i} CONFIG_OPTION_{i % 7} += {i};" for i in range(400))
+
+
+def calibrate() -> float:
+    """Fixed regex+string workload: this machine's ops/sec unit.
+
+    Uses the same primitives the substrate leans on (regex scanning,
+    string slicing) but none of its caches, so the value tracks raw
+    interpreter speed. Dividing measured throughput by it makes a
+    committed baseline portable across machines.
+    """
+    rounds = 30
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            pieces = [match.group()
+                      for match in _CALIBRATION_RE.finditer(_CALIBRATION_TEXT)]
+            "".join(pieces)
+        best = min(best, time.perf_counter() - start)
+    return rounds / best
+
+
+def time_best(fn, repeats: int = 5) -> float:
+    """Best-of-N wall clock of ``fn()`` (repeats=1 for cold paths)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def stage(name: str, ops: int, seconds: float,
+          calibration: float) -> dict:
+    """One ``stages[]`` record of a ``BENCH_*.json`` payload."""
+    return {
+        "stage": name,
+        "ops": ops,
+        "wall_clock_s": round(seconds, 6),
+        "ops_per_sec": round(ops / seconds, 2),
+        "normalized_throughput": round(ops / seconds / calibration, 6),
+    }

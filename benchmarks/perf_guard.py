@@ -1,26 +1,35 @@
-"""CI throughput regression guard for the substrate fast path.
+"""CI throughput regression guard over the committed BENCH_* baselines.
 
-Compares a freshly measured ``benchmarks/artifacts/BENCH_substrate.json``
-(written by ``test_perf_fastpath_speedup``) against the committed
-baseline ``benchmarks/BENCH_substrate.json`` and fails when preprocess
-throughput regressed by more than the tolerance (default 20%).
+Compares freshly measured ``benchmarks/artifacts/BENCH_*.json`` files
+(written by ``test_perf_fastpath_speedup`` and
+``test_perf_obs_throughput``) against the committed baselines
+(``benchmarks/BENCH_substrate.json``, ``benchmarks/BENCH_obs.json``)
+and fails when any guarded stage's throughput regressed by more than
+the tolerance (default 20%).
 
 Raw ops/sec are machine-dependent, so the comparison uses
 ``normalized_throughput`` — ops/sec divided by the run's own
-calibration workload (a fixed regex+string loop). That ratio cancels
-interpreter and hardware speed, leaving only how much work the
-substrate does per line, which is exactly what a code change regresses.
-The committed baseline stores deliberately conservative values (75% of
+calibration workload (``benchmarks/calibration.py``). That ratio
+cancels interpreter and hardware speed, leaving only how much work the
+code does per operation, which is exactly what a code change regresses.
+The committed baselines store deliberately conservative values (75% of
 a measured run; see ``--write-baseline``) so ordinary run-to-run noise
 stays inside the tolerance while a real regression still trips it.
 
-The headline speedups (fast vs reference pipeline, measured in the same
-process) are ratios already and are compared directly.
+The substrate's headline speedups (fast vs reference pipeline, measured
+in the same process) are ratios already and are compared directly.
 
-Usage::
+``--baseline``/``--fresh`` are repeatable and paired by position, so
+one invocation can guard several suites::
 
-    python benchmarks/perf_guard.py [--baseline PATH] [--fresh PATH]
-                                    [--tolerance 0.20]
+    python benchmarks/perf_guard.py \\
+        --baseline benchmarks/BENCH_substrate.json \\
+            --fresh benchmarks/artifacts/BENCH_substrate.json \\
+        --baseline benchmarks/BENCH_obs.json \\
+            --fresh benchmarks/artifacts/BENCH_obs.json
+
+With no flags the guard defaults to the substrate pair alone (the
+pre-existing CI contract).
 """
 
 import argparse
@@ -30,23 +39,38 @@ import sys
 
 HERE = pathlib.Path(__file__).parent
 
-#: stages whose normalized throughput must not regress; the *_reference
-#: stages are deliberately excluded (they measure the disabled pipeline,
-#: which a fast-path change legitimately leaves alone)
-GUARDED_STAGES = (
-    "strip_fastpath",
-    "tokenize_fastpath",
-    "expand_fastpath",
-    "preprocess_driver_cold",
-    "preprocess_driver_warm",
-    "preprocess_tree_cold",
-    "preprocess_tree_warm",
-)
+#: per-suite guard configuration. ``stages`` lists the stage names whose
+#: normalized throughput must not regress (reference stages measure the
+#: disabled pipeline and are deliberately unguarded); ``speedups`` maps
+#: stage -> hard speedup floor from the acceptance criteria.
+SUITE_GUARDS = {
+    "substrate": {
+        "stages": (
+            "strip_fastpath",
+            "tokenize_fastpath",
+            "expand_fastpath",
+            "preprocess_driver_cold",
+            "preprocess_driver_warm",
+            "preprocess_tree_cold",
+            "preprocess_tree_warm",
+        ),
+        "speedups": {"preprocess_driver_cold": 3.0,
+                     "preprocess_driver_warm": 3.0},
+    },
+    "obs": {
+        "stages": (
+            "event_emit",
+            "snapshot_sample",
+            "render_openmetrics",
+            "parse_openmetrics",
+            "jsonl_emit",
+        ),
+        "speedups": {},
+    },
+}
 
-#: speedup ratios that must hold within tolerance of the baseline, and
-#: the hard floors the ISSUE's acceptance criteria set
-GUARDED_SPEEDUPS = {"preprocess_driver_cold": 3.0,
-                    "preprocess_driver_warm": 3.0}
+#: payloads that predate the ``suite`` tag are substrate measurements
+DEFAULT_SUITE = "substrate"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -54,46 +78,41 @@ def _load(path: pathlib.Path) -> dict:
         return json.loads(path.read_text())
     except FileNotFoundError:
         sys.exit(f"perf_guard: missing {path} "
-                 f"(run benchmarks/test_perf_substrate.py first)")
+                 f"(run the benchmarks/test_perf_* emitters first)")
 
 
 def _stage_map(payload: dict) -> dict:
     return {stage["stage"]: stage for stage in payload["stages"]}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline",
-                        default=HERE / "BENCH_substrate.json",
-                        type=pathlib.Path)
-    parser.add_argument("--fresh",
-                        default=HERE / "artifacts" / "BENCH_substrate.json",
-                        type=pathlib.Path)
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed fractional drop (default 0.20)")
-    parser.add_argument("--write-baseline", action="store_true",
-                        help="rewrite the baseline from the fresh "
-                             "measurement, deflated by 25%% to absorb "
-                             "run-to-run noise")
-    args = parser.parse_args(argv)
+def _write_baseline(baseline_path: pathlib.Path,
+                    fresh_path: pathlib.Path) -> None:
+    payload = _load(fresh_path)
+    for stage in payload["stages"]:
+        stage["normalized_throughput"] = round(
+            stage["normalized_throughput"] * 0.75, 6)
+    payload["_note"] = ("baseline deflated to 75% of a measured run; "
+                        "regenerate with perf_guard.py --write-baseline")
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {baseline_path}")
 
-    if args.write_baseline:
-        payload = _load(args.fresh)
-        for stage in payload["stages"]:
-            stage["normalized_throughput"] = round(
-                stage["normalized_throughput"] * 0.75, 6)
-        payload["_note"] = ("baseline deflated to 75% of a measured run; "
-                            "regenerate with perf_guard.py --write-baseline")
-        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"baseline written to {args.baseline}")
-        return 0
 
-    baseline = _stage_map(_load(args.baseline))
-    fresh = _stage_map(_load(args.fresh))
-    fresh_speedup = _load(args.fresh)["speedup"]
+def _guard_pair(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
+                tolerance: float) -> list:
+    baseline_payload = _load(baseline_path)
+    fresh_payload = _load(fresh_path)
+    suite = fresh_payload.get("suite",
+                              baseline_payload.get("suite", DEFAULT_SUITE))
+    guards = SUITE_GUARDS.get(suite)
+    if guards is None:
+        return [f"{fresh_path}: unknown suite {suite!r} "
+                f"(known: {', '.join(sorted(SUITE_GUARDS))})"]
+    print(f"suite {suite}: {baseline_path} vs {fresh_path}")
+    baseline = _stage_map(baseline_payload)
+    fresh = _stage_map(fresh_payload)
 
     failures = []
-    for name in GUARDED_STAGES:
+    for name in guards["stages"]:
         if name not in baseline:
             continue  # baseline predates this stage; nothing to hold
         if name not in fresh:
@@ -101,7 +120,7 @@ def main(argv=None) -> int:
             continue
         want = baseline[name]["normalized_throughput"]
         got = fresh[name]["normalized_throughput"]
-        floor = want * (1.0 - args.tolerance)
+        floor = want * (1.0 - tolerance)
         verdict = "ok" if got >= floor else "REGRESSED"
         print(f"{name:28} baseline={want:10.4f} fresh={got:10.4f} "
               f"floor={floor:10.4f}  {verdict}")
@@ -109,9 +128,10 @@ def main(argv=None) -> int:
             failures.append(
                 f"{name}: normalized throughput {got:.4f} fell below "
                 f"{floor:.4f} ({(1 - got / want):.0%} drop, "
-                f"tolerance {args.tolerance:.0%})")
+                f"tolerance {tolerance:.0%})")
 
-    for name, floor in GUARDED_SPEEDUPS.items():
+    fresh_speedup = fresh_payload.get("speedup", {})
+    for name, floor in guards["speedups"].items():
         got = fresh_speedup.get(name, 0.0)
         verdict = "ok" if got >= floor else "REGRESSED"
         print(f"speedup {name:20} floor={floor:.1f}x fresh={got:.2f}x  "
@@ -119,6 +139,45 @@ def main(argv=None) -> int:
         if got < floor:
             failures.append(f"speedup {name}: {got:.2f}x below the "
                             f"{floor:.1f}x acceptance floor")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", action="append", default=None,
+                        type=pathlib.Path,
+                        help="committed baseline JSON (repeatable; "
+                             "paired with --fresh by position)")
+    parser.add_argument("--fresh", action="append", default=None,
+                        type=pathlib.Path,
+                        help="freshly measured JSON (repeatable; "
+                             "paired with --baseline by position)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop (default 0.20)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite each baseline from its fresh "
+                             "measurement, deflated by 25%% to absorb "
+                             "run-to-run noise")
+    args = parser.parse_args(argv)
+
+    baselines = args.baseline or [HERE / "BENCH_substrate.json"]
+    fresh = args.fresh or [HERE / "artifacts" / "BENCH_substrate.json"]
+    if len(baselines) != len(fresh):
+        sys.exit(f"perf_guard: {len(baselines)} --baseline but "
+                 f"{len(fresh)} --fresh (they pair by position)")
+
+    if args.write_baseline:
+        for baseline_path, fresh_path in zip(baselines, fresh):
+            _write_baseline(baseline_path, fresh_path)
+        return 0
+
+    failures = []
+    for index, (baseline_path, fresh_path) in \
+            enumerate(zip(baselines, fresh)):
+        if index:
+            print()
+        failures.extend(_guard_pair(baseline_path, fresh_path,
+                                    args.tolerance))
 
     if failures:
         print("\nperf_guard: FAIL", file=sys.stderr)

@@ -15,11 +15,10 @@ throughput regressions.
 """
 
 import json
-import re
-import time
 
 import pytest
 
+from benchmarks.calibration import calibrate, stage, time_best
 from repro.core.jmake import JMake
 from repro.cpp import prepared
 from repro.cpp.lexer import CommentStripper, tokenize
@@ -97,48 +96,12 @@ _PREDEFINED = {"__KERNEL__": "1", "__x86_64__": "1"}
 _DRIVER = "drivers/staging/comedi/comedi0.c"
 _DRIVER_REPEATS = 40
 
-_CALIBRATION_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|[0-9]+|\S")
-_CALIBRATION_TEXT = " ".join(
-    f"token_{i} CONFIG_OPTION_{i % 7} += {i};" for i in range(400))
-
-
-def _calibrate() -> float:
-    """Fixed regex+string workload: this machine's ops/sec unit.
-
-    Uses the same primitives the substrate leans on (regex scanning,
-    string slicing) but none of its caches, so the value tracks raw
-    interpreter speed. Dividing measured throughput by it makes the
-    committed baseline portable across machines.
-    """
-    rounds = 30
-    best = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        for _ in range(rounds):
-            pieces = [match.group()
-                      for match in _CALIBRATION_RE.finditer(_CALIBRATION_TEXT)]
-            "".join(pieces)
-        best = min(best, time.perf_counter() - start)
-    return rounds / best
-
-
-def _time_best(fn, repeats=5) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _stage(name, ops, seconds, calibration) -> dict:
-    return {
-        "stage": name,
-        "ops": ops,
-        "wall_clock_s": round(seconds, 6),
-        "ops_per_sec": round(ops / seconds, 2),
-        "normalized_throughput": round(ops / seconds / calibration, 6),
-    }
+# calibration/timing/stage helpers are shared with the obs benchmark
+# (benchmarks/calibration.py) so every BENCH_*.json normalizes by the
+# same machine-speed unit
+_calibrate = calibrate
+_time_best = time_best
+_stage = stage
 
 
 def test_perf_fastpath_speedup(tree, artifacts_dir):
@@ -224,6 +187,7 @@ def test_perf_fastpath_speedup(tree, artifacts_dir):
         "preprocess_tree_warm": round(ref_tree / warm_tree, 2),
     }
     payload = {
+        "suite": "substrate",
         "calibration_ops_per_sec": round(calibration, 2),
         "stages": stages,
         "speedup": speedup,

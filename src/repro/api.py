@@ -74,6 +74,19 @@ from repro.kconfig.ast import Tristate
 from repro.kconfig.configfile import Config
 from repro.kernel.generator import generate_tree
 from repro.kernel.layout import HazardKind
+from repro.cpp.prepared import (
+    collect_metrics as collect_substrate_metrics,
+    set_event_hook as set_substrate_event_hook,
+)
+from repro.obs.events import (
+    EVENT_FASTPATH_CHANGED,
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventLog,
+    NullEventLog,
+    validate_event_record,
+)
 from repro.obs.export import (
     render_span_tree,
     span_count,
@@ -81,6 +94,24 @@ from repro.obs.export import (
 )
 from repro.obs.logcfg import LEVELS, configure_logging
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    CallbackSink,
+    JsonlSink,
+    OpenMetricsSink,
+    parse_openmetrics,
+    read_jsonl,
+    render_openmetrics,
+    sanitized_metrics,
+)
+from repro.obs.timeseries import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricsSnapshot,
+    SnapshotRing,
+    Snapshotter,
+    histogram_quantiles,
+    registry_from_dict,
+    validate_snapshot_record,
+)
 from repro.obs.tracer import Tracer
 from repro.service import (
     CheckRequest,
@@ -113,6 +144,16 @@ __all__ = [
     "SimulatedCrashError", "WorkerCrashError",
     # schema
     "SCHEMA_VERSION", "migrate_record",
+    # telemetry plane (snapshots, sinks, structured events)
+    "EVENT_FASTPATH_CHANGED", "EVENT_KINDS", "EVENT_SCHEMA_VERSION",
+    "Event", "EventLog", "NullEventLog", "validate_event_record",
+    "SNAPSHOT_SCHEMA_VERSION", "MetricsSnapshot", "SnapshotRing",
+    "Snapshotter", "histogram_quantiles", "registry_from_dict",
+    "validate_snapshot_record",
+    "CallbackSink", "JsonlSink", "OpenMetricsSink",
+    "parse_openmetrics", "read_jsonl", "render_openmetrics",
+    "sanitized_metrics",
+    "collect_substrate_metrics", "set_substrate_event_hook",
     # deprecated shims (still exported so old code keeps importing)
     "JMake", "EvaluationRunner",
     # data types and helpers

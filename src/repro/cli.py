@@ -13,14 +13,20 @@ Subcommands::
                                     submit a batch of commits, report
                                     per-request verdicts and scheduling
                                     stats, and drain cleanly
+    jmake stats <sink>              read a telemetry sink back: latest
+                                    snapshot tables (p50/p90/p99 request
+                                    latency) or event-kind counts
 
 Observability: ``jmake evaluate --trace-out FILE`` writes a Chrome
 trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev)
 with one span tree per checked commit; ``--metrics-out FILE`` writes the
 pipeline metrics registry (counters/gauges/histograms, cache telemetry
-included) as JSON. ``--log-level`` configures the ``repro.*`` logger
-hierarchy. Everything runs offline against the generated substrate; see
-README.md.
+included) as JSON. ``jmake serve --metrics-sink/--events-out/
+--stats-interval`` turn the service into a continuous telemetry plane:
+periodic metric snapshots to OpenMetrics or JSONL sinks plus a
+structured operational event log, both resumable across restarts.
+``--log-level`` configures the ``repro.*`` logger hierarchy. Everything
+runs offline against the generated substrate; see README.md.
 
 This module imports only from :mod:`repro.api` — the stable facade is
 the CLI's sole dependency on the library, by design.
@@ -149,6 +155,9 @@ def _evaluate(args: argparse.Namespace) -> int:
             if result.metrics is not None else api.MetricsRegistry()
         if session.cache is not None:
             combined.merge(session.cache.stats.registry)
+        # the substrate's namespaced counters (substrate.prepared.*,
+        # substrate.replay.*) ride along in the same payload
+        combined.merge(api.collect_substrate_metrics())
         api.atomic_write_json(args.metrics_out, combined.to_dict())
         print(f"metrics written to {args.metrics_out}")
 
@@ -188,6 +197,39 @@ def _evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args) -> tuple:
+    """Sinks/EventLog/snapshot-seed from the serve telemetry flags.
+
+    Returns ``(metrics_sinks, events, snapshot_start_seq, closers)``.
+    JSONL sinks carry their journal-style ``last_seq`` watermark out of
+    recovery; seeding the emitters with it is what makes a restarted
+    service continue the monotone sequence instead of duplicating
+    already-durable records.
+    """
+    metrics_sinks = []
+    closers = []
+    snapshot_start = 0
+    for path in args.metrics_sink or []:
+        if path.endswith(".jsonl"):
+            sink = api.JsonlSink(path)
+            snapshot_start = max(snapshot_start, sink.last_seq)
+            closers.append(sink)
+        else:
+            sink = api.OpenMetricsSink(path)
+        metrics_sinks.append(sink)
+    events = None
+    if args.events_out:
+        event_sink = api.JsonlSink(args.events_out)
+        closers.append(event_sink)
+        events = api.EventLog(start_seq=event_sink.last_seq,
+                              sinks=[event_sink])
+    elif metrics_sinks:
+        # sinks imply observe mode: keep the in-memory ring so
+        # stats()["events"] is populated even without a durable file
+        events = api.EventLog()
+    return metrics_sinks, events, snapshot_start, closers
+
+
 def _serve(args: argparse.Namespace) -> int:
     try:
         api.validate_jobs(args.shards, what="--shards")
@@ -195,6 +237,9 @@ def _serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             batch_limit=args.batch_limit,
             max_pending_requests=args.max_pending)
+        if args.stats_interval is not None and args.stats_interval <= 0:
+            raise ValueError(f"--stats-interval must be positive, "
+                             f"got {args.stats_interval}")
     except ValueError as error:
         print(f"jmake serve: {error}", file=sys.stderr)
         return 2
@@ -206,6 +251,17 @@ def _serve(args: argparse.Namespace) -> int:
             print(f"jmake serve: {error}", file=sys.stderr)
             return 2
         config.fault_plan = fault_plan
+    try:
+        metrics_sinks, events, snapshot_start, closers = \
+            _build_telemetry(args)
+    except OSError as error:
+        print(f"jmake serve: {error}", file=sys.stderr)
+        return 2
+    if events is not None:
+        config.events = events
+        api.set_substrate_event_hook(
+            lambda enabled: events.emit(api.EVENT_FASTPATH_CHANGED,
+                                        enabled=enabled))
     spec = api.CorpusSpec(seed=args.seed,
                           history_commits=max(200, args.commits // 2),
                           eval_commits=args.commits)
@@ -214,6 +270,13 @@ def _serve(args: argparse.Namespace) -> int:
     service = api.serve(corpus,
                         config=config,
                         cache=not args.no_cache)
+    if metrics_sinks:
+        service.snapshotter = api.Snapshotter(
+            service.metrics,
+            collectors=[api.collect_substrate_metrics],
+            interval_seconds=args.stats_interval,
+            start_seq=snapshot_start,
+            sinks=metrics_sinks)
 
     commits = corpus.repository.log(since=api.Corpus.TAG_EVAL_START,
                                     until=api.Corpus.TAG_EVAL_END)
@@ -225,12 +288,18 @@ def _serve(args: argparse.Namespace) -> int:
     print(f"service: shards={config.shards} "
           f"batch_limit={config.batch_limit}; submitting "
           f"{len(checkable)} request(s) ...")
-    results = service.check_commits([commit.id for commit in checkable])
+    try:
+        results = service.check_commits(
+            [commit.id for commit in checkable])
+        stats = service.stats()
+    finally:
+        api.set_substrate_event_hook(None)
+        for sink in closers:
+            sink.close()
     for result in results:
         print(f"  {result.request_id} {result.commit_id}: "
               f"{result.verdict} "
               f"({result.elapsed_sim_seconds:.1f}s simulated)")
-    stats = service.stats()
     print(f"\nrequests completed: {stats['requests_completed']}")
     for index, shard in enumerate(stats["shards"]):
         print(f"  shard {index}: units={shard['units_run']} "
@@ -241,12 +310,111 @@ def _serve(args: argparse.Namespace) -> int:
     print(f"  batcher: flushes={batcher.get('flushes', 0)} "
           f"units_batched={batcher.get('units_batched', 0)} "
           f"pending={batcher.get('pending_units', 0)}")
+    health = stats["health"]
+    print(f"  health: {health['status']} "
+          f"(breakers={health['breaker_open_shards'] or '-'} "
+          f"quarantined={','.join(health['quarantined_archs']) or '-'})")
+    if stats.get("snapshots"):
+        snapshots = stats["snapshots"]
+        print(f"  snapshots: {snapshots['samples_taken']} sample(s), "
+              f"seq={snapshots['seq']}, "
+              f"interval={snapshots['interval_seconds']}s")
+        for sink in metrics_sinks:
+            print(f"    sink {sink.path}")
+    if events is not None:
+        event_stats = stats["events"]
+        counts = " ".join(f"{kind}={count}" for kind, count
+                          in event_stats["counts"].items()) or "-"
+        print(f"  events: seq={event_stats['seq']} {counts}")
+        if args.events_out:
+            print(f"    sink {args.events_out}")
     if args.stats_out:
         api.atomic_write_json(args.stats_out, stats)
         print(f"stats written to {args.stats_out}")
     drained = not stats["started"] and not batcher.get("pending_units")
     print("drain: clean" if drained else "drain: NOT CLEAN")
     return 0 if drained and len(results) == len(checkable) else 1
+
+
+def _render_metrics_tables(metrics: dict) -> str:
+    """Counters/gauges as a fixed-width table, histograms with
+    p50/p90/p99 latency summaries."""
+    lines = []
+    scalars = [(name, value)
+               for section in ("counters", "gauges")
+               for name, value in sorted(metrics.get(section, {}).items())]
+    if scalars:
+        width = max(len(name) for name, _ in scalars)
+        lines.append(f"{'instrument':<{width}} {'value':>14}")
+        lines.append("-" * (width + 15))
+        for name, value in scalars:
+            text = f"{value:.3f}".rstrip("0").rstrip(".") \
+                if isinstance(value, float) else str(value)
+            lines.append(f"{name:<{width}} {text:>14}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        if lines:
+            lines.append("")
+        for name in sorted(histograms):
+            data = histograms[name]
+            quantiles = api.histogram_quantiles(data)
+            lines.append(
+                f"{name}: n={data['count']} sum={data['sum']:.4f} "
+                f"p50={quantiles[0.5]:.4f} p90={quantiles[0.9]:.4f} "
+                f"p99={quantiles[0.99]:.4f}")
+    return "\n".join(lines)
+
+
+def _stats(args: argparse.Namespace) -> int:
+    """Read one telemetry sink back: latest snapshot (or event counts)."""
+    path = args.sink
+    try:
+        if path.endswith(".jsonl"):
+            records = api.read_jsonl(path)
+            if not records:
+                print(f"jmake stats: no records in {path}",
+                      file=sys.stderr)
+                return 2
+            snapshots = [record for record in records
+                         if "metrics" in record]
+            if snapshots:
+                record = snapshots[-1]
+                api.validate_snapshot_record(record)
+                print(f"{path}: {len(snapshots)} snapshot(s), latest "
+                      f"seq={record['seq']} clock={record['clock']} "
+                      f"ts={record['ts']:.3f}\n")
+                print(_render_metrics_tables(record["metrics"]))
+                return 0
+            # an --events-out file: summarize kinds instead
+            counts: dict[str, int] = {}
+            for record in records:
+                api.validate_event_record(record)
+                counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+            print(f"{path}: {len(records)} event(s), latest "
+                  f"seq={records[-1]['seq']}\n")
+            width = max(len(kind) for kind in counts)
+            for kind in sorted(counts):
+                print(f"{kind:<{width}} {counts[kind]:>8}")
+            return 0
+        with open(path, "r", encoding="utf-8") as handle:
+            metrics = api.parse_openmetrics(handle.read())
+        seq = metrics["gauges"].pop("jmake_snapshot_seq", None)
+        timestamp = metrics["gauges"].pop(
+            "jmake_snapshot_timestamp_seconds", None)
+        header = f"{path}: OpenMetrics exposition"
+        if seq is not None:
+            header += f", snapshot seq={seq}"
+        if timestamp is not None:
+            header += f" ts={timestamp:.3f}"
+        print(header + "\n")
+        print(_render_metrics_tables(metrics))
+        return 0
+    except FileNotFoundError:
+        print(f"jmake stats: {path}: no such file", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"jmake stats: {path}: {error}", file=sys.stderr)
+        return 2
 
 
 def _trace(args: argparse.Namespace) -> int:
@@ -401,7 +569,31 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON fault plan applied per request")
     serve.add_argument("--stats-out", default=None,
                        help="write scheduling stats JSON here")
+    serve.add_argument("--metrics-sink", action="append", default=None,
+                       metavar="PATH",
+                       help="periodic metric snapshots: *.jsonl appends "
+                            "JSON-lines history (resumable), anything "
+                            "else is an atomically rewritten "
+                            "OpenMetrics exposition file (repeatable)")
+    serve.add_argument("--events-out", default=None, metavar="PATH",
+                       help="append structured operational events "
+                            "(crashes, breakers, rejections, ...) as "
+                            "JSONL; resumes seq numbers on restart")
+    serve.add_argument("--stats-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="real seconds between metric snapshots "
+                            "when a --metrics-sink is configured "
+                            "(default: 1.0)")
     serve.set_defaults(func=_serve)
+
+    stats = sub.add_parser("stats",
+                           help="read a telemetry sink back: latest "
+                                "snapshot tables with p50/p90/p99 "
+                                "latency, or event-kind counts")
+    stats.add_argument("sink", help="a --metrics-sink/--events-out path "
+                                    "(*.jsonl history or OpenMetrics "
+                                    "exposition)")
+    stats.set_defaults(func=_stats)
 
     janitors = sub.add_parser("janitors",
                               help="identify janitors (Tables I-II)")

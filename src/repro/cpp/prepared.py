@@ -47,6 +47,7 @@ from repro.cpp import evaluator as _evaluator
 from repro.cpp import lexer as _lexer
 from repro.cpp import macro as _macro
 from repro.cpp.lexer import CommentStripper
+from repro.obs.metrics import MetricsRegistry
 from repro.util.text import split_lines_keepends
 
 #: bound on distinct file contents held prepared
@@ -156,28 +157,63 @@ def prepare_text(text: str) -> PreparedFile:
     return PreparedFile(tuple(prepared), count)
 
 
+#: the substrate's own metrics registry: every counter below is a
+#: namespaced instrument (``substrate.prepared.*`` /
+#: ``substrate.replay.*``) so the telemetry plane's snapshotter can
+#: merge the substrate into service snapshots and sinks for free
+_SUBSTRATE_METRICS = MetricsRegistry()
+
+_COUNTER_FIELDS = ("hits", "misses", "stores", "evictions")
+
+
 class _Counters:
-    """Hit/miss/store/eviction counters for one cache."""
+    """Hit/miss/store/eviction counters for one cache.
 
-    __slots__ = ("hits", "misses", "stores", "evictions")
+    A thin view over bound :class:`~repro.obs.metrics.Counter`
+    instruments: the hot paths keep their ``stats.hits += 1`` idiom
+    (one attribute store on the pre-bound counter, no registry lookup)
+    while the values live in a registry and flow through snapshots.
+    Standalone caches (tests) get a private registry so they never
+    pollute the process-wide ``substrate.*`` instruments.
+    """
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
+    __slots__ = ("_hits", "_misses", "_stores", "_evictions")
+
+    def __init__(self, prefix: str = "substrate.cache",
+                 registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        for name in _COUNTER_FIELDS:
+            setattr(self, f"_{name}",
+                    registry.counter(f"{prefix}.{name}"))
 
     def snapshot(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "evictions": self.evictions}
+        return {name: getattr(self, f"_{name}").value
+                for name in _COUNTER_FIELDS}
 
     def reset(self) -> None:
-        self.hits = self.misses = self.stores = self.evictions = 0
+        for name in _COUNTER_FIELDS:
+            getattr(self, f"_{name}").value = 0
+
+
+def _counter_property(name: str):
+    def get(self):
+        return getattr(self, f"_{name}").value
+
+    def set(self, value):
+        getattr(self, f"_{name}").value = value
+
+    return property(get, set)
+
+
+for _field in _COUNTER_FIELDS:
+    setattr(_Counters, _field, _counter_property(_field))
+del _field
 
 
 #: content -> PreparedFile, LRU by access
 _PREPARED: "OrderedDict[str, PreparedFile]" = OrderedDict()
-_PREPARED_STATS = _Counters()
+_PREPARED_STATS = _Counters("substrate.prepared", _SUBSTRATE_METRICS)
 
 
 def prepared_file(text: str) -> PreparedFile:
@@ -234,12 +270,14 @@ class HeaderReplayCache:
     """(path, content) -> replay variants, probed most-recent first."""
 
     def __init__(self, max_entries: int = _REPLAY_CACHE_SIZE,
-                 max_variants: int = _REPLAY_MAX_VARIANTS) -> None:
+                 max_variants: int = _REPLAY_MAX_VARIANTS,
+                 counters: "_Counters | None" = None) -> None:
         self.max_entries = max_entries
         self.max_variants = max_variants
         self._slots: "OrderedDict[tuple[str, str], list[HeaderReplay]]" \
             = OrderedDict()
-        self.stats = _Counters()
+        self.stats = counters if counters is not None \
+            else _Counters("substrate.replay")
 
     def __len__(self) -> int:
         return sum(len(variants) for variants in self._slots.values())
@@ -283,7 +321,8 @@ class HeaderReplayCache:
         self._slots.clear()
 
 
-_HEADER_CACHE = HeaderReplayCache()
+_HEADER_CACHE = HeaderReplayCache(
+    counters=_Counters("substrate.replay", _SUBSTRATE_METRICS))
 
 
 def header_cache() -> HeaderReplayCache:
@@ -291,7 +330,41 @@ def header_cache() -> HeaderReplayCache:
     return _HEADER_CACHE
 
 
+def metrics_registry() -> MetricsRegistry:
+    """The substrate's process-wide ``substrate.*`` registry."""
+    return _SUBSTRATE_METRICS
+
+
+def collect_metrics() -> MetricsRegistry:
+    """Snapshot-time collector for the telemetry snapshotter.
+
+    Refreshes the occupancy gauges (counters update inline on the hot
+    paths; entry counts are only consulted here) and returns the
+    substrate registry so the Snapshotter merges it into each sample.
+    """
+    _SUBSTRATE_METRICS.gauge("substrate.prepared.entries").set(
+        len(_PREPARED))
+    _SUBSTRATE_METRICS.gauge("substrate.replay.entries").set(
+        len(_HEADER_CACHE))
+    return _SUBSTRATE_METRICS
+
+
 # -- the global fast-path switch -------------------------------------------
+
+#: optional callback fired when :func:`configure` flips the fast path
+#: (the service installs one that emits ``substrate.fastpath_changed``)
+_EVENT_HOOK = None
+
+
+def set_event_hook(hook) -> None:
+    """Install (or clear, with None) the fast-path change callback.
+
+    ``hook(enabled: bool)`` is invoked after :func:`configure` changes
+    the effective mode — not on redundant reconfigurations.
+    """
+    global _EVENT_HOOK
+    _EVENT_HOOK = hook
+
 
 def _env_default() -> bool:
     value = os.environ.get("JMAKE_CPP_FASTPATH", "1")
@@ -315,12 +388,15 @@ def configure(enable: bool) -> None:
     pre-fast-path behaviour the differential suite compares against.
     """
     global _ENABLED
+    changed = _ENABLED != bool(enable)
     _ENABLED = bool(enable)
     _lexer.set_token_cache_enabled(enable)
     _lexer.set_strip_fastpath_enabled(enable)
     _macro.set_expand_screen_enabled(enable)
     _evaluator.set_condition_fastpath_enabled(enable)
     clear_caches()
+    if changed and _EVENT_HOOK is not None:
+        _EVENT_HOOK(_ENABLED)
 
 
 def clear_caches() -> None:

@@ -27,6 +27,11 @@ import time
 
 from repro.errors import JournalCorruptError, JournalError
 from repro.journal.wal import Journal, ReplayResult
+from repro.obs.events import (
+    EVENT_JOURNAL_CHECKPOINT,
+    EVENT_JOURNAL_TRUNCATED,
+    NULL_EVENTS,
+)
 from repro.obs.logcfg import get_logger
 from repro.util.atomicio import atomic_write_json
 
@@ -41,7 +46,7 @@ class VerdictLedger:
     def __init__(self, path: str, *, fsync: bool = True,
                  checkpoint_interval: int = 0,
                  injector=None, on_append=None,
-                 fresh: bool = False) -> None:
+                 fresh: bool = False, events=None) -> None:
         if checkpoint_interval < 0:
             raise ValueError(
                 f"checkpoint_interval cannot be negative, "
@@ -65,6 +70,9 @@ class VerdictLedger:
         self.truncated_bytes = 0
         self.checkpoints_written = 0
         self._since_checkpoint = 0
+        #: structured-event log for durability transitions (torn-tail
+        #: truncations, checkpoints)
+        self.events = events if events is not None else NULL_EVENTS
         #: real seconds spent inside :meth:`emit` (encode + CRC +
         #: write + fsync + any triggered checkpoint) — the journal's
         #: whole warm-path cost, measured in-run so the overhead
@@ -114,6 +122,9 @@ class VerdictLedger:
         from_checkpoint = len(self._records)
         replay: ReplayResult = self.journal.replay()
         self.truncated_bytes = replay.truncated_bytes
+        if self.truncated_bytes:
+            self.events.emit(EVENT_JOURNAL_TRUNCATED, path=self.path,
+                             truncated_bytes=self.truncated_bytes)
         for entry in replay.records:
             if "meta" in entry:
                 if self.meta is None:
@@ -196,6 +207,9 @@ class VerdictLedger:
         self.journal.truncate_all()
         self.checkpoints_written += 1
         self._since_checkpoint = 0
+        self.events.emit(EVENT_JOURNAL_CHECKPOINT, path=self.path,
+                         checkpoint=self.checkpoints_written,
+                         records=len(self._records))
         _logger.debug("journal %s: checkpoint #%d (%d record(s))",
                       self.path, self.checkpoints_written,
                       len(self._records))

@@ -136,6 +136,11 @@ class Histogram:
         """Arithmetic mean, 0.0 when empty."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (interpolated within the owning bucket)."""
+        from repro.obs.timeseries import histogram_quantiles
+        return histogram_quantiles(self.to_value(), (q,))[q]
+
     def merge(self, other: "Histogram") -> None:
         if other.buckets != self.buckets:
             raise ValueError(

@@ -1,0 +1,366 @@
+"""Telemetry sinks: OpenMetrics exposition, append-only JSONL, callbacks.
+
+A *sink* is anything with ``emit(record) -> bool`` taking the
+serialized dict form of a :class:`~repro.obs.timeseries.MetricsSnapshot`
+or an :class:`~repro.obs.events.Event`. Three implementations cover the
+fleet-mode needs:
+
+- :class:`OpenMetricsSink` — rewrites one Prometheus/OpenMetrics text
+  exposition file atomically (:mod:`repro.util.atomicio`) per snapshot,
+  so a scraper polling the path always reads a complete, parseable
+  exposition — never a torn half-write. :func:`render_openmetrics` /
+  :func:`parse_openmetrics` are the (round-trippable) codec.
+
+- :class:`JsonlSink` — append-only JSON-lines history for dashboard
+  ingestion, with **journal-style resume semantics**: opening an
+  existing file replays it, truncates any torn tail (a crash mid-append
+  leaves a partial last line), and records the highest ``seq`` seen.
+  ``emit`` then skips records at or below that watermark, so a
+  restarted service resuming its sequence numbers can never duplicate
+  a line — the exactly-once contract the verdict ledger gives verdicts,
+  applied to telemetry.
+
+- :class:`CallbackSink` — hands each record to an in-process callable;
+  the test hook, and the integration point for embedding services.
+
+Metric names cross into OpenMetrics through :func:`sanitize_metric_name`
+(dots become underscores under a ``jmake_`` prefix). The mapping is not
+invertible, so comparisons against a registry go through
+:func:`sanitized_metrics`, which applies the same mapping to a
+``MetricsRegistry.to_dict`` payload.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import re
+from typing import Any, Callable
+
+from repro.util.atomicio import atomic_write_text
+
+#: characters legal in an OpenMetrics metric name body
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: exposition prefix all jmake metrics share
+METRIC_PREFIX = "jmake_"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted instrument name -> legal OpenMetrics name."""
+    return METRIC_PREFIX + _NAME_OK.sub("_", name)
+
+
+def sanitized_metrics(payload: dict) -> dict:
+    """A ``MetricsRegistry.to_dict`` payload with exposition names.
+
+    Sanitization can collide (``a.b`` and ``a_b`` both map to
+    ``jmake_a_b``); the last name in sorted order wins, matching what a
+    scraper of the rendered exposition would observe.
+    """
+    return {
+        section: {sanitize_metric_name(name): value
+                  for name, value in payload.get(section, {}).items()}
+        for section in ("counters", "gauges", "histograms")
+    }
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+# -- OpenMetrics codec --------------------------------------------------------
+
+def render_openmetrics(snapshot_record: dict) -> str:
+    """One snapshot record -> OpenMetrics text exposition.
+
+    Counters expose ``<name>_total``, gauges expose bare samples,
+    histograms expose cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``. Two meta gauges (``jmake_snapshot_seq``,
+    ``jmake_snapshot_timestamp_seconds``) carry the snapshot identity,
+    and the exposition ends with the mandatory ``# EOF``.
+    """
+    metrics = snapshot_record["metrics"]
+    lines: list[str] = []
+
+    def emit_meta(name: str, value: Any) -> None:
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    emit_meta("jmake_snapshot_seq", snapshot_record["seq"])
+    emit_meta("jmake_snapshot_timestamp_seconds", snapshot_record["ts"])
+
+    for name in sorted(metrics.get("counters", {})):
+        exposition = sanitize_metric_name(name)
+        lines.append(f"# TYPE {exposition} counter")
+        lines.append(f"{exposition}_total "
+                     f"{_format_value(metrics['counters'][name])}")
+    for name in sorted(metrics.get("gauges", {})):
+        exposition = sanitize_metric_name(name)
+        lines.append(f"# TYPE {exposition} gauge")
+        lines.append(f"{exposition} "
+                     f"{_format_value(metrics['gauges'][name])}")
+    for name in sorted(metrics.get("histograms", {})):
+        data = metrics["histograms"][name]
+        exposition = sanitize_metric_name(name)
+        lines.append(f"# TYPE {exposition} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(f'{exposition}_bucket{{le="{bound}"}} '
+                         f"{cumulative}")
+        lines.append(f'{exposition}_bucket{{le="+Inf"}} '
+                     f"{data['count']}")
+        lines.append(f"{exposition}_sum {_format_value(data['sum'])}")
+        lines.append(f"{exposition}_count {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_number(text: str) -> float | int:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r'\s+(?P<value>\S+)$')
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Exposition text -> ``{counters, gauges, histograms}`` payload.
+
+    The inverse of :func:`render_openmetrics` over sanitized names:
+    ``parse_openmetrics(render_openmetrics(s)) ==
+    sanitized_metrics(s["metrics"])`` plus the two snapshot meta
+    gauges. Raises ``ValueError`` on malformed lines, a missing
+    ``# EOF``, or non-monotone bucket series — which is what makes it a
+    usable CI validator for scrape files.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, Any] = {}
+    gauges: dict[str, Any] = {}
+    raw_histograms: dict[str, dict] = {}
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition does not end with # EOF")
+    for line in lines[:-1]:
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+                continue
+            if parts[1] in ("HELP", "UNIT"):
+                continue
+            raise ValueError(f"malformed comment line: {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        name = match.group("name")
+        value = _parse_number(match.group("value"))
+        le = match.group("le")
+        base = name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                base = name[:-len(suffix)]
+                break
+        kind = types.get(base)
+        if kind is None:
+            raise ValueError(f"sample {name!r} has no # TYPE line")
+        if kind == "counter":
+            counters[base] = value
+        elif kind == "gauge":
+            gauges[base] = value
+        elif kind == "histogram":
+            slot = raw_histograms.setdefault(
+                base, {"buckets": [], "cumulative": [],
+                       "sum": 0, "count": 0, "inf": None})
+            if name.endswith("_bucket"):
+                if le is None:
+                    raise ValueError(f"bucket sample without le: {line!r}")
+                if le == "+Inf":
+                    slot["inf"] = value
+                else:
+                    slot["buckets"].append(_parse_number(le))
+                    slot["cumulative"].append(value)
+            elif name.endswith("_sum"):
+                slot["sum"] = value
+            elif name.endswith("_count"):
+                slot["count"] = value
+            else:
+                raise ValueError(f"unexpected histogram sample: {line!r}")
+        else:
+            raise ValueError(f"unsupported metric type {kind!r}")
+
+    histograms: dict[str, dict] = {}
+    for base, slot in raw_histograms.items():
+        cumulative = slot["cumulative"]
+        counts = []
+        previous = 0
+        for value in cumulative:
+            if value < previous:
+                raise ValueError(
+                    f"histogram {base}: non-monotone bucket series")
+            counts.append(value - previous)
+            previous = value
+        total = slot["count"] if slot["inf"] is None else slot["inf"]
+        if total < previous:
+            raise ValueError(
+                f"histogram {base}: +Inf below last finite bucket")
+        counts.append(total - previous)
+        histograms[base] = {
+            "buckets": slot["buckets"],
+            "counts": counts,
+            "sum": slot["sum"],
+            "count": slot["count"],
+        }
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+# -- sinks --------------------------------------------------------------------
+
+class CallbackSink:
+    """Hands each record to an in-process callable (the test hook)."""
+
+    def __init__(self, callback: Callable[[dict], Any]) -> None:
+        self.callback = callback
+        self.emitted = 0
+
+    def emit(self, record: dict) -> bool:
+        self.callback(record)
+        self.emitted += 1
+        return True
+
+    def close(self) -> None:
+        return None
+
+
+class OpenMetricsSink:
+    """Atomically rewrites one OpenMetrics exposition file per snapshot.
+
+    Only meaningful for snapshot records (events have no metrics
+    payload and are ignored), so one sink instance can be attached to
+    both streams without special-casing at the emit sites.
+    """
+
+    def __init__(self, path: str) -> None:
+        # fail at construction, not at the first sample minutes later:
+        # the atomic write needs the parent directory for its tempfile
+        parent = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(parent):
+            raise FileNotFoundError(
+                errno.ENOENT,
+                f"sink directory does not exist: {parent}", path)
+        self.path = path
+        self.writes = 0
+
+    def emit(self, record: dict) -> bool:
+        if "metrics" not in record:
+            return False
+        # fsync=False: losing the very last exposition to a power cut
+        # is harmless (the next sample rewrites it); atomicity against
+        # concurrent scrapers is what matters, and os.replace gives it
+        atomic_write_text(self.path, render_openmetrics(record),
+                          fsync=False)
+        self.writes += 1
+        return True
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlSink:
+    """Append-only JSONL with torn-tail truncation and seq dedup."""
+
+    def __init__(self, path: str, *, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        #: highest ``seq`` already durable in the file (the dedup
+        #: watermark; also the ``start_seq`` a resumed emitter should
+        #: continue from)
+        self.last_seq = 0
+        self.lines_recovered = 0
+        self.torn_bytes_truncated = 0
+        self.duplicates_skipped = 0
+        self.appended = 0
+        self._recover()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _recover(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        valid_end = 0
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # unterminated tail
+            line = data[offset:newline]
+            try:
+                record = json.loads(line)
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break  # corrupt line: everything after it is suspect
+            seq = record.get("seq") if isinstance(record, dict) else None
+            if isinstance(seq, int):
+                self.last_seq = max(self.last_seq, seq)
+            self.lines_recovered += 1
+            offset = valid_end = newline + 1
+        if valid_end < len(data):
+            self.torn_bytes_truncated = len(data) - valid_end
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+
+    def emit(self, record: dict) -> bool:
+        """Append one record; False when its seq was already durable."""
+        seq = record.get("seq")
+        if isinstance(seq, int) and seq <= self.last_seq:
+            self.duplicates_skipped += 1
+            return False
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        if isinstance(seq, int):
+            self.last_seq = seq
+        self.appended += 1
+        return True
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Every valid record in a JSONL file (torn tail skipped)."""
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+    except FileNotFoundError:
+        pass
+    return records

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.obs.events import NULL_EVENTS
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.service.shards import ShardPool
@@ -35,7 +36,7 @@ class CrossRequestBatcher:
 
     def __init__(self, pool: ShardPool, *, batch_limit: int = 50,
                  batch_window: float = 0.0,
-                 metrics=None, tracer=None) -> None:
+                 metrics=None, tracer=None, events=None) -> None:
         if batch_limit < 1:
             raise ValueError(
                 f"batch_limit must be a positive integer, "
@@ -45,6 +46,9 @@ class CrossRequestBatcher:
         self.batch_window = batch_window
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: structured-event log (flushes are too hot to event on; the
+        #: handle is here for drain-time anomalies and future policies)
+        self._events = events if events is not None else NULL_EVENTS
         #: (arch, config_target) -> FIFO of (unit, future)
         self._pending: dict[tuple, list] = {}
         self._occupancy: dict[tuple, int] = {}
@@ -79,6 +83,8 @@ class CrossRequestBatcher:
             self._occupancy.get(key, 0) + unit.occupancy
         self._metrics.gauge("service.batcher.pending_units").set(
             self.pending_units)
+        self._metrics.gauge("service.batcher.pending_occupancy").set(
+            self.pending_occupancy)
         if self._occupancy[key] >= self.batch_limit:
             self._flush(key)
         elif key not in self._handles:

@@ -26,6 +26,7 @@ the workers stop.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 from repro.buildcache.cache import BuildCache
@@ -40,6 +41,13 @@ from repro.errors import ServiceDrainingError, ServiceOverloadedError
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import RetryPolicy
+from repro.obs.events import (
+    EVENT_QUARANTINE_TRIP,
+    EVENT_SERVICE_DRAINED,
+    EVENT_SERVICE_REJECTED,
+    EVENT_SERVICE_STARTED,
+    NULL_EVENTS,
+)
 from repro.obs.logcfg import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
@@ -50,6 +58,12 @@ from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 from repro.workload.corpus import Corpus
 
 _logger = get_logger("service")
+
+#: wall-clock request-latency buckets (real seconds — requests complete
+#: in milliseconds on the synthetic substrate, so the sim-second
+#: defaults would pile everything into the first bucket)
+_WALL_LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                         10.0, 30.0)
 
 
 @dataclass
@@ -72,6 +86,13 @@ class ServiceConfig:
     retry_policy: "RetryPolicy | None" = None
     #: optional tracer for service-level spans (unit/batch execution)
     tracer: object = None
+    #: optional structured-event log (:class:`repro.obs.events.
+    #: EventLog`); None -> NULL_EVENTS, zero overhead
+    events: object = None
+    #: optional periodic metrics snapshotter (:class:`repro.obs.
+    #: timeseries.Snapshotter`); started/stopped with the service when
+    #: it carries an interval, sampled once at drain either way
+    snapshotter: object = None
     #: run the shard supervisor (crash/hang detection, restarts,
     #: circuit breaking); off only for tests that want a bare pool
     supervise: bool = True
@@ -126,6 +147,11 @@ class CheckService:
         self.metrics = MetricsRegistry()
         self._tracer = self.config.tracer \
             if self.config.tracer is not None else NULL_TRACER
+        #: structured operational events (crashes, rejections, trips)
+        self.events = self.config.events \
+            if self.config.events is not None else NULL_EVENTS
+        #: periodic metric snapshots (None -> no time series)
+        self.snapshotter = self.config.snapshotter
         #: injector pinned on the shared cache (cache-site faults are
         #: verdict-neutral; per-request injectors own the step sites)
         if self.cache is not None:
@@ -162,20 +188,29 @@ class CheckService:
         if self.config.supervise:
             self._supervisor = ShardSupervisor(
                 self._pool, config=self.config.supervisor,
-                metrics=self.metrics)
+                metrics=self.metrics, tracer=self._tracer,
+                events=self.events)
         self._batcher = CrossRequestBatcher(
             self._pool,
             batch_limit=self.config.batch_limit,
             batch_window=self.config.batch_window_seconds,
             metrics=self.metrics,
-            tracer=self._tracer)
+            tracer=self._tracer,
+            events=self.events)
         self._admission = asyncio.Semaphore(
             self.config.max_pending_requests)
         self._pool.start()
         if self._supervisor is not None:
             self._supervisor.start()
+        if self.snapshotter is not None and \
+                self.snapshotter.interval_seconds is not None:
+            self.snapshotter.start()
         self._started = True
         self._draining = False
+        self.events.emit(EVENT_SERVICE_STARTED,
+                         shards=self.config.shards,
+                         batch_limit=self.config.batch_limit,
+                         supervised=self._supervisor is not None)
         _logger.info("service started: shards=%d batch_limit=%d "
                      "supervised=%s", self.config.shards,
                      self.config.batch_limit,
@@ -201,7 +236,12 @@ class CheckService:
             await self._supervisor.stop()
         if self._pool is not None:
             await self._pool.stop()
+        if self.snapshotter is not None:
+            # final sample: the drained state lands in the time series
+            await self.snapshotter.stop(final_sample=True)
         self._started = False
+        self.events.emit(EVENT_SERVICE_DRAINED,
+                         requests_completed=self.requests_completed)
         _logger.info("service drained: requests=%d",
                      self.requests_completed)
 
@@ -229,6 +269,11 @@ class CheckService:
             deepest = max(self._pool.shards,
                           key=lambda shard: shard.queue.qsize()) \
                 if self._pool is not None else None
+            self.events.emit(
+                EVENT_SERVICE_REJECTED,
+                request_id=request.request_id,
+                queue_depth=len(self._requests),
+                limit=self.config.max_pending_requests)
             raise ServiceOverloadedError(
                 f"admission queue full "
                 f"({self.config.max_pending_requests} in flight)",
@@ -269,16 +314,33 @@ class CheckService:
         dag = UnitDag(request_id=request.request_id)
         repository = self.corpus.repository
         commit = repository.resolve(request.commit_id)
+        wall_start = time.perf_counter()
         with self._tracer.span("service.request",
                                request=request.request_id,
                                commit=commit.id):
             generator = session.iter_check_commit(repository, commit,
                                                   dag=dag)
-            report = await drive_units(generator, self._execute_unit)
+            report = await drive_units(
+                generator,
+                lambda unit: self._execute_unit(unit,
+                                                request.request_id))
         if session.last_build is not None and self._pool is not None:
-            self._pool.absorb_quarantine(session.last_build.quarantine)
+            quarantine = session.last_build.quarantine
+            self._pool.absorb_quarantine(quarantine)
+            for arch in quarantine.archs():
+                self.metrics.counter("service.quarantine.trips").inc()
+                self.events.emit(EVENT_QUARANTINE_TRIP,
+                                 request_id=request.request_id,
+                                 commit=commit.id, arch=arch,
+                                 site=quarantine.reason(arch))
         self.requests_completed += 1
         self.metrics.counter("service.requests.completed").inc()
+        self.metrics.histogram("service.request.sim_seconds").observe(
+            report.elapsed_seconds)
+        self.metrics.histogram(
+            "service.request.wall_seconds",
+            buckets=_WALL_LATENCY_BUCKETS).observe(
+                time.perf_counter() - wall_start)
         if report.fault_reports:
             self.metrics.counter("service.requests.faulted").inc()
         return CheckResult(
@@ -290,14 +352,16 @@ class CheckService:
             stage_counts=dag.stage_counts(),
         )
 
-    async def _execute_unit(self, unit) -> object:
+    async def _execute_unit(self, unit,
+                            request_id: str | None = None) -> object:
         if unit.arch is None:
             # request-local stage (mutate, token-grep): run inline
             self.metrics.counter("service.units.local").inc()
             return unit.run()
         if unit.stage == STAGE_PREPROCESS:
             return await self._batcher.submit(unit)
-        return await self._pool.shard_for(unit.arch).submit(unit)
+        return await self._pool.shard_for(unit.arch).submit(
+            unit, request_id=request_id)
 
     # -- conveniences ----------------------------------------------------------
 
@@ -334,17 +398,55 @@ class CheckService:
 
         return asyncio.run(main())
 
+    def health(self) -> dict:
+        """Live/ready/degraded, derived from supervisor + queue state.
+
+        ``status`` is ``ok`` (started, everything healthy),
+        ``degraded`` (serving, but a breaker is open or an arch is
+        quarantined — capacity or coverage is reduced), ``draining``
+        (refusing new work, finishing in-flight), or ``down`` (not
+        started). ``ready`` is the load-balancer admission signal:
+        True exactly when a new submit() would be accepted.
+        """
+        breakers = [shard.index for shard in self._pool.shards
+                    if shard.breaker_open] if self._pool else []
+        quarantined = sorted({
+            arch for shard in (self._pool.shards if self._pool else [])
+            for arch in shard.quarantine.archs()})
+        if not self._started:
+            status = "down"
+        elif self._draining:
+            status = "draining"
+        elif breakers or quarantined:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": self._started and not self._draining,
+            "breaker_open_shards": breakers,
+            "quarantined_archs": quarantined,
+            "requests_in_flight": len(self._requests),
+            "admission_free_slots":
+                self.config.max_pending_requests - len(self._requests)
+                if self._started else 0,
+        }
+
     def stats(self) -> dict:
-        """Scheduling telemetry: shards, batcher, admission."""
+        """Scheduling telemetry: shards, batcher, admission, health."""
         return {
             "started": self._started,
             "draining": self._draining,
+            "health": self.health(),
             "requests_completed": self.requests_completed,
             "requests_in_flight": len(self._requests),
             "shards": self._pool.stats() if self._pool else [],
             "batcher": self._batcher.stats() if self._batcher else {},
             "supervisor": self._supervisor.stats()
             if self._supervisor else {},
+            "events": self.events.stats(),
+            "snapshots": self.snapshotter.stats()
+            if self.snapshotter is not None else None,
             "cache": None if self.cache is None
             else self.cache.stats_snapshot().render(),
             # process-local view: forked shard workers keep their own

@@ -165,8 +165,14 @@ class ArchShard:
         await self.queue.put(job)
         self._gauge_depth()
 
-    async def submit(self, unit) -> object:
-        """Run one work unit on this shard; returns its result."""
+    async def submit(self, unit, *, request_id: str | None = None
+                     ) -> object:
+        """Run one work unit on this shard; returns its result.
+
+        ``request_id`` is stamped onto the queued job so the supervisor
+        can correlate a crash/hang event with the request whose unit
+        was claimed when the worker died.
+        """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
 
@@ -187,6 +193,8 @@ class ArchShard:
             if not future.done():
                 future.set_result(result)
 
+        if request_id is not None:
+            job.request_id = request_id
         await self.enqueue(job)
         return await future
 

@@ -38,8 +38,17 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from repro.obs.events import (
+    EVENT_SHARD_BREAKER_OPEN,
+    EVENT_SHARD_CRASH,
+    EVENT_SHARD_HANG,
+    EVENT_SHARD_INLINE_DRAIN,
+    EVENT_SHARD_RESTART,
+    NULL_EVENTS,
+)
 from repro.obs.logcfg import get_logger
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 
 _logger = get_logger("service.supervisor")
 
@@ -87,10 +96,12 @@ class ShardSupervisor:
     """Watches shard workers, revives them, opens breakers."""
 
     def __init__(self, pool, *, config: SupervisorConfig | None = None,
-                 metrics=None) -> None:
+                 metrics=None, tracer=None, events=None) -> None:
         self.pool = pool
         self.config = config or SupervisorConfig()
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = events if events is not None else NULL_EVENTS
         self._task: "asyncio.Task | None" = None
         self.crashes_detected = 0
         self.hangs_detected = 0
@@ -145,7 +156,16 @@ class ShardSupervisor:
                     "shard %d worker crashed (%s); recovering",
                     shard.index,
                     type(error).__name__ if error else "cancelled")
-                await self._revive(shard, settle_get=True)
+                self.events.emit(
+                    EVENT_SHARD_CRASH,
+                    request_id=getattr(shard.claimed, "request_id",
+                                       None),
+                    shard=shard.index,
+                    error=type(error).__name__ if error else "cancelled",
+                    pickups=shard.pickups)
+                with self.tracer.span("supervisor.recover",
+                                      shard=shard.index, cause="crash"):
+                    await self._revive(shard, settle_get=True)
             elif self._is_hung(shard):
                 self.hangs_detected += 1
                 self.metrics.counter(
@@ -154,12 +174,21 @@ class ShardSupervisor:
                     "shard %d worker hung past the %.3fs deadline; "
                     "killing and recovering", shard.index,
                     self.config.hang_deadline_seconds)
+                self.events.emit(
+                    EVENT_SHARD_HANG,
+                    request_id=getattr(shard.claimed, "request_id",
+                                       None),
+                    shard=shard.index,
+                    deadline_seconds=self.config.hang_deadline_seconds,
+                    pickups=shard.pickups)
                 task.cancel()
                 try:
                     await task
                 except asyncio.CancelledError:
                     pass
-                await self._revive(shard, settle_get=True)
+                with self.tracer.span("supervisor.recover",
+                                      shard=shard.index, cause="hang"):
+                    await self._revive(shard, settle_get=True)
 
     def _is_hung(self, shard) -> bool:
         if shard.claimed is None:
@@ -196,9 +225,17 @@ class ShardSupervisor:
         _logger.info("restarting shard %d worker (restart %d/%d, "
                      "backoff %.3fs)", shard.index, shard.restarts,
                      self.config.max_restarts_per_shard, delay)
-        if delay > 0:
-            await asyncio.sleep(delay)
-        shard.start()
+        self.events.emit(
+            EVENT_SHARD_RESTART, shard=shard.index,
+            restart=shard.restarts,
+            budget=self.config.max_restarts_per_shard,
+            backoff_seconds=delay)
+        with self.tracer.span("supervisor.restart", shard=shard.index,
+                              restart=shard.restarts,
+                              backoff=delay):
+            if delay > 0:
+                await asyncio.sleep(delay)
+            shard.start()
 
     def _open_breaker(self, shard) -> None:
         """Terminal degradation: run everything this shard owns inline."""
@@ -213,21 +250,31 @@ class ShardSupervisor:
         _logger.error("shard %d circuit breaker OPEN (%s); degrading "
                       "to inline sequential execution", shard.index,
                       shard.breaker_reason)
+        self.events.emit(EVENT_SHARD_BREAKER_OPEN, shard=shard.index,
+                         reason=shard.breaker_reason)
         # whatever the dead worker left queued runs inline right now
         self._drain_inline(shard)
 
-    @staticmethod
-    def _drain_inline(shard) -> None:
-        while True:
-            try:
-                job = shard.queue.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            shard.inline_jobs += 1
-            try:
-                job()
-            finally:
-                shard.queue.task_done()
+    def _drain_inline(self, shard) -> None:
+        if not shard.queue.qsize():
+            return
+        drained = 0
+        with self.tracer.span("supervisor.drain_inline",
+                              shard=shard.index):
+            while True:
+                try:
+                    job = shard.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                shard.inline_jobs += 1
+                drained += 1
+                try:
+                    job()
+                finally:
+                    shard.queue.task_done()
+        if drained:
+            self.events.emit(EVENT_SHARD_INLINE_DRAIN,
+                             shard=shard.index, jobs=drained)
 
     def stats(self) -> dict:
         """Supervision telemetry for ``stats()``/``--stats-out``."""

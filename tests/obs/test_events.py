@@ -1,0 +1,165 @@
+"""Structured event log: taxonomy, sequencing, ring, sinks, null path."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    EVENT_SHARD_CRASH,
+    EVENT_SHARD_RESTART,
+    NULL_EVENTS,
+    Event,
+    EventLog,
+    NullEventLog,
+    validate_event_record,
+)
+from repro.obs.sinks import CallbackSink
+
+
+def fixed_clock():
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+    return clock
+
+
+class TestEvent:
+    def test_round_trips_through_dict(self):
+        event = Event(3, 1.5, EVENT_SHARD_CRASH, request_id="req-7",
+                      attrs={"shard": 1, "error": "WorkerCrashError"})
+        rebuilt = Event.from_dict(event.to_dict())
+        assert rebuilt.seq == 3
+        assert rebuilt.ts == 1.5
+        assert rebuilt.kind == EVENT_SHARD_CRASH
+        assert rebuilt.request_id == "req-7"
+        assert rebuilt.attrs == {"shard": 1, "error": "WorkerCrashError"}
+
+    def test_dict_form_omits_empty_fields(self):
+        record = Event(1, 0.0, EVENT_SHARD_RESTART).to_dict()
+        assert "request_id" not in record
+        assert "attrs" not in record
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+
+
+class TestValidateEventRecord:
+    def good(self):
+        return {"schema": EVENT_SCHEMA_VERSION, "seq": 1, "ts": 0.5,
+                "kind": EVENT_SHARD_CRASH}
+
+    def test_accepts_a_minimal_record(self):
+        validate_event_record(self.good())
+
+    @pytest.mark.parametrize("key", ["schema", "seq", "ts", "kind"])
+    def test_rejects_missing_required_key(self, key):
+        record = self.good()
+        del record[key]
+        with pytest.raises(ValueError, match=key):
+            validate_event_record(record)
+
+    def test_rejects_wrong_schema_version(self):
+        record = self.good()
+        record["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            validate_event_record(record)
+
+    @pytest.mark.parametrize("seq", [0, -1, "1", 1.5])
+    def test_rejects_non_positive_or_non_int_seq(self, seq):
+        record = self.good()
+        record["seq"] = seq
+        with pytest.raises(ValueError, match="seq"):
+            validate_event_record(record)
+
+    def test_unknown_kind_passes_by_default_but_fails_strict(self):
+        record = self.good()
+        record["kind"] = "made.up_kind"
+        validate_event_record(record)
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event_record(record, known_kinds_only=True)
+
+    def test_every_taxonomy_kind_is_strict_valid(self):
+        for kind in EVENT_KINDS:
+            record = self.good()
+            record["kind"] = kind
+            validate_event_record(record, known_kinds_only=True)
+
+
+class TestEventLog:
+    def test_seq_is_monotone_from_start_seq(self):
+        log = EventLog(clock=fixed_clock(), start_seq=41)
+        first = log.emit(EVENT_SHARD_CRASH)
+        second = log.emit(EVENT_SHARD_RESTART)
+        assert (first.seq, second.seq) == (42, 43)
+        assert log.seq == 43
+
+    def test_timestamps_come_from_the_pinned_clock(self):
+        log = EventLog(clock=fixed_clock())
+        assert [log.emit("a").ts, log.emit("b").ts] == [1.0, 2.0]
+
+    def test_ring_is_bounded_but_counts_survive_eviction(self):
+        log = EventLog(capacity=3, clock=fixed_clock())
+        for _ in range(10):
+            log.emit(EVENT_SHARD_CRASH)
+        assert len(log) == 3
+        assert log.counts[EVENT_SHARD_CRASH] == 10
+        assert [event.seq for event in log.events()] == [8, 9, 10]
+
+    def test_events_filters_by_kind(self):
+        log = EventLog(clock=fixed_clock())
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [event.seq for event in log.events("a")] == [1, 3]
+
+    def test_sinks_receive_the_dict_form(self):
+        seen = []
+        log = EventLog(clock=fixed_clock(),
+                       sinks=[CallbackSink(seen.append)])
+        log.emit(EVENT_SHARD_CRASH, request_id="req-1", shard=0)
+        assert seen == [{"schema": EVENT_SCHEMA_VERSION, "seq": 1,
+                         "ts": 1.0, "kind": EVENT_SHARD_CRASH,
+                         "request_id": "req-1", "attrs": {"shard": 0}}]
+
+    def test_attach_adds_a_sink_later(self):
+        log = EventLog(clock=fixed_clock())
+        log.emit("before")
+        seen = []
+        log.attach(CallbackSink(seen.append))
+        log.emit("after")
+        assert [record["kind"] for record in seen] == ["after"]
+
+    def test_emitted_records_validate(self):
+        log = EventLog(clock=fixed_clock())
+        for kind in EVENT_KINDS:
+            record = log.emit(kind, detail="x").to_dict()
+            validate_event_record(record, known_kinds_only=True)
+
+    def test_stats_shape(self):
+        log = EventLog(clock=fixed_clock())
+        log.emit("b")
+        log.emit("a")
+        log.emit("b")
+        assert log.stats() == {
+            "seq": 3, "ring_size": 3, "counts": {"a": 1, "b": 2}}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0}, {"capacity": -3}, {"start_seq": -1}])
+    def test_bad_construction_is_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EventLog(**kwargs)
+
+
+class TestNullEventLog:
+    def test_emit_is_a_noop_returning_none(self):
+        assert NULL_EVENTS.emit(EVENT_SHARD_CRASH, shard=1) is None
+        assert NULL_EVENTS.events() == []
+        assert len(NULL_EVENTS) == 0
+        assert NULL_EVENTS.seq == 0
+
+    def test_disabled_flag_mirrors_the_metrics_convention(self):
+        assert NULL_EVENTS.enabled is False
+        assert EventLog().enabled is True
+
+    def test_stats_shape_matches_the_real_log(self):
+        assert set(NullEventLog().stats()) == set(EventLog().stats())

@@ -1,0 +1,152 @@
+"""Exporter round-trips and registry-algebra laws.
+
+The telemetry plane's exchange formats must survive a full
+serialize -> re-parse cycle without losing information, and the
+merge/delta algebra the sharded service leans on must obey the usual
+laws (commutativity, delta-of-merge) so aggregated snapshots mean what
+they claim.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace, span_count, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitized_metrics,
+)
+from repro.obs.timeseries import Snapshotter, registry_from_dict
+from repro.obs.tracer import Tracer
+
+
+def shard_registry(seed: int) -> MetricsRegistry:
+    """A registry shaped like one shard's contribution."""
+    registry = MetricsRegistry()
+    registry.counter("service.requests.completed").inc(seed * 3 + 1)
+    registry.counter(f"service.shard.{seed}.units").inc(seed + 5)
+    registry.gauge("service.queue_depth").set(seed)
+    histogram = registry.histogram("service.request.wall_seconds",
+                                   (0.1, 1.0, 10.0))
+    for value in (0.05 * (seed + 1), 0.5, 2.0 * seed + 0.2):
+        histogram.observe(value)
+    return registry
+
+
+class TestOpenMetricsRoundTrip:
+    def test_parse_inverts_render_modulo_sanitized_names(self):
+        registry = shard_registry(2)
+        record = Snapshotter(registry, clock=lambda: 7.5).sample() \
+            .to_dict()
+        parsed = parse_openmetrics(render_openmetrics(record))
+        expected = sanitized_metrics(record["metrics"])
+        # the exposition adds exactly two meta gauges on top
+        assert parsed["gauges"].pop("jmake_snapshot_seq") == 1
+        assert parsed["gauges"].pop(
+            "jmake_snapshot_timestamp_seconds") == 7.5
+        assert parsed == expected
+
+    def test_rendering_is_deterministic(self):
+        record = Snapshotter(shard_registry(1),
+                             clock=lambda: 0.0).sample().to_dict()
+        assert render_openmetrics(record) == render_openmetrics(record)
+        assert parse_openmetrics(render_openmetrics(record)) == \
+            parse_openmetrics(render_openmetrics(record))
+
+    def test_parsed_payload_rebuilds_into_a_registry(self):
+        record = Snapshotter(shard_registry(1),
+                             clock=lambda: 0.0).sample().to_dict()
+        parsed = parse_openmetrics(render_openmetrics(record))
+        parsed["gauges"].pop("jmake_snapshot_seq")
+        parsed["gauges"].pop("jmake_snapshot_timestamp_seconds")
+        rebuilt = registry_from_dict(parsed)
+        assert rebuilt.to_dict() == parsed
+
+
+class TestChromeTraceRoundTrip:
+    def span_trees(self):
+        tracer = Tracer()
+        with tracer.span("commit.check", commit="abc123",
+                         **{"commit.index": 0, "worker": 1}):
+            with tracer.span("substrate.preprocess", path="a.c"):
+                pass
+            with tracer.span("verdict.record", status_code=0):
+                pass
+        return [tree.to_dict() for tree in tracer.drain()]
+
+    def test_reparsed_json_preserves_every_span(self):
+        trees = self.span_trees()
+        trace = json.loads(json.dumps(chrome_trace(trees)))
+        complete = [event for event in trace["traceEvents"]
+                    if event.get("ph") == "X"]
+        assert len(complete) == sum(span_count(t) for t in trees)
+        by_name = {event["name"]: event for event in complete}
+        assert by_name["substrate.preprocess"]["args"]["path"] == "a.c"
+        assert by_name["commit.check"]["args"]["status"] == "ok"
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_written_file_reparses_with_consistent_timing(self, tmp_path):
+        trees = self.span_trees()
+        path = tmp_path / "trace.json"
+        events_written = write_chrome_trace(str(path), trees)
+        trace = json.loads(path.read_text())
+        assert len(trace["traceEvents"]) == events_written
+        root = next(event for event in trace["traceEvents"]
+                    if event.get("name") == "commit.check")
+        children = [event for event in trace["traceEvents"]
+                    if event.get("ph") == "X"
+                    and event["name"] != "commit.check"]
+        # children nest inside the root slice on the trace timeline
+        for child in children:
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= \
+                root["ts"] + root["dur"] + 1e-3
+
+
+class TestRegistryAlgebra:
+    def merged(self, left, right):
+        out = MetricsRegistry()
+        out.merge(left)
+        out.merge(right)
+        return out
+
+    def test_merge_is_commutative(self):
+        a, b = shard_registry(0), shard_registry(3)
+        assert self.merged(a, b).to_dict() == self.merged(b, a).to_dict()
+
+    def test_merge_is_associative_across_three_shards(self):
+        a, b, c = (shard_registry(seed) for seed in (0, 1, 2))
+        left = self.merged(self.merged(a, b), c)
+        right = self.merged(a, self.merged(b, c))
+        assert left.to_dict() == right.to_dict()
+
+    def test_delta_of_merge_recovers_the_other_operand(self):
+        a, b = shard_registry(1), shard_registry(2)
+        combined = self.merged(a, b)
+        recovered = combined.delta(a)
+        for name, value in b.to_dict()["counters"].items():
+            assert recovered.to_dict()["counters"][name] == value
+
+    def test_delta_against_self_is_empty_of_counts(self):
+        a = shard_registry(2)
+        zero = a.snapshot().delta(a).to_dict()
+        assert all(value == 0 for value in zero["counters"].values())
+        assert all(h["count"] == 0 for h in zero["histograms"].values())
+
+    def test_serialized_round_trip_commutes_with_merge(self):
+        """merge(from_dict(x), from_dict(y)) == from_dict over merge."""
+        a, b = shard_registry(0), shard_registry(4)
+        via_dicts = self.merged(registry_from_dict(a.to_dict()),
+                                registry_from_dict(b.to_dict()))
+        direct = self.merged(a, b)
+        assert via_dicts.to_dict() == direct.to_dict()
+
+    def test_histogram_merge_requires_matching_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", (5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,204 @@
+"""Sinks: OpenMetrics exposition, JSONL resume/dedup, callbacks."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    CallbackSink,
+    JsonlSink,
+    OpenMetricsSink,
+    parse_openmetrics,
+    read_jsonl,
+    render_openmetrics,
+    sanitize_metric_name,
+    sanitized_metrics,
+)
+from repro.obs.timeseries import Snapshotter
+
+
+def snapshot_record(counter=3):
+    registry = MetricsRegistry()
+    registry.counter("service.requests.completed").inc(counter)
+    registry.gauge("service.shard.0.queue_depth").set(2)
+    histogram = registry.histogram("service.request.wall_seconds",
+                                   (0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return Snapshotter(registry, clock=lambda: 9.0).sample().to_dict()
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores_under_the_prefix(self):
+        assert sanitize_metric_name("service.shard.0.units") == \
+            "jmake_service_shard_0_units"
+
+    def test_all_sections_are_mapped(self):
+        mapped = sanitized_metrics(snapshot_record()["metrics"])
+        assert "jmake_service_requests_completed" in mapped["counters"]
+        assert "jmake_service_shard_0_queue_depth" in mapped["gauges"]
+        assert "jmake_service_request_wall_seconds" in \
+            mapped["histograms"]
+
+
+class TestOpenMetricsCodec:
+    def test_exposition_ends_with_eof(self):
+        assert render_openmetrics(snapshot_record()).endswith("# EOF\n")
+
+    def test_counters_expose_total_samples(self):
+        text = render_openmetrics(snapshot_record(counter=7))
+        assert "# TYPE jmake_service_requests_completed counter" in text
+        assert "jmake_service_requests_completed_total 7" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(snapshot_record())
+        lines = [line for line in text.splitlines()
+                 if line.startswith("jmake_service_request_wall_seconds")]
+        assert lines == [
+            'jmake_service_request_wall_seconds_bucket{le="0.1"} 1',
+            'jmake_service_request_wall_seconds_bucket{le="1.0"} 2',
+            'jmake_service_request_wall_seconds_bucket{le="+Inf"} 3',
+            "jmake_service_request_wall_seconds_sum 5.55",
+            "jmake_service_request_wall_seconds_count 3",
+        ]
+
+    def test_parse_rejects_missing_eof(self):
+        text = render_openmetrics(snapshot_record())
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics(text.replace("# EOF\n", ""))
+
+    def test_parse_rejects_malformed_sample_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics("!! not a sample\n# EOF")
+
+    def test_parse_rejects_untyped_samples(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_openmetrics("jmake_x_total 3\n# EOF")
+
+    def test_parse_rejects_non_monotone_buckets(self):
+        text = "\n".join([
+            "# TYPE jmake_h histogram",
+            'jmake_h_bucket{le="0.1"} 5',
+            'jmake_h_bucket{le="1.0"} 3',
+            'jmake_h_bucket{le="+Inf"} 5',
+            "jmake_h_sum 1.0",
+            "jmake_h_count 5",
+            "# EOF"])
+        with pytest.raises(ValueError, match="non-monotone"):
+            parse_openmetrics(text)
+
+
+class TestOpenMetricsSink:
+    def test_rewrites_the_exposition_per_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = OpenMetricsSink(str(path))
+        assert sink.emit(snapshot_record(counter=1)) is True
+        first = path.read_text()
+        assert sink.emit(snapshot_record(counter=2)) is True
+        second = path.read_text()
+        assert first != second
+        assert second.endswith("# EOF\n")
+        assert sink.writes == 2
+
+    def test_missing_directory_fails_at_construction(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            OpenMetricsSink(str(tmp_path / "absent" / "metrics.prom"))
+
+    def test_event_records_are_ignored(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = OpenMetricsSink(str(path))
+        event = EventLog(clock=lambda: 0.0).emit("shard.crash")
+        assert sink.emit(event.to_dict()) is False
+        assert not path.exists()
+
+
+class TestJsonlSink:
+    def test_appends_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"seq": 1, "kind": "a"})
+            sink.emit({"seq": 2, "kind": "b"})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]
+
+    def test_reopen_recovers_the_watermark(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"seq": 1})
+            sink.emit({"seq": 2})
+        sink = JsonlSink(str(path))
+        assert sink.last_seq == 2
+        assert sink.lines_recovered == 2
+        sink.close()
+
+    def test_duplicate_seqs_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"seq": 1})
+            sink.emit({"seq": 2})
+        with JsonlSink(str(path)) as sink:
+            assert sink.emit({"seq": 2}) is False
+            assert sink.emit({"seq": 1}) is False
+            assert sink.emit({"seq": 3}) is True
+            assert sink.duplicates_skipped == 2
+        assert [record["seq"] for record in read_jsonl(str(path))] == \
+            [1, 2, 3]
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"seq": 1})
+            sink.emit({"seq": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "tru')  # crash mid-append
+        sink = JsonlSink(str(path))
+        assert sink.last_seq == 2
+        assert sink.torn_bytes_truncated > 0
+        sink.emit({"seq": 3, "kind": "fresh"})
+        sink.close()
+        records = read_jsonl(str(path))
+        assert [record["seq"] for record in records] == [1, 2, 3]
+        assert records[-1]["kind"] == "fresh"
+
+    def test_corrupt_interior_line_truncates_the_suspect_suffix(
+            self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 1}\nnot json\n{"seq": 2}\n')
+        sink = JsonlSink(str(path))
+        assert sink.last_seq == 1
+        assert sink.lines_recovered == 1
+        sink.close()
+        assert [record["seq"] for record in read_jsonl(str(path))] == [1]
+
+    def test_kill_and_resume_never_duplicates_an_event(self, tmp_path):
+        """The serve restart contract: seed start_seq from last_seq."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        log = EventLog(clock=lambda: 0.0, start_seq=sink.last_seq,
+                       sinks=[sink])
+        log.emit("service.started")
+        log.emit("shard.crash", shard=0)
+        sink.close()   # process "dies" here
+        sink = JsonlSink(str(path))
+        log = EventLog(clock=lambda: 0.0, start_seq=sink.last_seq,
+                       sinks=[sink])
+        log.emit("service.started")
+        log.emit("service.drained")
+        sink.close()
+        seqs = [record["seq"] for record in read_jsonl(str(path))]
+        assert seqs == [1, 2, 3, 4]
+
+    def test_read_jsonl_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestCallbackSink:
+    def test_hands_records_through(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        assert sink.emit({"seq": 1}) is True
+        assert sink.emitted == 1
+        assert seen == [{"seq": 1}]

@@ -1,0 +1,200 @@
+"""Snapshotter/SnapshotRing/quantiles: the metric time-series layer."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import CallbackSink
+from repro.obs.timeseries import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricsSnapshot,
+    SnapshotRing,
+    Snapshotter,
+    histogram_quantiles,
+    registry_from_dict,
+    validate_snapshot_record,
+)
+
+
+def registry_with(counter=0, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("requests").inc(counter)
+    registry.gauge("depth").set(7)
+    histogram = registry.histogram("latency", (1.0, 2.0, 4.0))
+    for value in observations:
+        histogram.observe(value)
+    return registry
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_inside_the_owning_bucket(self):
+        # 10 observations uniform in (0, 1]: p50 lands mid-bucket
+        data = {"buckets": [1.0, 2.0], "counts": [10, 0, 0],
+                "sum": 5.0, "count": 10}
+        quantiles = histogram_quantiles(data)
+        assert quantiles[0.5] == pytest.approx(0.5)
+        assert quantiles[0.9] == pytest.approx(0.9)
+        assert quantiles[0.99] == pytest.approx(0.99)
+
+    def test_spans_buckets(self):
+        data = {"buckets": [1.0, 2.0], "counts": [5, 5, 0],
+                "sum": 0.0, "count": 10}
+        quantiles = histogram_quantiles(data, (0.25, 0.75))
+        assert quantiles[0.25] == pytest.approx(0.5)
+        assert quantiles[0.75] == pytest.approx(1.5)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        data = {"buckets": [1.0, 2.0], "counts": [0, 0, 10],
+                "sum": 100.0, "count": 10}
+        assert histogram_quantiles(data, (0.99,))[0.99] == 2.0
+
+    def test_empty_histogram_reports_zero(self):
+        data = {"buckets": [1.0], "counts": [0, 0], "sum": 0.0,
+                "count": 0}
+        assert histogram_quantiles(data, (0.5,))[0.5] == 0.0
+
+    def test_histogram_quantile_method_delegates(self):
+        histogram = MetricsRegistry().histogram("h", (1.0, 2.0))
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+
+
+class TestSnapshotRecord:
+    def test_round_trips_through_dict(self):
+        source = registry_with(counter=3, observations=(0.5, 1.5))
+        snapshot = MetricsSnapshot(5, 12.25, "sim", source.to_dict())
+        rebuilt = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert rebuilt.seq == 5
+        assert rebuilt.ts == 12.25
+        assert rebuilt.clock_kind == "sim"
+        assert rebuilt.metrics == source.to_dict()
+
+    def test_registry_rebuild_is_faithful(self):
+        source = registry_with(counter=3, observations=(0.5, 1.5, 9.0))
+        rebuilt = registry_from_dict(source.to_dict())
+        assert rebuilt.to_dict() == source.to_dict()
+
+    def test_validate_rejects_wrong_schema(self):
+        record = MetricsSnapshot(1, 0.0, "wall", registry_with()
+                                 .to_dict()).to_dict()
+        record["schema"] = SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            validate_snapshot_record(record)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("seq"),
+        lambda r: r.pop("metrics"),
+        lambda r: r.__setitem__("seq", 0),
+        lambda r: r.__setitem__("clock", "cpu"),
+        lambda r: r.__setitem__("metrics", {"counters": {}}),
+    ])
+    def test_validate_rejects_malformed_records(self, mutate):
+        record = MetricsSnapshot(1, 0.0, "wall", registry_with()
+                                 .to_dict()).to_dict()
+        mutate(record)
+        with pytest.raises(ValueError):
+            validate_snapshot_record(record)
+
+
+class TestSnapshotRing:
+    def test_bounded_oldest_evicted_first(self):
+        ring = SnapshotRing(capacity=2)
+        for seq in (1, 2, 3):
+            ring.append(MetricsSnapshot(seq, 0.0, "sim", {}))
+        assert [snapshot.seq for snapshot in ring] == [2, 3]
+        assert ring.latest.seq == 3
+
+    def test_empty_ring_has_no_latest(self):
+        assert SnapshotRing().latest is None
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotRing(0)
+
+
+class TestSnapshotter:
+    def test_sample_is_sequenced_and_ringed(self):
+        snapshotter = Snapshotter(registry_with(counter=2),
+                                  clock=lambda: 42.0, start_seq=10)
+        snapshot = snapshotter.sample()
+        assert snapshot.seq == 11
+        assert snapshot.ts == 42.0
+        assert snapshot.clock_kind == "sim"
+        assert snapshotter.ring.latest is snapshot
+        assert snapshot.metrics["counters"]["requests"] == 2
+
+    def test_wall_clock_is_the_default_kind(self):
+        assert Snapshotter(registry_with()).clock_kind == "wall"
+
+    def test_collectors_merge_into_every_sample(self):
+        extra = MetricsRegistry()
+        extra.counter("substrate.prepared.hits").inc(9)
+        snapshotter = Snapshotter(registry_with(counter=1),
+                                  collectors=[lambda: extra],
+                                  clock=lambda: 0.0)
+        metrics = snapshotter.sample().metrics
+        assert metrics["counters"]["requests"] == 1
+        assert metrics["counters"]["substrate.prepared.hits"] == 9
+
+    def test_sampling_never_perturbs_the_source(self):
+        source = registry_with(counter=5)
+        before = source.to_dict()
+        extra = MetricsRegistry()
+        extra.counter("other").inc()
+        Snapshotter(source, collectors=[lambda: extra],
+                    clock=lambda: 0.0).sample()
+        assert source.to_dict() == before
+
+    def test_sinks_receive_serialized_snapshots(self):
+        seen = []
+        snapshotter = Snapshotter(registry_with(counter=1),
+                                  clock=lambda: 3.0,
+                                  sinks=[CallbackSink(seen.append)])
+        snapshotter.sample()
+        assert len(seen) == 1
+        validate_snapshot_record(seen[0])
+        assert seen[0]["seq"] == 1
+
+    def test_deterministic_stream_under_a_fixed_clock(self):
+        def stream():
+            snapshotter = Snapshotter(registry_with(counter=4),
+                                      clock=lambda: 1.0)
+            return [snapshotter.sample().to_dict() for _ in range(3)]
+        assert stream() == stream()
+
+    def test_periodic_task_samples_and_final_stop_samples_again(self):
+        async def main():
+            snapshotter = Snapshotter(registry_with(),
+                                      clock=lambda: 0.0,
+                                      interval_seconds=0.005)
+            snapshotter.start()
+            await asyncio.sleep(0.03)
+            await snapshotter.stop(final_sample=True)
+            return snapshotter
+        snapshotter = asyncio.run(main())
+        assert snapshotter.samples_taken >= 2
+        assert snapshotter.ring.latest.seq == snapshotter.seq
+
+    def test_start_without_interval_is_an_error(self):
+        async def main():
+            Snapshotter(registry_with()).start()
+        with pytest.raises(ValueError, match="interval"):
+            asyncio.run(main())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_seconds": 0.0}, {"interval_seconds": -1.0},
+        {"start_seq": -1}, {"clock_kind": "cpu"},
+        {"ring_capacity": 0}])
+    def test_bad_construction_is_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Snapshotter(registry_with(), **kwargs)
+
+    def test_stats_shape(self):
+        snapshotter = Snapshotter(registry_with(), clock=lambda: 0.0)
+        snapshotter.sample()
+        assert snapshotter.stats() == {
+            "seq": 1, "samples_taken": 1, "ring_size": 1,
+            "interval_seconds": None, "clock": "sim"}

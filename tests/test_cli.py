@@ -211,6 +211,74 @@ class TestTrace:
         assert "hint:" in err
 
 
+class TestStats:
+    """``jmake stats`` reads sink files produced by ``jmake serve``."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("service.requests.completed").inc(4)
+        registry.gauge("service.queue_depth").set(1)
+        histogram = registry.histogram("service.request.wall_seconds",
+                                       (0.1, 1.0))
+        for value in (0.05, 0.5, 0.6):
+            histogram.observe(value)
+        return registry
+
+    def test_reads_latest_snapshot_from_a_jsonl_sink(self, capsys,
+                                                     tmp_path):
+        from repro.obs.sinks import JsonlSink
+        from repro.obs.timeseries import Snapshotter
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(str(path))
+        snapshotter = Snapshotter(self._registry(), clock=lambda: 2.0,
+                                  sinks=[sink])
+        snapshotter.sample()
+        snapshotter.sample()
+        sink.close()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 snapshot(s), latest seq=2" in out
+        assert "service.requests.completed" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_reads_an_openmetrics_exposition(self, capsys, tmp_path):
+        from repro.obs.sinks import OpenMetricsSink
+        from repro.obs.timeseries import Snapshotter
+        path = tmp_path / "metrics.prom"
+        Snapshotter(self._registry(), clock=lambda: 2.0,
+                    sinks=[OpenMetricsSink(str(path))]).sample()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot seq=1" in out
+        assert "jmake_service_requests_completed" in out
+
+    def test_summarizes_an_event_sink_by_kind(self, capsys, tmp_path):
+        from repro.obs.events import EventLog
+        from repro.obs.sinks import JsonlSink
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        log = EventLog(clock=lambda: 0.0, sinks=[sink])
+        log.emit("service.started")
+        log.emit("shard.crash", shard=0)
+        log.emit("shard.crash", shard=1)
+        sink.close()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 event(s), latest seq=3" in out
+        assert "shard.crash" in out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "absent.prom")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_exposition_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "broken.prom"
+        path.write_text("jmake_x_total 3\n")   # no TYPE, no EOF
+        assert main(["stats", str(path)]) == 2
+        assert "jmake stats:" in capsys.readouterr().err
+
+
 class TestLogLevel:
     def _drop_handler(self):
         root = logging.getLogger(ROOT_LOGGER)
