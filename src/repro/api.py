@@ -40,6 +40,9 @@ from repro.core.report import (
 from repro.core.units import UnitDag, WorkUnit, run_units
 from repro.errors import (
     FaultPlanError,
+    FrameCorruptError,
+    FrameTooLargeError,
+    FrameTruncatedError,
     JournalCorruptError,
     JournalError,
     ReproError,
@@ -49,8 +52,12 @@ from repro.errors import (
     ServiceOverloadedError,
     ServiceOverloadError,
     SimulatedCrashError,
+    TransportError,
     VcsError,
+    WireError,
+    WireSchemaError,
     WorkerCrashError,
+    WorkerLostError,
 )
 from repro.evalsuite.experiments import EXPERIMENTS
 from repro.evalsuite.figures import figure5_overall
@@ -62,7 +69,11 @@ from repro.evalsuite.runner import (
     scaled_criteria,
 )
 from repro.evalsuite.tables import table1, table2, table3, table4
-from repro.faults.chaos import CrashPoint, crash_offsets
+from repro.faults.chaos import (
+    CrashPoint,
+    crash_offsets,
+    transport_chaos_plan,
+)
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import RetryPolicy
@@ -114,13 +125,18 @@ from repro.obs.timeseries import (
 )
 from repro.obs.tracer import Tracer
 from repro.service import (
+    START_METHODS,
+    TRANSPORT_KINDS,
     CheckRequest,
     CheckResult,
     CheckService,
     ServiceConfig,
     ShardSupervisor,
     SupervisorConfig,
+    TransportOutcome,
+    live_transports,
 )
+from repro.service.transport import wire
 from repro.util.atomicio import (
     atomic_write_bytes,
     atomic_write_json,
@@ -138,6 +154,12 @@ __all__ = [
     # sessions / service
     "CheckSession", "EvaluationSession", "CheckService", "ServiceConfig",
     "CheckRequest", "CheckResult", "ShardSupervisor", "SupervisorConfig",
+    # transports and the wire protocol
+    "TRANSPORT_KINDS", "START_METHODS", "TransportOutcome",
+    "live_transports", "wire", "transport_chaos_plan",
+    "TransportError", "WorkerLostError", "WireError",
+    "FrameTruncatedError", "FrameCorruptError", "FrameTooLargeError",
+    "WireSchemaError",
     # durability (write-ahead journal, resume, chaos)
     "Journal", "ReplayResult", "VerdictLedger", "CrashPoint",
     "crash_offsets", "JournalError", "JournalCorruptError",

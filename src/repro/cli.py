@@ -233,10 +233,15 @@ def _build_telemetry(args) -> tuple:
 def _serve(args: argparse.Namespace) -> int:
     try:
         api.validate_jobs(args.shards, what="--shards")
+        if args.jobs is not None:
+            api.validate_jobs(args.jobs, what="--jobs")
         config = api.ServiceConfig(
             shards=args.shards,
             batch_limit=args.batch_limit,
-            max_pending_requests=args.max_pending)
+            max_pending_requests=args.max_pending,
+            transport=args.transport,
+            jobs=args.jobs,
+            start_method=args.start_method)
         if args.stats_interval is not None and args.stats_interval <= 0:
             raise ValueError(f"--stats-interval must be positive, "
                              f"got {args.stats_interval}")
@@ -285,9 +290,15 @@ def _serve(args: argparse.Namespace) -> int:
                      corpus.repository.show(commit))]
     if args.limit is not None:
         checkable = checkable[:args.limit]
-    print(f"service: shards={config.shards} "
-          f"batch_limit={config.batch_limit}; submitting "
-          f"{len(checkable)} request(s) ...")
+    if config.transport == "asyncio":
+        print(f"service: transport=asyncio shards={config.shards} "
+              f"batch_limit={config.batch_limit}; submitting "
+              f"{len(checkable)} request(s) ...")
+    else:
+        print(f"service: transport={config.transport} "
+              f"jobs={config.jobs or config.shards} "
+              f"start_method={config.start_method}; submitting "
+              f"{len(checkable)} request(s) ...")
     try:
         results = service.check_commits(
             [commit.id for commit in checkable])
@@ -302,14 +313,22 @@ def _serve(args: argparse.Namespace) -> int:
               f"({result.elapsed_sim_seconds:.1f}s simulated)")
     print(f"\nrequests completed: {stats['requests_completed']}")
     for index, shard in enumerate(stats["shards"]):
-        print(f"  shard {index}: units={shard['units_run']} "
-              f"batches={shard['batches_run']} "
-              f"archs={','.join(shard['archs']) or '-'} "
-              f"queue_depth={shard['queue_depth']}")
+        if "units_run" in shard:
+            print(f"  shard {index}: units={shard['units_run']} "
+                  f"batches={shard['batches_run']} "
+                  f"archs={','.join(shard['archs']) or '-'} "
+                  f"queue_depth={shard['queue_depth']}")
+        else:
+            print(f"  worker {shard['worker']}: pid={shard['pid']} "
+                  f"assignments={shard['assignments']} "
+                  f"crashes={shard['crashes']} "
+                  f"hangs={shard['hangs']} "
+                  f"restarts={shard['restarts']}")
     batcher = stats["batcher"]
-    print(f"  batcher: flushes={batcher.get('flushes', 0)} "
-          f"units_batched={batcher.get('units_batched', 0)} "
-          f"pending={batcher.get('pending_units', 0)}")
+    if batcher:
+        print(f"  batcher: flushes={batcher.get('flushes', 0)} "
+              f"units_batched={batcher.get('units_batched', 0)} "
+              f"pending={batcher.get('pending_units', 0)}")
     health = stats["health"]
     print(f"  health: {health['status']} "
           f"(breakers={health['breaker_open_shards'] or '-'} "
@@ -558,6 +577,20 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--seed", default="jmake-cli")
     serve.add_argument("--shards", type=int, default=2,
                        help="per-architecture shard workers")
+    serve.add_argument("--transport", default="asyncio",
+                       choices=("asyncio", "mp", "socket"),
+                       help="execution backend: in-process asyncio "
+                            "shards, warm multiprocessing workers over "
+                            "pipes, or workers over a localhost socket "
+                            "speaking the framed wire protocol")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for mp/socket transports "
+                            "(default: --shards)")
+    serve.add_argument("--start-method", default=None,
+                       choices=("fork", "spawn", "forkserver"),
+                       help="multiprocessing start method for worker "
+                            "processes (default: JMAKE_START_METHOD "
+                            "from the environment, else fork)")
     serve.add_argument("--batch-limit", type=int, default=50,
                        help="max files per coalesced preprocess "
                             "invocation (§III-D)")

@@ -132,6 +132,71 @@ class WorkerCrashError(ServiceError):
     worker process."""
 
 
+class TransportError(ServiceError):
+    """Base class for shard-transport failures (worker processes,
+    sockets, framing above the journal layer)."""
+
+
+class WorkerLostError(TransportError):
+    """Raised when a remote shard worker dies or its connection drops
+    while work is in flight. Carries the worker index and how many
+    assignments were requeued so supervision tests can assert on the
+    recovery path.
+    """
+
+    def __init__(self, message: str, *, worker_id: int = -1,
+                 requeued: int = 0) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.requeued = requeued
+
+
+class WireError(TransportError):
+    """Base class for wire-codec failures (framing + message schema)."""
+
+
+class FrameTruncatedError(WireError):
+    """Raised when a byte buffer ends inside a frame (header or
+    payload cut short). The streaming decoder treats this as "wait for
+    more bytes"; the one-shot decoder surfaces it as corruption of a
+    supposedly complete message.
+    """
+
+    def __init__(self, message: str, *, needed: int = 0,
+                 have: int = 0) -> None:
+        super().__init__(message)
+        self.needed = needed
+        self.have = have
+
+
+class FrameCorruptError(WireError):
+    """Raised on a structurally damaged frame: bad magic, unknown wire
+    version, CRC32 mismatch, or an undecodable payload. ``offset`` is
+    the byte offset of the bad frame within the buffer fed so far."""
+
+    def __init__(self, message: str, *, offset: int = 0) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
+class FrameTooLargeError(WireError):
+    """Raised when a frame header declares a payload larger than
+    ``repro.service.transport.wire.MAX_FRAME_BYTES`` — a corrupt length
+    field would otherwise stall the stream waiting for gigabytes."""
+
+    def __init__(self, message: str, *, declared: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.declared = declared
+        self.limit = limit
+
+
+class WireSchemaError(WireError):
+    """Raised when a well-framed payload fails message validation:
+    unknown message type, missing fields, or a record whose
+    ``schema_version`` the codec does not speak."""
+
+
 class SimulatedCrashError(ReproError):
     """Raised by the chaos harness to model sudden process death
     (power loss, OOM kill) at a deterministic point. Production code

@@ -17,7 +17,53 @@ offsets for a run of a known length, so a property suite can replay
 from __future__ import annotations
 
 from repro.errors import SimulatedCrashError
-from repro.faults.plan import unit_draw
+from repro.faults.plan import (
+    KIND_SOCKET_DROP,
+    KIND_WORKER_HANG,
+    KIND_WORKER_KILL,
+    FaultPlan,
+    FaultSpec,
+    unit_draw,
+)
+
+__all__ = [
+    "KIND_SOCKET_DROP",
+    "KIND_WORKER_KILL",
+    "CrashPoint",
+    "crash_offsets",
+    "transport_chaos_plan",
+]
+
+
+def transport_chaos_plan(seed: object, *, kill_rate: float = 0.0,
+                         drop_rate: float = 0.0, hang_rate: float = 0.0,
+                         times: int | None = None) -> FaultPlan:
+    """A fault plan aimed at remote shard workers.
+
+    ``worker_kill`` hard-kills the child at assignment pickup,
+    ``socket_drop`` severs its connection mid-stream, ``worker_hang``
+    stalls it past the transport's hang deadline. All three fire from
+    the worker-site injector keyed by (worker slot, pickup sequence),
+    so for a fixed dispatch order the chaos schedule is deterministic.
+    Verdicts are unaffected either way: the assignment is requeued and
+    re-executed from scratch, and every check is a pure function of
+    (corpus, commit).
+    """
+    specs = []
+    times = 1 if times is None else times
+    if kill_rate:
+        specs.append(FaultSpec(kind=KIND_WORKER_KILL, rate=kill_rate,
+                               times=times))
+    if drop_rate:
+        specs.append(FaultSpec(kind=KIND_SOCKET_DROP, rate=drop_rate,
+                               times=times))
+    if hang_rate:
+        specs.append(FaultSpec(kind=KIND_WORKER_HANG, rate=hang_rate,
+                               times=times))
+    if not specs:
+        raise ValueError("transport_chaos_plan needs at least one "
+                         "non-zero rate")
+    return FaultPlan(seed=str(seed), specs=specs)
 
 
 class CrashPoint:

@@ -60,6 +60,16 @@ KIND_WORKER_HANG = "worker_hang"
 #: replay must truncate the torn tail and continue
 KIND_TORN_JOURNAL_WRITE = "torn_journal_write"
 
+# -- transport-level fault kinds (PR 8 chaos vocabulary) --------------------
+
+#: a remote shard worker process is hard-killed (SIGKILL, OOM) after
+#: claiming an assignment; the transport monitor must detect the dead
+#: child and requeue the in-flight work
+KIND_WORKER_KILL = "worker_kill"
+#: a worker's connection drops mid-stream (peer reset, half-close);
+#: a dropped socket is just another shard crash to the supervisor
+KIND_SOCKET_DROP = "socket_drop"
+
 # -- injection sites --------------------------------------------------------
 
 SITE_CONFIG = "config"            # BuildSystem.make_config
@@ -94,6 +104,8 @@ _KIND_SITES: dict[str, tuple[str, ...]] = {
                     SITE_CACHE_LOAD, SITE_CACHE_STORE),
     KIND_WORKER_CRASH: (SITE_WORKER,),
     KIND_WORKER_HANG: (SITE_WORKER,),
+    KIND_WORKER_KILL: (SITE_WORKER,),
+    KIND_SOCKET_DROP: (SITE_WORKER,),
     KIND_TORN_JOURNAL_WRITE: (SITE_JOURNAL_APPEND,),
 }
 
@@ -112,6 +124,8 @@ _DEFAULT_COST_SECONDS = {
     KIND_IO_ERROR: 1.0,
     KIND_WORKER_CRASH: 0.0,
     KIND_WORKER_HANG: 0.0,
+    KIND_WORKER_KILL: 0.0,
+    KIND_SOCKET_DROP: 0.0,
     KIND_TORN_JOURNAL_WRITE: 0.0,
 }
 

@@ -53,6 +53,9 @@ EVENT_JOURNAL_TRUNCATED = "journal.truncated"
 EVENT_JOURNAL_CHECKPOINT = "journal.checkpoint"
 EVENT_FASTPATH_CHANGED = "substrate.fastpath_changed"
 EVENT_CACHE_LOAD_ERROR = "cache.load_error"
+EVENT_WORKER_SPAWNED = "transport.worker_spawned"
+EVENT_WORKER_EXIT = "transport.worker_exit"
+EVENT_WORKER_REQUEUE = "transport.requeue"
 
 #: well-known event kinds (kind -> meaning); documentation, not an ACL
 EVENT_KINDS = {
@@ -69,6 +72,9 @@ EVENT_KINDS = {
     EVENT_JOURNAL_CHECKPOINT: "the verdict ledger wrote a checkpoint",
     EVENT_FASTPATH_CHANGED: "the substrate fast path was switched on/off",
     EVENT_CACHE_LOAD_ERROR: "a cache pickle load fell back to empty",
+    EVENT_WORKER_SPAWNED: "a remote transport spawned a shard worker",
+    EVENT_WORKER_EXIT: "a remote shard worker exited or was reaped",
+    EVENT_WORKER_REQUEUE: "in-flight work was requeued off a dead worker",
 }
 
 #: serialized-event keys every record must carry

@@ -1,42 +1,39 @@
 """The persistent check service.
 
 One :class:`CheckService` holds the long-lived substrate — the shared
-BuildCache, the per-architecture shard pool, the cross-request batcher,
-and the service metrics registry — while every submitted
-:class:`~repro.service.request.CheckRequest` gets its own
-:class:`~repro.core.jmake.CheckSession` (own SimClock, own
-FaultInjector scope, own BuildSystem and quarantine). The request
-coroutine drives the session's unit generator: request-local stages
-(mutate, token-grep) run inline, preprocess units go through the
-batcher, config/certify units go straight to the owning arch shard.
+BuildCache, the execution transport, and the service metrics registry —
+while every submitted :class:`~repro.service.request.CheckRequest`
+gets its own :class:`~repro.core.jmake.CheckSession` (own SimClock,
+own FaultInjector scope, own BuildSystem and quarantine).
 
-Because each request consumes every unit's result before yielding the
-next, a request's clock charges and verdict are the same whether zero
-or fifty other requests are in flight — the differential suite pins
-service output byte-identical to the sequential ``EvaluationRunner``.
+*Where* a request executes is the transport's business
+(:mod:`repro.service.transport`): the default ``asyncio`` transport
+drives the session's unit generator on this loop — request-local
+stages inline, preprocess units through the cross-request batcher,
+config/certify units on the owning arch shard — while the ``mp`` and
+``socket`` transports ship whole commit assignments to warm worker
+processes over the wire codec. Every check is a pure function of
+(corpus, commit), so the differential suite pins all three transports
+byte-identical to the sequential ``EvaluationRunner``.
 
 Admission control: ``submit()`` awaits a bounded slot (backpressure),
 ``submit_nowait()`` raises :class:`~repro.errors.
 ServiceOverloadedError` when no slot is free. After ``drain()`` begins,
 new submissions raise :class:`~repro.errors.ServiceDrainingError`;
-in-flight requests finish, the batcher flushes, shard queues join, and
-the workers stop.
+in-flight requests finish, the transport flushes its workers, and the
+service stops.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.buildcache.cache import BuildCache
 from repro.core.jmake import CheckSession, JMakeOptions
 from repro.cpp import prepared
-from repro.core.units import (
-    STAGE_PREPROCESS,
-    UnitDag,
-    UnitGenerator,
-)
 from repro.errors import ServiceDrainingError, ServiceOverloadedError
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import FaultPlan
@@ -51,11 +48,19 @@ from repro.obs.events import (
 from repro.obs.logcfg import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
-from repro.service.batcher import CrossRequestBatcher
 from repro.service.request import CheckRequest, CheckResult
-from repro.service.shards import ShardPool
-from repro.service.supervisor import ShardSupervisor, SupervisorConfig
+from repro.service.supervisor import SupervisorConfig
+from repro.service.transport.base import (
+    TRANSPORT_KINDS,
+    create_transport,
+    track_live,
+    untrack_live,
+)
+from repro.service.transport.local import drive_units  # noqa: F401 — public API
 from repro.workload.corpus import Corpus
+
+#: start methods ``multiprocessing`` supports for remote transports
+START_METHODS = ("fork", "spawn", "forkserver")
 
 _logger = get_logger("service")
 
@@ -96,12 +101,36 @@ class ServiceConfig:
     #: run the shard supervisor (crash/hang detection, restarts,
     #: circuit breaking); off only for tests that want a bare pool
     supervise: bool = True
-    #: supervisor tunables (None -> SupervisorConfig defaults)
+    #: supervisor tunables (None -> SupervisorConfig defaults; remote
+    #: transports substitute a remote-scale hang deadline when unset)
     supervisor: "SupervisorConfig | None" = None
+    #: execution backend: "asyncio" (in-process shard pool), "mp"
+    #: (warm worker processes over pipes), or "socket" (warm workers
+    #: over the CRC32-framed localhost protocol)
+    transport: str = "asyncio"
+    #: worker processes for remote transports (None -> ``shards``)
+    jobs: "int | None" = None
+    #: multiprocessing start method for remote transports; None reads
+    #: JMAKE_START_METHOD from the environment (default "fork"), which
+    #: is how CI runs the whole transport surface under ``spawn``
+    start_method: "str | None" = None
 
     def __post_init__(self) -> None:
         from repro.api import validate_jobs
         self.shards = validate_jobs(self.shards, what="shards")
+        if self.start_method is None:
+            self.start_method = os.environ.get(
+                "JMAKE_START_METHOD", "fork")
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                f"(known: {', '.join(TRANSPORT_KINDS)})")
+        if self.jobs is not None:
+            self.jobs = validate_jobs(self.jobs, what="jobs")
+        if self.start_method not in START_METHODS:
+            raise ValueError(
+                f"unknown start method {self.start_method!r} "
+                f"(known: {', '.join(START_METHODS)})")
         if self.batch_limit < 1:
             raise ValueError(
                 f"batch_limit must be a positive integer, "
@@ -114,17 +143,6 @@ class ServiceConfig:
             raise ValueError(
                 f"shard_queue_limit must be a positive integer, "
                 f"got {self.shard_queue_limit}")
-
-
-async def drive_units(generator: UnitGenerator, execute) -> object:
-    """Drive a unit generator, awaiting ``execute(unit)`` per unit."""
-    try:
-        unit = generator.send(None)
-        while True:
-            result = await execute(unit)
-            unit = generator.send(result)
-    except StopIteration as stop:
-        return stop.value
 
 
 class CheckService:
@@ -145,8 +163,10 @@ class CheckService:
             self.cache = cache
         #: service-wide metrics (scheduling + aggregated pipeline)
         self.metrics = MetricsRegistry()
-        self._tracer = self.config.tracer \
+        self.tracer = self.config.tracer \
             if self.config.tracer is not None else NULL_TRACER
+        #: kept for callers that predate the transport refactor
+        self._tracer = self.tracer
         #: structured operational events (crashes, rejections, trips)
         self.events = self.config.events \
             if self.config.events is not None else NULL_EVENTS
@@ -158,9 +178,11 @@ class CheckService:
             pinned = FaultInjector(self.config.fault_plan) \
                 if self.config.fault_plan else NULL_INJECTOR
             self.cache.pin_injector(pinned)
-        self._pool: "ShardPool | None" = None
-        self._batcher: "CrossRequestBatcher | None" = None
-        self._supervisor: "ShardSupervisor | None" = None
+        #: the execution backend (built at start())
+        self.transport = None
+        self._pool = None
+        self._batcher = None
+        self._supervisor = None
         self._admission: "asyncio.Semaphore | None" = None
         self._requests: set = set()
         self._started = False
@@ -171,37 +193,19 @@ class CheckService:
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
-        """Create the shard pool/batcher and start the workers."""
+        """Create the transport and bring its workers up."""
         if self._started:
             return
-        # the worker-site injector is service-level (process faults are
-        # about *this service's* workers, not any one request) and is
-        # keyed by (shard, pickup sequence), so firing is deterministic
-        # for a given submission order
-        worker_injector = FaultInjector(self.config.fault_plan) \
-            if self.config.fault_plan else NULL_INJECTOR
-        self._pool = ShardPool(self.config.shards,
-                               queue_limit=self.config.shard_queue_limit,
-                               metrics=self.metrics,
-                               tracer=self._tracer,
-                               injector=worker_injector)
-        if self.config.supervise:
-            self._supervisor = ShardSupervisor(
-                self._pool, config=self.config.supervisor,
-                metrics=self.metrics, tracer=self._tracer,
-                events=self.events)
-        self._batcher = CrossRequestBatcher(
-            self._pool,
-            batch_limit=self.config.batch_limit,
-            batch_window=self.config.batch_window_seconds,
-            metrics=self.metrics,
-            tracer=self._tracer,
-            events=self.events)
+        self.transport = create_transport(self, self.config.transport)
+        await self.transport.start()
+        track_live(self.transport)
+        # back-compat views for the in-process backend (stats/tests
+        # reach for the pool/batcher/supervisor directly)
+        self._pool = getattr(self.transport, "pool", None)
+        self._batcher = getattr(self.transport, "batcher", None)
+        self._supervisor = getattr(self.transport, "supervisor", None)
         self._admission = asyncio.Semaphore(
             self.config.max_pending_requests)
-        self._pool.start()
-        if self._supervisor is not None:
-            self._supervisor.start()
         if self.snapshotter is not None and \
                 self.snapshotter.interval_seconds is not None:
             self.snapshotter.start()
@@ -210,11 +214,12 @@ class CheckService:
         self.events.emit(EVENT_SERVICE_STARTED,
                          shards=self.config.shards,
                          batch_limit=self.config.batch_limit,
-                         supervised=self._supervisor is not None)
-        _logger.info("service started: shards=%d batch_limit=%d "
-                     "supervised=%s", self.config.shards,
-                     self.config.batch_limit,
-                     self._supervisor is not None)
+                         transport=self.config.transport,
+                         supervised=self._supervisor is not None
+                         or self.config.transport != "asyncio")
+        _logger.info("service started: transport=%s shards=%d "
+                     "batch_limit=%d", self.config.transport,
+                     self.config.shards, self.config.batch_limit)
 
     async def drain(self) -> None:
         """Graceful shutdown: finish in-flight work, stop workers."""
@@ -225,17 +230,9 @@ class CheckService:
         while self._requests:
             await asyncio.gather(*list(self._requests),
                                  return_exceptions=True)
-        if self._batcher is not None:
-            await self._batcher.drain()
-        if self._pool is not None:
-            # the supervisor must outlive join(): a worker that crashes
-            # during the drain still needs its claimed job requeued for
-            # the queues to ever empty
-            await self._pool.join()
-        if self._supervisor is not None:
-            await self._supervisor.stop()
-        if self._pool is not None:
-            await self._pool.stop()
+        if self.transport is not None:
+            await self.transport.drain()
+            untrack_live(self.transport)
         if self.snapshotter is not None:
             # final sample: the drained state lands in the time series
             await self.snapshotter.stop(final_sample=True)
@@ -310,29 +307,18 @@ class CheckService:
             retry_policy=self.config.retry_policy)
 
     async def _run_request(self, request: CheckRequest) -> CheckResult:
-        session = self._make_session(request)
-        dag = UnitDag(request_id=request.request_id)
-        repository = self.corpus.repository
-        commit = repository.resolve(request.commit_id)
         wall_start = time.perf_counter()
-        with self._tracer.span("service.request",
-                               request=request.request_id,
-                               commit=commit.id):
-            generator = session.iter_check_commit(repository, commit,
-                                                  dag=dag)
-            report = await drive_units(
-                generator,
-                lambda unit: self._execute_unit(unit,
-                                                request.request_id))
-        if session.last_build is not None and self._pool is not None:
-            quarantine = session.last_build.quarantine
-            self._pool.absorb_quarantine(quarantine)
-            for arch in quarantine.archs():
-                self.metrics.counter("service.quarantine.trips").inc()
-                self.events.emit(EVENT_QUARANTINE_TRIP,
-                                 request_id=request.request_id,
-                                 commit=commit.id, arch=arch,
-                                 site=quarantine.reason(arch))
+        with self.tracer.span("service.request",
+                              request=request.request_id,
+                              commit=request.commit_id):
+            outcome = await self.transport.run_request(request)
+        report = outcome.report
+        for arch, reason in outcome.quarantine.items():
+            self.metrics.counter("service.quarantine.trips").inc()
+            self.events.emit(EVENT_QUARANTINE_TRIP,
+                             request_id=request.request_id,
+                             commit=report.commit_id, arch=arch,
+                             site=reason)
         self.requests_completed += 1
         self.metrics.counter("service.requests.completed").inc()
         self.metrics.histogram("service.request.sim_seconds").observe(
@@ -345,23 +331,12 @@ class CheckService:
             self.metrics.counter("service.requests.faulted").inc()
         return CheckResult(
             request_id=request.request_id,
-            commit_id=commit.id,
+            commit_id=report.commit_id,
             report=report,
             record=report.to_dict(),
             elapsed_sim_seconds=report.elapsed_seconds,
-            stage_counts=dag.stage_counts(),
+            stage_counts=outcome.stage_counts,
         )
-
-    async def _execute_unit(self, unit,
-                            request_id: str | None = None) -> object:
-        if unit.arch is None:
-            # request-local stage (mutate, token-grep): run inline
-            self.metrics.counter("service.units.local").inc()
-            return unit.run()
-        if unit.stage == STAGE_PREPROCESS:
-            return await self._batcher.submit(unit)
-        return await self._pool.shard_for(unit.arch).submit(
-            unit, request_id=request_id)
 
     # -- conveniences ----------------------------------------------------------
 
@@ -408,11 +383,11 @@ class CheckService:
         started). ``ready`` is the load-balancer admission signal:
         True exactly when a new submit() would be accepted.
         """
-        breakers = [shard.index for shard in self._pool.shards
-                    if shard.breaker_open] if self._pool else []
-        quarantined = sorted({
-            arch for shard in (self._pool.shards if self._pool else [])
-            for arch in shard.quarantine.archs()})
+        if self.transport is not None:
+            breakers = self.transport.breaker_open_workers()
+            quarantined = self.transport.quarantined_archs()
+        else:
+            breakers, quarantined = [], []
         if not self._started:
             status = "down"
         elif self._draining:
@@ -440,10 +415,17 @@ class CheckService:
             "health": self.health(),
             "requests_completed": self.requests_completed,
             "requests_in_flight": len(self._requests),
-            "shards": self._pool.stats() if self._pool else [],
-            "batcher": self._batcher.stats() if self._batcher else {},
-            "supervisor": self._supervisor.stats()
-            if self._supervisor else {},
+            "transport": {
+                "kind": self.config.transport,
+                "jobs": self.config.jobs or self.config.shards,
+                "start_method": self.config.start_method,
+            },
+            "shards": self.transport.shard_stats()
+            if self.transport is not None else [],
+            "batcher": self.transport.batcher_stats()
+            if self.transport is not None else {},
+            "supervisor": self.transport.supervisor_stats()
+            if self.transport is not None else {},
             "events": self.events.stats(),
             "snapshots": self.snapshotter.stats()
             if self.snapshotter is not None else None,

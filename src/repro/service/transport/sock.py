@@ -1,0 +1,119 @@
+"""The socket transport: warm workers over localhost TCP.
+
+The coordinator listens on an ephemeral ``127.0.0.1`` port; each
+worker process dials back, announces itself with a HELLO frame, and
+then serves assignments over the stream. Unlike pipes, TCP gives no
+message boundaries — the parent side reassembles frames with the
+wire codec's :class:`~repro.service.transport.wire.FrameDecoder`, the
+exact layer the hypothesis property suite attacks with truncation and
+bit flips. A dropped connection (the ``socket_drop`` chaos kind, a
+peer reset, a half-close) reads as EOF and is handled as a worker
+crash — supervision is transport-uniform by construction.
+
+Worker lifecycle still uses ``multiprocessing.Process`` (so fork and
+spawn start methods both work); only the data plane is the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+from repro.service.transport import wire
+from repro.service.transport.remote import RemoteTransport, WorkerSlot
+from repro.service.transport.worker import socket_worker_main
+
+
+class SockParentChannel:
+    """Async frame transport over an accepted worker connection."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = wire.FrameDecoder()
+
+    async def send(self, frame: bytes) -> None:
+        self._writer.write(frame)
+        await self._writer.drain()
+
+    async def recv_message(self) -> "tuple[int, dict] | None":
+        while True:
+            for message in self._decoder:
+                return message
+            try:
+                chunk = await self._reader.read(65536)
+            except (ConnectionError, OSError):
+                return None
+            if not chunk:
+                return None
+            self._decoder.feed(chunk)
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except (RuntimeError, OSError):
+            pass
+
+
+class SocketTransport(RemoteTransport):
+    """Warm workers dialing back over the CRC32-framed protocol."""
+
+    kind = "socket"
+
+    def __init__(self, service) -> None:
+        super().__init__(service)
+        self._server: "asyncio.AbstractServer | None" = None
+        self._host = "127.0.0.1"
+        self._port = 0
+
+    async def start(self) -> None:
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._on_connect, self._host, 0)
+            self._port = self._server.sockets[0].getsockname()[1]
+        await super().start()
+
+    async def drain(self) -> None:
+        await super().drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        # a fresh rendezvous future per process generation: a stale
+        # connection from a killed predecessor can never satisfy it
+        slot._connected = asyncio.get_running_loop().create_future()
+        context = multiprocessing.get_context(self.start_method)
+        process = context.Process(
+            target=socket_worker_main,
+            args=(self._host, self._port, self._worker_init(slot)),
+            name=f"jmake-socket-worker-{slot.index}",
+            daemon=True)
+        process.start()
+        slot.process = process
+        slot.pid = process.pid
+        slot.channel = None
+
+    async def _connect(self, slot: WorkerSlot) -> None:
+        slot.channel = await slot._connected
+
+    async def _on_connect(self, reader, writer) -> None:
+        """Accept a worker, read its HELLO, hand the channel to the
+        owning slot."""
+        channel = SockParentChannel(reader, writer)
+        message = await channel.recv_message()
+        if message is None or message[0] != wire.MSG_HELLO:
+            channel.close()
+            return
+        worker_id = message[1].get("worker_id", -1)
+        if not 0 <= worker_id < len(self.slots):
+            channel.close()
+            return
+        slot = self.slots[worker_id]
+        rendezvous = getattr(slot, "_connected", None)
+        if rendezvous is None or rendezvous.done():
+            # a connection nobody is waiting for (stale predecessor)
+            channel.close()
+            return
+        rendezvous.set_result(channel)

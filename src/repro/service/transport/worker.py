@@ -1,0 +1,238 @@
+"""The warm shard-worker process: preload once, check commits forever.
+
+One worker process serves one transport slot. At startup it builds its
+private substrate **once** — the corpus (inherited under ``fork``,
+unpickled under ``spawn``), a :class:`~repro.buildcache.cache.
+BuildCache` primed with every architecture's solved Kconfig models and
+all*config, and the process-wide prepared-file substrate that warms as
+files are first touched — then announces readiness with a HELLO frame
+and enters the assignment loop. Every WORK frame runs a fresh
+per-request :class:`~repro.core.jmake.CheckSession` over the warm
+substrate (own SimClock, own injector scope, own quarantine), exactly
+the service's per-request isolation, so verdicts are byte-identical to
+a local run.
+
+Telemetry flows home on the verdict: each VERDICT frame carries the
+registry *delta* accrued while checking (commutative merges make the
+coordinator's totals order-independent) plus any buffered event dicts.
+
+Chaos lives here too: the WORK frame's ``chaos`` field is the
+coordinator's worker-site fault decision for this pickup.
+``worker_kill``/``worker_crash`` hard-exit before the assignment runs
+(the requeue replays nothing), ``socket_drop`` severs the channel
+mid-claim, ``worker_hang`` parks the process until the coordinator's
+hang deadline reaps it. The *effects* are real — a dead child, a
+closed pipe, a silent peer — so the detection paths the chaos suite
+exercises are the production ones.
+"""
+
+from __future__ import annotations
+
+import os
+import socket as socket_module
+import time
+from dataclasses import dataclass
+
+from repro.buildcache.cache import BuildCache
+from repro.cc.toolchain import ToolchainRegistry
+from repro.core.jmake import CheckSession, JMakeOptions
+from repro.core.units import UnitDag, run_units
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import (
+    KIND_SOCKET_DROP,
+    KIND_WORKER_CRASH,
+    KIND_WORKER_HANG,
+    KIND_WORKER_KILL,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service.transport import wire
+
+#: exit codes the coordinator logs for post-mortems (any non-zero exit
+#: is just "worker lost" to supervision)
+EXIT_CHAOS_KILL = 70
+EXIT_CHAOS_DROP = 71
+
+
+@dataclass
+class WorkerInit:
+    """Everything a worker needs to build its warm substrate.
+
+    Must stay picklable under the ``spawn`` start method — it crosses
+    the process boundary as a ``multiprocessing.Process`` argument.
+    """
+
+    worker_id: int
+    start_method: str
+    corpus: object
+    options: "JMakeOptions | None" = None
+    fault_plan: object = None
+    retry_policy: object = None
+    use_cache: bool = True
+
+
+# -- child-side channel shims ----------------------------------------------
+
+class PipeChildChannel:
+    """Frame transport over one ``multiprocessing`` pipe connection."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, frame: bytes) -> None:
+        self._conn.send_bytes(frame)
+
+    def recv_message(self) -> "tuple[int, dict] | None":
+        """One decoded message, or None on EOF."""
+        try:
+            frame = self._conn.recv_bytes()
+        except (EOFError, OSError):
+            return None
+        msg_type, payload, _ = wire.decode_frame(frame)
+        return msg_type, payload
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class SocketChildChannel:
+    """Frame transport over a blocking localhost TCP socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._sock = socket_module.create_connection((host, port))
+        self._decoder = wire.FrameDecoder()
+
+    def send(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+
+    def recv_message(self) -> "tuple[int, dict] | None":
+        while True:
+            for message in self._decoder:
+                return message
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._decoder.feed(chunk)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class WorkerRuntime:
+    """The warm per-process substrate plus the assignment loop."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        self.init = init
+        self.corpus = init.corpus
+        self.options = init.options or JMakeOptions()
+        self.metrics = MetricsRegistry()
+        #: event dicts buffered for the next verdict frame
+        self.events: list[dict] = []
+        self.cache: "BuildCache | None" = None
+        if init.use_cache:
+            self.cache = BuildCache()
+            pinned = FaultInjector(init.fault_plan) \
+                if init.fault_plan else NULL_INJECTOR
+            self.cache.pin_injector(pinned)
+            # warm preload: solve Kconfig models and all*config for
+            # every architecture once; every assignment hits warm state
+            self.cache.prime(self.corpus.tree, ToolchainRegistry(),
+                             use_allmodconfig=self.options.
+                             use_allmodconfig)
+
+    def check(self, payload: dict) -> dict:
+        """Run one WORK assignment; returns the VERDICT payload."""
+        request_id = payload["request_id"]
+        commit_id = payload["commit_id"]
+        options = wire.options_from_wire(payload["options"]) \
+            or self.options
+        session = CheckSession.from_generated_tree(
+            self.corpus.tree, options=options, cache=self.cache,
+            metrics=self.metrics,
+            fault_plan=self.init.fault_plan,
+            retry_policy=self.init.retry_policy)
+        dag = UnitDag(request_id=request_id)
+        repository = self.corpus.repository
+        commit = repository.resolve(commit_id)
+        before = self.metrics.snapshot()
+        generator = session.iter_check_commit(repository, commit,
+                                              dag=dag)
+        report = run_units(generator)
+        quarantine: dict[str, str] = {}
+        if session.last_build is not None:
+            request_quarantine = session.last_build.quarantine
+            quarantine = {arch: request_quarantine.reason(arch)
+                          for arch in request_quarantine.archs()}
+        delta = self.metrics.delta(before)
+        events, self.events = self.events, []
+        return wire.verdict_message(
+            payload["seq"], request_id, commit.id,
+            report=report, stage_counts=dag.stage_counts(),
+            quarantine=quarantine, metrics=delta.to_dict(),
+            events=events, worker_id=self.init.worker_id,
+            units=[unit.describe() for unit in dag.units])
+
+
+def _fire_chaos(channel, chaos: "str | None") -> None:
+    """Apply the coordinator's worker-site fault decision, for real."""
+    if chaos in (KIND_WORKER_KILL, KIND_WORKER_CRASH):
+        # die before the assignment runs: the requeue replays nothing
+        os._exit(EXIT_CHAOS_KILL)
+    if chaos == KIND_SOCKET_DROP:
+        # sever the channel mid-claim, then die: the coordinator sees
+        # a dropped connection, not a clean exit
+        channel.close()
+        os._exit(EXIT_CHAOS_DROP)
+    if chaos == KIND_WORKER_HANG:
+        # park holding the claim until the hang deadline reaps us
+        time.sleep(3600)
+
+
+def worker_loop(channel, init: WorkerInit) -> None:
+    """The child process body: preload, HELLO, serve until SHUTDOWN."""
+    runtime = WorkerRuntime(init)
+    channel.send(wire.encode_frame(wire.MSG_HELLO, wire.hello_message(
+        init.worker_id, os.getpid(), init.start_method,
+        tree_id=getattr(init.corpus.tree, "id", ""))))
+    while True:
+        message = channel.recv_message()
+        if message is None:
+            break  # coordinator went away; nothing left to serve
+        msg_type, payload = message
+        if msg_type == wire.MSG_SHUTDOWN:
+            break
+        if msg_type != wire.MSG_WORK:
+            continue
+        _fire_chaos(channel, payload.get("chaos"))
+        try:
+            verdict = runtime.check(payload)
+        except Exception as error:  # noqa: BLE001 — stay up, report
+            channel.send(wire.encode_frame(
+                wire.MSG_ERROR, wire.error_message(
+                    payload["seq"], str(error),
+                    type(error).__name__)))
+            continue
+        channel.send(wire.encode_frame(wire.MSG_VERDICT, verdict))
+    channel.close()
+
+
+def pipe_worker_main(conn, init: WorkerInit) -> None:
+    """``multiprocessing.Process`` target for the mp transport."""
+    worker_loop(PipeChildChannel(conn), init)
+
+
+def socket_worker_main(host: str, port: int, init: WorkerInit) -> None:
+    """``multiprocessing.Process`` target for the socket transport."""
+    worker_loop(SocketChildChannel(host, port), init)

@@ -40,6 +40,16 @@ class Tree:
         self._files: Mapping[str, str] = MappingProxyType(dict(files))
         self._id: str | None = None
 
+    def __getstate__(self) -> dict:
+        # mappingproxy objects refuse to pickle; spawned transport
+        # workers receive whole corpora, so serialize the plain dict
+        # and restore the read-only view on load
+        return {"files": dict(self._files), "id": self._id}
+
+    def __setstate__(self, state: dict) -> None:
+        self._files = MappingProxyType(dict(state["files"]))
+        self._id = state["id"]
+
     @property
     def id(self) -> str:
         """Content hash of the whole snapshot."""

@@ -37,9 +37,9 @@ class TestFaultMatrix:
 
     def test_matrix_size(self):
         # 5 single-site pipeline kinds + io_error at all 5 pipeline
-        # sites + the 3 process-level kinds (worker crash/hang, torn
-        # journal append)
-        assert len(valid_kind_sites()) == 13
+        # sites + the 5 process-level kinds (worker crash/hang, torn
+        # journal append, transport worker kill / socket drop)
+        assert len(valid_kind_sites()) == 15
 
 
 class TestFaultSpecValidation:
