@@ -5,20 +5,27 @@ example script import from here, and anything importable from this
 module follows the serialized-record ``schema_version`` compatibility
 story (see :data:`SCHEMA_VERSION` / :func:`migrate_record`).
 
-Three tiers:
+Four tiers:
 
 - **functions** — :func:`check_commit`, :func:`check_patch`,
-  :func:`evaluate`, :func:`serve` cover the common one-shot paths;
+  :func:`evaluate`, :func:`serve` cover the common one-shot write
+  paths;
+- **the read surface** — :func:`open_store`, :func:`query_verdicts`,
+  :func:`janitor_report`, :func:`watch`: fleet mode's persistent
+  verdict store and its continuous-ingest daemon. Queries are pure
+  reads — answering one never triggers preprocess or compile work;
 - **session objects** — :class:`CheckSession`,
-  :class:`EvaluationSession`, :class:`CheckService` for callers that
-  hold state across many checks;
+  :class:`EvaluationSession`, :class:`CheckService`,
+  :class:`WatchSession` for callers that hold state across many
+  checks;
 - **re-exports** — the data types and helpers user scripts legitimately
   touch (reports, corpus construction, tables/figures, observability,
-  fault plans).
+  fault plans, store filters).
 
 The old scattered entry points (``repro.core.jmake.JMake``,
-``repro.evalsuite.runner.EvaluationRunner``) still work but emit
-``DeprecationWarning``.
+``repro.evalsuite.runner.EvaluationRunner``, and direct
+``repro.service``/``repro.journal`` access to the watch/store types)
+still work but emit ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.errors import (
     JournalError,
     ReproError,
     SchemaError,
+    StoreError,
     ServiceDrainingError,
     ServiceError,
     ServiceOverloadedError,
@@ -137,6 +145,26 @@ from repro.service import (
     live_transports,
 )
 from repro.service.transport import wire
+from repro.service.watch import (
+    SyntheticTrafficSource,
+    WatchConfig,
+    WatchResult,
+    WatchSession,
+    WindowSource,
+)
+from repro.service.watch import watch as _watch
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    VERDICT_KINDS,
+    FileVerdictRow,
+    IngestResult,
+    JanitorViewCriteria,
+    JanitorViewRow,
+    StoredVerdict,
+    VerdictFilter,
+    VerdictStore,
+    ingest_ledger,
+)
 from repro.util.atomicio import (
     atomic_write_bytes,
     atomic_write_json,
@@ -151,6 +179,15 @@ from repro.workload.personas import PersonaKind
 __all__ = [
     # functions
     "check_commit", "check_patch", "evaluate", "serve", "validate_jobs",
+    "resolve_outputs", "OUT_DIR_DEFAULTS",
+    # the fleet-mode read surface (store + watch)
+    "open_store", "query_verdicts", "janitor_report", "watch",
+    "VerdictStore", "VerdictFilter", "StoredVerdict", "FileVerdictRow",
+    "IngestResult", "JanitorViewCriteria", "JanitorViewRow",
+    "STORE_SCHEMA_VERSION", "VERDICT_KINDS", "StoreError",
+    "ingest_ledger",
+    "WatchSession", "WatchConfig", "WatchResult", "WindowSource",
+    "SyntheticTrafficSource",
     # sessions / service
     "CheckSession", "EvaluationSession", "CheckService", "ServiceConfig",
     "CheckRequest", "CheckResult", "ShardSupervisor", "SupervisorConfig",
@@ -290,3 +327,107 @@ def serve(corpus: Corpus, *,
     use the ``check_commits`` sync wrapper)."""
     return CheckService(corpus, options=options, config=config,
                         cache=cache)
+
+
+# -- the fleet-mode read surface ----------------------------------------------
+
+def open_store(path: str = ":memory:", *, metrics=None,
+               events=None) -> VerdictStore:
+    """Open (or create) a persistent verdict store.
+
+    The returned :class:`VerdictStore` is a context manager; pass
+    ``metrics``/``events`` to wire its ``store.*`` gauges and
+    ``ingest.*`` events into the telemetry plane.
+    """
+    return VerdictStore(path, metrics=metrics, events=events)
+
+
+def query_verdicts(store: "VerdictStore | str",
+                   filter: "VerdictFilter | None" = None,
+                   **predicates) -> list[StoredVerdict]:
+    """Answer a typed filter against a store — a pure read.
+
+    ``store`` is an open :class:`VerdictStore` or a database path;
+    predicates are either a ready :class:`VerdictFilter` or its fields
+    as keywords (``query_verdicts(store, verdict="PARTIAL",
+    arch="mips")``). Already-ingested commits answer straight from
+    SQLite: no preprocessing, no compilation, no corpus needed.
+    """
+    if isinstance(store, VerdictStore):
+        return store.query(filter, **predicates)
+    with VerdictStore(store) as opened:
+        return opened.query(filter, **predicates)
+
+
+def janitor_report(store: "VerdictStore | str",
+                   criteria: "JanitorViewCriteria | None" = None
+                   ) -> list[JanitorViewRow]:
+    """The §IV Table-II janitor ranking from the materialized view."""
+    if isinstance(store, VerdictStore):
+        return store.janitor_report(criteria)
+    with VerdictStore(store) as opened:
+        return opened.janitor_report(criteria)
+
+
+def watch(corpus: Corpus, *, store, journal: str, source=None,
+          options: JMakeOptions | None = None,
+          config: "WatchConfig | None" = None,
+          metrics=None, events=None,
+          resume: bool = False) -> WatchResult:
+    """Run the continuous-ingest daemon until its stream drains.
+
+    Checks only commits neither the journal nor the store has seen,
+    journals every verdict before the store ingests it, and refreshes
+    the janitor materialized view per batch. Kill it mid-stream
+    (``WatchConfig.chaos_kill_after``) and re-run with ``resume=True``:
+    the store converges on bytes identical to an uninterrupted run.
+    """
+    return _watch(corpus, store=store, journal=journal, source=source,
+                  options=options, config=config, metrics=metrics,
+                  events=events, resume=resume)
+
+
+# -- CLI output-path convention -----------------------------------------------
+
+#: per-sink default filenames under ``--out-dir``
+OUT_DIR_DEFAULTS = {
+    "stats": "stats.json",
+    "metrics": "metrics.jsonl",
+    "events": "events.jsonl",
+    "journal": "run.jnl",
+    "store": "verdicts.sqlite",
+}
+
+
+def resolve_outputs(out_dir: "str | None",
+                    sinks: "dict[str, object | None]") -> dict:
+    """The one validator behind every CLI output-path flag.
+
+    ``sinks`` maps sink names (keys of :data:`OUT_DIR_DEFAULTS`) to
+    explicit per-sink overrides (``None`` when the flag was not
+    given). With ``--out-dir`` set, un-overridden sinks resolve to
+    their conventional filename inside the directory (created on
+    demand); without it, they stay ``None`` (disabled). Explicit
+    overrides always win — that is the documented escape hatch.
+    """
+    import os as _os
+    unknown = set(sinks) - set(OUT_DIR_DEFAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown output sink(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(OUT_DIR_DEFAULTS))})")
+    if out_dir is not None:
+        if _os.path.exists(out_dir) and not _os.path.isdir(out_dir):
+            raise ValueError(
+                f"--out-dir {out_dir!r} exists and is not a directory")
+        _os.makedirs(out_dir, exist_ok=True)
+    resolved = {}
+    for name, override in sinks.items():
+        if override is not None:
+            resolved[name] = override
+        elif out_dir is not None:
+            resolved[name] = _os.path.join(
+                out_dir, OUT_DIR_DEFAULTS[name])
+        else:
+            resolved[name] = None
+    return resolved

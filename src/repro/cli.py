@@ -16,6 +16,24 @@ Subcommands::
     jmake stats <sink>              read a telemetry sink back: latest
                                     snapshot tables (p50/p90/p99 request
                                     latency) or event-kind counts
+    jmake watch [--out-dir D]       fleet mode: continuously pull unseen
+                                    commits from a stream, check them
+                                    through the sharded service, journal
+                                    every verdict, and fold the journal
+                                    into the persistent verdict store
+    jmake query <store>             ask an ingested store questions —
+                                    typed filters, the janitor ranking,
+                                    or the canonical dump CI diffs —
+                                    without compiling anything
+
+Output paths: every sink-producing subcommand takes ``--out-dir DIR``
+and resolves its outputs to conventional filenames inside it
+(``stats.json``, ``metrics.jsonl``, ``events.jsonl``, ``run.jnl``,
+``verdicts.sqlite``). The old per-sink flags (``--stats-out``,
+``--metrics-sink``, ``--events-out``, ``--journal``) keep working as
+explicit per-sink overrides but print a deprecation notice on stderr;
+``repro.api.resolve_outputs`` is the one shared validator behind all
+of them.
 
 Observability: ``jmake evaluate --trace-out FILE`` writes a Chrome
 trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev)
@@ -60,9 +78,36 @@ def _demo(args: argparse.Namespace) -> int:
     return 0 if report.certified else 1
 
 
+def _resolve_outputs(command: str, out_dir: "str | None",
+                     sinks: dict, deprecated=()) -> dict:
+    """Resolve a subcommand's output paths through the one shared
+    validator (``api.resolve_outputs``).
+
+    ``deprecated`` lists ``(sink_name, flag)`` pairs whose flags
+    predate the ``--out-dir`` convention: when one was given, a notice
+    goes to stderr (never stdout — CI's recovery job diffs stdout) and
+    the explicit value still wins as the documented per-sink override.
+    """
+    for name, flag in deprecated:
+        if sinks.get(name) is not None:
+            print(f"jmake {command}: notice: {flag} is deprecated; "
+                  f"prefer --out-dir DIR ({name} lands at "
+                  f"DIR/{api.OUT_DIR_DEFAULTS[name]}); the explicit "
+                  f"flag keeps working as a per-sink override",
+                  file=sys.stderr)
+    return api.resolve_outputs(out_dir, sinks)
+
+
 def _evaluate(args: argparse.Namespace) -> int:
     try:
         api.validate_jobs(args.jobs, what="--jobs")
+    except ValueError as error:
+        print(f"jmake evaluate: {error}", file=sys.stderr)
+        return 2
+    try:
+        journal = _resolve_outputs(
+            "evaluate", args.out_dir, {"journal": args.journal},
+            deprecated=(("journal", "--journal"),))["journal"]
     except ValueError as error:
         print(f"jmake evaluate: {error}", file=sys.stderr)
         return 2
@@ -100,13 +145,13 @@ def _evaluate(args: argparse.Namespace) -> int:
                                         injector=injector)
         else:
             cache = api.BuildCache(policy)
-    if args.resume and not args.journal:
-        print("jmake evaluate: --resume requires --journal",
-              file=sys.stderr)
+    if args.resume and not journal:
+        print("jmake evaluate: --resume requires --journal "
+              "(or --out-dir)", file=sys.stderr)
         return 2
-    if args.chaos_kill_after is not None and not args.journal:
-        print("jmake evaluate: --chaos-kill-after requires --journal",
-              file=sys.stderr)
+    if args.chaos_kill_after is not None and not journal:
+        print("jmake evaluate: --chaos-kill-after requires --journal "
+              "(or --out-dir)", file=sys.stderr)
         return 2
     observe = bool(args.trace_out or args.metrics_out)
     session = api.EvaluationSession(corpus, options=options, cache=cache,
@@ -122,13 +167,13 @@ def _evaluate(args: argparse.Namespace) -> int:
     print("Running JMake over the evaluation window ...")
     try:
         result = session.run(limit=args.limit, jobs=args.jobs,
-                             journal=args.journal, resume=args.resume,
+                             journal=journal, resume=args.resume,
                              on_journal_append=crash_point)
     except api.SimulatedCrashError as error:
         # the chaos harness killed the run at the requested journal
         # offset; everything already journaled survives for --resume
         print(f"jmake evaluate: {error}", file=sys.stderr)
-        print(f"resume with: jmake evaluate --journal {args.journal} "
+        print(f"resume with: jmake evaluate --journal {journal} "
               f"--resume", file=sys.stderr)
         return 3
     except api.JournalError as error:
@@ -197,8 +242,8 @@ def _evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_telemetry(args) -> tuple:
-    """Sinks/EventLog/snapshot-seed from the serve telemetry flags.
+def _build_telemetry(metrics_paths, events_path) -> tuple:
+    """Sinks/EventLog/snapshot-seed from resolved telemetry paths.
 
     Returns ``(metrics_sinks, events, snapshot_start_seq, closers)``.
     JSONL sinks carry their journal-style ``last_seq`` watermark out of
@@ -209,7 +254,7 @@ def _build_telemetry(args) -> tuple:
     metrics_sinks = []
     closers = []
     snapshot_start = 0
-    for path in args.metrics_sink or []:
+    for path in metrics_paths or []:
         if path.endswith(".jsonl"):
             sink = api.JsonlSink(path)
             snapshot_start = max(snapshot_start, sink.last_seq)
@@ -218,8 +263,8 @@ def _build_telemetry(args) -> tuple:
             sink = api.OpenMetricsSink(path)
         metrics_sinks.append(sink)
     events = None
-    if args.events_out:
-        event_sink = api.JsonlSink(args.events_out)
+    if events_path:
+        event_sink = api.JsonlSink(events_path)
         closers.append(event_sink)
         events = api.EventLog(start_seq=event_sink.last_seq,
                               sinks=[event_sink])
@@ -257,8 +302,24 @@ def _serve(args: argparse.Namespace) -> int:
             return 2
         config.fault_plan = fault_plan
     try:
+        resolved = _resolve_outputs(
+            "serve", args.out_dir,
+            {"stats": args.stats_out, "metrics": args.metrics_sink,
+             "events": args.events_out},
+            deprecated=(("stats", "--stats-out"),
+                        ("metrics", "--metrics-sink"),
+                        ("events", "--events-out")))
+    except ValueError as error:
+        print(f"jmake serve: {error}", file=sys.stderr)
+        return 2
+    stats_out = resolved["stats"]
+    events_out = resolved["events"]
+    metrics_paths = resolved["metrics"]
+    if isinstance(metrics_paths, str):
+        metrics_paths = [metrics_paths]
+    try:
         metrics_sinks, events, snapshot_start, closers = \
-            _build_telemetry(args)
+            _build_telemetry(metrics_paths, events_out)
     except OSError as error:
         print(f"jmake serve: {error}", file=sys.stderr)
         return 2
@@ -345,14 +406,194 @@ def _serve(args: argparse.Namespace) -> int:
         counts = " ".join(f"{kind}={count}" for kind, count
                           in event_stats["counts"].items()) or "-"
         print(f"  events: seq={event_stats['seq']} {counts}")
-        if args.events_out:
-            print(f"    sink {args.events_out}")
-    if args.stats_out:
-        api.atomic_write_json(args.stats_out, stats)
-        print(f"stats written to {args.stats_out}")
+        if events_out:
+            print(f"    sink {events_out}")
+    if stats_out:
+        api.atomic_write_json(stats_out, stats)
+        print(f"stats written to {stats_out}")
     drained = not stats["started"] and not batcher.get("pending_units")
     print("drain: clean" if drained else "drain: NOT CLEAN")
     return 0 if drained and len(results) == len(checkable) else 1
+
+
+def _watch(args: argparse.Namespace) -> int:
+    try:
+        api.validate_jobs(args.shards, what="--shards")
+        if args.jobs is not None:
+            api.validate_jobs(args.jobs, what="--jobs")
+        resolved = _resolve_outputs(
+            "watch", args.out_dir,
+            {"store": args.store, "journal": args.journal,
+             "events": args.events_out, "stats": args.stats_out})
+        service_config = api.ServiceConfig(
+            shards=args.shards,
+            transport=args.transport,
+            jobs=args.jobs,
+            start_method=args.start_method)
+        config = api.WatchConfig(
+            batch_size=args.batch_size,
+            max_batches=args.max_batches,
+            limit=args.limit,
+            fsync=not args.no_fsync,
+            chaos_kill_after=args.chaos_kill_after,
+            service=service_config,
+            cache=not args.no_cache)
+    except ValueError as error:
+        print(f"jmake watch: {error}", file=sys.stderr)
+        return 2
+    store_path = resolved["store"]
+    journal = resolved["journal"]
+    if not store_path or not journal:
+        print("jmake watch: needs --out-dir (or both --store and "
+              "--journal) so the store and journal persist",
+              file=sys.stderr)
+        return 2
+    events = None
+    closers = []
+    if resolved["events"]:
+        event_sink = api.JsonlSink(resolved["events"])
+        closers.append(event_sink)
+        events = api.EventLog(start_seq=event_sink.last_seq,
+                              sinks=[event_sink])
+    spec = api.CorpusSpec(seed=args.seed,
+                          history_commits=max(200, args.commits // 2),
+                          eval_commits=args.commits)
+    print(f"Building corpus ({spec.eval_commits} evaluation commits) ...")
+    corpus = api.build_corpus(spec)
+    options = api.JMakeOptions(use_configs=not args.no_configs,
+                               use_allmodconfig=args.allmodconfig)
+    try:
+        if args.source == "synthetic":
+            source = api.SyntheticTrafficSource(corpus, args.traffic,
+                                                seed=args.traffic_seed)
+        else:
+            source = api.WindowSource(corpus)
+    except ValueError as error:
+        print(f"jmake watch: {error}", file=sys.stderr)
+        return 2
+    resume_hint = f"--out-dir {args.out_dir}" if args.out_dir else \
+        f"--store {store_path} --journal {journal}"
+    print(f"watch: source={args.source} transport={args.transport} "
+          f"shards={args.shards} batch_size={args.batch_size}; "
+          f"store={store_path} journal={journal}")
+    try:
+        result = api.watch(corpus, store=store_path, journal=journal,
+                           source=source, options=options,
+                           config=config, events=events,
+                           resume=args.resume)
+    except api.SimulatedCrashError as error:
+        # the dying verdict is already durable in the journal; the
+        # resumed daemon catches the store up and continues the stream
+        print(f"jmake watch: {error}", file=sys.stderr)
+        print(f"resume with: jmake watch {resume_hint} --resume "
+              f"(same --seed/--commits/--source flags)",
+              file=sys.stderr)
+        return 3
+    except (api.JournalError, api.StoreError) as error:
+        print(f"jmake watch: {error}", file=sys.stderr)
+        return 2
+    finally:
+        for sink in closers:
+            sink.close()
+    print(f"\nwatch drained: {result.commits_seen} commit(s) pulled, "
+          f"{result.fresh} checked fresh, {result.replayed} replayed "
+          f"from the journal, {result.batches} batch(es)")
+    stats = result.store_stats
+    print(f"store {store_path}: {stats['verdicts']} verdict(s), "
+          f"{stats['file_rows']} file row(s), {stats['authors']} "
+          f"author(s) ({result.ingested} ingested this run, "
+          f"{result.duplicates} duplicate(s))")
+    jstats = result.journal_stats
+    print(f"journal {jstats['path']}: {jstats['records']} verdict(s) "
+          f"durable ({jstats['recovered']} recovered, "
+          f"{jstats['emitted']} fresh)")
+    if result.janitors:
+        print("\njanitor view (ascending file_cv):")
+        for row in result.janitors:
+            print(f"  {row.email} patches={row.patches} "
+                  f"certified={row.certified} partial={row.partial} "
+                  f"attention={row.attention} files={row.files} "
+                  f"file_cv={row.file_cv:.3f}")
+    if resolved["stats"]:
+        summary = {
+            "commits_seen": result.commits_seen,
+            "fresh": result.fresh,
+            "replayed": result.replayed,
+            "batches": result.batches,
+            "ingested": result.ingested,
+            "duplicates": result.duplicates,
+            "store": result.store_stats,
+            "journal": result.journal_stats,
+        }
+        api.atomic_write_json(resolved["stats"], summary)
+        print(f"stats written to {resolved['stats']}")
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    import os
+    if args.store != ":memory:" and not os.path.exists(args.store):
+        print(f"jmake query: {args.store}: no such store "
+              f"(run `jmake watch` or `ingest_ledger` first)",
+              file=sys.stderr)
+        return 2
+    tristate = {"yes": True, "no": False, None: None}
+    try:
+        store = api.open_store(args.store)
+    except api.StoreError as error:
+        print(f"jmake query: {error}", file=sys.stderr)
+        return 2
+    with store:
+        if args.canonical:
+            # the byte-deterministic proof format CI diffs — nothing
+            # else may touch stdout in this mode
+            sys.stdout.write(store.canonical_dump())
+            return 0
+        if args.janitors:
+            rows = store.janitor_report(api.JanitorViewCriteria(
+                min_patches=args.min_patches, min_files=args.min_files,
+                top_n=args.top))
+            print(f"{args.store}: {len(rows)} janitor(s) "
+                  f"(ascending file_cv)")
+            for row in rows:
+                print(f"  {row.email} ({row.name}) "
+                      f"patches={row.patches} certified={row.certified} "
+                      f"partial={row.partial} attention={row.attention} "
+                      f"files={row.files} file_cv={row.file_cv:.3f}")
+            return 0
+        predicates = {
+            "commit": args.commit, "path": args.path,
+            "arch": args.arch, "config": args.config,
+            "status": args.status, "verdict": args.verdict,
+            "author": args.author, "limit": args.limit,
+            "certified": tristate[args.certified],
+            "fully_checked": tristate[args.fully_checked],
+        }
+        predicates = {name: value for name, value in predicates.items()
+                      if value is not None}
+        try:
+            results = api.query_verdicts(store, **predicates)
+        except api.StoreError as error:
+            print(f"jmake query: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps([verdict.record for verdict in results],
+                             indent=2, sort_keys=True))
+            return 0
+        print(f"{args.store}: {len(results)} verdict(s) "
+              f"({len(store)} stored)")
+        for verdict in results:
+            print(f"  {verdict.commit} {verdict.verdict} "
+                  f"author={verdict.author_email or '-'} "
+                  f"files={len(set(row.path for row in verdict.files))} "
+                  f"elapsed={verdict.elapsed_seconds:.1f}s")
+            if args.files:
+                for row in verdict.files:
+                    print(f"    {row.path} arch={row.arch or '-'} "
+                          f"config={row.config or '-'} "
+                          f"status={row.status} "
+                          f"i_ok={int(row.i_ok)} o_ok={int(row.o_ok)}")
+    return 0
 
 
 def _render_metrics_tables(metrics: dict) -> str:
@@ -542,10 +783,17 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the pipeline metrics registry "
                                "(counters/histograms + cache telemetry) "
                                "as JSON")
+    evaluate.add_argument("--out-dir", default=None, metavar="DIR",
+                          help="resolve output sinks to conventional "
+                               "filenames in this directory (journal "
+                               "-> DIR/run.jnl); per-sink flags "
+                               "override")
     evaluate.add_argument("--journal", default=None,
                           help="write-ahead verdict journal: every "
                                "patch verdict is fsynced here the "
-                               "moment it exists (see DESIGN.md §7)")
+                               "moment it exists (see DESIGN.md §7; "
+                               "deprecated spelling of --out-dir's "
+                               "run.jnl)")
     evaluate.add_argument("--resume", action="store_true",
                           help="replay --journal and rerun only the "
                                "commits without a durable verdict; the "
@@ -600,8 +848,15 @@ def main(argv: list[str] | None = None) -> int:
                        help="disable the shared build cache")
     serve.add_argument("--fault-plan", default=None,
                        help="JSON fault plan applied per request")
+    serve.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="resolve output sinks to conventional "
+                            "filenames in this directory (stats.json, "
+                            "metrics.jsonl, events.jsonl); per-sink "
+                            "flags override")
     serve.add_argument("--stats-out", default=None,
-                       help="write scheduling stats JSON here")
+                       help="write scheduling stats JSON here "
+                            "(deprecated spelling of --out-dir's "
+                            "stats.json)")
     serve.add_argument("--metrics-sink", action="append", default=None,
                        metavar="PATH",
                        help="periodic metric snapshots: *.jsonl appends "
@@ -618,6 +873,125 @@ def main(argv: list[str] | None = None) -> int:
                             "when a --metrics-sink is configured "
                             "(default: 1.0)")
     serve.set_defaults(func=_serve)
+
+    watch = sub.add_parser("watch",
+                           help="fleet mode: continuously check unseen "
+                                "commits from a stream and ingest every "
+                                "verdict into the persistent store")
+    watch.add_argument("--commits", type=int, default=400)
+    watch.add_argument("--seed", default="jmake-cli")
+    watch.add_argument("--no-configs", action="store_true",
+                       help="allyesconfig only (the E-S1 baseline)")
+    watch.add_argument("--allmodconfig", action="store_true",
+                       help="also try allmodconfig (the E-A1 extension)")
+    watch.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="resolve the store/journal/event sinks to "
+                            "conventional filenames in this directory "
+                            "(verdicts.sqlite, run.jnl, events.jsonl)")
+    watch.add_argument("--store", default=None, metavar="PATH",
+                       help="per-sink override: the SQLite verdict "
+                            "store (default: DIR/verdicts.sqlite)")
+    watch.add_argument("--journal", default=None, metavar="PATH",
+                       help="per-sink override: the write-ahead "
+                            "verdict journal (default: DIR/run.jnl)")
+    watch.add_argument("--events-out", default=None, metavar="PATH",
+                       help="per-sink override: append watch/ingest "
+                            "events as JSONL (default: "
+                            "DIR/events.jsonl when --out-dir is set)")
+    watch.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="per-sink override: write the run summary "
+                            "JSON (default: DIR/stats.json)")
+    watch.add_argument("--source", default="window",
+                       choices=("window", "synthetic"),
+                       help="commit stream: the corpus's evaluation "
+                            "window (a fixed backlog) or fresh "
+                            "deterministic synthetic traffic")
+    watch.add_argument("--traffic", type=int, default=12,
+                       help="synthetic source: commits to generate")
+    watch.add_argument("--traffic-seed", default="watch-traffic",
+                       help="synthetic source: traffic stream seed")
+    watch.add_argument("--batch-size", type=int, default=8,
+                       help="unseen commits checked per ingest batch")
+    watch.add_argument("--max-batches", type=int, default=None,
+                       help="stop after this many batches "
+                            "(default: drain the stream)")
+    watch.add_argument("--limit", type=int, default=None,
+                       help="cap on total commits checked across the "
+                            "run (journal backlog included, so "
+                            "--resume stops at the same stream "
+                            "position)")
+    watch.add_argument("--resume", action="store_true",
+                       help="reopen the journal and store, replay "
+                            "durable verdicts, and continue the "
+                            "stream where the last process died")
+    watch.add_argument("--chaos-kill-after", type=int, default=None,
+                       metavar="N",
+                       help="chaos harness: simulate sudden process "
+                            "death after N journaled verdicts "
+                            "(exit 3; rerun with --resume)")
+    watch.add_argument("--no-fsync", action="store_true",
+                       help="skip per-record journal fsync (tests)")
+    watch.add_argument("--shards", type=int, default=2,
+                       help="per-architecture shard workers")
+    watch.add_argument("--transport", default="asyncio",
+                       choices=("asyncio", "mp", "socket"),
+                       help="check-service execution backend")
+    watch.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for mp/socket transports")
+    watch.add_argument("--start-method", default=None,
+                       choices=("fork", "spawn", "forkserver"),
+                       help="multiprocessing start method")
+    watch.add_argument("--no-cache", action="store_true",
+                       help="disable the shared build cache")
+    watch.set_defaults(func=_watch)
+
+    query = sub.add_parser("query",
+                           help="ask an ingested verdict store "
+                                "questions without compiling anything")
+    query.add_argument("store", help="path to a verdict store "
+                                     "(--store/--out-dir from a watch "
+                                     "or ingest run)")
+    query.add_argument("--commit", default=None,
+                       help="exact commit id")
+    query.add_argument("--path", default=None,
+                       help="commits whose patch touched this file")
+    query.add_argument("--arch", default=None,
+                       help="commits with a compilation fact on this "
+                            "architecture")
+    query.add_argument("--config", default=None,
+                       help="commits checked under this config target")
+    query.add_argument("--status", default=None,
+                       help="per-file status (e.g. ok, quarantined)")
+    query.add_argument("--verdict", default=None,
+                       help="CERTIFIED, 'ATTENTION REQUIRED', PARTIAL "
+                            "(prefix match), or an exact "
+                            "'PARTIAL:<archs>' string")
+    query.add_argument("--author", default=None,
+                       help="commits by this author email")
+    query.add_argument("--certified", default=None,
+                       choices=("yes", "no"))
+    query.add_argument("--fully-checked", default=None,
+                       choices=("yes", "no"))
+    query.add_argument("--limit", type=int, default=None,
+                       help="return at most this many verdicts")
+    query.add_argument("--files", action="store_true",
+                       help="also print each verdict's per-file rows")
+    query.add_argument("--json", action="store_true",
+                       help="print the full canonical records as JSON")
+    query.add_argument("--janitors", action="store_true",
+                       help="print the §IV janitor ranking from the "
+                            "materialized view instead of verdicts")
+    query.add_argument("--min-patches", type=int, default=3,
+                       help="janitor view: minimum patches threshold")
+    query.add_argument("--min-files", type=int, default=2,
+                       help="janitor view: minimum distinct files")
+    query.add_argument("--top", type=int, default=10,
+                       help="janitor view: rows to print")
+    query.add_argument("--canonical", action="store_true",
+                       help="print the byte-deterministic canonical "
+                            "dump (the kill/resume proof format CI "
+                            "diffs)")
+    query.set_defaults(func=_query)
 
     stats = sub.add_parser("stats",
                            help="read a telemetry sink back: latest "

@@ -201,6 +201,11 @@ class CheckSession:
                 self.cache.on_commit(patch.paths())
             report = yield from self.iter_check_patch(
                 worktree, patch, commit_id=commit.id, dag=dag)
+            # Commit-resolving checks know who wrote the patch; stamp
+            # the identity so fleet-mode ingest can feed the §IV
+            # janitor materialized view without a second VCS pass.
+            report.author_name = commit.author.name
+            report.author_email = commit.author.email
             span.set("certified", report.certified)
             _logger.debug("checked %s: certified=%s files=%d",
                           commit.id, report.certified,

@@ -28,7 +28,12 @@ from repro.errors import SchemaError
 #: 3 — adds the ``journal`` block (durability metadata: the dedup key
 #:     under which the verdict is emitted exactly once into the
 #:     write-ahead journal).
-SCHEMA_VERSION = 3
+#: 4 — fleet-mode store keys: each file entry gains ``attempts``
+#:     (the per-(arch, config) trial outcomes that become
+#:     ``file_verdicts`` rows in the verdict store) and the record
+#:     gains a top-level ``author`` block (``{"name", "email"}`` or
+#:     ``None``) feeding the §IV janitor materialized view.
+SCHEMA_VERSION = 4
 
 #: a record missing any of these was cut off mid-write (or never was a
 #: check record); migration refuses it rather than guessing
@@ -42,11 +47,40 @@ def _validate_record(record: dict) -> None:
         raise SchemaError(
             f"truncated record: missing required key(s) "
             f"{', '.join(missing)}")
+    if not isinstance(record["files"], dict) or \
+            not all(isinstance(entry, dict)
+                    for entry in record["files"].values()):
+        raise SchemaError(
+            "record 'files' is not a mapping of per-file entries")
     elapsed = record.get("elapsed_seconds", 0.0)
     if isinstance(elapsed, float) and not math.isfinite(elapsed):
         raise SchemaError(
             f"record has non-finite elapsed_seconds ({elapsed!r}); "
             f"refusing to migrate a numerically poisoned record")
+
+
+def _check_verdict_consistency(record: dict) -> None:
+    """``fully_checked`` must agree with the ``PARTIAL:`` verdict.
+
+    A quarantine verdict (``PARTIAL:<archs>``) and ``fully_checked``
+    are two encodings of the same fact; a record where they disagree
+    was hand-edited or corrupted, and silently trusting either side
+    would let a partially checked commit masquerade as fully checked
+    (or vice versa). Both orderings of the disagreement are refused.
+    """
+    verdict = record.get("verdict")
+    fully = record.get("fully_checked")
+    if not isinstance(verdict, str) or not isinstance(fully, bool):
+        return
+    partial = verdict.startswith("PARTIAL:")
+    if partial and fully:
+        raise SchemaError(
+            f"inconsistent record: verdict {verdict!r} says the commit "
+            f"was only partially checked but fully_checked is true")
+    if not partial and not fully:
+        raise SchemaError(
+            f"inconsistent record: fully_checked is false but verdict "
+            f"{verdict!r} carries no PARTIAL quarantine")
 
 
 def migrate_record(record: dict) -> dict:
@@ -57,11 +91,14 @@ def migrate_record(record: dict) -> dict:
     missing fault-layer keys get their empty defaults and
     ``fully_checked`` is derived from ``quarantined_archs``; version 2
     records gain the v3 ``journal`` block with its dedup key derived
-    from the commit id. Every record — current version included — is
-    validated first: truncated records (missing required keys) and
-    records carrying non-finite floats raise
-    :class:`~repro.errors.SchemaError`, as do unknown or future
-    versions. Always returns a copy.
+    from the commit id; version 3 records gain the v4 store keys (an
+    empty ``attempts`` list per file and a null ``author`` block —
+    pre-fleet records never carried either). Every record — current
+    version included — is validated first: truncated records (missing
+    required keys), records carrying non-finite floats, and records
+    whose ``fully_checked`` flag disagrees with a ``PARTIAL:<arch>``
+    verdict raise :class:`~repro.errors.SchemaError`, as do unknown or
+    future versions. Always returns a copy.
     """
     if not isinstance(record, dict):
         raise SchemaError(
@@ -82,6 +119,13 @@ def migrate_record(record: dict) -> dict:
     if version == 2:
         migrated["journal"] = {"dedup_key": migrated.get("commit")}
         version = 3
+    if version == 3:
+        migrated.setdefault("author", None)
+        migrated["files"] = {
+            path: {**entry, "attempts": list(entry.get("attempts", []))}
+            for path, entry in migrated["files"].items()}
+        version = 4
+    _check_verdict_consistency(migrated)
     migrated["schema_version"] = SCHEMA_VERSION
     return migrated
 
@@ -191,6 +235,10 @@ class PatchReport:
     quarantined_archs: list[str] = field(default_factory=list)
     #: structured records of the faults injected while checking the patch
     fault_reports: list = field(default_factory=list)
+    #: patch author identity (stamped by commit-resolving callers);
+    #: feeds the §IV janitor materialized view in the verdict store
+    author_name: str | None = None
+    author_email: str | None = None
 
     @property
     def certified(self) -> bool:
@@ -242,6 +290,7 @@ class PatchReport:
             # durability metadata: the key this verdict deduplicates
             # under when emitted into the write-ahead journal
             "journal": {"dedup_key": self.commit_id},
+            "author": self._author_block(),
             "files": {
                 path: {
                     "status": report.status.value,
@@ -249,10 +298,24 @@ class PatchReport:
                     "missing_lines": report.missing_changed_lines(),
                     "mutations": len(report.mutations),
                     "advisories": list(report.advisories),
+                    # the (arch, config) trial outcomes: these become
+                    # the file_verdicts rows of the verdict store
+                    "attempts": [
+                        {"arch": attempt.arch,
+                         "config": attempt.config_target,
+                         "i_ok": bool(attempt.i_ok),
+                         "o_ok": bool(attempt.o_ok)}
+                        for attempt in report.attempts
+                    ],
                 }
                 for path, report in self.file_reports.items()
             },
         }
+
+    def _author_block(self) -> dict | None:
+        if self.author_name is None and self.author_email is None:
+            return None
+        return {"name": self.author_name, "email": self.author_email}
 
     def render(self) -> str:
         """Human-readable report (the tool's terminal output)."""

@@ -204,6 +204,12 @@ class SimulatedCrashError(ReproError):
     when it fires is what a real crash would lose."""
 
 
+class StoreError(ReproError):
+    """Raised by the persistent verdict store (fleet mode): unusable
+    database files, identity mismatches between a store and the journal
+    feeding it, or malformed query filters."""
+
+
 class JournalError(ReproError):
     """Base class for write-ahead journal failures."""
 

@@ -29,7 +29,7 @@ above :data:`MAX_FRAME_BYTES` raises
 with the wrong shape raises :class:`~repro.errors.WireSchemaError` —
 mirroring the journal's torn-tail/interior-damage split.
 
-Verdict payloads reuse the ``schema_version=3`` canonical record
+Verdict payloads reuse the :data:`SCHEMA_VERSION` canonical record
 (:meth:`repro.core.report.PatchReport.to_dict`) plus a lossless
 ``detail`` block (attempts, mutations, durations, fault reports) so the
 coordinator can rebuild the *full* :class:`PatchReport` — the
@@ -399,7 +399,7 @@ def _file_from_wire(payload: dict) -> FileReport:
 
 
 def report_to_wire(report: PatchReport) -> dict:
-    """Canonical ``schema_version=3`` record plus the lossless detail.
+    """Canonical :data:`SCHEMA_VERSION` record plus the lossless detail.
 
     The ``record`` half is exactly :meth:`PatchReport.to_dict` — what
     dashboards and the journal consume; the ``detail`` half carries
@@ -413,6 +413,8 @@ def report_to_wire(report: PatchReport) -> dict:
         "record": report.to_dict(),
         "detail": {
             "elapsed_seconds": report.elapsed_seconds,
+            "author_name": report.author_name,
+            "author_email": report.author_email,
             "invocation_counts": dict(report.invocation_counts),
             "invocation_durations": {
                 kind: list(durations)
@@ -450,6 +452,8 @@ def report_from_wire(payload: dict) -> PatchReport:
     report = PatchReport(
         commit_id=record.get("commit"),
         elapsed_seconds=detail["elapsed_seconds"],
+        author_name=detail.get("author_name"),
+        author_email=detail.get("author_email"),
         invocation_counts=dict(detail["invocation_counts"]),
         invocation_durations={
             kind: list(durations)

@@ -1,0 +1,128 @@
+"""The §IV janitor-identification materialized view.
+
+Tables I–II of the paper rank developers by how uniformly their patches
+spread across files: janitors touch many files about once each (low
+coefficient of variation of per-file patch counts), maintainers hammer
+a few files (high cv). :class:`~repro.janitors.activity.ActivityAnalyzer`
+computes this by walking a repository log; fleet mode cannot afford a
+full rewalk per ingested batch, so the store keeps the two §IV
+aggregates *materialized*:
+
+- ``author_files`` — per (author, path): how many of the author's
+  stored patches touched the path (the cv's underlying counts);
+- ``janitor_view`` — per author: patch/verdict tallies, distinct-file
+  count, and ``file_cv`` (population std / mean, exactly the
+  :attr:`DeveloperActivity.file_cv` formula).
+
+Refresh is incremental: an ingest batch bumps ``author_files`` for the
+records it landed and recomputes ``janitor_view`` rows only for the
+authors it touched, inside the same transaction as the facts — the view
+can never be observed ahead of or behind the verdicts it summarizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JanitorViewCriteria:
+    """Cutoffs for :func:`janitor_rows` (Table I, store-local)."""
+    #: minimum stored patches before an author is rankable
+    min_patches: int = 3
+    #: minimum distinct files touched
+    min_files: int = 2
+    #: rows returned (ascending file_cv — most janitor-like first)
+    top_n: int = 10
+
+
+@dataclass(frozen=True)
+class JanitorViewRow:
+    """One ranked author from the materialized view."""
+    email: str
+    name: str | None
+    patches: int
+    certified: int
+    partial: int
+    attention: int
+    files: int
+    file_cv: float
+
+
+def apply_batch(conn, records: "list[dict]") -> int:
+    """Fold one ingested batch into the view (same transaction).
+
+    ``records`` are the migrated records that actually landed (dups
+    excluded). Returns the number of authors whose rows were
+    recomputed.
+    """
+    touched: set[str] = set()
+    for record in records:
+        author = record.get("author")
+        if not author or not author.get("email"):
+            continue
+        email = author["email"]
+        touched.add(email)
+        for path in record["files"]:
+            conn.execute(
+                "INSERT INTO author_files (email, path, patches) "
+                "VALUES (?, ?, 1) "
+                "ON CONFLICT(email, path) DO UPDATE "
+                "SET patches = patches + 1",
+                (email, path))
+    for email in sorted(touched):
+        _recompute_author(conn, email)
+    return len(touched)
+
+
+def _recompute_author(conn, email: str) -> None:
+    """Rebuild one author's ``janitor_view`` row from the fact tables."""
+    patches, certified, partial, attention, name = conn.execute(
+        "SELECT COUNT(*), "
+        "COALESCE(SUM(CASE WHEN verdict = 'CERTIFIED' "
+        "    THEN 1 ELSE 0 END), 0), "
+        "COALESCE(SUM(CASE WHEN verdict LIKE 'PARTIAL:%' "
+        "    THEN 1 ELSE 0 END), 0), "
+        "COALESCE(SUM(CASE WHEN verdict = 'ATTENTION REQUIRED' "
+        "    THEN 1 ELSE 0 END), 0), "
+        "MAX(author_name) "
+        "FROM verdicts WHERE author_email = ?", (email,)).fetchone()
+    counts = [row[0] for row in conn.execute(
+        "SELECT patches FROM author_files WHERE email = ?", (email,))]
+    conn.execute(
+        "INSERT OR REPLACE INTO janitor_view "
+        "(email, name, patches, certified, partial, attention, files, "
+        " file_cv) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (email, name, patches, certified, partial, attention,
+         len(counts), _file_cv(counts)))
+
+
+def _file_cv(counts: "list[int]") -> float:
+    """Population std / mean — the §IV uniformity metric."""
+    if not counts:
+        return 0.0
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    variance = sum((count - mean) ** 2 for count in counts) / len(counts)
+    return math.sqrt(variance) / mean
+
+
+def janitor_rows(conn, criteria: JanitorViewCriteria | None = None
+                 ) -> "list[JanitorViewRow]":
+    """The Table-II ranking: ascending file_cv, email tie-break."""
+    criteria = criteria or JanitorViewCriteria()
+    rows = conn.execute(
+        "SELECT email, name, patches, certified, partial, attention, "
+        "files, file_cv FROM janitor_view "
+        "WHERE patches >= ? AND files >= ? "
+        "ORDER BY file_cv ASC, email ASC LIMIT ?",
+        (criteria.min_patches, criteria.min_files,
+         criteria.top_n)).fetchall()
+    return [JanitorViewRow(email=email, name=name, patches=patches,
+                           certified=certified, partial=partial,
+                           attention=attention, files=files,
+                           file_cv=file_cv)
+            for (email, name, patches, certified, partial, attention,
+                 files, file_cv) in rows]

@@ -1,0 +1,182 @@
+"""Typed query surface over the verdict store.
+
+:class:`VerdictFilter` is the one way to ask the store questions: a
+frozen dataclass whose fields map one-to-one onto indexed columns, so
+every programmatic caller (``repro.api.query_verdicts``, ``jmake
+query``, the tests) speaks the same vocabulary and gets the same
+validation. Commit-level predicates constrain the ``verdicts`` table
+directly; file-level predicates (``path``/``arch``/``config``/
+``status``) constrain via an EXISTS over ``file_verdicts``, and the
+matched commits come back whole — a :class:`StoredVerdict` always
+carries *all* of its file rows, because a verdict is only meaningful
+as a unit.
+
+Queries are pure reads: answering one never triggers preprocessing or
+compilation, which is the entire point of keeping the store around.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.errors import StoreError
+
+#: verdict-kind shorthand: ``"PARTIAL"`` matches any quarantine verdict
+#: by prefix, the other two match exactly
+VERDICT_KINDS = ("CERTIFIED", "ATTENTION REQUIRED", "PARTIAL")
+
+
+@dataclass(frozen=True)
+class FileVerdictRow:
+    """One (commit, file, arch, config) compilation fact."""
+    commit: str
+    path: str
+    arch: str
+    config: str
+    status: str
+    i_ok: bool
+    o_ok: bool
+
+
+@dataclass(frozen=True)
+class StoredVerdict:
+    """One commit's stored verdict plus its file rows."""
+    commit: str
+    verdict: str
+    certified: bool
+    fully_checked: bool
+    elapsed_seconds: float
+    author_name: str | None
+    author_email: str | None
+    #: the full canonical ``schema_version=4`` record
+    record: dict
+    files: tuple[FileVerdictRow, ...] = field(default_factory=tuple)
+
+    @property
+    def partial(self) -> bool:
+        """True for quarantine (``PARTIAL:<archs>``) verdicts."""
+        return self.verdict.startswith("PARTIAL:")
+
+
+@dataclass(frozen=True)
+class VerdictFilter:
+    """Typed predicates for :meth:`VerdictStore.query`.
+
+    All fields are ANDed; ``None`` means "don't constrain". ``verdict``
+    accepts the three kinds in :data:`VERDICT_KINDS` (``"PARTIAL"``
+    matches by prefix) or an exact ``PARTIAL:<archs>`` string.
+    """
+    commit: str | None = None
+    path: str | None = None
+    arch: str | None = None
+    config: str | None = None
+    status: str | None = None
+    verdict: str | None = None
+    certified: bool | None = None
+    fully_checked: bool | None = None
+    author: str | None = None
+    limit: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.StoreError` on malformed filters."""
+        for name in ("commit", "path", "arch", "config", "status",
+                     "verdict", "author"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise StoreError(
+                    f"filter {name} must be a string, got {value!r}")
+        for name in ("certified", "fully_checked"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, bool):
+                raise StoreError(
+                    f"filter {name} must be a bool, got {value!r}")
+        if self.limit is not None and (
+                isinstance(self.limit, bool) or
+                not isinstance(self.limit, int) or self.limit < 1):
+            raise StoreError(
+                f"filter limit must be a positive integer, "
+                f"got {self.limit!r}")
+        if self.verdict is not None and \
+                self.verdict not in VERDICT_KINDS and \
+                not self.verdict.startswith("PARTIAL:"):
+            raise StoreError(
+                f"filter verdict must be one of {VERDICT_KINDS} or an "
+                f"exact 'PARTIAL:<archs>' string, got {self.verdict!r}")
+
+    def sql(self) -> tuple[str, list]:
+        """The WHERE clause + parameters this filter compiles to."""
+        self.validate()
+        clauses: list[str] = []
+        params: list = []
+        if self.commit is not None:
+            clauses.append("v.commit_id = ?")
+            params.append(self.commit)
+        if self.verdict == "PARTIAL":
+            clauses.append("v.verdict LIKE 'PARTIAL:%'")
+        elif self.verdict is not None:
+            clauses.append("v.verdict = ?")
+            params.append(self.verdict)
+        if self.certified is not None:
+            clauses.append("v.certified = ?")
+            params.append(int(self.certified))
+        if self.fully_checked is not None:
+            clauses.append("v.fully_checked = ?")
+            params.append(int(self.fully_checked))
+        if self.author is not None:
+            clauses.append("v.author_email = ?")
+            params.append(self.author)
+        file_clauses: list[str] = []
+        for column in ("path", "arch", "config", "status"):
+            value = getattr(self, column)
+            if value is not None:
+                file_clauses.append(f"f.{column} = ?")
+                params.append(value)
+        if file_clauses:
+            clauses.append(
+                "EXISTS (SELECT 1 FROM file_verdicts f "
+                "WHERE f.commit_id = v.commit_id AND "
+                + " AND ".join(file_clauses) + ")")
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, params
+
+
+def filter_from_kwargs(filter=None, **kwargs) -> VerdictFilter:
+    """Accept either a ready filter or loose keyword predicates."""
+    if filter is not None:
+        if kwargs:
+            raise StoreError(
+                "pass either a VerdictFilter or keyword predicates, "
+                "not both")
+        if not isinstance(filter, VerdictFilter):
+            raise StoreError(
+                f"filter must be a VerdictFilter, got {filter!r}")
+        return filter
+    known = {f.name for f in fields(VerdictFilter)}
+    unknown = set(kwargs) - known
+    if unknown:
+        raise StoreError(
+            f"unknown filter predicate(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
+    return VerdictFilter(**kwargs)
+
+
+def stored_verdict_from_row(row, file_rows) -> StoredVerdict:
+    """Build a :class:`StoredVerdict` from its table rows."""
+    (commit_id, verdict, certified, fully_checked, elapsed,
+     author_name, author_email, record_json) = row
+    return StoredVerdict(
+        commit=commit_id,
+        verdict=verdict,
+        certified=bool(certified),
+        fully_checked=bool(fully_checked),
+        elapsed_seconds=elapsed,
+        author_name=author_name,
+        author_email=author_email,
+        record=json.loads(record_json),
+        files=tuple(
+            FileVerdictRow(commit=commit_id, path=path, arch=arch,
+                           config=config, status=status,
+                           i_ok=bool(i_ok), o_ok=bool(o_ok))
+            for path, arch, config, status, i_ok, o_ok in file_rows),
+    )

@@ -122,6 +122,25 @@ class Repository:
             selected.append(commit)
         return selected
 
+    def commits_after(self, cursor: str | None = None,
+                      options: LogOptions | None = None,
+                      limit: int | None = None) -> list[Commit]:
+        """The commit stream: filtered commits strictly after ``cursor``.
+
+        This is the pull surface fleet mode's watch daemon consumes —
+        call with the last commit you saw (or ``None`` for the
+        beginning of history), get the next ``limit`` commits that pass
+        the :class:`LogOptions` filters, remember the id of the last
+        one as the next cursor. New commits appended to the repository
+        between calls show up on the next pull, so a live stream and a
+        fixed backlog are the same API.
+        """
+        if limit is not None and limit < 1:
+            raise VcsError(
+                f"commits_after limit must be positive, got {limit!r}")
+        stream = self.log(since=cursor, options=options)
+        return stream if limit is None else stream[:limit]
+
     def show(self, commit: Commit | str,
              ignore_whitespace: bool = True) -> Patch:
         """The patch a commit applies relative to its first parent.

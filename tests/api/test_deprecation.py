@@ -38,6 +38,53 @@ class TestOldNamesWarn:
             EvaluationRunner(small_corpus)
 
 
+class TestDisplacedModuleAttributes:
+    """Store/watch types that briefly lived on repro.journal and
+    repro.service: the old spellings warn and forward to the
+    canonical objects."""
+
+    def test_service_watch_names_warn_and_forward(self):
+        import repro.service as service
+        with pytest.warns(DeprecationWarning,
+                          match="repro.service.WatchSession is "
+                                "deprecated"):
+            displaced = service.WatchSession
+        assert displaced is api.WatchSession
+
+    def test_service_watch_submodule_is_not_shimmed(self):
+        # repro.service.watch names the submodule (Python binds it on
+        # the package at import), so it must never warn
+        import warnings
+
+        import repro.service as service
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            module = service.watch
+        assert module.WatchSession is api.WatchSession
+
+    def test_journal_store_names_warn_and_forward(self):
+        import repro.journal as journal
+        with pytest.warns(DeprecationWarning,
+                          match="repro.journal.VerdictStore is "
+                                "deprecated"):
+            displaced = journal.VerdictStore
+        assert displaced is api.VerdictStore
+
+    def test_journal_ingest_ledger_warns(self):
+        import repro.journal as journal
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            displaced = journal.ingest_ledger
+        assert displaced is api.ingest_ledger
+
+    def test_unknown_attributes_still_raise(self):
+        import repro.journal as journal
+        import repro.service as service
+        with pytest.raises(AttributeError):
+            journal.NoSuchThing
+        with pytest.raises(AttributeError):
+            service.NoSuchThing
+
+
 class TestOldNamesStillWork:
     def test_jmake_is_a_check_session(self):
         with pytest.warns(DeprecationWarning):
@@ -66,3 +113,13 @@ class TestNewNamesAreQuiet:
                                              strict_deprecations):
         api.validate_jobs(4)
         api.serve(small_corpus)
+
+    def test_store_surface_is_warning_free(self, tmp_path,
+                                           strict_deprecations):
+        path = str(tmp_path / "v.sqlite")
+        with api.open_store(path) as store:
+            api.query_verdicts(store)
+        api.janitor_report(path)
+        api.VerdictFilter(commit="c1")
+        api.WatchConfig(batch_size=2)
+        api.resolve_outputs(None, {"stats": None})

@@ -22,6 +22,17 @@ class TestSurface:
         assert api.SCHEMA_VERSION >= 2
         assert callable(api.migrate_record)
 
+    def test_store_and_watch_names_are_the_real_classes(self):
+        from repro.service.watch import WatchSession, WindowSource
+        from repro.store import VerdictStore
+        from repro.store.query import StoredVerdict, VerdictFilter
+        assert api.VerdictStore is VerdictStore
+        assert api.VerdictFilter is VerdictFilter
+        assert api.StoredVerdict is StoredVerdict
+        assert api.WatchSession is WatchSession
+        assert api.WindowSource is WindowSource
+        assert isinstance(api.OUT_DIR_DEFAULTS, dict)
+
 
 class TestValidateJobs:
     def test_accepts_positive_ints(self):
@@ -78,3 +89,58 @@ class TestOneShotHelpers:
             [checkable_commits[0].id])
         assert len(results) == 1
         assert results[0].verdict
+
+
+class TestReadSurface:
+    """The fleet-mode read helpers: open, query, rank, watch."""
+
+    def test_open_store_round_trips_a_record(self, tmp_path):
+        record = api.check_patch(
+            api.CheckSession.worktree_for_files(
+                {"a.c": "int x;\n"}),
+            api.Patch(files=[api.diff_texts("a.c", "int x;\n",
+                                            "int x;\nint y;\n")]),
+            tree=None)
+        path = str(tmp_path / "v.sqlite")
+        with api.open_store(path) as store:
+            store.ingest(dict(record.to_dict(), commit="c1",
+                              journal={"dedup_key": "c1"}))
+        assert api.query_verdicts(path)[0].commit == "c1"
+
+    def test_query_verdicts_accepts_path_and_object(self, tmp_path):
+        path = str(tmp_path / "v.sqlite")
+        with api.open_store(path) as store:
+            assert api.query_verdicts(store) == []
+        assert api.query_verdicts(path) == []
+
+    def test_janitor_report_empty_store(self, tmp_path):
+        assert api.janitor_report(str(tmp_path / "v.sqlite")) == []
+
+    def test_watch_is_the_service_entry_point(self):
+        import repro.service.watch as watch_module
+        assert api.WatchSession is watch_module.WatchSession
+
+
+class TestResolveOutputs:
+    def test_overrides_win_over_out_dir(self, tmp_path):
+        out = api.resolve_outputs(str(tmp_path / "fleet"), {
+            "stats": None, "journal": "/x/custom.jnl"})
+        assert out["stats"].endswith("fleet/stats.json")
+        assert out["journal"] == "/x/custom.jnl"
+        import os
+        assert os.path.isdir(tmp_path / "fleet")
+
+    def test_without_out_dir_unset_sinks_stay_off(self):
+        out = api.resolve_outputs(None, {"stats": None,
+                                         "events": "e.jsonl"})
+        assert out == {"stats": None, "events": "e.jsonl"}
+
+    def test_unknown_sink_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown output sink"):
+            api.resolve_outputs(None, {"flotsam": None})
+
+    def test_out_dir_over_a_file_is_rejected(self, tmp_path):
+        clash = tmp_path / "taken"
+        clash.write_text("not a directory")
+        with pytest.raises(ValueError, match="not a directory"):
+            api.resolve_outputs(str(clash), {"stats": None})

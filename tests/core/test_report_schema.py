@@ -35,6 +35,16 @@ def v2_record(**overrides):
     return record
 
 
+def v3_record(**overrides):
+    """A PR-5-era record: journal block, no attempts/author."""
+    record = v2_record(schema_version=3,
+                       journal={"dedup_key": "abc123"},
+                       files={"a.c": {"status": "ok",
+                                      "useful_archs": ["x86_64"]}})
+    record.update(overrides)
+    return record
+
+
 class TestToDict:
     def test_records_carry_current_version(self):
         report = PatchReport(commit_id="abc")
@@ -100,6 +110,20 @@ class TestMigration:
         # v2's own fields survive untouched
         assert migrated["fully_checked"] is True
 
+    def test_v3_gains_the_v4_store_keys(self):
+        migrated = migrate_record(v3_record())
+        assert migrated["schema_version"] == SCHEMA_VERSION
+        assert migrated["author"] is None
+        assert migrated["files"]["a.c"]["attempts"] == []
+        # pre-v4 facts survive for the store's arch fallback rows
+        assert migrated["files"]["a.c"]["useful_archs"] == ["x86_64"]
+
+    def test_v3_migration_does_not_share_file_entries(self):
+        original = v3_record()
+        migrated = migrate_record(original)
+        migrated["files"]["a.c"]["attempts"].append({"arch": "x"})
+        assert "attempts" not in original["files"]["a.c"]
+
     def test_future_version_raises(self):
         with pytest.raises(SchemaError, match="schema_version=99"):
             migrate_record(v1_record(schema_version=99))
@@ -156,3 +180,86 @@ class TestHardening:
         del record["elapsed_seconds"]
         assert migrate_record(record)["schema_version"] == \
             SCHEMA_VERSION
+
+    def test_non_mapping_files_raises(self):
+        with pytest.raises(SchemaError, match="mapping"):
+            migrate_record(v1_record(files=["a.c"]))
+        with pytest.raises(SchemaError, match="mapping"):
+            migrate_record(v1_record(files={"a.c": "ok"}))
+
+
+class TestVerdictConsistency:
+    """``fully_checked`` and ``PARTIAL:`` must agree — both ways."""
+
+    def test_partial_verdict_claiming_fully_checked_raises(self):
+        record = v2_record(verdict="PARTIAL:arm",
+                           quarantined_archs=["arm"],
+                           fully_checked=True)
+        with pytest.raises(SchemaError, match="fully_checked is true"):
+            migrate_record(record)
+
+    def test_full_verdict_claiming_partial_raises(self):
+        record = v2_record(verdict="CERTIFIED", fully_checked=False)
+        with pytest.raises(SchemaError,
+                           match="carries no PARTIAL quarantine"):
+            migrate_record(record)
+
+    def test_consistent_records_pass_both_ways(self):
+        ok = v2_record(verdict="CERTIFIED", fully_checked=True)
+        partial = v2_record(verdict="PARTIAL:arm",
+                            quarantined_archs=["arm"],
+                            fully_checked=False)
+        assert migrate_record(ok)["fully_checked"] is True
+        assert migrate_record(partial)["fully_checked"] is False
+
+    def test_checked_at_current_version_too(self):
+        record = PatchReport(commit_id="abc").to_dict()
+        record["fully_checked"] = False
+        with pytest.raises(SchemaError, match="inconsistent"):
+            migrate_record(record)
+
+    def test_v1_derivation_never_trips_the_guard(self):
+        # v1 has no fully_checked: migration derives a consistent one
+        migrated = migrate_record(
+            v1_record(verdict="PARTIAL:arm",
+                      quarantined_archs=["arm"]))
+        assert migrated["fully_checked"] is False
+
+
+class TestV4Fields:
+    def test_records_carry_attempts_per_file(self):
+        from repro.core.report import ArchAttempt
+        report = PatchReport(commit_id="abc", file_reports={
+            "a.c": FileReport(path="a.c", status=FileStatus.OK,
+                              attempts=[ArchAttempt(
+                                  arch="x86_64",
+                                  config_target="allyesconfig",
+                                  i_ok=True, o_ok=True)])})
+        entry = report.to_dict()["files"]["a.c"]
+        assert entry["attempts"] == [
+            {"arch": "x86_64", "config": "allyesconfig",
+             "i_ok": True, "o_ok": True}]
+
+    def test_unstamped_author_is_null(self):
+        assert PatchReport(commit_id="abc").to_dict()["author"] is None
+
+    def test_stamped_author_block(self):
+        report = PatchReport(commit_id="abc")
+        report.author_name = "Dan Carpenter"
+        report.author_email = "dan@example.org"
+        assert report.to_dict()["author"] == {
+            "name": "Dan Carpenter", "email": "dan@example.org"}
+
+    def test_check_commit_stamps_the_author(self, small_corpus):
+        from repro.core.jmake import CheckSession
+        from repro.core.changes import extract_changed_files
+        from repro.workload.corpus import Corpus
+        repository = small_corpus.repository
+        commit = next(
+            c for c in repository.log(since=Corpus.TAG_EVAL_START,
+                                      until=Corpus.TAG_EVAL_END)
+            if extract_changed_files(repository.show(c)))
+        session = CheckSession.from_generated_tree(small_corpus.tree)
+        record = session.check_commit(repository, commit).to_dict()
+        assert record["author"] == {"name": commit.author.name,
+                                    "email": commit.author.email}

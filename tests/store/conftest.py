@@ -1,0 +1,74 @@
+"""Record builders shared across the verdict-store suite.
+
+Everything here goes through :meth:`PatchReport.to_dict`, so the
+fixtures exercise exactly the canonical records the fleet produces —
+and the pre-v4 builders strip the keys their eras had not grown yet,
+mirroring what real PR-4/PR-5 journals hold on disk.
+"""
+
+import pytest
+
+from repro.core.report import (
+    ArchAttempt,
+    FileReport,
+    FileStatus,
+    PatchReport,
+)
+
+
+def build_report(commit="c1", *, author=("Dan Carpenter",
+                                         "dan@example.org"),
+                 files=None, quarantined=(), elapsed=4.0,
+                 status=FileStatus.OK):
+    """A :class:`PatchReport` with explicit per-file trial outcomes.
+
+    ``files`` maps path -> list of ``(arch, config, i_ok, o_ok)``
+    attempt tuples; ``status`` applies to every file (pass a failure
+    status for an ATTENTION REQUIRED verdict).
+    """
+    if files is None:
+        files = {"drivers/a.c": [("x86_64", "allyesconfig",
+                                  True, True)]}
+    file_reports = {}
+    for path, attempts in files.items():
+        file_reports[path] = FileReport(
+            path=path, status=status,
+            attempts=[ArchAttempt(arch=arch, config_target=config,
+                                  i_ok=i_ok, o_ok=o_ok)
+                      for arch, config, i_ok, o_ok in attempts],
+            useful_archs=sorted({arch for arch, _, _, o_ok in attempts
+                                 if o_ok}))
+    report = PatchReport(commit_id=commit, file_reports=file_reports,
+                         elapsed_seconds=elapsed,
+                         quarantined_archs=list(quarantined))
+    if author is not None:
+        report.author_name, report.author_email = author
+    return report
+
+
+def v4_record(commit="c1", **kwargs):
+    """A current (schema_version=4) canonical record."""
+    return build_report(commit, **kwargs).to_dict()
+
+
+def v3_record(commit="c1", **kwargs):
+    """A PR-5-era record: journal block, no attempts, no author."""
+    record = v4_record(commit, **kwargs)
+    record["schema_version"] = 3
+    del record["author"]
+    for entry in record["files"].values():
+        del entry["attempts"]
+    return record
+
+
+def v2_record(commit="c1", **kwargs):
+    """A PR-4-era record: versioned + fully_checked, no journal."""
+    record = v3_record(commit, **kwargs)
+    record["schema_version"] = 2
+    del record["journal"]
+    return record
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "verdicts.sqlite")

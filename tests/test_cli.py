@@ -310,3 +310,173 @@ class TestParser:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestWatch:
+    """``jmake watch``: continuous ingest into the verdict store."""
+
+    WATCH = ["watch", "--commits", "30", "--seed", "cli-watch",
+             "--batch-size", "3", "--limit", "6", "--no-fsync"]
+
+    def test_window_watch_drains_and_reports(self, capsys, tmp_path):
+        out_dir = tmp_path / "fleet"
+        assert main(self.WATCH + ["--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "watch drained: 6 commit(s) pulled" in out
+        assert "6 checked fresh, 0 replayed" in out
+        assert "6 verdict(s) durable (0 recovered, 6 fresh)" in out
+        assert (out_dir / "verdicts.sqlite").exists()
+        assert (out_dir / "run.jnl").exists()
+
+    def test_rerun_replays_the_journal(self, capsys, tmp_path):
+        argv = self.WATCH + ["--out-dir", str(tmp_path / "fleet")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 checked fresh, 6 replayed" in out
+        # the replayed verdicts are already stored: nothing re-lands
+        assert "0 ingested this run, 0 duplicate(s)" in out
+        assert "6 verdict(s) durable (6 recovered, 0 fresh)" in out
+
+    def test_chaos_kill_resume_dump_is_byte_identical(self, capsys,
+                                                      tmp_path):
+        plain_dir = tmp_path / "plain"
+        assert main(self.WATCH + ["--out-dir", str(plain_dir)]) == 0
+        capsys.readouterr()
+        crash_dir = tmp_path / "crash"
+        assert main(self.WATCH + ["--out-dir", str(crash_dir),
+                                  "--chaos-kill-after", "4"]) == 3
+        err = capsys.readouterr().err
+        assert "simulated" in err.lower()
+        assert f"resume with: jmake watch --out-dir {crash_dir} " \
+               f"--resume" in err
+        assert main(self.WATCH + ["--out-dir", str(crash_dir),
+                                  "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 replayed" in out
+        assert main(["query", str(plain_dir / "verdicts.sqlite"),
+                     "--canonical"]) == 0
+        plain_dump = capsys.readouterr().out
+        assert main(["query", str(crash_dir / "verdicts.sqlite"),
+                     "--canonical"]) == 0
+        assert capsys.readouterr().out == plain_dump
+        assert plain_dump.startswith("verdict-store canonical dump\n")
+
+    def test_watch_requires_store_and_journal_paths(self, capsys):
+        assert main(["watch", "--commits", "30",
+                     "--seed", "cli-watch"]) == 2
+        assert "needs --out-dir" in capsys.readouterr().err
+
+    def test_watch_rejects_bad_shards(self, capsys, tmp_path):
+        assert main(self.WATCH + ["--out-dir", str(tmp_path / "f"),
+                                  "--shards", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--shards must be a positive integer" in err
+
+    def test_watch_rejects_zero_traffic(self, capsys, tmp_path):
+        assert main(self.WATCH + ["--out-dir", str(tmp_path / "f"),
+                                  "--source", "synthetic",
+                                  "--traffic", "0"]) == 2
+
+
+class TestQuery:
+    """``jmake query``: the read surface over a populated store."""
+
+    @pytest.fixture(scope="class")
+    def fleet_store(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("fleet")
+        assert main(["watch", "--commits", "30", "--seed", "cli-query",
+                     "--batch-size", "3", "--limit", "6", "--no-fsync",
+                     "--out-dir", str(out_dir)]) == 0
+        return str(out_dir / "verdicts.sqlite")
+
+    def test_default_listing(self, capsys, fleet_store):
+        assert main(["query", fleet_store]) == 0
+        out = capsys.readouterr().out
+        assert "6 verdict(s) (6 stored)" in out
+
+    def test_json_mode_emits_canonical_records(self, capsys,
+                                               fleet_store):
+        assert main(["query", fleet_store, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 6
+        assert all(r["schema_version"] == 4 for r in records)
+        assert all(r["author"]["email"] for r in records)
+
+    def test_files_flag_adds_per_file_rows(self, capsys, fleet_store):
+        assert main(["query", fleet_store, "--files"]) == 0
+        out = capsys.readouterr().out
+        assert " arch=" in out
+        assert " i_ok=" in out
+
+    def test_tristate_filters(self, capsys, fleet_store):
+        assert main(["query", fleet_store,
+                     "--fully-checked", "yes"]) == 0
+        fully = capsys.readouterr().out
+        assert main(["query", fleet_store, "--certified", "no"]) == 0
+        capsys.readouterr()
+        assert "verdict(s)" in fully
+
+    def test_janitor_report(self, capsys, fleet_store):
+        assert main(["query", fleet_store, "--janitors",
+                     "--min-patches", "1", "--min-files", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "janitor(s)" in out
+        assert "file_cv=" in out
+
+    def test_missing_store_exits_two(self, capsys, tmp_path):
+        assert main(["query", str(tmp_path / "absent.sqlite")]) == 2
+        assert "no such store" in capsys.readouterr().err
+
+    def test_bad_predicate_exits_two(self, capsys, fleet_store):
+        assert main(["query", fleet_store, "--limit", "0"]) == 2
+        assert "limit" in capsys.readouterr().err
+
+
+class TestOutputFlagNotices:
+    """The unified --out-dir umbrella: old per-sink flags keep working
+    but print a deprecation notice on stderr (never stdout — the
+    recovery CI job diffs stdout)."""
+
+    def test_evaluate_journal_flag_notices_on_stderr(self, capsys,
+                                                     tmp_path):
+        journal = str(tmp_path / "run.jnl")
+        assert main(["evaluate", "--commits", "40", "--limit", "4",
+                     "--seed", "cli-test", "--journal", journal]) == 0
+        captured = capsys.readouterr()
+        assert "--journal is deprecated" in captured.err
+        assert "prefer --out-dir" in captured.err
+        assert "deprecated" not in captured.out
+
+    def test_evaluate_out_dir_places_the_journal(self, capsys,
+                                                 tmp_path):
+        out_dir = tmp_path / "outs"
+        assert main(["evaluate", "--commits", "40", "--limit", "4",
+                     "--seed", "cli-test",
+                     "--out-dir", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" not in captured.err
+        assert (out_dir / "run.jnl").exists()
+        assert f"journal {out_dir / 'run.jnl'}:" in captured.out
+
+    def test_serve_sink_flags_notice_and_still_work(self, capsys,
+                                                    tmp_path):
+        stats = str(tmp_path / "stats.json")
+        assert main(["serve", "--commits", "30", "--limit", "2",
+                     "--seed", "cli-test", "--shards", "2",
+                     "--stats-out", stats]) == 0
+        captured = capsys.readouterr()
+        assert "--stats-out is deprecated" in captured.err
+        assert f"stats written to {stats}" in captured.out
+        assert json.loads((tmp_path / "stats.json").read_text())
+
+    def test_serve_out_dir_fans_out_every_sink(self, capsys, tmp_path):
+        out_dir = tmp_path / "serve-outs"
+        assert main(["serve", "--commits", "30", "--limit", "2",
+                     "--seed", "cli-test", "--shards", "2",
+                     "--out-dir", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" not in captured.err
+        for name in ("stats.json", "metrics.jsonl", "events.jsonl"):
+            assert (out_dir / name).exists(), name

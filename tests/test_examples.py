@@ -46,6 +46,13 @@ class TestExamples:
         assert "0-day bot" in out
         assert "JMake" in out
 
+    def test_fleet_watch_small(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "fleet_watch.py",
+                          ["--commits", "30", "--seed", "example-fleet"])
+        assert "watch drained" in out
+        assert "janitor view" in out
+        assert "file_cv=" in out
+
     def test_undertaker_scan(self, monkeypatch, capsys):
         out = run_example(monkeypatch, capsys, "undertaker_scan.py")
         assert "dead" in out

@@ -101,6 +101,51 @@ class TestLog:
             ["change a", "modify c.c"]
 
 
+class TestCommitsAfter:
+    """The fleet pull surface: cursor-based incremental streaming."""
+
+    def test_none_cursor_streams_from_the_root(self,
+                                               repo_with_history):
+        repo, _ = repo_with_history
+        assert [c.id for c in repo.commits_after()] == \
+            [c.id for c in repo.log()]
+
+    def test_cursor_excludes_itself(self, repo_with_history):
+        repo, commits = repo_with_history
+        pulled = repo.commits_after(commits[0].id)
+        assert commits[0].id not in [c.id for c in pulled]
+
+    def test_limit_truncates(self, repo_with_history):
+        repo, _ = repo_with_history
+        assert len(repo.commits_after(limit=1)) == 1
+
+    def test_bad_limit_raises(self, repo_with_history):
+        repo, _ = repo_with_history
+        with pytest.raises(VcsError, match="limit"):
+            repo.commits_after(limit=0)
+
+    def test_cursor_walk_covers_the_stream_exactly_once(
+            self, repo_with_history):
+        repo, _ = repo_with_history
+        cursor, seen = None, []
+        while True:
+            pulled = repo.commits_after(cursor, limit=1)
+            if not pulled:
+                break
+            seen.extend(c.id for c in pulled)
+            cursor = pulled[-1].id
+        assert seen == [c.id for c in repo.log()]
+
+    def test_new_commits_show_up_on_the_next_pull(self,
+                                                  repo_with_history):
+        repo, commits = repo_with_history
+        cursor = repo.head().id
+        assert repo.commits_after(cursor) == []
+        t_new = repo.head().tree.with_files({"c.c": "int c3;\n"})
+        fresh = repo.commit(t_new, sig("Eve"), "modify c.c again")
+        assert [c.id for c in repo.commits_after(cursor)] == [fresh.id]
+
+
 class TestShow:
     def test_show_produces_patch(self, repo_with_history):
         repo, commits = repo_with_history
