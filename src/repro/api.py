@@ -46,6 +46,8 @@ from repro.core.report import (
 )
 from repro.core.units import UnitDag, WorkUnit, run_units
 from repro.errors import (
+    AuthError,
+    CorpusMismatchError,
     FaultPlanError,
     FrameCorruptError,
     FrameTooLargeError,
@@ -145,6 +147,7 @@ from repro.service import (
     live_transports,
 )
 from repro.service.transport import wire
+from repro.service.transport.client import ReconnectPolicy, WorkerClient
 from repro.service.watch import (
     SyntheticTrafficSource,
     WatchConfig,
@@ -197,6 +200,9 @@ __all__ = [
     "TransportError", "WorkerLostError", "WireError",
     "FrameTruncatedError", "FrameCorruptError", "FrameTooLargeError",
     "WireSchemaError",
+    # the cross-host worker fleet (PR 10)
+    "WorkerClient", "ReconnectPolicy", "AuthError",
+    "CorpusMismatchError",
     # durability (write-ahead journal, resume, chaos)
     "Journal", "ReplayResult", "VerdictLedger", "CrashPoint",
     "crash_offsets", "JournalError", "JournalCorruptError",

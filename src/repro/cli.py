@@ -13,6 +13,13 @@ Subcommands::
                                     submit a batch of commits, report
                                     per-request verdicts and scheduling
                                     stats, and drain cleanly
+    jmake worker --connect H:P      join a coordinator as a cross-host
+                                    worker: authenticate with the
+                                    shared key, rebuild the corpus from
+                                    the shipped spec, and serve WORK
+                                    frames until shutdown (reconnecting
+                                    through partitions with jittered
+                                    backoff)
     jmake stats <sink>              read a telemetry sink back: latest
                                     snapshot tables (p50/p90/p99 request
                                     latency) or event-kind counts
@@ -286,7 +293,13 @@ def _serve(args: argparse.Namespace) -> int:
             max_pending_requests=args.max_pending,
             transport=args.transport,
             jobs=args.jobs,
-            start_method=args.start_method)
+            start_method=args.start_method,
+            listen=args.listen,
+            auth_key=args.auth_key,
+            spawn_workers=not args.no_spawn,
+            heartbeat_seconds=args.heartbeat,
+            lease_seconds=args.lease,
+            reconnect_grace_seconds=args.reconnect_grace)
         if args.stats_interval is not None and args.stats_interval <= 0:
             raise ValueError(f"--stats-interval must be positive, "
                              f"got {args.stats_interval}")
@@ -356,9 +369,14 @@ def _serve(args: argparse.Namespace) -> int:
               f"batch_limit={config.batch_limit}; submitting "
               f"{len(checkable)} request(s) ...")
     else:
+        fleet = ""
+        if config.listen:
+            fleet = f" listen={config.listen}"
+        if not config.spawn_workers:
+            fleet += " (awaiting external workers)"
         print(f"service: transport={config.transport} "
               f"jobs={config.jobs or config.shards} "
-              f"start_method={config.start_method}; submitting "
+              f"start_method={config.start_method}{fleet}; submitting "
               f"{len(checkable)} request(s) ...")
     try:
         results = service.check_commits(
@@ -416,6 +434,61 @@ def _serve(args: argparse.Namespace) -> int:
     return 0 if drained and len(results) == len(checkable) else 1
 
 
+def _worker(args: argparse.Namespace) -> int:
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+        if not host or not 0 < port < 65536:
+            raise ValueError
+    except ValueError:
+        print(f"jmake worker: --connect wants HOST:PORT, "
+              f"got {args.connect!r}", file=sys.stderr)
+        return 2
+    corpus = None
+    if args.seed is not None:
+        # pre-build the corpus locally instead of waiting for the
+        # coordinator's spec; the WELCOME fingerprint check still
+        # proves both sides see the same tree
+        spec = api.CorpusSpec(seed=args.seed,
+                              history_commits=max(200, args.commits // 2),
+                              eval_commits=args.commits)
+        print(f"Building corpus ({spec.eval_commits} evaluation "
+              f"commits) ...")
+        corpus = api.build_corpus(spec)
+    try:
+        reconnect = api.ReconnectPolicy(max_attempts=args.max_attempts)
+        client = api.WorkerClient(
+            host, port,
+            auth_key=args.auth_key,
+            worker_id=args.worker_id,
+            corpus=corpus,
+            use_cache=not args.no_cache,
+            start_method=args.start_method or "fork",
+            reconnect=reconnect)
+    except ValueError as error:
+        print(f"jmake worker: {error}", file=sys.stderr)
+        return 2
+    print(f"worker: connecting to {host}:{port} ...")
+    try:
+        summary = client.run()
+    except api.AuthError as error:
+        print(f"jmake worker: {error}", file=sys.stderr)
+        return 4
+    except api.CorpusMismatchError as error:
+        print(f"jmake worker: {error}", file=sys.stderr)
+        print("hint: rebuild with the coordinator's --seed/--commits "
+              "(or drop --seed to take the wire spec)", file=sys.stderr)
+        return 4
+    except (api.TransportError, OSError) as error:
+        print(f"jmake worker: {error}", file=sys.stderr)
+        return 3
+    print(f"worker {summary['worker_id']} done: "
+          f"{summary['assignments']} assignment(s), "
+          f"{summary['reconnects']} reconnect(s), "
+          f"lease epoch {summary['lease']}")
+    return 0
+
+
 def _watch(args: argparse.Namespace) -> int:
     try:
         api.validate_jobs(args.shards, what="--shards")
@@ -437,7 +510,11 @@ def _watch(args: argparse.Namespace) -> int:
             fsync=not args.no_fsync,
             chaos_kill_after=args.chaos_kill_after,
             service=service_config,
-            cache=not args.no_cache)
+            cache=not args.no_cache,
+            follow=args.follow,
+            poll_interval_seconds=args.poll_interval,
+            stop_file=args.stop_file,
+            idle_timeout_seconds=args.idle_timeout)
     except ValueError as error:
         print(f"jmake watch: {error}", file=sys.stderr)
         return 2
@@ -473,14 +550,27 @@ def _watch(args: argparse.Namespace) -> int:
         return 2
     resume_hint = f"--out-dir {args.out_dir}" if args.out_dir else \
         f"--store {store_path} --journal {journal}"
+    mode = " follow" if args.follow else ""
     print(f"watch: source={args.source} transport={args.transport} "
-          f"shards={args.shards} batch_size={args.batch_size}; "
+          f"shards={args.shards} batch_size={args.batch_size}{mode}; "
           f"store={store_path} journal={journal}")
+    session = api.WatchSession(corpus, store=store_path,
+                               journal=journal, source=source,
+                               options=options, config=config,
+                               events=events, resume=args.resume)
+    previous_handlers = {}
+    if args.follow:
+        import signal
+
+        def _graceful(signum, frame):
+            # flag only; the loop stops at the next batch boundary so
+            # the in-flight batch lands durably first
+            session.request_stop("signal")
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _graceful)
     try:
-        result = api.watch(corpus, store=store_path, journal=journal,
-                           source=source, options=options,
-                           config=config, events=events,
-                           resume=args.resume)
+        result = session.run()
     except api.SimulatedCrashError as error:
         # the dying verdict is already durable in the journal; the
         # resumed daemon catches the store up and continues the stream
@@ -493,11 +583,21 @@ def _watch(args: argparse.Namespace) -> int:
         print(f"jmake watch: {error}", file=sys.stderr)
         return 2
     finally:
+        if previous_handlers:
+            import signal
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
         for sink in closers:
             sink.close()
-    print(f"\nwatch drained: {result.commits_seen} commit(s) pulled, "
+    idle = f", {result.idle_polls} idle poll(s)" \
+        if result.idle_polls else ""
+    # CI greps "watch drained:"; other stop reasons name themselves
+    ending = "drained" if result.stopped_by == "drained" \
+        else f"stopped ({result.stopped_by})"
+    print(f"\nwatch {ending}: "
+          f"{result.commits_seen} commit(s) pulled, "
           f"{result.fresh} checked fresh, {result.replayed} replayed "
-          f"from the journal, {result.batches} batch(es)")
+          f"from the journal, {result.batches} batch(es){idle}")
     stats = result.store_stats
     print(f"store {store_path}: {stats['verdicts']} verdict(s), "
           f"{stats['file_rows']} file row(s), {stats['authors']} "
@@ -544,6 +644,21 @@ def _query(args: argparse.Namespace) -> int:
         print(f"jmake query: {error}", file=sys.stderr)
         return 2
     with store:
+        if args.compact:
+            if args.retain is None:
+                print("jmake query: --compact needs --retain N "
+                      "(newest verdicts to keep)", file=sys.stderr)
+                return 2
+            try:
+                pruned = store.compact(args.retain)
+            except api.StoreError as error:
+                print(f"jmake query: {error}", file=sys.stderr)
+                return 2
+            print(f"{args.store}: compacted to {pruned['kept']} "
+                  f"verdict(s) ({pruned['pruned']} pruned, "
+                  f"{pruned['file_rows_pruned']} file row(s) dropped, "
+                  f"janitor view rebuilt)")
+            return 0
         if args.canonical:
             # the byte-deterministic proof format CI diffs — nothing
             # else may touch stdout in this mode
@@ -872,7 +987,66 @@ def main(argv: list[str] | None = None) -> int:
                        help="real seconds between metric snapshots "
                             "when a --metrics-sink is configured "
                             "(default: 1.0)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="socket transport: bind the coordinator "
+                            "here so cross-host `jmake worker` "
+                            "processes can dial in (default: an "
+                            "ephemeral localhost port)")
+    serve.add_argument("--auth-key", default=None, metavar="KEY",
+                       help="shared secret for the HMAC challenge/"
+                            "response worker handshake (default: a "
+                            "random per-run key, which only spawned "
+                            "workers can know)")
+    serve.add_argument("--no-spawn", action="store_true",
+                       help="socket transport: spawn no local workers; "
+                            "every slot waits for an external `jmake "
+                            "worker --connect` (requires --auth-key)")
+    serve.add_argument("--heartbeat", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="socket transport: ask workers to "
+                            "heartbeat this often; 0 disables "
+                            "lease-based failure detection")
+    serve.add_argument("--lease", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="socket transport: reclaim a worker's "
+                            "assignment after this long without a "
+                            "heartbeat (>= --heartbeat)")
+    serve.add_argument("--reconnect-grace", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="socket transport: how long a crashed "
+                            "connection may rejoin (fresh lease epoch) "
+                            "before the slot restarts or breaks")
     serve.set_defaults(func=_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a coordinator as a cross-host check worker over "
+             "the framed wire protocol")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's --listen address")
+    worker.add_argument("--auth-key", required=True, metavar="KEY",
+                        help="shared secret proving this worker to "
+                             "the coordinator (HMAC challenge/response)")
+    worker.add_argument("--worker-id", type=int, default=-1,
+                        help="claim a specific worker slot "
+                             "(default: -1, any free slot)")
+    worker.add_argument("--seed", default=None,
+                        help="pre-build the corpus locally from this "
+                             "seed instead of taking the coordinator's "
+                             "wire spec (must match its --seed)")
+    worker.add_argument("--commits", type=int, default=400,
+                        help="evaluation commits when --seed is given "
+                             "(must match the coordinator)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="disable this worker's build cache")
+    worker.add_argument("--max-attempts", type=int, default=8,
+                        help="consecutive failed dials before giving "
+                             "up (jittered exponential backoff "
+                             "between attempts)")
+    worker.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="reported in HELLO for fleet telemetry")
+    worker.set_defaults(func=_worker)
 
     watch = sub.add_parser("watch",
                            help="fleet mode: continuously check unseen "
@@ -931,6 +1105,24 @@ def main(argv: list[str] | None = None) -> int:
                             "(exit 3; rerun with --resume)")
     watch.add_argument("--no-fsync", action="store_true",
                        help="skip per-record journal fsync (tests)")
+    watch.add_argument("--follow", action="store_true",
+                       help="long-lived mode: when the stream runs "
+                            "dry, poll it for new commits instead of "
+                            "exiting; stop via SIGTERM/SIGINT (the "
+                            "in-flight batch still lands), "
+                            "--stop-file, or --idle-timeout")
+    watch.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="follow mode: real seconds between idle "
+                            "polls (default: 0.5)")
+    watch.add_argument("--stop-file", default=None, metavar="PATH",
+                       help="follow mode: stop gracefully when this "
+                            "file appears (touch it to stop a daemon "
+                            "you cannot signal)")
+    watch.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="follow mode: stop after this long with "
+                            "no new commits (default: wait forever)")
     watch.add_argument("--shards", type=int, default=2,
                        help="per-architecture shard workers")
     watch.add_argument("--transport", default="asyncio",
@@ -991,6 +1183,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the byte-deterministic canonical "
                             "dump (the kill/resume proof format CI "
                             "diffs)")
+    query.add_argument("--compact", action="store_true",
+                       help="retention: prune the store down to the "
+                            "newest --retain verdicts, rebuild the "
+                            "janitor view over the survivors in the "
+                            "same transaction, and vacuum")
+    query.add_argument("--retain", type=int, default=None, metavar="N",
+                       help="newest verdicts --compact keeps")
     query.set_defaults(func=_query)
 
     stats = sub.add_parser("stats",

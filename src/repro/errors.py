@@ -151,6 +151,27 @@ class WorkerLostError(TransportError):
         self.requeued = requeued
 
 
+class AuthError(TransportError):
+    """Raised when the shared-key HMAC challenge/response handshake
+    fails: the coordinator rejects the HELLO with a typed error frame
+    and the worker surfaces it as this class (never retried — a wrong
+    key cannot become right by reconnecting)."""
+
+
+class CorpusMismatchError(TransportError):
+    """Raised when a connecting worker's rebuilt corpus does not match
+    the coordinator's fingerprint (head commit id). Checking commits
+    against a different corpus would silently break byte-identity, so
+    the session is refused instead.
+    """
+
+    def __init__(self, message: str, *, expected: str = "",
+                 actual: str = "") -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
 class WireError(TransportError):
     """Base class for wire-codec failures (framing + message schema)."""
 

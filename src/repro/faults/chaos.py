@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from repro.errors import SimulatedCrashError
 from repro.faults.plan import (
+    KIND_NET_HALF_OPEN,
+    KIND_NET_PARTITION,
+    KIND_NET_SLOW,
     KIND_SOCKET_DROP,
     KIND_WORKER_HANG,
     KIND_WORKER_KILL,
@@ -27,6 +30,9 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "KIND_NET_HALF_OPEN",
+    "KIND_NET_PARTITION",
+    "KIND_NET_SLOW",
     "KIND_SOCKET_DROP",
     "KIND_WORKER_KILL",
     "CrashPoint",
@@ -37,17 +43,24 @@ __all__ = [
 
 def transport_chaos_plan(seed: object, *, kill_rate: float = 0.0,
                          drop_rate: float = 0.0, hang_rate: float = 0.0,
+                         partition_rate: float = 0.0,
+                         slow_rate: float = 0.0,
+                         half_open_rate: float = 0.0,
                          times: int | None = None) -> FaultPlan:
     """A fault plan aimed at remote shard workers.
 
     ``worker_kill`` hard-kills the child at assignment pickup,
     ``socket_drop`` severs its connection mid-stream, ``worker_hang``
-    stalls it past the transport's hang deadline. All three fire from
-    the worker-site injector keyed by (worker slot, pickup sequence),
-    so for a fixed dispatch order the chaos schedule is deterministic.
-    Verdicts are unaffected either way: the assignment is requeued and
-    re-executed from scratch, and every check is a pure function of
-    (corpus, commit).
+    stalls it past the transport's hang deadline. The network kinds
+    model the link rather than the process: ``net_partition`` cuts the
+    connection but leaves the worker alive to reconnect, ``net_slow``
+    delays the verdict without killing anything, ``net_half_open``
+    leaves the socket established while the worker goes silent (only
+    lease expiry catches it). All fire from the worker-site injector
+    keyed by (worker slot, pickup sequence), so for a fixed dispatch
+    order the chaos schedule is deterministic. Verdicts are unaffected
+    either way: the assignment is requeued and re-executed from
+    scratch, and every check is a pure function of (corpus, commit).
     """
     specs = []
     times = 1 if times is None else times
@@ -60,6 +73,15 @@ def transport_chaos_plan(seed: object, *, kill_rate: float = 0.0,
     if hang_rate:
         specs.append(FaultSpec(kind=KIND_WORKER_HANG, rate=hang_rate,
                                times=times))
+    if partition_rate:
+        specs.append(FaultSpec(kind=KIND_NET_PARTITION,
+                               rate=partition_rate, times=times))
+    if slow_rate:
+        specs.append(FaultSpec(kind=KIND_NET_SLOW, rate=slow_rate,
+                               times=times))
+    if half_open_rate:
+        specs.append(FaultSpec(kind=KIND_NET_HALF_OPEN,
+                               rate=half_open_rate, times=times))
     if not specs:
         raise ValueError("transport_chaos_plan needs at least one "
                          "non-zero rate")

@@ -70,6 +70,22 @@ KIND_WORKER_KILL = "worker_kill"
 #: a dropped socket is just another shard crash to the supervisor
 KIND_SOCKET_DROP = "socket_drop"
 
+# -- network-level fault kinds (PR 10 fleet chaos vocabulary) ----------------
+
+#: the link between worker and coordinator partitions: the worker's
+#: socket goes away but the *process* survives and reconnects once the
+#: partition heals; the coordinator must requeue and later accept the
+#: worker back under a fresh lease epoch
+KIND_NET_PARTITION = "net_partition"
+#: the link degrades (bufferbloat, saturated uplink): frames still
+#: arrive but each assignment is served noticeably late; heartbeats
+#: must keep the lease alive so slowness is not misread as death
+KIND_NET_SLOW = "net_slow"
+#: the connection half-opens: the TCP session looks established to the
+#: coordinator but the worker stops sending anything — no verdicts, no
+#: heartbeats. Only lease expiry can detect this state.
+KIND_NET_HALF_OPEN = "net_half_open"
+
 # -- injection sites --------------------------------------------------------
 
 SITE_CONFIG = "config"            # BuildSystem.make_config
@@ -106,6 +122,9 @@ _KIND_SITES: dict[str, tuple[str, ...]] = {
     KIND_WORKER_HANG: (SITE_WORKER,),
     KIND_WORKER_KILL: (SITE_WORKER,),
     KIND_SOCKET_DROP: (SITE_WORKER,),
+    KIND_NET_PARTITION: (SITE_WORKER,),
+    KIND_NET_SLOW: (SITE_WORKER,),
+    KIND_NET_HALF_OPEN: (SITE_WORKER,),
     KIND_TORN_JOURNAL_WRITE: (SITE_JOURNAL_APPEND,),
 }
 
@@ -126,6 +145,9 @@ _DEFAULT_COST_SECONDS = {
     KIND_WORKER_HANG: 0.0,
     KIND_WORKER_KILL: 0.0,
     KIND_SOCKET_DROP: 0.0,
+    KIND_NET_PARTITION: 0.0,
+    KIND_NET_SLOW: 0.0,
+    KIND_NET_HALF_OPEN: 0.0,
     KIND_TORN_JOURNAL_WRITE: 0.0,
 }
 

@@ -62,6 +62,15 @@ EVENT_INGEST_MATVIEW = "ingest.matview_refreshed"
 EVENT_WATCH_STARTED = "watch.started"
 EVENT_WATCH_BATCH = "watch.batch"
 EVENT_WATCH_STOPPED = "watch.stopped"
+EVENT_WATCH_IDLE = "watch.idle"
+EVENT_AUTH_REJECTED = "transport.auth_rejected"
+EVENT_WORKER_REGISTERED = "transport.worker_registered"
+EVENT_WORKER_REJOINED = "transport.worker_rejoined"
+EVENT_LEASE_FENCED = "transport.lease_fenced"
+EVENT_LEASE_EXPIRED = "transport.lease_expired"
+EVENT_VERDICT_ACCEPTED = "transport.verdict_accepted"
+EVENT_WORKER_RECONNECT = "worker.reconnect"
+EVENT_STORE_COMPACTED = "store.compacted"
 
 #: well-known event kinds (kind -> meaning); documentation, not an ACL
 EVENT_KINDS = {
@@ -87,6 +96,15 @@ EVENT_KINDS = {
     EVENT_WATCH_STARTED: "the watch daemon opened its stream",
     EVENT_WATCH_BATCH: "the watch daemon finished one check batch",
     EVENT_WATCH_STOPPED: "the watch daemon drained and stopped",
+    EVENT_WATCH_IDLE: "the watch daemon polled an empty source",
+    EVENT_AUTH_REJECTED: "a connecting worker failed the HMAC handshake",
+    EVENT_WORKER_REGISTERED: "a worker passed auth and took a lease",
+    EVENT_WORKER_REJOINED: "a partitioned worker reconnected in grace",
+    EVENT_LEASE_FENCED: "a stale-epoch verdict frame was discarded",
+    EVENT_LEASE_EXPIRED: "a worker's lease lapsed without heartbeats",
+    EVENT_VERDICT_ACCEPTED: "a remote verdict passed the lease fence",
+    EVENT_WORKER_RECONNECT: "a worker client began a reconnect cycle",
+    EVENT_STORE_COMPACTED: "the verdict store pruned old rows",
 }
 
 #: serialized-event keys every record must carry

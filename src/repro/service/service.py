@@ -114,6 +114,29 @@ class ServiceConfig:
     #: JMAKE_START_METHOD from the environment (default "fork"), which
     #: is how CI runs the whole transport surface under ``spawn``
     start_method: "str | None" = None
+    #: socket transport: "HOST:PORT" to listen on (None -> loopback
+    #: with an ephemeral port, the local-spawn default)
+    listen: "str | None" = None
+    #: socket transport: shared secret for the HMAC challenge/response
+    #: handshake; None generates a fresh key per coordinator (locally
+    #: spawned workers inherit it, everything else is locked out)
+    auth_key: "str | None" = None
+    #: socket transport: spawn local worker processes (True) or wait
+    #: for external ``jmake worker --connect`` processes (False)
+    spawn_workers: bool = True
+    #: socket transport: seconds between worker heartbeats (0 = off;
+    #: reply waits then use the plain hang deadline)
+    heartbeat_seconds: float = 0.0
+    #: socket transport: lease length; a worker silent this long is
+    #: declared dead even on an open socket. Must dominate the
+    #: heartbeat interval when heartbeats are on.
+    lease_seconds: float = 0.0
+    #: socket transport: seconds a partitioned worker may dial back
+    #: and rejoin without burning restart budget (0 = no grace)
+    reconnect_grace_seconds: float = 0.0
+    #: remote transports: ceiling on worker startup/registration
+    #: (None -> the transport default, 120s)
+    hello_timeout_seconds: "float | None" = None
 
     def __post_init__(self) -> None:
         from repro.api import validate_jobs
@@ -143,6 +166,40 @@ class ServiceConfig:
             raise ValueError(
                 f"shard_queue_limit must be a positive integer, "
                 f"got {self.shard_queue_limit}")
+        if self.transport != "socket":
+            if self.listen is not None:
+                raise ValueError(
+                    "listen requires the socket transport, "
+                    f"not {self.transport!r}")
+            if not self.spawn_workers:
+                raise ValueError(
+                    "spawn_workers=False requires the socket "
+                    f"transport, not {self.transport!r}")
+            if self.heartbeat_seconds:
+                raise ValueError(
+                    "heartbeat_seconds requires the socket "
+                    f"transport, not {self.transport!r}")
+        if not self.spawn_workers and not self.auth_key:
+            raise ValueError(
+                "spawn_workers=False requires an explicit auth_key "
+                "(external workers must share the secret)")
+        for name in ("heartbeat_seconds", "lease_seconds",
+                     "reconnect_grace_seconds"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(
+                    f"{name} cannot be negative, got {value!r}")
+        if self.heartbeat_seconds > 0 and \
+                self.lease_seconds < self.heartbeat_seconds:
+            raise ValueError(
+                "lease_seconds must be at least heartbeat_seconds "
+                f"({self.lease_seconds!r} < "
+                f"{self.heartbeat_seconds!r})")
+        if self.hello_timeout_seconds is not None and \
+                self.hello_timeout_seconds <= 0:
+            raise ValueError(
+                f"hello_timeout_seconds must be positive, "
+                f"got {self.hello_timeout_seconds!r}")
 
 
 class CheckService:

@@ -287,4 +287,10 @@ class ShardSupervisor:
             "breaker_open_shards": [shard.index
                                     for shard in self.pool.shards
                                     if shard.breaker_open],
+            # fleet counters, always zero in-process: no sockets means
+            # nothing to rejoin, fence, or authenticate — present so
+            # the stats shape is uniform across every transport
+            "rejoins": 0,
+            "fenced_replies": 0,
+            "auth_rejected": 0,
         }

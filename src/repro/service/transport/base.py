@@ -91,6 +91,10 @@ class Transport:
         """Finish in-flight work and stop workers; idempotent."""
         raise NotImplementedError
 
+    def address(self) -> "tuple[str, int] | None":
+        """(host, port) a networked transport listens on, else None."""
+        return None
+
     # -- telemetry hooks the service's stats()/health() read ---------------
 
     def shard_stats(self) -> list:

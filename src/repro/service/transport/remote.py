@@ -41,12 +41,16 @@ from repro.errors import TransportError
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import SITE_WORKER
 from repro.obs.events import (
+    EVENT_LEASE_EXPIRED,
+    EVENT_LEASE_FENCED,
     EVENT_SHARD_BREAKER_OPEN,
     EVENT_SHARD_CRASH,
     EVENT_SHARD_HANG,
     EVENT_SHARD_INLINE_DRAIN,
     EVENT_SHARD_RESTART,
+    EVENT_VERDICT_ACCEPTED,
     EVENT_WORKER_EXIT,
+    EVENT_WORKER_REJOINED,
     EVENT_WORKER_REQUEUE,
     EVENT_WORKER_SPAWNED,
 )
@@ -91,6 +95,18 @@ class WorkerSlot:
         self.breaker_open = False
         self.breaker_reason = ""
         self.claimed = None
+        #: fencing token: bumped on every registration, echoed by
+        #: every verdict; a frame carrying an older epoch is from a
+        #: session whose work was already requeued and is discarded
+        self.lease_epoch = 0
+        #: event-loop time of the last heartbeat under the current
+        #: lease epoch (dispatch start counts as an implicit beat)
+        self.last_heartbeat = 0.0
+        #: stale-epoch verdicts fenced off this slot
+        self.fenced = 0
+        #: reconnects accepted within the grace window (no restart
+        #: budget burned — the process never died)
+        self.rejoins = 0
         self._task: "asyncio.Task | None" = None
 
     def stats(self) -> dict:
@@ -106,6 +122,9 @@ class WorkerSlot:
             "restarts": self.restarts,
             "breaker_open": self.breaker_open,
             "breaker_reason": self.breaker_reason,
+            "lease_epoch": self.lease_epoch,
+            "fenced": self.fenced,
+            "rejoins": self.rejoins,
         }
 
 
@@ -141,12 +160,26 @@ class RemoteTransport(Transport):
             if config.fault_plan else NULL_INJECTOR
         self._inline_task: "asyncio.Task | None" = None
         self.inline_jobs = 0
+        #: seconds between worker heartbeats (0 = heartbeats off and
+        #: the plain hang deadline governs reply waits)
+        self.heartbeat_seconds = float(
+            getattr(config, "heartbeat_seconds", 0.0) or 0.0)
+        #: lease length: a worker whose last beat is older than this
+        #: is declared dead even if its socket still looks open
+        self.lease_seconds = float(
+            getattr(config, "lease_seconds", 0.0) or 0.0)
+        self.hello_timeout = float(
+            getattr(config, "hello_timeout_seconds", None)
+            or HELLO_TIMEOUT_SECONDS)
         # -- supervisor-shaped counters ------------------------------------
         self.crashes_detected = 0
         self.hangs_detected = 0
         self.restarts = 0
         self.requeued_jobs = 0
         self.breakers_opened = 0
+        self.rejoins = 0
+        self.fenced_replies = 0
+        self.auth_rejected = 0
         #: ops view of arch flakiness across requests (never verdicts)
         self._quarantined: dict[str, str] = {}
 
@@ -267,10 +300,13 @@ class RemoteTransport(Transport):
         while not slot.breaker_open:
             try:
                 await asyncio.wait_for(self._connect(slot),
-                                       timeout=HELLO_TIMEOUT_SECONDS)
+                                       timeout=self.hello_timeout)
                 return
             except (asyncio.TimeoutError, TransportError, OSError):
-                await self._handle_loss(slot, None, cause="crash")
+                # no rejoin here: we just failed to connect, so a
+                # grace-window wait would only recurse into itself
+                await self._handle_loss(slot, None, cause="crash",
+                                        allow_rejoin=False)
 
     async def _dispatch(self, slot: WorkerSlot,
                         assignment: _Assignment) -> None:
@@ -285,13 +321,12 @@ class RemoteTransport(Transport):
         request = assignment.request
         frame = wire.encode_frame(wire.MSG_WORK, wire.work_message(
             assignment.seq, request.request_id, request.commit_id,
-            options=request.options, chaos=chaos))
+            options=request.options, chaos=chaos,
+            lease=slot.lease_epoch))
         deadline = self.supervisor_config.hang_deadline_seconds
         try:
             await slot.channel.send(frame)
-            reply = await asyncio.wait_for(
-                self._read_reply(slot, assignment.seq),
-                timeout=deadline)
+            reply = await self._await_reply(slot, assignment.seq)
         except asyncio.TimeoutError:
             self.hangs_detected += 1
             slot.hangs += 1
@@ -332,9 +367,57 @@ class RemoteTransport(Transport):
                     f"{payload['error']}"))
             return
         slot.assignments_done += 1
+        self.service.events.emit(
+            EVENT_VERDICT_ACCEPTED, request_id=request.request_id,
+            worker=slot.index, commit=request.commit_id,
+            lease=slot.lease_epoch, seq=assignment.seq)
         outcome = self._absorb_verdict(payload, slot.index)
         if not assignment.future.done():
             assignment.future.set_result(outcome)
+
+    async def _await_reply(self, slot: WorkerSlot,
+                           seq: int) -> "tuple[int, dict] | None":
+        """Wait for the reply under the slot's liveness regime.
+
+        Without heartbeats this is the classic hang deadline: a fixed
+        window from dispatch. With heartbeats on, the window *slides*:
+        the reply may take arbitrarily long as long as the worker keeps
+        beating within ``lease_seconds`` — which is how a ``net_slow``
+        worker survives while a ``net_half_open`` one (open socket,
+        total silence) is reclaimed the moment its lease lapses.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        slot.last_heartbeat = start  # dispatch is an implicit beat
+        task = loop.create_task(self._read_reply(slot, seq))
+        lease_mode = self.heartbeat_seconds > 0 and \
+            self.lease_seconds > 0
+        try:
+            while True:
+                if lease_mode:
+                    horizon = slot.last_heartbeat + self.lease_seconds
+                else:
+                    horizon = start + \
+                        self.supervisor_config.hang_deadline_seconds
+                remaining = horizon - loop.time()
+                if remaining <= 0:
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    if lease_mode:
+                        self.service.events.emit(
+                            EVENT_LEASE_EXPIRED, worker=slot.index,
+                            lease=slot.lease_epoch,
+                            lease_seconds=self.lease_seconds)
+                    raise asyncio.TimeoutError
+                done, _ = await asyncio.wait({task}, timeout=remaining)
+                if done:
+                    return task.result()
+        except asyncio.CancelledError:
+            task.cancel()
+            raise
 
     async def _read_reply(self, slot: WorkerSlot,
                           seq: int) -> "tuple[int, dict] | None":
@@ -342,7 +425,10 @@ class RemoteTransport(Transport):
 
         One assignment is in flight per worker and channels are never
         reused across processes, so a mismatched seq can only be a
-        protocol bug — surfaced, not skipped.
+        protocol bug — surfaced, not skipped. A VERDICT carrying a
+        stale lease epoch is the exception: that is a fenced reply
+        from a session whose work was already requeued, discarded so
+        it can never double-apply.
         """
         while True:
             message = await slot.channel.recv_message()
@@ -351,7 +437,30 @@ class RemoteTransport(Transport):
             msg_type, payload = message
             if msg_type == wire.MSG_HELLO:
                 continue  # late duplicate announcement; harmless
+            if msg_type == wire.MSG_HEARTBEAT:
+                if payload.get("lease") == slot.lease_epoch:
+                    slot.last_heartbeat = \
+                        asyncio.get_running_loop().time()
+                continue
             if msg_type not in (wire.MSG_VERDICT, wire.MSG_ERROR):
+                continue
+            if msg_type == wire.MSG_VERDICT and \
+                    payload.get("lease", slot.lease_epoch) != \
+                    slot.lease_epoch:
+                self.fenced_replies += 1
+                slot.fenced += 1
+                self.service.metrics.counter(
+                    "service.transport.fenced_replies").inc()
+                _logger.warning(
+                    "%s worker %d sent a verdict under stale lease "
+                    "%r (current %d); fenced", self.kind, slot.index,
+                    payload.get("lease"), slot.lease_epoch)
+                self.service.events.emit(
+                    EVENT_LEASE_FENCED,
+                    request_id=payload.get("request_id"),
+                    worker=slot.index,
+                    stale_lease=payload.get("lease"),
+                    lease=slot.lease_epoch)
                 continue
             if payload.get("seq") != seq:
                 raise TransportError(
@@ -384,23 +493,60 @@ class RemoteTransport(Transport):
 
     # -- recovery ----------------------------------------------------------
 
+    def _requeue(self, slot: WorkerSlot, assignment: _Assignment,
+                 cause: str) -> None:
+        """Put lost work back on the queue (idempotent: pure re-run)."""
+        assignment.attempts += 1
+        self.requeued_jobs += 1
+        self.service.metrics.counter(
+            "service.supervisor.requeued_jobs").inc()
+        self.service.events.emit(
+            EVENT_WORKER_REQUEUE,
+            request_id=assignment.request.request_id,
+            worker=slot.index, cause=cause,
+            attempts=assignment.attempts)
+        self._pending.put_nowait(assignment)
+
+    async def _try_rejoin(self, slot: WorkerSlot) -> bool:
+        """Wait for a partitioned worker to reconnect in grace.
+
+        The base transport has no reconnect story (a dead pipe means a
+        dead child); the socket transport overrides this to re-arm the
+        slot's rendezvous and wait out its configured grace window.
+        """
+        return False
+
     async def _handle_loss(self, slot: WorkerSlot,
                            assignment: "_Assignment | None",
-                           cause: str) -> None:
-        """Requeue-then-restart, or open the breaker."""
+                           cause: str, *,
+                           allow_rejoin: bool = True) -> None:
+        """Rejoin-or-requeue-then-restart, or open the breaker.
+
+        A crashed *connection* is given one chance to be a partition:
+        if the worker process dials back within the transport's grace
+        window it re-registers under a fresh lease epoch and no
+        restart budget is burned (the process never died). Everything
+        else takes the reap/restart/breaker path unchanged.
+        """
         slot.claimed = None
+        if allow_rejoin and cause == "crash" and \
+                await self._try_rejoin(slot):
+            self.rejoins += 1
+            slot.rejoins += 1
+            self.service.metrics.counter(
+                "service.transport.rejoins").inc()
+            _logger.info("%s worker %d rejoined within grace "
+                         "(lease epoch %d)", self.kind, slot.index,
+                         slot.lease_epoch)
+            self.service.events.emit(
+                EVENT_WORKER_REJOINED, worker=slot.index,
+                lease=slot.lease_epoch, rejoins=slot.rejoins)
+            if assignment is not None:
+                self._requeue(slot, assignment, cause)
+            return
         await self._reap(slot)
         if assignment is not None:
-            assignment.attempts += 1
-            self.requeued_jobs += 1
-            self.service.metrics.counter(
-                "service.supervisor.requeued_jobs").inc()
-            self.service.events.emit(
-                EVENT_WORKER_REQUEUE,
-                request_id=assignment.request.request_id,
-                worker=slot.index, cause=cause,
-                attempts=assignment.attempts)
-            self._pending.put_nowait(assignment)
+            self._requeue(slot, assignment, cause)
         if slot.restarts >= self.supervisor_config.\
                 max_restarts_per_shard:
             self._open_breaker(slot)
@@ -503,6 +649,9 @@ class RemoteTransport(Transport):
             "breakers_opened": self.breakers_opened,
             "breaker_open_shards": [slot.index for slot in self.slots
                                     if slot.breaker_open],
+            "rejoins": self.rejoins,
+            "fenced_replies": self.fenced_replies,
+            "auth_rejected": self.auth_rejected,
         }
 
     def breaker_open_workers(self) -> list:

@@ -1,27 +1,56 @@
-"""The socket transport: warm workers over localhost TCP.
+"""The socket transport: warm workers over TCP, local or cross-host.
 
-The coordinator listens on an ephemeral ``127.0.0.1`` port; each
-worker process dials back, announces itself with a HELLO frame, and
-then serves assignments over the stream. Unlike pipes, TCP gives no
-message boundaries — the parent side reassembles frames with the
-wire codec's :class:`~repro.service.transport.wire.FrameDecoder`, the
-exact layer the hypothesis property suite attacks with truncation and
-bit flips. A dropped connection (the ``socket_drop`` chaos kind, a
-peer reset, a half-close) reads as EOF and is handled as a worker
-crash — supervision is transport-uniform by construction.
+The coordinator listens on a configured (or ephemeral ``127.0.0.1``)
+address; each worker process dials back, passes the shared-key HMAC
+challenge/response handshake, and then serves assignments over the
+stream. Unlike pipes, TCP gives no message boundaries — the parent
+side reassembles frames with the wire codec's
+:class:`~repro.service.transport.wire.FrameDecoder`, the exact layer
+the hypothesis property suite attacks with truncation and bit flips.
+A dropped connection (the ``socket_drop``/``net_partition`` chaos
+kinds, a peer reset, a half-close) reads as EOF and is handled as a
+worker crash — supervision is transport-uniform by construction —
+except that a ``reconnect_grace_seconds`` window lets a partitioned
+worker dial back and resume under a fresh lease epoch without burning
+restart budget.
 
-Worker lifecycle still uses ``multiprocessing.Process`` (so fork and
-spawn start methods both work); only the data plane is the socket.
+Two fleet shapes share this one transport:
+
+- **local spawn** (the default): worker lifecycle uses
+  ``multiprocessing.Process`` exactly as before; only the data plane
+  is the socket. The spawned child runs the same
+  :class:`~repro.service.transport.client.WorkerClient` session state
+  machine an external worker does.
+- **cross-host** (``spawn_workers=False`` + ``listen`` + a shared
+  ``auth_key``): the coordinator spawns nothing and waits for
+  ``jmake worker --connect HOST:PORT`` processes to claim its slots.
+  Those workers rebuild the corpus deterministically from the shipped
+  :class:`CorpusSpec` and are fingerprint-checked before serving.
+
+Every accepted connection — local or remote — is challenged first and
+never sees a WORK frame unless its HELLO carries the right HMAC.
 """
 
 from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import secrets
 
+from repro.obs.events import (
+    EVENT_AUTH_REJECTED,
+    EVENT_WORKER_REGISTERED,
+)
+from repro.obs.logcfg import get_logger
 from repro.service.transport import wire
 from repro.service.transport.remote import RemoteTransport, WorkerSlot
 from repro.service.transport.worker import socket_worker_main
+
+_logger = get_logger("service.transport")
+
+#: ceiling on one connection's CHALLENGE->HELLO exchange; a peer that
+#: connects and goes silent must not pin the acceptor forever
+HANDSHAKE_TIMEOUT_SECONDS = 10.0
 
 
 class SockParentChannel:
@@ -55,6 +84,25 @@ class SockParentChannel:
             pass
 
 
+def parse_listen(listen: "str | None") -> tuple[str, int]:
+    """``"HOST:PORT"`` -> (host, port); None means loopback-ephemeral."""
+    if not listen:
+        return "127.0.0.1", 0
+    host, sep, port_text = listen.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"listen address must be HOST:PORT, got {listen!r}")
+    try:
+        port = int(port_text)
+    except ValueError as error:
+        raise ValueError(
+            f"listen address must be HOST:PORT, got {listen!r}") \
+            from error
+    if not 0 <= port < 65536:
+        raise ValueError(f"listen port out of range: {port}")
+    return host, port
+
+
 class SocketTransport(RemoteTransport):
     """Warm workers dialing back over the CRC32-framed protocol."""
 
@@ -62,15 +110,36 @@ class SocketTransport(RemoteTransport):
 
     def __init__(self, service) -> None:
         super().__init__(service)
+        config = service.config
         self._server: "asyncio.AbstractServer | None" = None
-        self._host = "127.0.0.1"
-        self._port = 0
+        self._host, self._port = parse_listen(
+            getattr(config, "listen", None))
+        #: the fleet's shared secret; generated fresh per coordinator
+        #: when not configured, which still authenticates the locally
+        #: spawned workers (they inherit it via WorkerInit) while
+        #: locking out everything else
+        self.auth_key = getattr(config, "auth_key", None) \
+            or secrets.token_hex(16)
+        self.spawn_workers = bool(
+            getattr(config, "spawn_workers", True))
+        self.reconnect_grace = float(
+            getattr(config, "reconnect_grace_seconds", 0.0) or 0.0)
+        #: the corpus head commit id every worker must match
+        self._fingerprint = ""
+
+    def address(self) -> "tuple[str, int] | None":
+        """The bound (host, port) once listening (None before)."""
+        if self._server is None:
+            return None
+        return self._host, self._port
 
     async def start(self) -> None:
         if self._server is None:
             self._server = await asyncio.start_server(
-                self._on_connect, self._host, 0)
+                self._on_connect, self._host, self._port)
             self._port = self._server.sockets[0].getsockname()[1]
+            self._fingerprint = \
+                self.service.corpus.repository.head().id
         await super().start()
 
     async def drain(self) -> None:
@@ -80,14 +149,28 @@ class SocketTransport(RemoteTransport):
             await self._server.wait_closed()
             self._server = None
 
+    def _worker_init(self, slot: WorkerSlot):
+        init = super()._worker_init(slot)
+        init.auth_key = self.auth_key
+        return init
+
     def _spawn(self, slot: WorkerSlot) -> None:
         # a fresh rendezvous future per process generation: a stale
         # connection from a killed predecessor can never satisfy it
         slot._connected = asyncio.get_running_loop().create_future()
+        slot._handshaking = False
+        if not self.spawn_workers:
+            # cross-host fleet: the slot waits for an external
+            # `jmake worker --connect` to claim it
+            slot.process = None
+            slot.pid = None
+            slot.channel = None
+            return
         context = multiprocessing.get_context(self.start_method)
         process = context.Process(
             target=socket_worker_main,
-            args=(self._host, self._port, self._worker_init(slot)),
+            args=(self._host or "127.0.0.1", self._port,
+                  self._worker_init(slot)),
             name=f"jmake-socket-worker-{slot.index}",
             daemon=True)
         process.start()
@@ -98,22 +181,146 @@ class SocketTransport(RemoteTransport):
     async def _connect(self, slot: WorkerSlot) -> None:
         slot.channel = await slot._connected
 
+    # -- the authenticated accept path ---------------------------------
+
+    def _slot_for(self, worker_id: int) -> "WorkerSlot | None":
+        """The slot this HELLO may claim (None when nothing waits).
+
+        A non-negative ``worker_id`` targets its own armed slot (the
+        spawned-local and rejoin cases); ``-1`` claims the first armed
+        slot nobody else is mid-handshake on (the cross-host case).
+        The ``_handshaking`` flag is set synchronously by the caller —
+        no await between check and set — so two racing accepts cannot
+        claim the same slot.
+        """
+        if worker_id >= 0:
+            if worker_id >= len(self.slots):
+                return None
+            slot = self.slots[worker_id]
+            rendezvous = getattr(slot, "_connected", None)
+            if rendezvous is None or rendezvous.done() or \
+                    getattr(slot, "_handshaking", False):
+                return None
+            return slot
+        for slot in self.slots:
+            rendezvous = getattr(slot, "_connected", None)
+            if rendezvous is not None and not rendezvous.done() and \
+                    not getattr(slot, "_handshaking", False):
+                return slot
+        return None
+
+    async def _reject(self, channel, reason: str, kind: str) -> None:
+        try:
+            await channel.send(wire.encode_frame(
+                wire.MSG_ERROR, wire.error_message(0, reason, kind)))
+        except (OSError, ConnectionError):
+            pass
+        channel.close()
+
     async def _on_connect(self, reader, writer) -> None:
-        """Accept a worker, read its HELLO, hand the channel to the
-        owning slot."""
+        """Challenge a dialing peer; hand verified channels to slots."""
         channel = SockParentChannel(reader, writer)
+        try:
+            await asyncio.wait_for(self._handshake(channel),
+                                   timeout=HANDSHAKE_TIMEOUT_SECONDS)
+        except asyncio.TimeoutError:
+            channel.close()
+        except (OSError, ConnectionError):
+            channel.close()
+
+    async def _handshake(self, channel: SockParentChannel) -> None:
+        nonce = secrets.token_hex(16)
+        await channel.send(wire.encode_frame(
+            wire.MSG_CHALLENGE, wire.challenge_message(nonce)))
         message = await channel.recv_message()
         if message is None or message[0] != wire.MSG_HELLO:
             channel.close()
             return
-        worker_id = message[1].get("worker_id", -1)
-        if not 0 <= worker_id < len(self.slots):
-            channel.close()
+        payload = message[1]
+        if not wire.verify_auth(self.auth_key, nonce,
+                                payload.get("auth", "")):
+            self.auth_rejected += 1
+            self.service.metrics.counter(
+                "service.transport.auth_rejected").inc()
+            _logger.warning(
+                "socket worker pid %s failed the auth handshake; "
+                "rejected", payload.get("pid"))
+            self.service.events.emit(
+                EVENT_AUTH_REJECTED, pid=payload.get("pid"),
+                worker=payload.get("worker_id"))
+            await self._reject(channel, "auth handshake failed",
+                               "AuthError")
             return
-        slot = self.slots[worker_id]
-        rendezvous = getattr(slot, "_connected", None)
-        if rendezvous is None or rendezvous.done():
-            # a connection nobody is waiting for (stale predecessor)
-            channel.close()
+        worker_id = payload.get("worker_id", -1)
+        slot = self._slot_for(worker_id)
+        if slot is None:
+            # authenticated but nothing to do: every slot is taken,
+            # broken, or mid-handshake. Retryable from the client's
+            # side — a rejoining worker may simply be early.
+            await self._reject(channel, "no free worker slot",
+                               "TransportError")
             return
-        rendezvous.set_result(channel)
+        slot._handshaking = True
+        try:
+            # a fresh epoch fences every frame of any previous session
+            slot.lease_epoch += 1
+            corpus_payload = None
+            spec = getattr(self.service.corpus, "spec", None)
+            if spec is not None and \
+                    getattr(spec, "tree_spec", None) is None:
+                corpus_payload = wire.corpus_spec_to_wire(spec)
+            await channel.send(wire.encode_frame(
+                wire.MSG_WELCOME, wire.welcome_message(
+                    slot.index, slot.lease_epoch, self._fingerprint,
+                    self.heartbeat_seconds, self.lease_seconds,
+                    corpus=corpus_payload,
+                    options=wire.options_to_wire(self.service.options),
+                    use_cache=self.service.cache is not None,
+                    fault_plan=wire.fault_plan_to_wire(
+                        self.service.config.fault_plan),
+                    retry_policy=wire.retry_policy_to_wire(
+                        self.service.config.retry_policy))))
+            slot.pid = payload.get("pid") or slot.pid
+            self.service.events.emit(
+                EVENT_WORKER_REGISTERED, worker=slot.index,
+                pid=slot.pid, lease=slot.lease_epoch,
+                external=slot.process is None)
+            rendezvous = getattr(slot, "_connected", None)
+            if rendezvous is not None and not rendezvous.done():
+                rendezvous.set_result(channel)
+            else:  # pragma: no cover - defensive: raced a teardown
+                channel.close()
+        finally:
+            slot._handshaking = False
+
+    # -- partition grace ------------------------------------------------
+
+    async def _try_rejoin(self, slot: WorkerSlot) -> bool:
+        """Give a partitioned worker ``reconnect_grace`` to dial back.
+
+        For spawned-local slots the child process must still be alive
+        (a dead child is a real crash and takes the restart path); a
+        cross-host slot has no process to check, so the grace window
+        alone decides.
+        """
+        if self.reconnect_grace <= 0:
+            return False
+        if slot.channel is not None:
+            slot.channel.close()
+            slot.channel = None
+        if self.spawn_workers:
+            process = slot.process
+            if process is None:
+                return False
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, process.join, 0.05)
+            if not process.is_alive():
+                return False
+        slot._connected = asyncio.get_running_loop().create_future()
+        slot._handshaking = False
+        try:
+            await asyncio.wait_for(self._connect(slot),
+                                   timeout=self.reconnect_grace)
+        except asyncio.TimeoutError:
+            return False
+        return True

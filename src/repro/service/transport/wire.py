@@ -43,6 +43,8 @@ are closures over session state and never leave their process.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import hmac
 import json
 import struct
 import zlib
@@ -90,21 +92,36 @@ MSG_VERDICT = 3
 MSG_ERROR = 4
 #: coordinator -> worker: drain and exit cleanly
 MSG_SHUTDOWN = 5
+#: coordinator -> worker, first frame on accept: authenticate against
+#: this nonce (shared-key HMAC challenge/response)
+MSG_CHALLENGE = 6
+#: coordinator -> worker: handshake accepted; carries the lease epoch,
+#: the corpus fingerprint, and (for external workers) the CorpusSpec
+#: to rebuild deterministically instead of pickling
+MSG_WELCOME = 7
+#: worker -> coordinator: liveness beacon under the current lease
+MSG_HEARTBEAT = 8
 
 MESSAGE_TYPES = (MSG_HELLO, MSG_WORK, MSG_VERDICT, MSG_ERROR,
-                 MSG_SHUTDOWN)
+                 MSG_SHUTDOWN, MSG_CHALLENGE, MSG_WELCOME,
+                 MSG_HEARTBEAT)
 
 #: required payload fields per message type (schema validation runs on
 #: both encode and decode: a malformed message must fail loudly at the
 #: sender, not poison the peer)
 _MESSAGE_FIELDS = {
     MSG_HELLO: ("worker_id", "pid", "start_method"),
-    MSG_WORK: ("seq", "request_id", "commit_id", "options", "chaos"),
+    MSG_WORK: ("seq", "request_id", "commit_id", "options", "chaos",
+               "lease"),
     MSG_VERDICT: ("seq", "request_id", "commit_id", "report",
                   "stage_counts", "quarantine", "metrics", "events",
-                  "worker_id"),
+                  "worker_id", "lease"),
     MSG_ERROR: ("seq", "error", "kind"),
     MSG_SHUTDOWN: (),
+    MSG_CHALLENGE: ("nonce",),
+    MSG_WELCOME: ("worker_id", "lease", "fingerprint",
+                  "heartbeat_seconds", "lease_seconds"),
+    MSG_HEARTBEAT: ("worker_id", "lease"),
 }
 
 
@@ -250,31 +267,47 @@ class FrameDecoder:
 # -- message constructors ---------------------------------------------------
 
 def hello_message(worker_id: int, pid: int, start_method: str, *,
-                  tree_id: str = "") -> dict:
-    """The worker's ready announcement (sent once, after preload)."""
+                  tree_id: str = "", auth: str = "") -> dict:
+    """The worker's ready announcement.
+
+    ``worker_id`` is the slot the worker was spawned for, or ``-1``
+    for an external ``jmake worker --connect`` joining whatever slot
+    is free. ``auth`` is the HMAC response to the coordinator's
+    CHALLENGE nonce (:func:`auth_token`); local pipe workers leave it
+    empty because pipes need no authentication.
+    """
     return {"worker_id": worker_id, "pid": pid,
-            "start_method": start_method, "tree_id": tree_id}
+            "start_method": start_method, "tree_id": tree_id,
+            "auth": auth}
 
 
 def work_message(seq: int, request_id: str, commit_id: str, *,
                  options: "JMakeOptions | None" = None,
-                 chaos: str | None = None) -> dict:
+                 chaos: str | None = None, lease: int = 0) -> dict:
     """One commit assignment. ``chaos`` carries the coordinator's
     worker-site fault decision for this pickup (the draw happens on the
     coordinator, keyed by worker slot + pickup sequence, so the chaos
     schedule survives worker restarts; the *effect* happens in the
-    child, where detection paths are real)."""
+    child, where detection paths are real). ``lease`` is the fencing
+    token: the verdict must echo it or be discarded as stale."""
     return {"seq": seq, "request_id": request_id,
             "commit_id": commit_id,
             "options": options_to_wire(options),
-            "chaos": chaos}
+            "chaos": chaos,
+            "lease": lease}
 
 
 def verdict_message(seq: int, request_id: str, commit_id: str, *,
                     report: PatchReport, stage_counts: dict,
                     quarantine: dict, metrics: dict, events: list,
-                    worker_id: int, units: list | None = None) -> dict:
-    """One finished assignment: full verdict + telemetry to merge."""
+                    worker_id: int, units: list | None = None,
+                    lease: int = 0) -> dict:
+    """One finished assignment: full verdict + telemetry to merge.
+
+    ``lease`` echoes the WORK frame's fencing token; a coordinator
+    receiving a verdict under a stale lease epoch discards it (the
+    assignment was already requeued when the lease was revoked).
+    """
     return {"seq": seq, "request_id": request_id,
             "commit_id": commit_id,
             "report": report_to_wire(report),
@@ -283,7 +316,8 @@ def verdict_message(seq: int, request_id: str, commit_id: str, *,
             "metrics": metrics,
             "events": list(events),
             "worker_id": worker_id,
-            "units": list(units or [])}
+            "units": list(units or []),
+            "lease": lease}
 
 
 def error_message(seq: int, error: str, kind: str) -> dict:
@@ -294,6 +328,60 @@ def error_message(seq: int, error: str, kind: str) -> dict:
 def shutdown_message() -> dict:
     """Drain-and-exit control message."""
     return {}
+
+
+def challenge_message(nonce: str) -> dict:
+    """The coordinator's auth challenge (first frame after accept)."""
+    return {"nonce": nonce}
+
+
+def welcome_message(worker_id: int, lease: int, fingerprint: str,
+                    heartbeat_seconds: float, lease_seconds: float, *,
+                    corpus: dict | None = None,
+                    options: dict | None = None,
+                    use_cache: bool = True,
+                    fault_plan: dict | None = None,
+                    retry_policy: dict | None = None) -> dict:
+    """Handshake acceptance: slot assignment + session parameters.
+
+    ``fingerprint`` is the coordinator corpus's head commit id — the
+    worker verifies its own (rebuilt) corpus against it before serving.
+    ``corpus`` is the deterministic :class:`CorpusSpec` payload an
+    external worker rebuilds locally (None when the worker already has
+    a corpus, e.g. a locally spawned process).
+    """
+    return {"worker_id": worker_id, "lease": lease,
+            "fingerprint": fingerprint,
+            "heartbeat_seconds": heartbeat_seconds,
+            "lease_seconds": lease_seconds,
+            "corpus": corpus, "options": options,
+            "use_cache": use_cache, "fault_plan": fault_plan,
+            "retry_policy": retry_policy}
+
+
+def heartbeat_message(worker_id: int, lease: int) -> dict:
+    """A liveness beacon under the worker's current lease epoch."""
+    return {"worker_id": worker_id, "lease": lease}
+
+
+# -- shared-key authentication ----------------------------------------------
+
+def auth_token(key: str, nonce: str) -> str:
+    """The HMAC-SHA256 response to a CHALLENGE nonce.
+
+    Keyed by the fleet's shared secret; comparing with
+    ``hmac.compare_digest`` on the coordinator makes the check
+    constant-time. The nonce is fresh per connection, so a captured
+    token never replays.
+    """
+    return hmac.new(key.encode("utf-8"), nonce.encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_auth(key: str, nonce: str, offered: str) -> bool:
+    """Constant-time check of a HELLO's ``auth`` field."""
+    return hmac.compare_digest(auth_token(key, nonce),
+                               str(offered or ""))
 
 
 # -- JMakeOptions codec -----------------------------------------------------
@@ -316,6 +404,95 @@ def options_from_wire(payload: dict | None) -> "JMakeOptions | None":
             f"unknown JMakeOptions field(s) on the wire: "
             f"{', '.join(sorted(unknown))}")
     return JMakeOptions(**payload)
+
+
+# -- CorpusSpec codec -------------------------------------------------------
+
+def corpus_spec_to_wire(spec) -> dict:
+    """The corpus *recipe* (never the corpus): seed + scale knobs.
+
+    A worker on another host rebuilds the corpus deterministically from
+    this, which is both smaller and safer than pickling — nothing
+    executable crosses the wire. Specs carrying an explicit
+    ``tree_spec`` object are refused: only the pure-scalar recipe is
+    guaranteed to reproduce byte-identically from a JSON round trip.
+    """
+    if getattr(spec, "tree_spec", None) is not None:
+        raise WireSchemaError(
+            "cannot ship a CorpusSpec with an explicit tree_spec over "
+            "the wire; only the scalar (seed, counts) recipe rebuilds "
+            "deterministically")
+    return {"seed": spec.seed,
+            "history_commits": spec.history_commits,
+            "eval_commits": spec.eval_commits,
+            "regular_developers": spec.regular_developers}
+
+
+def corpus_spec_from_wire(payload: dict):
+    """Rebuild the spec; unknown fields raise :class:`WireSchemaError`."""
+    from repro.workload.corpus import CorpusSpec
+    if not isinstance(payload, dict):
+        raise WireSchemaError(
+            f"corpus spec payload must be an object, "
+            f"got {type(payload).__name__}")
+    known = {"seed", "history_commits", "eval_commits",
+             "regular_developers"}
+    unknown = set(payload) - known
+    if unknown:
+        raise WireSchemaError(
+            f"unknown CorpusSpec field(s) on the wire: "
+            f"{', '.join(sorted(unknown))}")
+    missing = known - set(payload)
+    if missing:
+        raise WireSchemaError(
+            f"corpus spec payload missing field(s): "
+            f"{', '.join(sorted(missing))}")
+    return CorpusSpec(**payload)
+
+
+# -- RetryPolicy codec ------------------------------------------------------
+
+def retry_policy_to_wire(policy) -> dict | None:
+    """JSON-ready retry policy (None passes through)."""
+    if policy is None:
+        return None
+    return dataclasses.asdict(policy)
+
+
+def retry_policy_from_wire(payload: dict | None):
+    """Rebuild a retry policy; unknown fields raise."""
+    from repro.faults.resilience import RetryPolicy
+    if payload is None:
+        return None
+    known = {field.name for field in dataclasses.fields(RetryPolicy)}
+    unknown = set(payload) - known
+    if unknown:
+        raise WireSchemaError(
+            f"unknown RetryPolicy field(s) on the wire: "
+            f"{', '.join(sorted(unknown))}")
+    return RetryPolicy(**payload)
+
+
+# -- FaultPlan codec --------------------------------------------------------
+
+def fault_plan_to_wire(plan) -> dict | None:
+    """JSON-ready fault plan (the ``--fault-plan`` format)."""
+    if plan is None:
+        return None
+    return plan.to_dict()
+
+
+def fault_plan_from_wire(payload: dict | None):
+    """Rebuild a fault plan; malformed plans raise."""
+    from repro.errors import FaultPlanError
+    from repro.faults.plan import FaultPlan
+    if payload is None:
+        return None
+    try:
+        return FaultPlan.from_dict(payload)
+    except FaultPlanError as error:
+        raise WireSchemaError(
+            f"malformed fault plan on the wire: {error}") from error
 
 
 # -- WorkUnit descriptor codec ----------------------------------------------

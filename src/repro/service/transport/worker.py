@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import socket as socket_module
+import threading
 import time
 from dataclasses import dataclass
 
@@ -39,6 +40,9 @@ from repro.core.jmake import CheckSession, JMakeOptions
 from repro.core.units import UnitDag, run_units
 from repro.faults.inject import FaultInjector, NULL_INJECTOR
 from repro.faults.plan import (
+    KIND_NET_HALF_OPEN,
+    KIND_NET_PARTITION,
+    KIND_NET_SLOW,
     KIND_SOCKET_DROP,
     KIND_WORKER_CRASH,
     KIND_WORKER_HANG,
@@ -51,6 +55,11 @@ from repro.service.transport import wire
 #: is just "worker lost" to supervision)
 EXIT_CHAOS_KILL = 70
 EXIT_CHAOS_DROP = 71
+
+#: real seconds a ``net_slow`` assignment is delayed before it is
+#: served — long enough to be visible in timings, short enough that a
+#: heartbeat-backed lease never expires over it
+NET_SLOW_SECONDS = 0.35
 
 
 @dataclass
@@ -68,6 +77,9 @@ class WorkerInit:
     fault_plan: object = None
     retry_policy: object = None
     use_cache: bool = True
+    #: shared key for the HMAC challenge/response handshake; empty
+    #: means the transport predates auth (pipe workers never need it)
+    auth_key: str = ""
 
 
 # -- child-side channel shims ----------------------------------------------
@@ -98,14 +110,21 @@ class PipeChildChannel:
 
 
 class SocketChildChannel:
-    """Frame transport over a blocking localhost TCP socket."""
+    """Frame transport over a blocking TCP socket.
+
+    ``send`` is serialized with a lock: the heartbeat thread a
+    connected worker runs shares this socket with the assignment loop,
+    and interleaved partial writes would corrupt the frame stream.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self._sock = socket_module.create_connection((host, port))
         self._decoder = wire.FrameDecoder()
+        self._send_lock = threading.Lock()
 
     def send(self, frame: bytes) -> None:
-        self._sock.sendall(frame)
+        with self._send_lock:
+            self._sock.sendall(frame)
 
     def recv_message(self) -> "tuple[int, dict] | None":
         while True:
@@ -186,18 +205,29 @@ class WorkerRuntime:
 
 
 def _fire_chaos(channel, chaos: "str | None") -> None:
-    """Apply the coordinator's worker-site fault decision, for real."""
+    """Apply the coordinator's worker-site fault decision, for real.
+
+    This is the *pipe* worker's chaos vocabulary. A pipe worker has no
+    reconnect loop, so the network kinds degrade to their nearest
+    process-level equivalent: a partition or half-open link is
+    indistinguishable from a severed pipe / silent worker from where
+    the coordinator sits. Connected socket workers get the full
+    network semantics in :mod:`repro.service.transport.client`.
+    """
     if chaos in (KIND_WORKER_KILL, KIND_WORKER_CRASH):
         # die before the assignment runs: the requeue replays nothing
         os._exit(EXIT_CHAOS_KILL)
-    if chaos == KIND_SOCKET_DROP:
+    if chaos in (KIND_SOCKET_DROP, KIND_NET_PARTITION):
         # sever the channel mid-claim, then die: the coordinator sees
         # a dropped connection, not a clean exit
         channel.close()
         os._exit(EXIT_CHAOS_DROP)
-    if chaos == KIND_WORKER_HANG:
+    if chaos in (KIND_WORKER_HANG, KIND_NET_HALF_OPEN):
         # park holding the claim until the hang deadline reaps us
         time.sleep(3600)
+    if chaos == KIND_NET_SLOW:
+        # late, not lost: serve the assignment after a real delay
+        time.sleep(NET_SLOW_SECONDS)
 
 
 def worker_loop(channel, init: WorkerInit) -> None:
@@ -234,5 +264,20 @@ def pipe_worker_main(conn, init: WorkerInit) -> None:
 
 
 def socket_worker_main(host: str, port: int, init: WorkerInit) -> None:
-    """``multiprocessing.Process`` target for the socket transport."""
-    worker_loop(SocketChildChannel(host, port), init)
+    """``multiprocessing.Process`` target for the socket transport.
+
+    Locally spawned socket workers run the same
+    :class:`~repro.service.transport.client.WorkerClient` a cross-host
+    ``jmake worker --connect`` process does — one handshake, one lease
+    protocol, one reconnect path, whether the worker lives on this
+    machine or another.
+    """
+    from repro.service.transport.client import WorkerClient
+    client = WorkerClient(host, port, auth_key=init.auth_key,
+                          worker_id=init.worker_id,
+                          corpus=init.corpus, options=init.options,
+                          fault_plan=init.fault_plan,
+                          retry_policy=init.retry_policy,
+                          use_cache=init.use_cache,
+                          start_method=init.start_method)
+    client.run()

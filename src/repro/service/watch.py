@@ -29,6 +29,8 @@ appends fresh deterministic traffic with the workload generator — the
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.core.jmake import JMakeOptions
@@ -36,6 +38,7 @@ from repro.faults.chaos import CrashPoint
 from repro.journal import VerdictLedger
 from repro.obs.events import (
     EVENT_WATCH_BATCH,
+    EVENT_WATCH_IDLE,
     EVENT_WATCH_STARTED,
     EVENT_WATCH_STOPPED,
     NULL_EVENTS,
@@ -141,6 +144,17 @@ class WatchConfig:
     service: ServiceConfig | None = None
     #: build cache handed to the service (True -> fresh warm cache)
     cache: object = True
+    #: long-lived mode: instead of exiting when the stream is empty,
+    #: poll it until a stop condition fires
+    follow: bool = False
+    #: real seconds between idle polls in follow mode
+    poll_interval_seconds: float = 0.5
+    #: follow mode stops when this file appears (touch it to stop a
+    #: daemon you cannot signal, e.g. across a container boundary)
+    stop_file: str | None = None
+    #: follow mode stops after this many real seconds with no new
+    #: commits (None -> wait forever for a stop file or signal)
+    idle_timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -151,6 +165,15 @@ class WatchConfig:
             if value is not None and value < 1:
                 raise ValueError(
                     f"{name} must be positive when set, got {value!r}")
+        if self.poll_interval_seconds <= 0:
+            raise ValueError(
+                f"poll_interval_seconds must be positive, "
+                f"got {self.poll_interval_seconds!r}")
+        if self.idle_timeout_seconds is not None and \
+                self.idle_timeout_seconds <= 0:
+            raise ValueError(
+                f"idle_timeout_seconds must be positive when set, "
+                f"got {self.idle_timeout_seconds!r}")
 
 
 @dataclass
@@ -171,6 +194,11 @@ class WatchResult:
     journal_stats: dict = field(default_factory=dict)
     #: top of the §IV materialized view after the run
     janitors: list = field(default_factory=list)
+    #: empty polls survived in follow mode
+    idle_polls: int = 0
+    #: why the loop ended: "drained", "max-batches", "stop-file",
+    #: "signal", or "idle-timeout"
+    stopped_by: str = "drained"
 
 
 class WatchSession:
@@ -197,6 +225,20 @@ class WatchSession:
             self._owns_store = True
         self.journal_path = journal
         self._backlog = 0
+        #: set by :meth:`request_stop` (a signal handler, another
+        #: thread) to end a follow loop at the next batch boundary
+        self._stop_requested = False
+        self._stop_reason = "signal"
+
+    def request_stop(self, reason: str = "signal") -> None:
+        """Ask a running follow loop to stop at the next boundary.
+
+        Safe to call from a signal handler: it only flips a flag the
+        loop polls between batches, so an in-flight batch finishes and
+        lands durably before the session winds down.
+        """
+        self._stop_requested = True
+        self._stop_reason = reason
 
     # -- identity --------------------------------------------------------------
 
@@ -251,13 +293,43 @@ class WatchSession:
             service = CheckService(self.corpus, options=self.options,
                                    config=self._service_config(),
                                    cache=config.cache)
+            idle_since: "float | None" = None
             while True:
+                if self._stop_requested:
+                    result.stopped_by = self._stop_reason
+                    break
                 if config.max_batches is not None and \
                         result.batches >= config.max_batches:
+                    result.stopped_by = "max-batches"
+                    break
+                if config.stop_file is not None and \
+                        os.path.exists(config.stop_file):
+                    result.stopped_by = "stop-file"
                     break
                 batch = self._next_unseen(ledger, result)
                 if not batch:
-                    break
+                    limit_spent = config.limit is not None and \
+                        self._backlog + result.commits_seen >= \
+                        config.limit
+                    if not config.follow or limit_spent:
+                        result.stopped_by = "drained"
+                        break
+                    # follow mode: the stream is dry right now, not
+                    # finished — wait for traffic or a stop condition
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    if config.idle_timeout_seconds is not None and \
+                            now - idle_since >= \
+                            config.idle_timeout_seconds:
+                        result.stopped_by = "idle-timeout"
+                        break
+                    result.idle_polls += 1
+                    self.events.emit(EVENT_WATCH_IDLE,
+                                     polls=result.idle_polls)
+                    time.sleep(config.poll_interval_seconds)
+                    continue
+                idle_since = None
                 result.commits_seen += len(batch)
 
                 def on_result(check_result) -> None:
@@ -290,7 +362,8 @@ class WatchSession:
             self.events.emit(EVENT_WATCH_STOPPED,
                              batches=result.batches,
                              fresh=result.fresh,
-                             ingested=result.ingested)
+                             ingested=result.ingested,
+                             stopped_by=result.stopped_by)
             return result
         finally:
             ledger.close()

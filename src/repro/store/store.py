@@ -31,6 +31,7 @@ from repro.obs.events import (
     EVENT_INGEST_BATCH,
     EVENT_INGEST_MATVIEW,
     EVENT_INGEST_SCHEMA_ERROR,
+    EVENT_STORE_COMPACTED,
     NULL_EVENTS,
 )
 from repro.obs.logcfg import get_logger
@@ -225,6 +226,71 @@ class VerdictStore:
     def ingest_ledger(self, ledger) -> IngestResult:
         """Replay a verdict ledger (the WAL) into the store."""
         return ingest_ledger(self, ledger)
+
+    # -- retention -------------------------------------------------------------
+
+    def compact(self, retain: int) -> dict:
+        """Prune all but the newest ``retain`` verdicts, then vacuum.
+
+        "Newest" is ingest order (the monotone ``seq`` column), so a
+        long-running fleet keeps a sliding window of recent verdicts
+        and sheds the tail. One transaction covers the verdict rows,
+        their per-file rows, and a *from-scratch rebuild* of the §IV
+        janitor materialized view over the survivors — a reader can
+        never observe a view that still summarizes pruned commits.
+        ``VACUUM`` (which cannot run inside a transaction) then
+        returns the freed pages to the filesystem.
+
+        Returns ``{"kept", "pruned", "file_rows_pruned"}``.
+        """
+        import json
+        if isinstance(retain, bool) or not isinstance(retain, int):
+            raise StoreError(
+                f"retain must be a non-negative integer, "
+                f"got {retain!r}")
+        if retain < 0:
+            raise StoreError(
+                f"retain must be a non-negative integer, "
+                f"got {retain!r}")
+        conn = self._conn
+        file_rows_before = self._count("file_verdicts")
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            victims = [row[0] for row in conn.execute(
+                "SELECT commit_id FROM verdicts "
+                "ORDER BY seq DESC LIMIT -1 OFFSET ?", (retain,))]
+            for commit_id in victims:
+                conn.execute(
+                    "DELETE FROM file_verdicts WHERE commit_id = ?",
+                    (commit_id,))
+                conn.execute(
+                    "DELETE FROM verdicts WHERE commit_id = ?",
+                    (commit_id,))
+            # rebuild the matview over the survivors only, inside the
+            # same transaction as the deletes
+            conn.execute("DELETE FROM author_files")
+            conn.execute("DELETE FROM janitor_view")
+            survivors = [json.loads(row[0]) for row in conn.execute(
+                "SELECT record FROM verdicts ORDER BY seq")]
+            matview.apply_batch(conn, survivors)
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("VACUUM")
+        kept = len(self)
+        file_rows_pruned = file_rows_before \
+            - self._count("file_verdicts")
+        self._set_size_gauges()
+        self.metrics.counter("store.compactions").inc()
+        self.metrics.counter("store.pruned").inc(len(victims))
+        self.events.emit(EVENT_STORE_COMPACTED, kept=kept,
+                         pruned=len(victims), retain=retain)
+        _logger.info("store %s: compacted to %d verdict(s) "
+                     "(%d pruned, %d file row(s) dropped)", self.path,
+                     kept, len(victims), file_rows_pruned)
+        return {"kept": kept, "pruned": len(victims),
+                "file_rows_pruned": file_rows_pruned}
 
     # -- queries ---------------------------------------------------------------
 

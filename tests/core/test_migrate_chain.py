@@ -1,0 +1,209 @@
+"""Property tests for chained record migration.
+
+``migrate_record`` upgrades any historical schema version to the
+current one in a single call by chaining per-version hops. These
+properties pin the chain algebra: migrating a v1 record in one hop
+is byte-identical to hand-stepping it through every intermediate
+form, the result is a fixed point, the input is never mutated, and
+the rejection surface (truncation, poisoned numbers, inconsistent
+verdicts, impossible versions) fires at *every* version on the way
+up, not just the entry point.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.report import SCHEMA_VERSION, migrate_record
+from repro.errors import SchemaError
+
+ARCHES = ("x86_64", "arm", "arm64", "mips", "powerpc", "s390")
+
+_commit_ids = st.text(alphabet="0123456789abcdef", min_size=6,
+                      max_size=40)
+_paths = st.from_regex(r"[a-z][a-z0-9_]{0,8}\.[ch]", fullmatch=True)
+
+_file_entries = st.fixed_dictionaries({
+    "status": st.sampled_from(["ok", "skipped", "failed"]),
+    "useful_archs": st.lists(st.sampled_from(ARCHES), max_size=3,
+                             unique=True),
+})
+
+
+@st.composite
+def v1_records(draw):
+    """A coherent PR-3-era record (no version, no fully_checked).
+
+    Coherent means the verdict already agrees with the quarantine
+    set, because the v1 hop *derives* ``fully_checked`` from
+    ``quarantined_archs`` and the final consistency guard compares it
+    against the ``PARTIAL:`` verdict prefix.
+    """
+    quarantined = draw(st.lists(st.sampled_from(ARCHES), max_size=3,
+                                unique=True))
+    if quarantined:
+        verdict = "PARTIAL:" + ",".join(quarantined)
+        certified = False
+    else:
+        verdict = draw(st.sampled_from(
+            ["CERTIFIED", "ATTENTION REQUIRED"]))
+        certified = verdict == "CERTIFIED"
+    record = {
+        "commit": draw(_commit_ids),
+        "certified": certified,
+        "verdict": verdict,
+        "quarantined_archs": quarantined,
+        "faults": draw(st.lists(st.sampled_from(
+            ["config_fail", "io_error"]), max_size=2)),
+        "invocations": {"config": draw(st.integers(0, 5))},
+        "files": draw(st.dictionaries(_paths, _file_entries,
+                                      max_size=4)),
+    }
+    if draw(st.booleans()):
+        record["elapsed_seconds"] = draw(st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False,
+            allow_infinity=False))
+    return record
+
+
+def step_to_v2(record):
+    """Hand-apply exactly the v1 -> v2 hop."""
+    out = dict(record)
+    out["schema_version"] = 2
+    out["fully_checked"] = not out["quarantined_archs"]
+    return out
+
+
+def step_to_v3(record):
+    """Hand-apply exactly the v2 -> v3 hop."""
+    out = dict(record)
+    out["schema_version"] = 3
+    out["journal"] = {"dedup_key": out["commit"]}
+    return out
+
+
+def step_to_v4(record):
+    """Hand-apply exactly the v3 -> v4 hop."""
+    out = dict(record)
+    out["schema_version"] = 4
+    out["author"] = None
+    out["files"] = {path: {**entry, "attempts": []}
+                    for path, entry in out["files"].items()}
+    return out
+
+
+class TestChainAlgebra:
+    @given(v1_records())
+    @settings(max_examples=80)
+    def test_one_hop_equals_stepwise(self, record):
+        """migrate(v1) == migrate(step(v1)) == ... == hand-built v4:
+        the chain commutes with manual stepping at every rung."""
+        expected = step_to_v4(step_to_v3(step_to_v2(record)))
+        assert migrate_record(record) == expected
+        assert migrate_record(step_to_v2(record)) == expected
+        assert migrate_record(step_to_v3(step_to_v2(record))) == \
+            expected
+
+    @given(v1_records())
+    @settings(max_examples=80)
+    def test_migration_is_a_fixed_point(self, record):
+        once = migrate_record(record)
+        assert once["schema_version"] == SCHEMA_VERSION
+        assert migrate_record(once) == once
+
+    @given(v1_records())
+    @settings(max_examples=60)
+    def test_input_is_never_mutated(self, record):
+        import copy
+        snapshot = copy.deepcopy(record)
+        migrate_record(record)
+        assert record == snapshot
+        stepped = step_to_v3(step_to_v2(record))
+        snapshot = copy.deepcopy(stepped)
+        migrate_record(stepped)
+        assert stepped == snapshot
+
+    @given(v1_records())
+    @settings(max_examples=60)
+    def test_entry_version_leaves_no_trace(self, record):
+        """Which version a record *entered* at is unrecoverable from
+        the migrated output — the chain normalizes completely."""
+        from_v1 = migrate_record(record)
+        from_v3 = migrate_record(step_to_v3(step_to_v2(record)))
+        assert from_v1 == from_v3
+
+
+class TestRejectionsAtEveryVersion:
+    @given(v1_records(), st.sampled_from(["commit", "certified",
+                                          "verdict", "files"]),
+           st.sampled_from([1, 2, 3]))
+    @settings(max_examples=60)
+    def test_truncation_is_refused_at_every_entry_version(
+            self, record, missing, entry_version):
+        if entry_version >= 2:
+            record = step_to_v2(record)
+        if entry_version >= 3:
+            record = step_to_v3(record)
+        del record[missing]
+        with pytest.raises(SchemaError, match="truncated"):
+            migrate_record(record)
+
+    @given(v1_records(),
+           st.one_of(st.integers(max_value=0),
+                     st.integers(min_value=SCHEMA_VERSION + 1),
+                     st.booleans(),
+                     st.sampled_from(["1", "two", 2.0, None])))
+    @settings(max_examples=60)
+    def test_impossible_versions_are_refused(self, record, version):
+        record["schema_version"] = version
+        with pytest.raises(SchemaError):
+            migrate_record(record)
+
+    @given(v1_records(),
+           st.sampled_from([float("nan"), float("inf"),
+                            float("-inf")]),
+           st.sampled_from([1, 2, 3]))
+    @settings(max_examples=30)
+    def test_poisoned_elapsed_is_refused_at_every_version(
+            self, record, poison, entry_version):
+        if entry_version >= 2:
+            record = step_to_v2(record)
+        if entry_version >= 3:
+            record = step_to_v3(record)
+        record["elapsed_seconds"] = poison
+        with pytest.raises(SchemaError, match="non-finite"):
+            migrate_record(record)
+
+    @given(v1_records())
+    @settings(max_examples=60)
+    def test_verdict_consistency_guard_fires_both_ways(self, record):
+        lying = step_to_v2(record)
+        lying["fully_checked"] = not lying["fully_checked"]
+        with pytest.raises(SchemaError):
+            migrate_record(lying)
+
+    @given(v1_records())
+    @settings(max_examples=30)
+    def test_mangled_files_are_refused(self, record):
+        record["files"] = ["a.c"]
+        with pytest.raises(SchemaError, match="mapping"):
+            migrate_record(record)
+
+
+class TestFinitePayloadsSurvive:
+    @given(v1_records())
+    @settings(max_examples=60)
+    def test_pre_existing_facts_survive_the_chain(self, record):
+        migrated = migrate_record(record)
+        assert migrated["commit"] == record["commit"]
+        assert migrated["verdict"] == record["verdict"]
+        assert migrated["quarantined_archs"] == \
+            record["quarantined_archs"]
+        assert set(migrated["files"]) == set(record["files"])
+        for path, entry in record["files"].items():
+            assert migrated["files"][path]["useful_archs"] == \
+                entry["useful_archs"]
+            assert migrated["files"][path]["attempts"] == []
+        if "elapsed_seconds" in record:
+            assert math.isfinite(migrated["elapsed_seconds"])

@@ -37,9 +37,10 @@ class TestFaultMatrix:
 
     def test_matrix_size(self):
         # 5 single-site pipeline kinds + io_error at all 5 pipeline
-        # sites + the 5 process-level kinds (worker crash/hang, torn
-        # journal append, transport worker kill / socket drop)
-        assert len(valid_kind_sites()) == 15
+        # sites + the 8 process-level kinds (worker crash/hang, torn
+        # journal append, transport worker kill / socket drop, and the
+        # net_partition / net_slow / net_half_open link faults)
+        assert len(valid_kind_sites()) == 18
 
 
 class TestFaultSpecValidation:

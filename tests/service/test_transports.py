@@ -23,7 +23,8 @@ LIMIT = 3
 
 SUPERVISOR_STAT_KEYS = {"crashes_detected", "hangs_detected",
                         "restarts", "requeued_jobs", "breakers_opened",
-                        "breaker_open_shards"}
+                        "breaker_open_shards", "rejoins",
+                        "fenced_replies", "auth_rejected"}
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,211 @@
+"""``jmake watch --follow``: the long-lived daemon loop.
+
+Plain watch exits when the stream is dry; follow mode treats dry as
+*idle* and polls until a stop condition fires — a stop file, a
+signal-installed :meth:`WatchSession.request_stop`, an idle timeout,
+or a spent commit budget. Every stop lands at a batch boundary, so
+whatever was checked is durable before the loop winds down.
+"""
+
+import threading
+
+import pytest
+
+from repro import api
+from repro.obs.events import (
+    EVENT_WATCH_IDLE,
+    EVENT_WATCH_STOPPED,
+    EventLog,
+)
+from repro.service.watch import WatchConfig, WatchSession, WindowSource
+
+
+class FiniteSource:
+    """A window stream that dries up after ``total`` commits.
+
+    Follow mode needs a source that goes *quiet* without the session's
+    commit budget being spent — that is the state where a real daemon
+    sits between pushes, and where idle polling, stop files, and
+    signals are the only ways out.
+    """
+
+    kind = "window"
+
+    def __init__(self, corpus, total):
+        self._inner = WindowSource(corpus)
+        self._remaining = total
+
+    def identity(self):
+        return self._inner.identity()
+
+    def next_commits(self, limit):
+        if self._remaining <= 0:
+            return []
+        commits = self._inner.next_commits(
+            min(limit, self._remaining))
+        self._remaining -= len(commits)
+        return commits
+
+
+def follow_session(corpus, tmp_path, tag, *, total=3, events=None,
+                   **config_overrides):
+    settings = dict(batch_size=3, fsync=False, follow=True,
+                    poll_interval_seconds=0.05)
+    settings.update(config_overrides)
+    return WatchSession(
+        corpus,
+        store=str(tmp_path / f"{tag}.sqlite"),
+        journal=str(tmp_path / f"{tag}.jnl"),
+        source=FiniteSource(corpus, total),
+        config=WatchConfig(**settings),
+        events=events if events is not None else EventLog())
+
+
+class TestIdleTimeout:
+    def test_dry_stream_idles_then_times_out(self, small_corpus,
+                                             tmp_path):
+        events = EventLog()
+        session = follow_session(small_corpus, tmp_path, "idle",
+                                 events=events,
+                                 idle_timeout_seconds=0.3)
+        result = session.run()
+        # the work landed before the loop went idle
+        assert result.fresh == 3
+        assert result.ingested == 3
+        assert result.stopped_by == "idle-timeout"
+        assert result.idle_polls > 0
+        assert events.counts[EVENT_WATCH_IDLE] == result.idle_polls
+        stopped = events.events(EVENT_WATCH_STOPPED)[0]
+        assert stopped.attrs["stopped_by"] == "idle-timeout"
+
+    def test_traffic_resets_the_idle_clock(self, small_corpus,
+                                           tmp_path):
+        """idle_since restarts on every non-empty batch, so a stream
+        that keeps trickling never times out mid-flow."""
+
+        class TrickleSource(FiniteSource):
+            """Dry on every other poll."""
+
+            def __init__(self, corpus, total):
+                super().__init__(corpus, total)
+                self._turn = False
+
+            def next_commits(self, limit):
+                self._turn = not self._turn
+                if not self._turn:
+                    return []
+                return super().next_commits(min(limit, 1))
+
+        session = WatchSession(
+            small_corpus,
+            store=str(tmp_path / "trickle.sqlite"),
+            journal=str(tmp_path / "trickle.jnl"),
+            source=TrickleSource(small_corpus, 3),
+            config=WatchConfig(batch_size=2, fsync=False, follow=True,
+                               poll_interval_seconds=0.05,
+                               idle_timeout_seconds=0.4),
+            events=EventLog())
+        result = session.run()
+        assert result.fresh == 3
+        assert result.stopped_by == "idle-timeout"
+
+
+class TestStopFile:
+    def test_existing_stop_file_halts_before_any_batch(
+            self, small_corpus, tmp_path):
+        stop = tmp_path / "watch.stop"
+        stop.touch()
+        session = follow_session(small_corpus, tmp_path, "stopfile",
+                                 stop_file=str(stop))
+        result = session.run()
+        assert result.stopped_by == "stop-file"
+        assert result.fresh == 0
+        assert result.batches == 0
+
+    def test_stop_file_appearing_mid_idle_halts(self, small_corpus,
+                                                tmp_path):
+        stop = tmp_path / "late.stop"
+        session = follow_session(small_corpus, tmp_path, "latefile",
+                                 stop_file=str(stop))
+        timer = threading.Timer(0.3, stop.touch)
+        timer.start()
+        try:
+            result = session.run()
+        finally:
+            timer.cancel()
+        assert result.stopped_by == "stop-file"
+        assert result.fresh == 3  # the batch finished first
+
+
+class TestRequestStop:
+    def test_request_stop_from_another_thread(self, small_corpus,
+                                              tmp_path):
+        """The signal-handler path: flip the flag while the loop is
+        idle-polling and it stops at the next boundary."""
+        session = follow_session(small_corpus, tmp_path, "signal")
+        timer = threading.Timer(0.3, session.request_stop)
+        timer.start()
+        try:
+            result = session.run()
+        finally:
+            timer.cancel()
+        assert result.stopped_by == "signal"
+        assert result.fresh == 3
+        assert result.ingested == 3
+
+    def test_stop_reason_is_carried_through(self, small_corpus,
+                                            tmp_path):
+        session = follow_session(small_corpus, tmp_path, "reason")
+        timer = threading.Timer(
+            0.2, lambda: session.request_stop("operator"))
+        timer.start()
+        try:
+            result = session.run()
+        finally:
+            timer.cancel()
+        assert result.stopped_by == "operator"
+
+
+class TestBudgetStops:
+    def test_spent_limit_drains_even_in_follow_mode(self,
+                                                    small_corpus,
+                                                    tmp_path):
+        """A follow daemon with a commit budget behaves like plain
+        watch once the budget is spent: it reports drained and never
+        idles — this is what keeps the CLI's 'watch drained:' summary
+        stable for scripted runs."""
+        session = follow_session(small_corpus, tmp_path, "budget",
+                                 total=10, limit=6)
+        result = session.run()
+        assert result.stopped_by == "drained"
+        assert result.fresh == 6
+        assert result.idle_polls == 0
+
+    def test_max_batches_stops_follow_mode(self, small_corpus,
+                                           tmp_path):
+        session = follow_session(small_corpus, tmp_path, "batches",
+                                 total=10, max_batches=1)
+        result = session.run()
+        assert result.stopped_by == "max-batches"
+        assert result.fresh == 3
+        assert result.batches == 1
+
+
+class TestFollowConfigSurface:
+    def test_api_exports_the_session(self):
+        assert api.WatchSession is WatchSession
+        assert api.WatchConfig is WatchConfig
+
+    def test_bad_poll_interval_rejected(self):
+        with pytest.raises(ValueError):
+            WatchConfig(poll_interval_seconds=0)
+
+    def test_bad_idle_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            WatchConfig(idle_timeout_seconds=-1.0)
+
+    def test_follow_defaults_are_off(self):
+        config = WatchConfig()
+        assert config.follow is False
+        assert config.stop_file is None
+        assert config.idle_timeout_seconds is None
